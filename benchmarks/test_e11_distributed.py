@@ -1,0 +1,86 @@
+"""E11 (Section 8.3): distributed evaluation ships atomic *results*, not
+directories.
+
+One logical directory is split across a headquarters server plus k
+delegated subnet servers.  Expected shape: messages stay at 2 per remote
+atomic leaf regardless of directory size; entries shipped equal the remote
+leaves' result sizes; issuing at the data's owner ships nothing."""
+
+from repro.dist import FederatedDirectory
+from repro.engine import QueryEngine
+from repro.workload import balanced_instance
+
+from ._util import record
+
+SIZES = (1_000, 2_000, 4_000)
+
+QUERY_TEMPLATE = "(%s ? sub ? kind=alpha)"
+
+
+def _setup(size):
+    instance = balanced_instance(size, fanout=4, seed=11)
+    root = next(iter(instance.roots())).dn
+    # Delegate each depth-2 subtree to its own server.
+    subnets = [e.dn for e in instance if e.dn.depth() == 2][:4]
+    assignments = {"hq": [root]}
+    for index, subnet in enumerate(subnets):
+        assignments["subnet%d" % index] = [subnet]
+    federation = FederatedDirectory.partition(instance, assignments, page_size=16)
+    return instance, federation, root, subnets
+
+
+def test_e11_shipping_proportional_to_results(benchmark):
+    rows = []
+    for size in SIZES:
+        instance, federation, root, subnets = _setup(size)
+        target = subnets[0]
+        expected = sum(
+            1 for e in instance
+            if target.is_prefix_of(e.dn) and "alpha" in map(str, e.values("kind"))
+        )
+        remote = federation.query("hq", QUERY_TEMPLATE % target)
+        local = federation.query("subnet0", QUERY_TEMPLATE % target)
+        assert remote.dns() == local.dns()
+        assert len(remote) == expected
+        rows.append((size, expected, remote.messages, remote.entries_shipped,
+                     local.messages, local.entries_shipped))
+        assert remote.messages == 2           # request + response, size-independent
+        assert remote.entries_shipped == expected
+        assert local.messages == 0            # owner answers locally
+    record(
+        benchmark,
+        "E11a: remote vs local atomic query",
+        ("entries", "answer", "remote msgs", "remote shipped",
+         "local msgs", "local shipped"),
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: _setup(1_000)[1].query("hq", QUERY_TEMPLATE % _setup(1_000)[3][0]),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_e11_spanning_query_matches_centralised(benchmark):
+    rows = []
+    for size in SIZES:
+        instance, federation, root, _subnets = _setup(size)
+        central = QueryEngine.from_instance(instance, page_size=16)
+        query = "(c ( ? sub ? kind=alpha) ( ? sub ? weight>=40))"
+        distributed = federation.query("hq", query)
+        assert distributed.dns() == central.run(query).dns()
+        rows.append((size, len(distributed), distributed.messages,
+                     distributed.entries_shipped))
+    record(
+        benchmark,
+        "E11b: spanning L1 query, distributed == centralised",
+        ("entries", "answer", "messages", "entries shipped"),
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: _setup(1_000)[1].query(
+            "hq", "(c ( ? sub ? kind=alpha) ( ? sub ? weight>=40))"
+        ),
+        rounds=2,
+        iterations=1,
+    )

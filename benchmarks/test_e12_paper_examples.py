@@ -1,0 +1,89 @@
+"""E12 (Figures 1, 11, 12 + Sections 5--7): the reconstructed sample
+directories answer every worked query in the paper; timed end-to-end."""
+
+from repro.apps import qos, tops
+
+from ._util import record
+
+QOS_QUERIES = {
+    "Ex 5.2 profiles-in-use": (
+        "(a (dc=att, dc=com ? sub ? objectClass=trafficProfile)"
+        "   (dc=att, dc=com ? sub ? ou=networkPolicies))"
+    ),
+    "Ex 5.3 smtp-subnets": (
+        "(dc (dc=att, dc=com ? sub ? objectClass=dcObject)"
+        "    (& (dc=att, dc=com ? sub ? SourcePort=25)"
+        "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+        "    (dc=att, dc=com ? sub ? objectClass=dcObject))"
+    ),
+    "Ex 6.1 multi-period": (
+        "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+        "   count(SLAPVPRef) > 1)"
+    ),
+    "Ex 7.1 smtp-policies": (
+        "(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+        "    (& (dc=att, dc=com ? sub ? SourcePort=25)"
+        "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+        "    SLATPRef)"
+    ),
+    "Ex 7.1+ top-action": (
+        "(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)"
+        "    (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+        "           (& (dc=att, dc=com ? sub ? SourcePort=25)"
+        "              (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+        "           SLATPRef)"
+        "       min(SLARulePriority)=min(min(SLARulePriority)))"
+        "    SLADSActRef)"
+    ),
+}
+
+EXPECTED_LEADERS = {
+    "Ex 5.3 smtp-subnets": "dc=research",
+    "Ex 6.1 multi-period": "SLAPolicyName=dso",
+    "Ex 7.1 smtp-policies": "SLAPolicyName=mail",
+    "Ex 7.1+ top-action": "DSActionName=allowMail",
+}
+
+
+def test_e12_qos_examples(benchmark):
+    directory = qos.build_paper_fragment()
+    engine = directory.engine(page_size=8)
+    rows = []
+    for label, query in QOS_QUERIES.items():
+        result = engine.run(query)
+        rows.append((label, len(result), result.io.logical_reads))
+        if label in EXPECTED_LEADERS:
+            assert result.dns()[0].startswith(EXPECTED_LEADERS[label]), label
+    record(
+        benchmark,
+        "E12a: Figure 12 worked queries",
+        ("example", "answer size", "logical reads"),
+        rows,
+    )
+
+    def run_all():
+        for query in QOS_QUERIES.values():
+            engine.run(query)
+
+    benchmark(run_all)
+
+
+def test_e12_tops_call_resolution(benchmark):
+    directory = tops.build_paper_fragment()
+    engine = directory.engine(page_size=8)
+    rows = []
+    cases = [
+        ("office hours", tops.CallRequest("jag", 1000, 2), ["9733608750", "9733608751", "9733608798"]),
+        ("sunday", tops.CallRequest("jag", 1000, 7), ["9733608799"]),
+        ("late night", tops.CallRequest("jag", 2300, 2), []),
+    ]
+    for label, request, expected in cases:
+        appearances = tops.resolve_call(directory, request, engine)
+        numbers = [e.first("CANumber") for e in appearances]
+        assert numbers == expected, label
+        rows.append((label, ", ".join(numbers) or "(unreachable)"))
+    record(benchmark, "E12b: Figure 11 call resolution", ("case", "numbers"), rows)
+
+    benchmark(
+        lambda: tops.resolve_call(directory, tops.CallRequest("jag", 1000, 2), engine)
+    )

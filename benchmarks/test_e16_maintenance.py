@@ -1,0 +1,52 @@
+"""E16 (extension): update-log compaction is one linear co-scan.
+
+The differential update scheme must not disturb the engine's bounds:
+compacting a log of u mutations into a master of N entries costs
+O((N + u)/B) page accesses, so the per-mutation cost amortises to O(1/B).
+"""
+
+from repro.storage.maintenance import UpdatableDirectory
+from repro.workload import balanced_instance
+
+from ._util import assert_linear, record
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+LOG_SIZE = 200
+
+
+def _compaction_cost(size):
+    instance = balanced_instance(size, fanout=4, seed=16)
+    directory = UpdatableDirectory.from_instance(
+        instance, page_size=16, buffer_pages=8, auto_compact_at=10 ** 9
+    )
+    root = next(iter(instance.roots())).dn
+    victims = [e.dn for e in list(instance)[::7][:LOG_SIZE // 4]
+               if e.dn != root and not any(True for _ in instance.children_of(e.dn))]
+    for index in range(LOG_SIZE // 2):
+        directory.add(root.child("name=new%04d" % index), ["node"],
+                      name="new%04d" % index, kind="delta")
+    for dn in victims:
+        directory.delete(dn)
+    pager = directory.store.pager
+    pager.flush()
+    before = pager.stats.snapshot()
+    directory.compact()
+    delta = pager.stats.since(before)
+    return len(directory.store), delta.logical_reads + delta.logical_writes
+
+
+def test_e16_compaction_linear(benchmark):
+    rows = []
+    costs = []
+    for size in SIZES:
+        stored, logical = _compaction_cost(size)
+        costs.append(logical)
+        rows.append((size, LOG_SIZE, stored, logical, round(logical / size, 3)))
+    assert_linear(SIZES, costs)
+    record(
+        benchmark,
+        "E16: compaction I/O vs master size (log of ~%d mutations)" % LOG_SIZE,
+        ("entries", "log", "stored after", "logical I/O", "I/O per entry"),
+        rows,
+    )
+    benchmark.pedantic(lambda: _compaction_cost(2_000), rounds=2, iterations=1)

@@ -1,0 +1,63 @@
+"""E17 (extension): client-chased referrals vs server-side federation
+(Section 8.3's strategy), same data, same network counters.
+
+Expected shape: both return identical answers; referral chasing costs the
+client one extra round trip per referral hop and ships subordinate results
+to the *client* rather than between servers, so its message count grows
+with the number of naming contexts the scope spans while the federation's
+grows only with the remote atomic leaves.
+"""
+
+from repro.dist import FederatedDirectory
+from repro.dist.referral import ReferralClient
+from repro.workload import balanced_instance
+
+from ._util import record
+
+SIZES = (1_000, 2_000, 4_000)
+
+
+def _setup(size):
+    instance = balanced_instance(size, fanout=4, seed=17)
+    root = next(iter(instance.roots())).dn
+    subnets = [e.dn for e in instance if e.dn.depth() == 2][:4]
+    assignments = {"hq": [root]}
+    for index, subnet in enumerate(subnets):
+        assignments["subnet%d" % index] = [subnet]
+    federation = FederatedDirectory.partition(instance, assignments, page_size=16)
+    return instance, federation, root
+
+
+def test_e17_referral_vs_federation(benchmark):
+    rows = []
+    for size in SIZES:
+        _instance, federation, root = _setup(size)
+        query_text = "(%s ? sub ? kind=alpha)" % root
+
+        network = federation.network
+        before = network.messages
+        fed_result = federation.query("hq", query_text)
+        fed_messages = network.messages - before
+
+        before = network.messages
+        client = ReferralClient(federation, home="subnet0")
+        referral_entries = client.search(query_text)
+        referral_messages = network.messages - before
+
+        assert [str(e.dn) for e in referral_entries] == fed_result.dns()
+        rows.append((size, len(fed_result), fed_messages, referral_messages))
+        # The referral path pays at least the federation's message count.
+        assert referral_messages >= fed_messages
+    record(
+        benchmark,
+        "E17: federation (server-side) vs referral chasing (client-side)",
+        ("entries", "answer", "federation msgs", "referral msgs"),
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: ReferralClient(_setup(1_000)[1], home="subnet0").search(
+            "(%s ? sub ? kind=alpha)" % _setup(1_000)[2]
+        ),
+        rounds=2,
+        iterations=1,
+    )

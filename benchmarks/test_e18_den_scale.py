@@ -1,0 +1,91 @@
+"""E18 (extension; Section 3.4's closing observation): what each
+partitioning style buys at scale.
+
+TOPS partitions the namespace *by subscriber*, so resolving a call scopes
+every query to one personal subtree: per-call I/O should stay flat as the
+subscriber population grows.  The QoS directory partitions *by
+functionality*, so a packet decision consults the whole policy set:
+per-packet cost grows with the number of policies.  Both shapes are
+measured on the same engine.
+"""
+
+from repro.apps import qos, tops
+from repro.workload.den import (
+    call_workload,
+    packet_workload,
+    qos_workload,
+    tops_workload,
+)
+
+from ._util import record
+
+TOPS_SIZES = (200, 400, 800)
+QOS_SIZES = (50, 100, 200)
+REQUESTS = 30
+
+
+def _tops_cost(n_subscribers):
+    directory = tops_workload(n_subscribers, seed=18)
+    engine = directory.engine(page_size=16, buffer_pages=8)
+    calls = call_workload(REQUESTS, n_subscribers, seed=18)
+    engine.pager.flush()
+    before = engine.pager.stats.snapshot()
+    resolved = 0
+    for request in calls:
+        if tops.resolve_call(directory, request, engine):
+            resolved += 1
+    delta = engine.pager.stats.since(before)
+    logical = delta.logical_reads + delta.logical_writes
+    return resolved, logical / REQUESTS
+
+
+def _qos_cost(n_policies):
+    directory = qos_workload(n_policies, seed=18)
+    engine = directory.engine(page_size=16, buffer_pages=8)
+    pdp = qos.PolicyDecisionPoint(directory, engine)
+    packets = packet_workload(REQUESTS, seed=18)
+    engine.pager.flush()
+    before = engine.pager.stats.snapshot()
+    decided = 0
+    for packet in packets:
+        if pdp.decide(packet):
+            decided += 1
+    delta = engine.pager.stats.since(before)
+    logical = delta.logical_reads + delta.logical_writes
+    return decided, logical / REQUESTS
+
+
+def test_e18_tops_per_call_flat(benchmark):
+    rows = []
+    costs = []
+    for size in TOPS_SIZES:
+        resolved, per_call = _tops_cost(size)
+        costs.append(per_call)
+        rows.append((size, resolved, round(per_call, 1)))
+    record(
+        benchmark,
+        "E18a: TOPS (partitioned by subscriber) -- I/O per call vs population",
+        ("subscribers", "calls resolved", "I/O per call"),
+        rows,
+    )
+    # Per-call cost grows far slower than the 4x population growth.
+    assert costs[-1] < costs[0] * 2.0
+    benchmark.pedantic(lambda: _tops_cost(200), rounds=2, iterations=1)
+
+
+def test_e18_qos_per_packet_grows(benchmark):
+    rows = []
+    costs = []
+    for size in QOS_SIZES:
+        decided, per_packet = _qos_cost(size)
+        costs.append(per_packet)
+        rows.append((size, decided, round(per_packet, 1)))
+    record(
+        benchmark,
+        "E18b: QoS (partitioned by functionality) -- I/O per packet vs policies",
+        ("policies", "packets matched", "I/O per packet"),
+        rows,
+    )
+    # Whole-policy-set consultation: cost tracks the policy count.
+    assert costs[-1] > costs[0] * 2.0
+    benchmark.pedantic(lambda: _qos_cost(50), rounds=2, iterations=1)

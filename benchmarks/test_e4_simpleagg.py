@@ -1,0 +1,47 @@
+"""E4 (Theorem 6.1): simple aggregate selection ``(g L AggSel)`` costs at
+most two scans of the input (one when the filter has no entry-set
+aggregate)."""
+
+from repro.engine.simpleagg import simple_agg_select
+from repro.query.parser import parse_aggsel
+
+from ._util import as_runs, assert_linear, fresh_pager, measure_io, operand_lists, record
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+
+GLOBAL_FILTER = parse_aggsel("min(weight)=min(min(weight))")
+LOCAL_FILTER = parse_aggsel("count(tag) >= 1")
+
+
+def _cost(agg_filter, size):
+    _instance, subsets = operand_lists(seed=4, size=size, lists=1, fraction=0.8)
+    pager = fresh_pager()
+    (operand,) = as_runs(pager, subsets)
+    result, logical, _physical = measure_io(
+        pager, lambda: simple_agg_select(pager, operand, agg_filter)
+    )
+    return len(result), logical, operand.page_count
+
+
+def test_e4_two_scans(benchmark):
+    rows = []
+    for label, agg_filter, scan_bound in (
+        ("min=min(min)", GLOBAL_FILTER, 2),
+        ("count>=1", LOCAL_FILTER, 1),
+    ):
+        costs = []
+        for size in SIZES:
+            selected, logical, input_pages = _cost(agg_filter, size)
+            costs.append(logical)
+            rows.append((label, size, selected, logical, input_pages,
+                         round(logical / input_pages, 2)))
+            # The theorem's bound: <= scan_bound input scans + output write.
+            assert logical <= scan_bound * input_pages + selected / 16 + 2
+        assert_linear(SIZES, costs)
+    record(
+        benchmark,
+        "E4: simple aggregate selection scans",
+        ("filter", "entries", "selected", "logical I/O", "input pages", "scans"),
+        rows,
+    )
+    benchmark.pedantic(lambda: _cost(GLOBAL_FILTER, 2_000), rounds=3, iterations=1)

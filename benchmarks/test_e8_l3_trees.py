@@ -1,0 +1,43 @@
+"""E8 (Theorem 8.4): L3 query trees (embedded references) evaluate in
+O(|Q| * (|L|/B) m log(|L|/B m)) -- near-linear with a log factor, never
+quadratic."""
+
+from repro.engine import QueryEngine
+from repro.workload import balanced_instance
+
+from ._util import growth_ratios, record
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+
+QUERY = (
+    "(vd (g ( ? sub ? objectClass=node) count(ref) >= 1)"
+    "    (d ( ? sub ? kind=alpha) ( ? sub ? level<9))"
+    "    ref)"
+)
+
+
+def _cost(size):
+    instance = balanced_instance(size, fanout=4, seed=8, ref_density=0.6)
+    engine = QueryEngine.from_instance(instance, page_size=16, buffer_pages=8)
+    engine.pager.flush()
+    result = engine.run(QUERY)
+    logical = result.io.logical_reads + result.io.logical_writes
+    return len(result), logical
+
+
+def test_e8_l3_tree_nlogn(benchmark):
+    rows = []
+    costs = []
+    for size in SIZES:
+        selected, logical = _cost(size)
+        costs.append(logical)
+        rows.append((size, selected, logical, round(logical / size, 3)))
+    for ratio in growth_ratios(SIZES, costs):
+        assert ratio < 2.7, ratio  # N log N shape, not quadratic
+    record(
+        benchmark,
+        "E8: L3 query tree (vd over g/d) I/O vs directory size",
+        ("entries", "selected", "logical I/O", "I/O per entry"),
+        rows,
+    )
+    benchmark.pedantic(lambda: _cost(2_000), rounds=3, iterations=1)

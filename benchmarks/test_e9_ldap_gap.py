@@ -1,0 +1,78 @@
+"""E9 (Theorem 8.1, Example 4.1): the LDAP expressiveness gap, measured.
+
+The L0 difference query runs once inside the server.  The LDAP client must
+issue one search per atomic leaf and difference the shipped results
+client-side; the navigational emulation of the L1 children query needs one
+probe per candidate.  Expected shape: LDAP round trips and entries shipped
+grow with the *candidate* set, while the L0/L1 engine ships only the
+answer."""
+
+from repro.engine import QueryEngine
+from repro.filters.parser import parse_filter
+from repro.ldapx import LDAPSession, emulate_children, emulate_l0
+from repro.query.parser import parse_query
+from repro.workload import balanced_instance
+
+from ._util import record
+
+SIZES = (1_000, 2_000, 4_000)
+
+DIFF_QUERY = "(- ( ? sub ? kind=alpha) ( ? sub ? level<5))"
+CHILDREN_FIRST = "( ? sub ? kind=alpha)"
+CHILDREN_FILTER = "weight>=1"
+CHILDREN_QUERY = "(c ( ? sub ? kind=alpha) ( ? sub ? weight>=1))"
+
+
+def _engines(size):
+    instance = balanced_instance(size, fanout=4, seed=9)
+    return QueryEngine.from_instance(instance, page_size=16, buffer_pages=8)
+
+
+def test_e9_l0_difference_gap(benchmark):
+    rows = []
+    for size in SIZES:
+        engine = _engines(size)
+        native = engine.run(DIFF_QUERY)
+        session = LDAPSession(engine.store)
+        emulated = emulate_l0(session, parse_query(DIFF_QUERY))
+        assert [str(e.dn) for e in emulated] == native.dns()
+        rows.append(
+            (size, len(native), 1, session.round_trips,
+             len(native), session.entries_shipped)
+        )
+    record(
+        benchmark,
+        "E9a: Example 4.1 -- one L0 query vs LDAP client emulation",
+        ("entries", "answer", "L0 queries", "LDAP round trips",
+         "L0 shipped", "LDAP shipped"),
+        rows,
+    )
+    # LDAP ships the union of both operands; L0 ships only the difference.
+    assert rows[-1][5] > 1.5 * rows[-1][4]
+    benchmark.pedantic(
+        lambda: emulate_l0(LDAPSession(_engines(1_000).store), parse_query(DIFF_QUERY)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e9_l1_children_gap(benchmark):
+    rows = []
+    for size in SIZES:
+        engine = _engines(size)
+        native = engine.run(CHILDREN_QUERY)
+        session = LDAPSession(engine.store)
+        emulated = emulate_children(
+            session, parse_query(CHILDREN_FIRST), parse_filter(CHILDREN_FILTER)
+        )
+        assert [str(e.dn) for e in emulated] == native.dns()
+        rows.append((size, len(native), 1, session.round_trips))
+        # Navigational access: round trips grow with the candidate count.
+        assert session.round_trips > size / 16
+    record(
+        benchmark,
+        "E9b: Example 5.1 -- one L1 query vs navigational LDAP",
+        ("entries", "answer", "L1 queries", "LDAP round trips"),
+        rows,
+    )
+    benchmark.pedantic(lambda: _engines(1_000).run(CHILDREN_QUERY), rounds=3, iterations=1)

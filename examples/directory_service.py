@@ -1,0 +1,83 @@
+"""The directory service layer: what a deployment actually talks to --
+bind, search (with controls), compare, and online updates.
+
+Run:  python examples/directory_service.py
+"""
+
+from repro.model.instance import DirectoryInstance
+from repro.model.schema import DirectorySchema
+from repro.query.builder import Q
+from repro.security import AccessControlList
+from repro.server import DirectoryService, ResultCode
+
+
+def build_instance() -> DirectoryInstance:
+    schema = DirectorySchema()
+    schema.add_attribute("dc", "string")
+    schema.add_attribute("ou", "string")
+    schema.add_attribute("uid", "string")
+    schema.add_attribute("cn", "string")
+    schema.add_attribute("userPassword", "string")
+    schema.add_attribute("clearance", "int")
+    schema.add_class("dcObject", {"dc"})
+    schema.add_class("organizationalUnit", {"ou"})
+    schema.add_class("account", {"uid", "cn", "userPassword", "clearance"})
+    instance = DirectoryInstance(schema)
+    instance.add("dc=example, dc=com", ["dcObject"], dc="example")
+    instance.add("ou=staff, dc=example, dc=com", ["organizationalUnit"], ou="staff")
+    instance.add("ou=contractors, dc=example, dc=com", ["organizationalUnit"],
+                 ou="contractors")
+    for uid, pw, clearance, unit in (
+        ("admin", "s3cret", 9, "staff"),
+        ("alice", "wonder", 5, "staff"),
+        ("bob", "builder", 3, "staff"),
+        ("eve", "external", 1, "contractors"),
+    ):
+        instance.add(
+            "uid=%s, ou=%s, dc=example, dc=com" % (uid, unit),
+            ["account"], uid=uid, cn="%s person" % uid,
+            userPassword=pw, clearance=clearance,
+        )
+    return instance
+
+
+def main() -> None:
+    acl = AccessControlList(default_allow=False)
+    acl.allow("*", "dc=example, dc=com", base_only=True)
+    acl.allow("*", "ou=staff, dc=example, dc=com")
+    acl.allow("uid=admin, ou=staff, dc=example, dc=com", "dc=example, dc=com")
+    service = DirectoryService(build_instance(), acl=acl, page_size=4)
+
+    print("== bind ==")
+    print("  wrong password :", service.bind("uid=admin, ou=staff, dc=example, dc=com", "nope"))
+    print("  correct        :", service.bind("uid=admin, ou=staff, dc=example, dc=com", "s3cret"))
+
+    print("\n== admin sees everything; anonymous only staff ==")
+    everyone = Q.sub("dc=example, dc=com", "objectClass=account")
+    print("  admin    :", service.search(everyone).dns())
+    service.bind_anonymous()
+    print("  anonymous:", service.search(everyone).dns())
+
+    print("\n== controls: size limit, paging, projection, strict typecheck ==")
+    service.bind("uid=admin, ou=staff, dc=example, dc=com", "s3cret")
+    limited = service.search(everyone, size_limit=2)
+    print("  size_limit=2 -> %s, %d of %d" % (limited.code, len(limited), limited.total_size))
+    for number, page in enumerate(service.search_paged(everyone, 3), start=1):
+        print("  page %d: %s" % (number, [e.first("uid") for e in page]))
+    projected = service.search(everyone, attributes=["cn"])
+    print("  projected attrs:", projected.entries[0].attributes())
+    bad = service.search("( ? sub ? typo=1)", strict=True)
+    print("  strict typecheck of a typo ->", bad.code)
+
+    print("\n== compare and online updates ==")
+    dn = "uid=bob, ou=staff, dc=example, dc=com"
+    print("  compare clearance=3:", service.compare(dn, "clearance", 3))
+    print("  modify  clearance=7:", service.modify(dn, replace={"clearance": [7]}))
+    print("  compare clearance=7:", service.compare(dn, "clearance", 7))
+    print("  add duplicate      :", service.add(dn, ["account"], uid="bob"))
+    print("  high clearance now :",
+          service.search(Q.sub("dc=example, dc=com", "clearance>=7")).dns())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""A tour of the expressiveness hierarchy LDAP < L0 < L1 < L2 < L3
+(Theorem 8.1), on the paper's own separating examples.
+
+Each stop shows a query the weaker language cannot express and what an
+application stuck with the weaker language has to do instead (more round
+trips, client-side work).
+
+Run:  python examples/expressiveness_tour.py
+"""
+
+from repro import DirectoryInstance, DirectorySchema
+from repro.engine import QueryEngine
+from repro.filters.parser import parse_filter
+from repro.ldapx import LDAPSession, emulate_children, emulate_l0
+from repro.query import parse_query
+
+schema = DirectorySchema()
+schema.add_attribute("dc", "string")
+schema.add_attribute("ou", "string")
+schema.add_attribute("surName", "string")
+schema.add_attribute("nQHP", "int")
+schema.add_attribute("assistant", "distinguishedName")
+schema.add_class("dcObject", {"dc"})
+schema.add_class("organizationalUnit", {"ou"})
+schema.add_class("person", {"surName", "nQHP", "assistant"})
+
+inst = DirectoryInstance(schema)
+inst.add("dc=com", ["dcObject"], dc="com")
+inst.add("dc=att, dc=com", ["dcObject"], dc="att")
+inst.add("dc=research, dc=att, dc=com", ["dcObject"], dc="research")
+for unit, parent in (("labs", "dc=research, dc=att, dc=com"),
+                     ("sales", "dc=att, dc=com"),
+                     ("legal", "dc=att, dc=com")):
+    inst.add("ou=%s, %s" % (unit, parent), ["organizationalUnit"], ou=unit)
+people = {
+    "jagadish": ("ou=labs, dc=research, dc=att, dc=com", 3),
+    "srivastava": ("ou=labs, dc=research, dc=att, dc=com", 1),
+    "jagadish2": ("ou=sales, dc=att, dc=com", 2),
+    "milo": ("ou=sales, dc=att, dc=com", 1),
+}
+dns = {}
+for name, (parent, qhps) in people.items():
+    surname = "jagadish" if name.startswith("jagadish") else name
+    entry = inst.add(
+        "surName=%s, %s" % (surname, parent) if name != "jagadish2"
+        else "surName=jagadish+nQHP=2, %s" % parent,
+        ["person"], surName=surname, nQHP=qhps,
+    )
+    dns[name] = entry.dn
+engine = QueryEngine.from_instance(inst, page_size=8)
+
+
+def main() -> None:
+    print("== LDAP < L0: set difference across bases (Example 4.1) ==")
+    l0 = parse_query(
+        "(- (dc=att, dc=com ? sub ? surName=jagadish)"
+        "   (dc=research, dc=att, dc=com ? sub ? surName=jagadish))"
+    )
+    result = engine.run(l0)
+    print("one L0 query ->", result.dns())
+    session = LDAPSession(engine.store)
+    entries = emulate_l0(session, l0)
+    print(
+        "same in LDAP  -> %s  via %d round trips, %d entries shipped"
+        % ([str(e.dn) for e in entries], session.round_trips, session.entries_shipped)
+    )
+
+    print("\n== L0 < L1: units directly containing a jagadish (Example 5.1) ==")
+    l1 = parse_query(
+        "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)"
+        "   (dc=att, dc=com ? sub ? surName=jagadish))"
+    )
+    print("one L1 query ->", engine.run(l1).dns())
+    session = LDAPSession(engine.store)
+    found = emulate_children(
+        session,
+        parse_query("(dc=att, dc=com ? sub ? objectClass=organizationalUnit)"),
+        parse_filter("surName=jagadish"),
+    )
+    print(
+        "navigational LDAP -> %s  via %d round trips"
+        % ([str(e.dn) for e in found], session.round_trips)
+    )
+
+    print("\n== L1 < L2: subscribers with more than 2 QHPs (Example 6.2 shape) ==")
+    l2 = parse_query("(g (dc=com ? sub ? objectClass=person) min(nQHP) > 2)")
+    print("one L2 query ->", engine.run(l2).dns())
+    print("(L1 can test witness existence but cannot count)")
+
+    print("\n== L2 < L3: following embedded dn references ==")
+    inst2 = engine.store  # reuse; add an assistant reference via a fresh engine
+    l3 = parse_query(
+        "(vd (dc=com ? sub ? objectClass=person)"
+        "    (dc=research, dc=att, dc=com ? sub ? objectClass=person) assistant)"
+    )
+    print("one L3 query ->", engine.run(l3).dns() or "(no references in this toy data)")
+    print("(L2's operators see only the namespace hierarchy, not dn-valued attributes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Quickstart: build a small directory, query it at every language level.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DirectoryInstance, DirectorySchema
+from repro.engine import QueryEngine
+
+# ---------------------------------------------------------------------------
+# 1. Schema: attributes are typed once, classes pick allowed attribute sets.
+# ---------------------------------------------------------------------------
+schema = DirectorySchema()
+schema.add_attribute("dc", "string")
+schema.add_attribute("ou", "string")
+schema.add_attribute("commonName", "string")
+schema.add_attribute("surName", "string")
+schema.add_attribute("telephoneNumber", "string")
+schema.add_attribute("grade", "int")
+schema.add_attribute("manager", "distinguishedName")
+schema.add_class("dcObject", {"dc"})
+schema.add_class("organizationalUnit", {"ou"})
+schema.add_class("person", {"commonName", "surName", "telephoneNumber", "grade", "manager"})
+
+# ---------------------------------------------------------------------------
+# 2. Instance: a forest of entries named by hierarchical distinguished names.
+# ---------------------------------------------------------------------------
+inst = DirectoryInstance(schema)
+inst.add("dc=com", ["dcObject"], dc="com")
+inst.add("dc=att, dc=com", ["dcObject"], dc="att")
+inst.add("dc=research, dc=att, dc=com", ["dcObject"], dc="research")
+inst.add("ou=labs, dc=research, dc=att, dc=com", ["organizationalUnit"], ou="labs")
+inst.add("ou=sales, dc=att, dc=com", ["organizationalUnit"], ou="sales")
+
+people = [
+    ("jagadish", "ou=labs, dc=research, dc=att, dc=com", 7, None),
+    ("srivastava", "ou=labs, dc=research, dc=att, dc=com", 6, "jagadish"),
+    ("vista", "ou=labs, dc=research, dc=att, dc=com", 5, "jagadish"),
+    ("milo", "ou=sales, dc=att, dc=com", 6, None),
+    ("lakshmanan", "ou=sales, dc=att, dc=com", 4, "milo"),
+]
+dn_of = {}
+for name, parent, grade, manager in people:
+    dn = "surName=%s, %s" % (name, parent)
+    attrs = {"surName": [name], "commonName": ["dr %s" % name], "grade": [grade]}
+    if manager:
+        attrs["manager"] = [dn_of[manager]]
+    entry = inst.add(dn, ["person"], attrs)
+    dn_of[name] = entry.dn
+
+# ---------------------------------------------------------------------------
+# 3. Engine: lay the instance out on the simulated block device and query.
+# ---------------------------------------------------------------------------
+# A deliberately tiny buffer pool (2 pages) so real page traffic is visible
+# even on this toy directory; the algorithms run in constant memory.
+engine = QueryEngine.from_instance(inst, page_size=4, buffer_pages=2)
+
+QUERIES = [
+    # L0: set difference across different bases -- Example 4.1's shape.
+    ("L0  people in AT&T but not in Research",
+     "(- (dc=att, dc=com ? sub ? surName=*)"
+     "   (dc=research, dc=att, dc=com ? sub ? surName=*))"),
+    # L1: hierarchical selection -- org units that directly contain a
+    # person with grade >= 6.
+    ("L1  units with a senior member",
+     "(c (dc=com ? sub ? objectClass=organizationalUnit)"
+     "   (dc=com ? sub ? grade>=6))"),
+    # L2: structural aggregate selection -- units with more than 2 people.
+    ("L2  units with more than 2 people",
+     "(c (dc=com ? sub ? objectClass=organizationalUnit)"
+     "   (dc=com ? sub ? objectClass=person)"
+     "   count($2) > 2)"),
+    # L2: simple aggregate selection -- the highest-grade people.
+    ("L2  top-grade people",
+     "(g (dc=com ? sub ? objectClass=person) max(grade)=max(max(grade)))"),
+    # L3: embedded references -- people whose manager is in Research.
+    ("L3  people managed from Research",
+     "(vd (dc=com ? sub ? objectClass=person)"
+     "    (dc=research, dc=att, dc=com ? sub ? objectClass=person)"
+     "    manager)"),
+]
+
+
+def main() -> None:
+    for title, text in QUERIES:
+        result = engine.run(text)
+        print(title)
+        print("  query : %s" % " ".join(text.split()))
+        for dn in result.dns():
+            print("  ->", dn)
+        print(
+            "  cost  : %d physical page I/Os (%d logical) in %.2f ms"
+            % (result.io.total, result.io.logical_reads, result.elapsed * 1e3)
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

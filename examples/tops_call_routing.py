@@ -1,0 +1,59 @@
+"""TOPS dial-by-name (Example 2.2 / Figure 11): resolve calls against a
+subscriber's prioritised query handling profiles.
+
+Run:  python examples/tops_call_routing.py
+"""
+
+from repro.apps import tops
+
+directory = tops.build_paper_fragment()
+# A second subscriber with caller-based access control, to show QHP privacy.
+directory.add_subscriber("divesh", "divesh srivastava", "srivastava")
+directory.add_qhp("divesh", "colleagues", priority=1, allowed_callers=("jag",))
+directory.add_call_appearance("divesh", "colleagues", "9733608776", priority=1)
+directory.add_qhp("divesh", "anyone", priority=2)
+directory.add_call_appearance(
+    "divesh", "anyone", "9733608777", priority=1, description="voice mailbox"
+)
+
+engine = directory.engine(page_size=8)
+
+
+def show(request: tops.CallRequest) -> None:
+    appearances = tops.resolve_call(directory, request, engine)
+    print(request)
+    if not appearances:
+        print("  -> unreachable")
+    for entry in appearances:
+        print(
+            "  -> %s (priority %s%s)"
+            % (
+                entry.first("CANumber"),
+                entry.first("priority"),
+                ", " + entry.first("description") if entry.first("description") else "",
+            )
+        )
+    print()
+
+
+def main() -> None:
+    print("=== call resolution ===\n")
+    show(tops.CallRequest("jag", time_of_day=1000, day_of_week=2))   # office hours
+    show(tops.CallRequest("jag", time_of_day=2300, day_of_week=2))   # late night
+    show(tops.CallRequest("jag", time_of_day=1000, day_of_week=7))   # sunday
+    show(tops.CallRequest("divesh", 1000, 2, caller_uid="jag"))      # allowed caller
+    show(tops.CallRequest("divesh", 1000, 2, caller_uid="stranger"))  # falls through
+
+    print("=== Example 6.2: subscribers with more than 1 QHP ===\n")
+    result = engine.run(
+        "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)"
+        "   (dc=att, dc=com ? sub ? objectClass=QHP)"
+        "   count($2) > 1)"
+    )
+    for dn in result.dns():
+        print("  ->", dn)
+    print("  (%d page I/Os)" % result.io.total)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro -- a reproduction of "Querying Network Directories" (SIGMOD 1999).
+
+The package implements the paper's network directory data model, the query
+language family L0--L3, the external-memory evaluation algorithms with exact
+I/O accounting on a simulated block device, an LDAP baseline, a simulated
+distributed deployment, and the two motivating DEN applications (QoS/SLA
+policies and TOPS telephony).
+
+Quickstart::
+
+    from repro import DirectorySchema, DirectoryInstance, parse_query
+    from repro.engine import QueryEngine
+
+    schema = DirectorySchema()
+    schema.add_attribute("dc", "string")
+    schema.add_class("dcObject", {"dc"})
+    inst = DirectoryInstance(schema)
+    inst.add("dc=com", ["dcObject"], dc="com")
+    inst.add("dc=att, dc=com", ["dcObject"], dc="att")
+
+    engine = QueryEngine.from_instance(inst)
+    result = engine.run(parse_query("(dc=com ? sub ? dc=att)"))
+    print([str(e.dn) for e in result.entries])
+"""
+
+from .model import (
+    DN,
+    ROOT_DN,
+    RDN,
+    DirectoryInstance,
+    DirectorySchema,
+    Entry,
+    InstanceError,
+    SchemaError,
+)
+from .query import (
+    Q,
+    QueryBuilder,
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    Or,
+    Query,
+    Scope,
+    SimpleAggSelect,
+    evaluate,
+    language_level,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DN",
+    "ROOT_DN",
+    "RDN",
+    "DirectoryInstance",
+    "DirectorySchema",
+    "Entry",
+    "InstanceError",
+    "SchemaError",
+    "Q",
+    "QueryBuilder",
+    "And",
+    "AtomicQuery",
+    "Diff",
+    "EmbeddedRef",
+    "HierarchySelect",
+    "Or",
+    "Query",
+    "Scope",
+    "SimpleAggSelect",
+    "evaluate",
+    "language_level",
+    "parse_query",
+    "__version__",
+]

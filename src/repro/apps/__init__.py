@@ -1,0 +1,6 @@
+"""The two motivating DEN applications (Section 2): QoS/SLA policy
+directories and TOPS telephony directories."""
+
+from . import qos, tops, whitepages
+
+__all__ = ["qos", "tops", "whitepages"]

@@ -1,0 +1,482 @@
+"""The QoS / SLA policy application (Example 2.1, Example 3.1, Figure 12).
+
+A directory of network service-level policies in the schema of Chaudhury
+et al. [11]: ``SLAPolicyRules`` entries reference ``trafficProfile``,
+``policyValidityPeriod`` and ``SLADSAction`` entries through dn-valued
+attributes, grouped under ``ou=networkPolicies`` per administrative domain.
+
+The module provides:
+
+- :func:`qos_schema` -- the directory schema;
+- :class:`QoSDirectory` -- a builder for policy directories (and
+  :func:`build_paper_fragment`, the exact Figure 12 sample);
+- :class:`PacketProfile` + :class:`PolicyDecisionPoint` -- the enforcement
+  path: given a packet's attributes and the current time, compute the
+  actions of the matching policies such that (a) no higher-priority policy
+  applies and (b) no same-priority exception applies (Section 2's "Directory
+  Queries and Answers");
+- :func:`find_conflicts` -- static detection of unresolved policy conflicts
+  (same priority, overlapping profiles, different actions, no exception
+  relation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..engine.engine import QueryEngine
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from ..model.schema import DirectorySchema
+
+__all__ = [
+    "qos_schema",
+    "QoSDirectory",
+    "build_paper_fragment",
+    "PacketProfile",
+    "PolicyDecisionPoint",
+    "find_conflicts",
+]
+
+
+def qos_schema() -> DirectorySchema:
+    """The schema of Figure 12 (plus the DNS spine classes of Figure 1)."""
+    schema = DirectorySchema()
+    schema.add_attribute("dc", "string")
+    schema.add_attribute("ou", "string")
+    schema.add_attribute("SLAPolicyName", "string")
+    schema.add_attribute("SLAPolicyScope", "string")
+    schema.add_attribute("SLARulePriority", "int")
+    schema.add_attribute("SLAExceptionRef", "distinguishedName")
+    schema.add_attribute("SLATPRef", "distinguishedName")
+    schema.add_attribute("SLAPVPRef", "distinguishedName")
+    schema.add_attribute("SLADSActRef", "distinguishedName")
+    schema.add_attribute("TPName", "string")
+    schema.add_attribute("SourceAddress", "string")
+    schema.add_attribute("DestAddress", "string")
+    schema.add_attribute("SourcePort", "int")
+    schema.add_attribute("DestPort", "int")
+    schema.add_attribute("Protocol", "string")
+    schema.add_attribute("PVPName", "string")
+    schema.add_attribute("PVStartTime", "int")   # YYYYMMDDhhmmss
+    schema.add_attribute("PVEndTime", "int")
+    schema.add_attribute("PVDayOfWeek", "int")   # 1 = Monday ... 7 = Sunday
+    schema.add_attribute("DSActionName", "string")
+    schema.add_attribute("DSPermission", "string")
+    schema.add_attribute("DSInProfilePeakRate", "int")
+    schema.add_attribute("DSDropPriority", "int")
+
+    schema.add_class("dcObject", {"dc"})
+    schema.add_class("domain", {"dc"})
+    schema.add_class("organizationalUnit", {"ou"})
+    schema.add_class(
+        "SLAPolicyRules",
+        {
+            "SLAPolicyName",
+            "SLAPolicyScope",
+            "SLARulePriority",
+            "SLAExceptionRef",
+            "SLATPRef",
+            "SLAPVPRef",
+            "SLADSActRef",
+        },
+    )
+    schema.add_class(
+        "trafficProfile",
+        {"TPName", "SourceAddress", "DestAddress", "SourcePort", "DestPort", "Protocol"},
+    )
+    schema.add_class(
+        "policyValidityPeriod",
+        {"PVPName", "PVStartTime", "PVEndTime", "PVDayOfWeek"},
+    )
+    schema.add_class(
+        "SLADSAction",
+        {"DSActionName", "DSPermission", "DSInProfilePeakRate", "DSDropPriority"},
+    )
+    return schema
+
+
+class QoSDirectory:
+    """Builder for an SLA policy directory under one administrative domain."""
+
+    CONTAINERS = ("SLAPolicyRules", "trafficProfile", "policyValidityPeriod", "SLADSAction")
+
+    def __init__(self, domain: Union[DN, str] = "dc=research, dc=att, dc=com"):
+        if isinstance(domain, str):
+            domain = DN.parse(domain)
+        self.schema = qos_schema()
+        self.instance = DirectoryInstance(self.schema)
+        self.domain = domain
+        self._build_spine()
+        self.policies_dn = self._container("SLAPolicyRules")
+        self.profiles_dn = self._container("trafficProfile")
+        self.periods_dn = self._container("policyValidityPeriod")
+        self.actions_dn = self._container("SLADSAction")
+
+    def _build_spine(self) -> None:
+        # The DNS-derived upper levels (Figure 1), root-most first.
+        spine = list(self.domain.rdns)[::-1]
+        dn = DN(())
+        for rdn in spine:
+            dn = dn.child(rdn)
+            attrs = {attr: [value] for attr, value in rdn}
+            self.instance.add(dn, ["dcObject"], attrs)
+        policies = self.domain.child("ou=networkPolicies")
+        self.instance.add(policies, ["organizationalUnit"], ou="networkPolicies")
+        for container in self.CONTAINERS:
+            self.instance.add(
+                policies.child("ou=%s" % container),
+                ["organizationalUnit"],
+                ou=container,
+            )
+
+    def _container(self, name: str) -> DN:
+        return self.domain.child("ou=networkPolicies").child("ou=%s" % name)
+
+    # -- the four entry kinds ----------------------------------------------
+
+    def add_traffic_profile(
+        self,
+        name: str,
+        source_address: Optional[Union[str, Sequence[str]]] = None,
+        dest_address: Optional[str] = None,
+        source_port: Optional[int] = None,
+        dest_port: Optional[int] = None,
+        protocol: Optional[str] = None,
+    ) -> DN:
+        dn = self.profiles_dn.child("TPName=%s" % name)
+        attrs: Dict[str, list] = {"TPName": [name]}
+        if source_address is not None:
+            values = [source_address] if isinstance(source_address, str) else list(source_address)
+            attrs["SourceAddress"] = values
+        if dest_address is not None:
+            attrs["DestAddress"] = [dest_address]
+        if source_port is not None:
+            attrs["SourcePort"] = [source_port]
+        if dest_port is not None:
+            attrs["DestPort"] = [dest_port]
+        if protocol is not None:
+            attrs["Protocol"] = [protocol]
+        self.instance.add(dn, ["trafficProfile"], attrs)
+        return dn
+
+    def add_validity_period(
+        self,
+        name: str,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        days_of_week: Sequence[int] = (),
+    ) -> DN:
+        dn = self.periods_dn.child("PVPName=%s" % name)
+        attrs: Dict[str, list] = {"PVPName": [name]}
+        if start is not None:
+            attrs["PVStartTime"] = [start]
+        if end is not None:
+            attrs["PVEndTime"] = [end]
+        if days_of_week:
+            attrs["PVDayOfWeek"] = list(days_of_week)
+        self.instance.add(dn, ["policyValidityPeriod"], attrs)
+        return dn
+
+    def add_action(
+        self,
+        name: str,
+        permission: str,
+        peak_rate: Optional[int] = None,
+        drop_priority: Optional[int] = None,
+    ) -> DN:
+        dn = self.actions_dn.child("DSActionName=%s" % name)
+        attrs: Dict[str, list] = {"DSActionName": [name], "DSPermission": [permission]}
+        if peak_rate is not None:
+            attrs["DSInProfilePeakRate"] = [peak_rate]
+        if drop_priority is not None:
+            attrs["DSDropPriority"] = [drop_priority]
+        self.instance.add(dn, ["SLADSAction"], attrs)
+        return dn
+
+    def add_policy(
+        self,
+        name: str,
+        priority: int,
+        action: str,
+        profiles: Sequence[str] = (),
+        periods: Sequence[str] = (),
+        exceptions: Sequence[str] = (),
+        scope: str = "DataTraffic",
+    ) -> DN:
+        """Add an ``SLAPolicyRules`` entry; profile/period/action/exception
+        arguments are the *names* of previously added entries."""
+        dn = self.policies_dn.child("SLAPolicyName=%s" % name)
+        attrs: Dict[str, list] = {
+            "SLAPolicyName": [name],
+            "SLAPolicyScope": [scope],
+            "SLARulePriority": [priority],
+            "SLADSActRef": [self.actions_dn.child("DSActionName=%s" % action)],
+        }
+        if profiles:
+            attrs["SLATPRef"] = [
+                self.profiles_dn.child("TPName=%s" % profile) for profile in profiles
+            ]
+        if periods:
+            attrs["SLAPVPRef"] = [
+                self.periods_dn.child("PVPName=%s" % period) for period in periods
+            ]
+        if exceptions:
+            attrs["SLAExceptionRef"] = [
+                self.policies_dn.child("SLAPolicyName=%s" % exc) for exc in exceptions
+            ]
+        self.instance.add(dn, ["SLAPolicyRules"], attrs)
+        return dn
+
+    def engine(self, **options) -> QueryEngine:
+        return QueryEngine.from_instance(self.instance, **options)
+
+
+def build_paper_fragment() -> QoSDirectory:
+    """The Figure 12 sample: policy ``dso`` (priority 2) denying weekend and
+    Thanksgiving data traffic from 204.178.16.* / 207.140.*.*, with two
+    exceptions ``fatt`` and ``mail``."""
+    qos = QoSDirectory("dc=research, dc=att, dc=com")
+    qos.add_traffic_profile("lsplitOff", source_address="204.178.16.*")
+    qos.add_traffic_profile("csplitOff", source_address="207.140.*.*")
+    # Profiles for the exceptions: FTP and SMTP traffic from the same subnet
+    # (exceptions apply in the region of overlap with dso's profiles).
+    qos.add_traffic_profile(
+        "ftpSplit", source_address="204.178.16.*", dest_port=21, protocol="tcp"
+    )
+    qos.add_traffic_profile("smtpIn", source_port=25, protocol="tcp")
+    qos.add_validity_period(
+        "1998weekend", start=19980101060000, end=19981231180000, days_of_week=(6, 7)
+    )
+    qos.add_validity_period(
+        "1998thanksgiving", start=19981126000000, end=19981126235959
+    )
+    qos.add_action("denyAll", "Deny", peak_rate=20, drop_priority=2)
+    qos.add_action("allowMail", "Permit", peak_rate=10)
+    qos.add_action("allowFtp", "Permit", peak_rate=5)
+    # The two exceptions the prose mentions (same priority as dso).
+    qos.add_policy("fatt", priority=2, action="allowFtp", profiles=("ftpSplit",))
+    qos.add_policy("mail", priority=2, action="allowMail", profiles=("smtpIn",))
+    qos.add_policy(
+        "dso",
+        priority=2,
+        action="denyAll",
+        profiles=("lsplitOff", "csplitOff"),
+        periods=("1998weekend", "1998thanksgiving"),
+        exceptions=("fatt", "mail"),
+    )
+    return qos
+
+
+class PacketProfile:
+    """The attributes a policy enforcement entity supplies with a query:
+    packet header fields plus the current time (Section 2)."""
+
+    def __init__(
+        self,
+        source_address: str,
+        dest_address: Optional[str] = None,
+        source_port: Optional[int] = None,
+        dest_port: Optional[int] = None,
+        protocol: Optional[str] = None,
+        timestamp: Optional[int] = None,   # YYYYMMDDhhmmss
+        day_of_week: Optional[int] = None,  # 1 = Monday ... 7 = Sunday
+    ):
+        self.source_address = source_address
+        self.dest_address = dest_address
+        self.source_port = source_port
+        self.dest_port = dest_port
+        self.protocol = protocol
+        self.timestamp = timestamp
+        self.day_of_week = day_of_week
+
+    def __repr__(self) -> str:
+        return "PacketProfile(src=%s:%s)" % (self.source_address, self.source_port)
+
+
+def _address_matches(pattern: str, address: Optional[str]) -> bool:
+    """Octet-wise wildcard match: ``204.178.16.*`` matches ``204.178.16.5``."""
+    if address is None:
+        return False
+    pattern_octets = pattern.split(".")
+    address_octets = address.split(".")
+    if len(pattern_octets) != len(address_octets):
+        return False
+    return all(
+        p == "*" or p == a for p, a in zip(pattern_octets, address_octets)
+    )
+
+
+def profile_matches(profile: Entry, packet: PacketProfile) -> bool:
+    """Does a trafficProfile entry's pattern cover the packet?"""
+    source_patterns = profile.values("SourceAddress")
+    if source_patterns and not any(
+        _address_matches(str(p), packet.source_address) for p in source_patterns
+    ):
+        return False
+    dest_patterns = profile.values("DestAddress")
+    if dest_patterns and not any(
+        _address_matches(str(p), packet.dest_address) for p in dest_patterns
+    ):
+        return False
+    for attr, value in (
+        ("SourcePort", packet.source_port),
+        ("DestPort", packet.dest_port),
+    ):
+        wanted = profile.values(attr)
+        if wanted and value not in wanted:
+            return False
+    protocols = profile.values("Protocol")
+    if protocols and packet.protocol not in [str(p) for p in protocols]:
+        return False
+    return True
+
+
+def period_matches(period: Entry, packet: PacketProfile) -> bool:
+    """Does a policyValidityPeriod entry cover the packet's time?"""
+    start = period.first("PVStartTime")
+    end = period.first("PVEndTime")
+    if packet.timestamp is not None:
+        if start is not None and packet.timestamp < start:
+            return False
+        if end is not None and packet.timestamp > end:
+            return False
+    days = period.values("PVDayOfWeek")
+    if days and packet.day_of_week is not None and packet.day_of_week not in days:
+        return False
+    return True
+
+
+class PolicyDecisionPoint:
+    """The enforcement-side resolver over a policy directory.
+
+    Matching follows Section 2's rules: a policy applies when at least one
+    referenced traffic profile matches the packet and (if it has validity
+    periods) at least one period covers the current time.  Among applying
+    policies, only the highest-priority stratum survives, minus those with a
+    same-priority applying exception.
+    """
+
+    def __init__(self, qos: QoSDirectory, engine: Optional[QueryEngine] = None):
+        self.qos = qos
+        self.engine = engine or qos.engine()
+
+    def _fetch(self, dn: DN) -> Optional[Entry]:
+        result = self.engine.run(
+            "(%s ? base ? objectClass=*)" % dn
+        )
+        return result.entries[0] if result.entries else None
+
+    def applying_policies(self, packet: PacketProfile) -> List[Entry]:
+        """Every policy whose profile and validity period cover the packet."""
+        policies = self.engine.run(
+            "(%s ? sub ? objectClass=SLAPolicyRules)" % self.qos.policies_dn
+        ).entries
+        applying = []
+        for policy in policies:
+            profiles = [self._fetch(dn) for dn in policy.values("SLATPRef")]
+            profiles = [p for p in profiles if p is not None]
+            if profiles and not any(profile_matches(p, packet) for p in profiles):
+                continue
+            periods = [self._fetch(dn) for dn in policy.values("SLAPVPRef")]
+            periods = [p for p in periods if p is not None]
+            if periods and not any(period_matches(p, packet) for p in periods):
+                continue
+            applying.append(policy)
+        return applying
+
+    def decide(self, packet: PacketProfile) -> List[Entry]:
+        """The actions to apply: Section 2's priority + exception rules."""
+        applying = self.applying_policies(packet)
+        if not applying:
+            return []
+        applying_dns = {policy.dn for policy in applying}
+        best = min(policy.first("SLARulePriority") or 0 for policy in applying)
+        winners = []
+        for policy in applying:
+            if (policy.first("SLARulePriority") or 0) != best:
+                continue
+            overridden = False
+            for exception_ref in policy.values("SLAExceptionRef"):
+                if exception_ref in applying_dns:
+                    exception = next(
+                        p for p in applying if p.dn == exception_ref
+                    )
+                    if (exception.first("SLARulePriority") or 0) == best:
+                        overridden = True
+                        break
+            if not overridden:
+                winners.append(policy)
+        actions = []
+        seen = set()
+        for policy in winners:
+            for action_ref in policy.values("SLADSActRef"):
+                if action_ref not in seen:
+                    seen.add(action_ref)
+                    action = self._fetch(action_ref)
+                    if action is not None:
+                        actions.append(action)
+        return actions
+
+
+def _profiles_overlap(first: Entry, second: Entry) -> bool:
+    """Conservative pattern-intersection test for two traffic profiles."""
+
+    def octets_overlap(pattern_a: str, pattern_b: str) -> bool:
+        a_parts, b_parts = pattern_a.split("."), pattern_b.split(".")
+        if len(a_parts) != len(b_parts):
+            return False
+        return all(x == "*" or y == "*" or x == y for x, y in zip(a_parts, b_parts))
+
+    for attr in ("SourceAddress", "DestAddress"):
+        a_values = [str(v) for v in first.values(attr)]
+        b_values = [str(v) for v in second.values(attr)]
+        if a_values and b_values and not any(
+            octets_overlap(a, b) for a in a_values for b in b_values
+        ):
+            return False
+    for attr in ("SourcePort", "DestPort", "Protocol"):
+        a_values = set(map(str, first.values(attr)))
+        b_values = set(map(str, second.values(attr)))
+        if a_values and b_values and not (a_values & b_values):
+            return False
+    return True
+
+
+def find_conflicts(qos: QoSDirectory) -> List[Tuple[Entry, Entry]]:
+    """Pairs of same-priority policies with overlapping profiles, different
+    actions, and no exception relation -- the conflicts Section 2 says
+    "must be resolved before populating the directory"."""
+    engine = qos.engine()
+    policies = engine.run(
+        "(%s ? sub ? objectClass=SLAPolicyRules)" % qos.policies_dn
+    ).entries
+    by_dn: Dict[DN, Entry] = {}
+    for kind in ("trafficProfile",):
+        for entry in engine.run(
+            "(%s ? sub ? objectClass=%s)" % (qos.profiles_dn, kind)
+        ).entries:
+            by_dn[entry.dn] = entry
+    conflicts = []
+    for i, first in enumerate(policies):
+        for second in policies[i + 1 :]:
+            if first.first("SLARulePriority") != second.first("SLARulePriority"):
+                continue
+            if set(first.values("SLADSActRef")) == set(second.values("SLADSActRef")):
+                continue
+            if second.dn in first.values("SLAExceptionRef"):
+                continue
+            if first.dn in second.values("SLAExceptionRef"):
+                continue
+            first_profiles = [by_dn[dn] for dn in first.values("SLATPRef") if dn in by_dn]
+            second_profiles = [by_dn[dn] for dn in second.values("SLATPRef") if dn in by_dn]
+            if not first_profiles or not second_profiles:
+                continue
+            if any(
+                _profiles_overlap(a, b)
+                for a in first_profiles
+                for b in second_profiles
+            ):
+                conflicts.append((first, second))
+    return conflicts

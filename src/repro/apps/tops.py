@@ -1,0 +1,237 @@
+"""The TOPS telephony application (Example 2.2, Example 3.2, Figure 11).
+
+Telephony Over Packet networkS: each subscriber owns a personal subtree
+under ``ou=userProfiles`` containing prioritised *query handling profiles*
+(QHPs) -- who may reach them, when -- each with prioritised *call
+appearances* -- the terminals at which they can be reached.
+
+The call-resolution query of Section 2: match the caller's information and
+the time of day against the subscriber's QHPs; the answer is the set of
+call appearances of the *highest-priority matching* QHP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..engine.engine import QueryEngine
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from ..model.schema import DirectorySchema
+
+__all__ = [
+    "tops_schema",
+    "TOPSDirectory",
+    "build_paper_fragment",
+    "CallRequest",
+    "resolve_call",
+]
+
+
+def tops_schema() -> DirectorySchema:
+    """The schema of Figure 11 (lower priority *value* = higher priority)."""
+    schema = DirectorySchema()
+    schema.add_attribute("dc", "string")
+    schema.add_attribute("ou", "string")
+    schema.add_attribute("commonName", "string")
+    schema.add_attribute("surName", "string")
+    schema.add_attribute("uid", "string")
+    schema.add_attribute("QHPName", "string")
+    schema.add_attribute("startTime", "int")     # HHMM, e.g. 830 for 08:30
+    schema.add_attribute("endTime", "int")
+    schema.add_attribute("daysOfWeek", "int")    # 1 = Monday ... 7 = Sunday
+    schema.add_attribute("priority", "int")
+    schema.add_attribute("allowedCaller", "string")
+    schema.add_attribute("CANumber", "string")
+    schema.add_attribute("timeOut", "int")
+    schema.add_attribute("description", "string")
+    schema.add_attribute("mediaType", "string")
+
+    schema.add_class("dcObject", {"dc"})
+    schema.add_class("organizationalUnit", {"ou"})
+    schema.add_class("inetOrgPerson", {"commonName", "surName", "uid"})
+    schema.add_class("TOPSSubscriber", {"uid"})
+    schema.add_class(
+        "QHP",
+        {"QHPName", "startTime", "endTime", "daysOfWeek", "priority", "allowedCaller"},
+    )
+    schema.add_class(
+        "callAppearance",
+        {"CANumber", "priority", "timeOut", "description", "mediaType"},
+    )
+    return schema
+
+
+class TOPSDirectory:
+    """Builder for a TOPS subscriber directory under one domain."""
+
+    def __init__(self, domain: Union[DN, str] = "dc=research, dc=att, dc=com"):
+        if isinstance(domain, str):
+            domain = DN.parse(domain)
+        self.schema = tops_schema()
+        self.instance = DirectoryInstance(self.schema)
+        self.domain = domain
+        spine = list(domain.rdns)[::-1]
+        dn = DN(())
+        for rdn in spine:
+            dn = dn.child(rdn)
+            self.instance.add(dn, ["dcObject"], {attr: [v] for attr, v in rdn})
+        self.profiles_dn = domain.child("ou=userProfiles")
+        self.instance.add(self.profiles_dn, ["organizationalUnit"], ou="userProfiles")
+
+    # -- building -----------------------------------------------------------
+
+    def subscriber_dn(self, uid: str) -> DN:
+        return self.profiles_dn.child("uid=%s" % uid)
+
+    def qhp_dn(self, uid: str, qhp_name: str) -> DN:
+        return self.subscriber_dn(uid).child("QHPName=%s" % qhp_name)
+
+    def add_subscriber(self, uid: str, common_name: str, sur_name: str) -> DN:
+        dn = self.subscriber_dn(uid)
+        self.instance.add(
+            dn,
+            ["inetOrgPerson", "TOPSSubscriber"],
+            commonName=common_name,
+            surName=sur_name,
+            uid=uid,
+        )
+        return dn
+
+    def add_qhp(
+        self,
+        uid: str,
+        name: str,
+        priority: int,
+        start_time: Optional[int] = None,
+        end_time: Optional[int] = None,
+        days_of_week: Sequence[int] = (),
+        allowed_callers: Sequence[str] = (),
+    ) -> DN:
+        dn = self.qhp_dn(uid, name)
+        attrs: Dict[str, list] = {"QHPName": [name], "priority": [priority]}
+        if start_time is not None:
+            attrs["startTime"] = [start_time]
+        if end_time is not None:
+            attrs["endTime"] = [end_time]
+        if days_of_week:
+            attrs["daysOfWeek"] = list(days_of_week)
+        if allowed_callers:
+            attrs["allowedCaller"] = list(allowed_callers)
+        self.instance.add(dn, ["QHP"], attrs)
+        return dn
+
+    def add_call_appearance(
+        self,
+        uid: str,
+        qhp_name: str,
+        number: str,
+        priority: int,
+        time_out: Optional[int] = None,
+        description: Optional[str] = None,
+        media_type: Optional[str] = None,
+    ) -> DN:
+        dn = self.qhp_dn(uid, qhp_name).child("CANumber=%s" % number)
+        attrs: Dict[str, list] = {"CANumber": [number], "priority": [priority]}
+        if time_out is not None:
+            attrs["timeOut"] = [time_out]
+        if description is not None:
+            attrs["description"] = [description]
+        if media_type is not None:
+            attrs["mediaType"] = [media_type]
+        self.instance.add(dn, ["callAppearance"], attrs)
+        return dn
+
+    def engine(self, **options) -> QueryEngine:
+        return QueryEngine.from_instance(self.instance, **options)
+
+
+def build_paper_fragment() -> TOPSDirectory:
+    """The Figure 11 sample: Jagadish's weekend QHP (priority 1, Saturday
+    and Sunday, voicemail only) and working-hours QHP (priority 2,
+    08:30--17:30, office phone then secretary then voicemail)."""
+    tops = TOPSDirectory("dc=research, dc=att, dc=com")
+    tops.add_subscriber("jag", "h jagadish", "jagadish")
+    tops.add_qhp("jag", "weekend", priority=1, days_of_week=(6, 7))
+    tops.add_call_appearance(
+        "jag", "weekend", "9733608799", priority=1, description="voice mailbox"
+    )
+    tops.add_qhp("jag", "workinghours", priority=2, start_time=830, end_time=1730)
+    tops.add_call_appearance("jag", "workinghours", "9733608750", priority=1, time_out=30)
+    tops.add_call_appearance(
+        "jag", "workinghours", "9733608751", priority=2, time_out=20,
+        description="secretary",
+    )
+    tops.add_call_appearance(
+        "jag", "workinghours", "9733608798", priority=3, description="voice mailbox"
+    )
+    return tops
+
+
+class CallRequest:
+    """What the calling application supplies: callee, time of day, day of
+    week, and optionally its own identity (matched against QHP access
+    control)."""
+
+    def __init__(
+        self,
+        callee_uid: str,
+        time_of_day: int,             # HHMM
+        day_of_week: int,             # 1 = Monday ... 7 = Sunday
+        caller_uid: Optional[str] = None,
+    ):
+        self.callee_uid = callee_uid
+        self.time_of_day = time_of_day
+        self.day_of_week = day_of_week
+        self.caller_uid = caller_uid
+
+    def __repr__(self) -> str:
+        return "CallRequest(callee=%s, %04d, day %d)" % (
+            self.callee_uid,
+            self.time_of_day,
+            self.day_of_week,
+        )
+
+
+def qhp_matches(qhp: Entry, request: CallRequest) -> bool:
+    """A QHP applies when every constraint it states is satisfied; absent
+    attributes constrain nothing (the heterogeneity of Section 3.5)."""
+    start = qhp.first("startTime")
+    if start is not None and request.time_of_day < start:
+        return False
+    end = qhp.first("endTime")
+    if end is not None and request.time_of_day > end:
+        return False
+    days = qhp.values("daysOfWeek")
+    if days and request.day_of_week not in days:
+        return False
+    allowed = [str(v) for v in qhp.values("allowedCaller")]
+    if allowed and (request.caller_uid is None or request.caller_uid not in allowed):
+        return False
+    return True
+
+
+def resolve_call(
+    tops: TOPSDirectory,
+    request: CallRequest,
+    engine: Optional[QueryEngine] = None,
+) -> List[Entry]:
+    """The TOPS directory query of Section 2: the call appearances of the
+    highest-priority QHP matching the request, ordered by appearance
+    priority (empty when the callee is unknown or unreachable)."""
+    engine = engine or tops.engine()
+    subscriber_dn = tops.subscriber_dn(request.callee_uid)
+    subscriber = engine.run("(%s ? base ? objectClass=TOPSSubscriber)" % subscriber_dn)
+    if not subscriber.entries:
+        return []
+    qhps = engine.run("(%s ? one ? objectClass=QHP)" % subscriber_dn).entries
+    matching = [qhp for qhp in qhps if qhp_matches(qhp, request)]
+    if not matching:
+        return []
+    best = min(qhp.first("priority") or 0 for qhp in matching)
+    chosen = next(qhp for qhp in matching if (qhp.first("priority") or 0) == best)
+    appearances = engine.run(
+        "(%s ? one ? objectClass=callAppearance)" % chosen.dn
+    ).entries
+    return sorted(appearances, key=lambda entry: entry.first("priority") or 0)

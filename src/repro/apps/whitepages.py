@@ -1,0 +1,182 @@
+"""Corporate white pages -- the introduction's first directory application.
+
+"Hierarchically structured directories ... are being used to store not
+only address books and contact information for people ... enabling the
+deployment of a wide variety of network applications such as corporate
+white pages."  This module builds white pages on the standard schema and
+shows each language level earning its keep:
+
+- people search by name wildcard (L0 substring filters);
+- the organizational unit someone belongs to, as the *nearest* unit
+  ancestor (the path-constrained ``ac`` operator of Example 5.3);
+- units over a headcount (L2 structural counting);
+- reporting structure through the dn-valued ``manager`` attribute
+  (L3 ``vd``/``dv``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..engine.engine import QueryEngine
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from ..model.standard import standard_schema
+
+__all__ = ["WhitePages"]
+
+
+class WhitePages:
+    """A white-pages directory under one organization's domain."""
+
+    def __init__(self, domain: Union[DN, str] = "dc=att, dc=com"):
+        if isinstance(domain, str):
+            domain = DN.parse(domain)
+        self.schema = standard_schema()
+        self.instance = DirectoryInstance(self.schema)
+        self.domain = domain
+        dn = DN(())
+        for rdn in list(domain.rdns)[::-1]:
+            dn = dn.child(rdn)
+            self.instance.add(dn, ["dcObject"], {a: [v] for a, v in rdn})
+        self._engine: Optional[QueryEngine] = None
+
+    # -- building -----------------------------------------------------------
+
+    def add_unit(self, path: Iterable[str], description: Optional[str] = None) -> DN:
+        """Add (or descend into) nested organizational units, e.g.
+        ``add_unit(["research", "database-group"])``."""
+        dn = self.domain
+        for name in path:
+            dn = dn.child("ou=%s" % name)
+            if self.instance.get(dn) is None:
+                attrs = {"ou": [name]}
+                if description:
+                    attrs["description"] = [description]
+                self.instance.add(dn, ["organizationalUnit"], attrs)
+        self._engine = None
+        return dn
+
+    def add_person(
+        self,
+        unit_path: Iterable[str],
+        uid: str,
+        common_name: str,
+        sur_name: str,
+        telephone: Optional[str] = None,
+        mail: Optional[str] = None,
+        title: Optional[str] = None,
+        manager: Optional[DN] = None,
+        secretary: Optional[DN] = None,
+    ) -> DN:
+        unit = self.add_unit(unit_path)
+        dn = unit.child("uid=%s" % uid)
+        attrs: Dict[str, list] = {
+            "uid": [uid],
+            "commonName": [common_name],
+            "surName": [sur_name],
+        }
+        if telephone:
+            attrs["telephoneNumber"] = [telephone]
+        if mail:
+            attrs["mail"] = [mail]
+        if title:
+            attrs["title"] = [title]
+        if manager is not None:
+            attrs["manager"] = [manager]
+        if secretary is not None:
+            attrs["secretary"] = [secretary]
+        self.instance.add(dn, ["inetOrgPerson"], attrs)
+        self._engine = None
+        return dn
+
+    @property
+    def engine(self) -> QueryEngine:
+        if self._engine is None:
+            self._engine = QueryEngine.from_instance(self.instance, page_size=8)
+        return self._engine
+
+    # -- lookups -------------------------------------------------------------
+
+    def search_people(self, name_pattern: str) -> List[Entry]:
+        """People whose surname or common name matches a ``*`` pattern."""
+        if "*" not in name_pattern:
+            name_pattern = "*%s*" % name_pattern
+        result = self.engine.run(
+            "(| (%s ? sub ? surName=%s) (%s ? sub ? commonName=%s))"
+            % (self.domain, name_pattern, self.domain, name_pattern)
+        )
+        return result.entries
+
+    def unit_of(self, person: Union[DN, Entry]) -> Optional[Entry]:
+        """The *nearest* organizational unit above a person -- the
+        path-constrained descendants operator, exactly Example 5.3's idiom:
+        units having the person below them with no intervening unit."""
+        dn = person.dn if isinstance(person, Entry) else person
+        result = self.engine.run(
+            "(dc (%s ? sub ? objectClass=organizationalUnit)"
+            "    (%s ? base ? objectClass=*)"
+            "    (%s ? sub ? objectClass=organizationalUnit))"
+            % (self.domain, dn, self.domain)
+        )
+        return result.entries[0] if result.entries else None
+
+    def units_with_headcount_over(self, threshold: int) -> List[Entry]:
+        """Units *directly* containing more than ``threshold`` people."""
+        result = self.engine.run(
+            "(c (%s ? sub ? objectClass=organizationalUnit)"
+            "   (%s ? sub ? objectClass=inetOrgPerson)"
+            "   count($2) > %d)" % (self.domain, self.domain, threshold)
+        )
+        return result.entries
+
+    def direct_reports(self, manager: Union[DN, Entry]) -> List[Entry]:
+        """People whose ``manager`` attribute references the given person."""
+        dn = manager.dn if isinstance(manager, Entry) else manager
+        result = self.engine.run(
+            "(vd (%s ? sub ? objectClass=inetOrgPerson)"
+            "    (%s ? base ? objectClass=*) manager)" % (self.domain, dn)
+        )
+        return result.entries
+
+    def managers_with_reports_over(self, threshold: int) -> List[Entry]:
+        """People referenced as manager by more than ``threshold`` others."""
+        result = self.engine.run(
+            "(dv (%s ? sub ? objectClass=inetOrgPerson)"
+            "    (%s ? sub ? objectClass=inetOrgPerson)"
+            "    manager count($2) > %d)" % (self.domain, self.domain, threshold)
+        )
+        return result.entries
+
+    def management_chain(self, person: Union[DN, Entry]) -> List[Entry]:
+        """Follow ``manager`` references to the top (cycle-safe)."""
+        dn = person.dn if isinstance(person, Entry) else person
+        chain: List[Entry] = []
+        seen = {dn}
+        current = self.instance.get(dn)
+        while current is not None:
+            boss_dn = current.first("manager")
+            if boss_dn is None or boss_dn in seen:
+                break
+            boss = self.instance.get(boss_dn)
+            if boss is None:
+                break
+            chain.append(boss)
+            seen.add(boss_dn)
+            current = boss
+        return chain
+
+    def phone_book(self, unit_path: Iterable[str]) -> List[tuple]:
+        """(name, phone) pairs for a unit's subtree, sorted by name."""
+        unit = self.domain
+        for name in unit_path:
+            unit = unit.child("ou=%s" % name)
+        result = self.engine.run(
+            "(%s ? sub ? objectClass=inetOrgPerson)" % unit
+        )
+        book = [
+            (entry.first("commonName"), entry.first("telephoneNumber") or "-")
+            for entry in result.entries
+        ]
+        return sorted(book)

@@ -1,0 +1,221 @@
+"""Command-line interface: query LDIF directories from the shell.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro dump-example qos > policies.ldif
+    python -m repro query policies.ldif --schema qos \\
+        "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) count(SLAPVPRef) > 1)"
+    python -m repro explain policies.ldif --schema qos --analyze "( ? sub ? objectClass=*)"
+    python -m repro stats policies.ldif --schema qos
+    python -m repro ldapurl "ldap://host/dc=att,dc=com?cn?sub?(surName=jagadish)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .model.ldif import dumps_ldif, loads_ldif
+from .model.schema import DirectorySchema
+from .model.standard import standard_schema
+from .workload.generator import synthetic_schema
+
+__all__ = ["main", "build_parser"]
+
+
+def _schema_factories() -> Dict[str, Callable[[], DirectorySchema]]:
+    from .apps.qos import qos_schema
+    from .apps.tops import tops_schema
+
+    return {
+        "standard": standard_schema,
+        "synthetic": synthetic_schema,
+        "qos": qos_schema,
+        "tops": tops_schema,
+    }
+
+
+def _load(path: str, schema_name: str):
+    factories = _schema_factories()
+    if schema_name not in factories:
+        raise SystemExit(
+            "unknown schema %r (choose from %s)" % (schema_name, ", ".join(factories))
+        )
+    with open(path, "r", encoding="utf-8") as stream:
+        return loads_ldif(stream.read(), factories[schema_name]())
+
+
+def _engine_for(instance, args):
+    from .engine.engine import QueryEngine
+
+    return QueryEngine.from_instance(
+        instance,
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+        int_indices=tuple(args.int_index or ()),
+        string_indices=tuple(args.string_index or ()),
+    )
+
+
+def _cmd_query(args) -> int:
+    instance = _load(args.file, args.schema)
+    engine = _engine_for(instance, args)
+    result = engine.run(args.query)
+    for dn in result.dns():
+        print(dn)
+    if args.io:
+        print(
+            "-- %d entries, %d physical page I/Os (%d logical reads), %.2f ms"
+            % (
+                len(result),
+                result.io.total,
+                result.io.logical_reads,
+                result.elapsed * 1e3,
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .engine.optimizer import explain
+    from .query.parser import parse_query
+    from .storage.store import DirectoryStore
+
+    instance = _load(args.file, args.schema)
+    store = DirectoryStore.from_instance(
+        instance, page_size=args.page_size, buffer_pages=args.buffer_pages
+    )
+    if args.int_index or args.string_index:
+        store.build_indices(
+            tuple(args.int_index or ()), tuple(args.string_index or ())
+        )
+    node = explain(store, parse_query(args.query), analyze=args.analyze)
+    print(node.render())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .engine.stats import DirectoryStatistics
+    from .storage.store import DirectoryStore
+
+    instance = _load(args.file, args.schema)
+    store = DirectoryStore.from_instance(instance, page_size=args.page_size)
+    stats = DirectoryStatistics.collect(store)
+    print("entries: %d   pages: %d (B=%d)" % (
+        stats.total_entries, store.page_count, store.pager.page_size))
+    print("depths:  %s" % ", ".join(
+        "%d:%d" % (depth, count) for depth, count in sorted(stats.depth_counts.items())))
+    print("%-24s %8s %8s %9s %s" % ("attribute", "entries", "values", "distinct", "int range"))
+    for name in sorted(stats.attributes):
+        attr = stats.attributes[name]
+        int_range = (
+            "%d..%d" % (attr.int_min, attr.int_max) if attr.int_min is not None else "-"
+        )
+        print(
+            "%-24s %8d %8d %9d %s"
+            % (name, attr.entries_with, attr.value_count, attr.distinct_estimate, int_range)
+        )
+    return 0
+
+
+def _cmd_dump_example(args) -> int:
+    if args.which == "qos":
+        from .apps.qos import build_paper_fragment
+
+        instance = build_paper_fragment().instance
+    elif args.which == "tops":
+        from .apps.tops import build_paper_fragment
+
+        instance = build_paper_fragment().instance
+    else:
+        from .apps.whitepages import WhitePages
+
+        pages = WhitePages("dc=att, dc=com")
+        boss = pages.add_person(["research"], "jag", "h jagadish", "jagadish",
+                                telephone="9733608776", title="head")
+        pages.add_person(["research", "db"], "divesh", "divesh srivastava",
+                         "srivastava", manager=boss)
+        pages.add_person(["sales"], "milo", "tova milo", "milo")
+        instance = pages.instance
+    sys.stdout.write(dumps_ldif(instance))
+    return 0
+
+
+def _cmd_ldapurl(args) -> int:
+    from .ldapx.url import parse_ldap_url
+
+    parsed = parse_ldap_url(args.url)
+    print("scheme:     %s" % parsed.scheme)
+    print("host:       %s" % (parsed.host or "(default)"))
+    print("port:       %s" % (parsed.port or "(default)"))
+    print("base dn:    %s" % (parsed.base or "(root)"))
+    print("attributes: %s" % (", ".join(parsed.attributes) or "(all)"))
+    print("scope:      %s" % parsed.scope)
+    print("filter:     %s" % parsed.filter_text)
+    print("query:      %s" % parsed.to_query())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query network directories (SIGMOD 1999 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--schema", default="standard",
+                       help="schema preset: standard, synthetic, qos, tops")
+        p.add_argument("--page-size", type=int, default=16,
+                       help="blocking factor B (entries per page)")
+        p.add_argument("--buffer-pages", type=int, default=8,
+                       help="buffer pool capacity in pages")
+        p.add_argument("--int-index", action="append", metavar="ATTR",
+                       help="build a B+tree index on this int attribute")
+        p.add_argument("--string-index", action="append", metavar="ATTR",
+                       help="build a string index on this attribute")
+
+    query = sub.add_parser("query", help="run a query against an LDIF file")
+    query.add_argument("file")
+    query.add_argument("query", help="query in the paper's syntax")
+    query.add_argument("--io", action="store_true", help="print cost to stderr")
+    common(query)
+    query.set_defaults(handler=_cmd_query)
+
+    explain_cmd = sub.add_parser("explain", help="show the query plan")
+    explain_cmd.add_argument("file")
+    explain_cmd.add_argument("query")
+    explain_cmd.add_argument("--analyze", action="store_true",
+                             help="also run each node and report actual sizes")
+    common(explain_cmd)
+    explain_cmd.set_defaults(handler=_cmd_explain)
+
+    stats_cmd = sub.add_parser("stats", help="print directory statistics")
+    stats_cmd.add_argument("file")
+    common(stats_cmd)
+    stats_cmd.set_defaults(handler=_cmd_stats)
+
+    dump = sub.add_parser("dump-example", help="write a sample directory as LDIF")
+    dump.add_argument("which", choices=("qos", "tops", "whitepages"))
+    dump.set_defaults(handler=_cmd_dump_example)
+
+    url = sub.add_parser("ldapurl", help="parse an RFC 2255 LDAP URL")
+    url.add_argument("url")
+    url.set_defaults(handler=_cmd_ldapurl)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, OSError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

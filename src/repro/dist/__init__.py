@@ -1,0 +1,24 @@
+"""Distributed directory service: servers, DNS-style location, federation
+(Sections 3.3 and 8.3)."""
+
+from .federation import FederatedDirectory, FederatedResult
+from .locator import LocatorError, ServerLocator
+from .network import SimulatedNetwork
+from .referral import Referral, ReferralClient, ReferralError
+from .replication import AvailabilityRouter, ReplicatedContext, ReplicationError
+from .server import DirectoryServer
+
+__all__ = [
+    "FederatedDirectory",
+    "FederatedResult",
+    "LocatorError",
+    "ServerLocator",
+    "SimulatedNetwork",
+    "Referral",
+    "ReferralClient",
+    "ReferralError",
+    "AvailabilityRouter",
+    "ReplicatedContext",
+    "ReplicationError",
+    "DirectoryServer",
+]

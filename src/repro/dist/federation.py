@@ -1,0 +1,199 @@
+"""Distributed query evaluation (Section 8.3).
+
+The paper's strategy, verbatim: "each atomic query, whose base dn is
+managed by a directory server different from the queried server, is issued
+to the directory server that manages the base dn of the atomic query ...
+The results of those atomic queries are shipped to the original queried
+directory server, which then computes the query result using the
+algorithms described previously."
+
+:class:`FederatedDirectory` implements exactly that:
+
+- a :class:`~repro.dist.locator.ServerLocator` (DNS-style) maps dns to
+  owning servers;
+- :meth:`FederatedDirectory.query` is issued *at* some server (the
+  "closest" one); atomic leaves are routed to their owners -- including
+  every server owning a delegated subdomain inside the leaf's scope -- and
+  results are shipped back over the counted network;
+- the queried server combines the shipped sorted lists with its local
+  operator algorithms (it reuses the ordinary
+  :class:`~repro.engine.QueryEngine` with the atomic hook overridden).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..engine.engine import QueryEngine, QueryResult
+from ..engine.merge import boolean_merge
+from ..model.dn import DN
+from ..model.instance import DirectoryInstance
+from ..model.schema import DirectorySchema
+from ..query.ast import AtomicQuery, Query
+from ..query.parser import parse_query
+from ..storage.runs import Run, RunWriter
+from .locator import ServerLocator
+from .network import SimulatedNetwork
+from .server import DirectoryServer
+
+__all__ = ["FederatedDirectory", "FederatedResult"]
+
+
+class FederatedResult(QueryResult):
+    """A query result annotated with the network traffic it caused."""
+
+    def __init__(self, entries, io, elapsed, messages: int, entries_shipped: int):
+        super().__init__(entries, io, elapsed)
+        self.messages = messages
+        self.entries_shipped = entries_shipped
+
+    def __repr__(self) -> str:
+        return "FederatedResult(%d entries, messages=%d, shipped=%d)" % (
+            len(self.entries),
+            self.messages,
+            self.entries_shipped,
+        )
+
+
+class FederatedDirectory:
+    """A set of directory servers jointly serving one namespace."""
+
+    def __init__(self, schema: DirectorySchema, network: Optional[SimulatedNetwork] = None):
+        self.schema = schema
+        self.network = network or SimulatedNetwork()
+        self.locator = ServerLocator()
+        self.servers: Dict[str, DirectoryServer] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_server(self, server: DirectoryServer) -> DirectoryServer:
+        self.servers[server.name] = server
+        for context in server.contexts:
+            self.locator.register(context, server.name)
+        return server
+
+    @classmethod
+    def partition(
+        cls,
+        instance: DirectoryInstance,
+        assignments: Dict[str, List[Union[DN, str]]],
+        page_size: int = 16,
+        buffer_pages: int = 8,
+        network: Optional[SimulatedNetwork] = None,
+    ) -> "FederatedDirectory":
+        """Split one logical instance across servers.
+
+        ``assignments`` maps server name to the naming contexts it owns.
+        Each entry goes to the server of its *most specific* registered
+        context (delegated subdomains shadow their parents, as in DNS).
+        """
+        fed = cls(instance.schema, network)
+        for name, contexts in assignments.items():
+            dn_contexts = [
+                context if isinstance(context, DN) else DN.parse(context)
+                for context in contexts
+            ]
+            fed.add_server(
+                DirectoryServer(
+                    name,
+                    instance.schema,
+                    dn_contexts,
+                    page_size=page_size,
+                    buffer_pages=buffer_pages,
+                )
+            )
+        buckets: Dict[str, List] = {name: [] for name in assignments}
+        for entry in instance:
+            owner = fed.locator.locate(entry.dn)
+            buckets[owner].append(entry)
+        for name, entries in buckets.items():
+            fed.servers[name].load(entries)
+        return fed
+
+    # -- querying ----------------------------------------------------------
+
+    def query(self, at: str, query: Union[Query, str]) -> FederatedResult:
+        """Issue ``query`` at server ``at`` and evaluate it distributedly."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        coordinator = self.servers[at]
+        engine = _CoordinatorEngine(self, coordinator)
+        messages_before = self.network.messages
+        shipped_before = self.network.entries_shipped
+        result = engine.run(query)
+        return FederatedResult(
+            result.entries,
+            result.io,
+            result.elapsed,
+            self.network.messages - messages_before,
+            self.network.entries_shipped - shipped_before,
+        )
+
+    def owners_for_atomic(self, query: AtomicQuery) -> List[str]:
+        """Every server whose holdings can intersect the atomic query's
+        scope: the owner of the base dn plus, for non-base scopes, the
+        owners of delegated contexts inside the base's subtree."""
+        owners = [self.locator.locate(query.base)] if not query.base.is_null() else []
+        if query.base.is_null():
+            owners = sorted(self.servers)
+        elif query.scope != "base":
+            for name, server in sorted(self.servers.items()):
+                if name in owners:
+                    continue
+                for context in server.contexts:
+                    if query.base.is_prefix_of(context):
+                        owners.append(name)
+                        break
+        return owners
+
+    def total_entries(self) -> int:
+        return sum(server.entry_count() for server in self.servers.values())
+
+    def __repr__(self) -> str:
+        return "FederatedDirectory(%d servers, %d entries)" % (
+            len(self.servers),
+            self.total_entries(),
+        )
+
+
+class _CoordinatorEngine(QueryEngine):
+    """The queried server's engine with atomic leaves routed by ownership."""
+
+    def __init__(self, federation: FederatedDirectory, coordinator: DirectoryServer):
+        super().__init__(coordinator.engine.store)
+        self.federation = federation
+        self.coordinator = coordinator
+
+    def atomic_run(self, query: AtomicQuery) -> Run:
+        owners = self.federation.owners_for_atomic(query)
+        partial_runs: List[Run] = []
+        for owner in owners:
+            server = self.federation.servers[owner]
+            if server is self.coordinator:
+                partial_runs.append(server.evaluate_atomic(query))
+                continue
+            # Remote leaf: request out, result entries shipped back.
+            self.federation.network.send(
+                self.coordinator.name, owner, "atomic-request"
+            )
+            remote = server.evaluate_atomic(query)
+            entries = remote.to_list()
+            remote.free()
+            self.federation.network.send(
+                owner, self.coordinator.name, "atomic-result", len(entries)
+            )
+            writer = RunWriter(self.pager)
+            writer.extend(entries)
+            partial_runs.append(writer.close())
+        if not partial_runs:
+            return RunWriter(self.pager).close()
+        # All partial runs now live on the coordinator's pager; shipped
+        # lists are sorted and disjoint (ownership partitions the
+        # namespace), so union merges keep everything sorted.
+        combined = partial_runs[0]
+        for run in partial_runs[1:]:
+            merged = boolean_merge(self.pager, "or", combined, run)
+            combined.free()
+            run.free()
+            combined = merged
+        return combined

@@ -1,0 +1,69 @@
+"""DNS-style server location for the hierarchical namespace (Section 3.3).
+
+Domains register (primary and optionally secondary) servers for the
+subtree rooted at the domain entry; subdomains may be delegated to other
+servers.  Locating the owner of a dn walks up the dn's ancestors looking
+for the most specific registration -- "these directory servers can be
+located efficiently using mechanisms similar to those used in DNS"
+(Section 8.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..model.dn import DN, ROOT_DN
+
+__all__ = ["ServerLocator", "LocatorError"]
+
+
+class LocatorError(LookupError):
+    """Raised when no server owns a dn."""
+
+
+class ServerLocator:
+    """The registry mapping namespace subtrees to server names."""
+
+    def __init__(self) -> None:
+        self._primary: Dict[DN, str] = {}
+        self._secondaries: Dict[DN, List[str]] = {}
+        self.lookups = 0
+
+    def register(
+        self,
+        context: Union[DN, str],
+        primary: str,
+        secondaries: Optional[List[str]] = None,
+    ) -> None:
+        """Register the owners of the subtree rooted at ``context``.  A more
+        specific registration (a subdomain) shadows its ancestors."""
+        if isinstance(context, str):
+            context = DN.parse(context)
+        self._primary[context] = primary
+        self._secondaries[context] = list(secondaries or [])
+
+    def locate(self, dn: Union[DN, str], prefer_secondary: bool = False) -> str:
+        """The server owning ``dn``: the registration of the most specific
+        registered ancestor (or the dn itself)."""
+        if isinstance(dn, str):
+            dn = DN.parse(dn)
+        self.lookups += 1
+        probe = dn
+        while True:
+            if probe in self._primary:
+                if prefer_secondary and self._secondaries[probe]:
+                    return self._secondaries[probe][0]
+                return self._primary[probe]
+            if probe.is_null():
+                raise LocatorError("no server owns %s" % dn)
+            probe = probe.parent if probe.depth() > 1 else ROOT_DN
+
+    def contexts_of(self, server: str) -> List[DN]:
+        """The naming contexts registered to a server (primary role)."""
+        return sorted(
+            (context for context, owner in self._primary.items() if owner == server),
+            key=lambda context: context.key(),
+        )
+
+    def __repr__(self) -> str:
+        return "ServerLocator(%d contexts)" % len(self._primary)

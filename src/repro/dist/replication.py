@@ -1,0 +1,153 @@
+"""Primary/secondary replication and failover.
+
+Footnote 4 of the paper: "Secondary directory servers ensure that one
+unreachable network will not necessarily cut off network directory
+service."  This module supplies that availability story for the simulated
+federation:
+
+- :class:`ReplicatedContext` pairs a primary :class:`DirectoryServer` with
+  secondaries for one naming context and keeps them in sync by shipping a
+  changelog (counted on the network like any other traffic);
+- :class:`AvailabilityRouter` answers atomic queries for the context,
+  preferring the primary and failing over to a live secondary when the
+  primary is marked down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from ..model.schema import DirectorySchema
+from ..query.ast import AtomicQuery
+from .network import SimulatedNetwork
+from .server import DirectoryServer
+
+__all__ = ["ReplicatedContext", "AvailabilityRouter", "ReplicationError"]
+
+
+class ReplicationError(RuntimeError):
+    """Raised when no live replica can serve a request."""
+
+
+class ReplicatedContext:
+    """One naming context served by a primary and N secondaries.
+
+    Mutations go to the primary's staging instance and are recorded in a
+    changelog; :meth:`sync` ships outstanding changelog records to each
+    secondary (one message per batch, entry count = records shipped).
+    """
+
+    def __init__(
+        self,
+        context: Union[DN, str],
+        schema: DirectorySchema,
+        secondaries: int = 1,
+        network: Optional[SimulatedNetwork] = None,
+        page_size: int = 16,
+    ):
+        if isinstance(context, str):
+            context = DN.parse(context)
+        self.context = context
+        self.schema = schema
+        self.network = network or SimulatedNetwork()
+        self.primary = DirectoryServer("primary", schema, [context], page_size=page_size)
+        self.secondaries = [
+            DirectoryServer("secondary%d" % index, schema, [context], page_size=page_size)
+            for index in range(secondaries)
+        ]
+        self._changelog: List[Tuple[str, Entry]] = []
+        self._synced_upto: Dict[str, int] = {s.name: 0 for s in self.secondaries}
+        self._primary_instance = DirectoryInstance(schema)
+        self._replica_instances = {
+            s.name: DirectoryInstance(schema) for s in self.secondaries
+        }
+        self._built = False
+
+    # -- mutation (primary only) ---------------------------------------------
+
+    def add(self, dn, classes, attributes=None, **kw) -> Entry:
+        entry = self._primary_instance.add(dn, classes, attributes, **kw)
+        self._changelog.append(("add", entry))
+        self._built = False
+        return entry
+
+    def changelog_length(self) -> int:
+        return len(self._changelog)
+
+    def sync(self) -> Dict[str, int]:
+        """Ship outstanding changelog records to every secondary; returns
+        records shipped per secondary."""
+        shipped: Dict[str, int] = {}
+        for secondary in self.secondaries:
+            start = self._synced_upto[secondary.name]
+            batch = self._changelog[start:]
+            if batch:
+                self.network.send(
+                    self.primary.name, secondary.name, "changelog", len(batch)
+                )
+                replica = self._replica_instances[secondary.name]
+                for _op, entry in batch:
+                    replica.add_entry(entry)
+                self._synced_upto[secondary.name] = len(self._changelog)
+            shipped[secondary.name] = len(batch)
+        return shipped
+
+    def lag(self, secondary_name: str) -> int:
+        """Changelog records the secondary has not yet received."""
+        return len(self._changelog) - self._synced_upto[secondary_name]
+
+    # -- serving ----------------------------------------------------------------
+
+    def _ensure_built(self) -> None:
+        if self._built:
+            return
+        self.primary.reload(list(self._primary_instance))
+        for secondary in self.secondaries:
+            secondary.reload(list(self._replica_instances[secondary.name]))
+        self._built = True
+
+    def server(self, name: str) -> DirectoryServer:
+        self._ensure_built()
+        if name == "primary":
+            return self.primary
+        for secondary in self.secondaries:
+            if secondary.name == name:
+                return secondary
+        raise KeyError(name)
+
+
+class AvailabilityRouter:
+    """Routes atomic queries to the context's primary, failing over to the
+    first live, fully-synced secondary when the primary is down."""
+
+    def __init__(self, replicated: ReplicatedContext):
+        self.replicated = replicated
+        self._down: set = set()
+        self.served_by: List[str] = []
+
+    def mark_down(self, name: str) -> None:
+        self._down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        self._down.discard(name)
+
+    def evaluate(self, query: AtomicQuery) -> List[Entry]:
+        replicated = self.replicated
+        candidates = ["primary"] + [s.name for s in replicated.secondaries]
+        for name in candidates:
+            if name in self._down:
+                continue
+            if name != "primary" and replicated.lag(name) > 0:
+                continue  # stale replica: skip rather than serve old data
+            server = replicated.server(name)
+            run = server.evaluate_atomic(query)
+            entries = run.to_list()
+            run.free()
+            self.served_by.append(name)
+            return entries
+        raise ReplicationError(
+            "no live, in-sync replica for %s" % replicated.context
+        )

@@ -1,0 +1,83 @@
+"""A directory server owning part of the hierarchical namespace.
+
+As in Section 3.3, each server provides directory service for the naming
+contexts (domain subtrees) registered to it; subdomains may be delegated to
+other servers, in which case the parent server does *not* hold the
+delegated entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..engine.engine import QueryEngine
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from ..model.schema import DirectorySchema
+from ..query.ast import AtomicQuery
+from ..storage.runs import Run
+
+__all__ = ["DirectoryServer"]
+
+
+class DirectoryServer:
+    """One server: a name, its naming contexts and a local engine."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: DirectorySchema,
+        contexts: List[DN],
+        page_size: int = 16,
+        buffer_pages: int = 8,
+    ):
+        self.name = name
+        self.contexts = list(contexts)
+        self._staging = DirectoryInstance(schema)
+        self._engine: Optional[QueryEngine] = None
+        self._page_size = page_size
+        self._buffer_pages = buffer_pages
+
+    def holds(self, dn: DN) -> bool:
+        """Whether this server's contexts cover ``dn`` (ignoring delegation,
+        which the federation's partitioning already resolved)."""
+        return any(context.is_prefix_of(dn) for context in self.contexts)
+
+    def load(self, entries: Iterable[Entry]) -> None:
+        """Stage entries before the first query (bulk load)."""
+        if self._engine is not None:
+            raise RuntimeError("server %s is already serving" % self.name)
+        for entry in entries:
+            self._staging.add_entry(entry)
+
+    def reload(self, entries: Iterable[Entry]) -> None:
+        """Replace the server's holdings (replication refresh): drops the
+        current store and stages the new image."""
+        self._staging = DirectoryInstance(self._staging.schema)
+        self._engine = None
+        self.load(entries)
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The local query engine (built lazily from the staged entries)."""
+        if self._engine is None:
+            self._engine = QueryEngine.from_instance(
+                self._staging,
+                page_size=self._page_size,
+                buffer_pages=self._buffer_pages,
+            )
+        return self._engine
+
+    def evaluate_atomic(self, query: AtomicQuery) -> Run:
+        """Serve one atomic query against the locally held entries."""
+        return self.engine.atomic_run(query)
+
+    def entry_count(self) -> int:
+        return len(self.engine.store)
+
+    def __repr__(self) -> str:
+        return "DirectoryServer(%r, contexts=%s)" % (
+            self.name,
+            [str(context) for context in self.contexts],
+        )

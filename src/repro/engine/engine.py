@@ -1,0 +1,180 @@
+"""The query engine: bottom-up, pipelined evaluation of whole query trees
+(Section 8.2).
+
+Each query-tree node is evaluated with the operator algorithms of this
+package; every operator consumes sorted runs and produces a sorted run, so
+"no additional sorting of the result of an intermediate operator is
+necessary" -- the property Theorems 8.3/8.4 rest on.  Intermediate runs are
+freed as soon as their consumer is done, and all page traffic flows through
+one pager, so a query's I/O cost is directly observable as the pager-stats
+delta around :meth:`QueryEngine.run`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Union
+
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from ..query.ast import (
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    Or,
+    Query,
+    QueryError,
+    SimpleAggSelect,
+)
+from ..query.parser import parse_query
+from ..storage.pager import IOStats
+from ..storage.runs import Run
+from ..storage.store import DirectoryStore
+from .atomic import evaluate_atomic
+from .eragg import embedded_ref_select
+from .hsagg import hierarchical_select
+from .merge import boolean_merge
+from .simpleagg import simple_agg_select
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+
+class QueryResult:
+    """The outcome of one engine run: entries plus observed cost."""
+
+    def __init__(self, entries: List[Entry], io: IOStats, elapsed: float):
+        self.entries = entries
+        self.io = io
+        self.elapsed = elapsed
+
+    def dns(self) -> List[str]:
+        """The result dn strings, in order (convenience for tests/examples)."""
+        return [str(entry.dn) for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __repr__(self) -> str:
+        return "QueryResult(%d entries, %r)" % (len(self.entries), self.io)
+
+
+class QueryEngine:
+    """External-memory query evaluation over a :class:`DirectoryStore`."""
+
+    def __init__(
+        self,
+        store: DirectoryStore,
+        use_indices: bool = True,
+        memory_pages: int = 4,
+    ):
+        self.store = store
+        self.pager = store.pager
+        self.use_indices = use_indices
+        #: Workspace bound for the sorts inside vd/dv (Figure 3).
+        self.memory_pages = memory_pages
+
+    @classmethod
+    def from_instance(
+        cls,
+        instance: DirectoryInstance,
+        page_size: int = 16,
+        buffer_pages: int = 8,
+        int_indices: tuple = (),
+        string_indices: tuple = (),
+        **engine_options,
+    ) -> "QueryEngine":
+        """Bulk-load an instance and build the requested secondary indices."""
+        store = DirectoryStore.from_instance(
+            instance, page_size=page_size, buffer_pages=buffer_pages
+        )
+        if int_indices or string_indices:
+            store.build_indices(tuple(int_indices), tuple(string_indices))
+        return cls(store, **engine_options)
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, query: Union[Query, str]) -> QueryResult:
+        """Evaluate a query (AST or concrete syntax); return entries plus
+        the I/O incurred."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        before = self.pager.stats.snapshot()
+        started = time.perf_counter()
+        result_run = self.evaluate_to_run(query)
+        entries = result_run.to_list()
+        result_run.free()
+        elapsed = time.perf_counter() - started
+        io = self.pager.stats.since(before)
+        return QueryResult(entries, io, elapsed)
+
+    # -- recursive evaluation ---------------------------------------------
+
+    def atomic_run(self, query: AtomicQuery) -> Run:
+        """Evaluate one atomic leaf.  Overridden by the distributed
+        coordinator (Section 8.3) to route leaves to the owning server."""
+        return evaluate_atomic(self.store, query, self.use_indices)
+
+    def evaluate_to_run(self, query: Query) -> Run:
+        """Evaluate ``query`` to a sorted run (caller frees it)."""
+        if isinstance(query, AtomicQuery):
+            return self.atomic_run(query)
+
+        if isinstance(query, (And, Or, Diff)):
+            op = {And: "and", Or: "or", Diff: "diff"}[type(query)]
+            left = self.evaluate_to_run(query.left)
+            right = self.evaluate_to_run(query.right)
+            try:
+                return boolean_merge(self.pager, op, left, right)
+            finally:
+                left.free()
+                right.free()
+
+        if isinstance(query, HierarchySelect):
+            first = self.evaluate_to_run(query.first)
+            second = self.evaluate_to_run(query.second)
+            third = (
+                self.evaluate_to_run(query.third) if query.third is not None else None
+            )
+            try:
+                return hierarchical_select(
+                    self.pager, query.op, first, second, third, query.agg
+                )
+            finally:
+                first.free()
+                second.free()
+                if third is not None:
+                    third.free()
+
+        if isinstance(query, SimpleAggSelect):
+            operand = self.evaluate_to_run(query.operand)
+            try:
+                return simple_agg_select(self.pager, operand, query.agg)
+            finally:
+                operand.free()
+
+        if isinstance(query, EmbeddedRef):
+            first = self.evaluate_to_run(query.first)
+            second = self.evaluate_to_run(query.second)
+            try:
+                return embedded_ref_select(
+                    self.pager,
+                    query.op,
+                    first,
+                    second,
+                    query.attribute,
+                    query.agg,
+                    memory_pages=self.memory_pages,
+                )
+            finally:
+                first.free()
+                second.free()
+
+        raise QueryError("unknown query node %r" % (query,))
+
+    def __repr__(self) -> str:
+        return "QueryEngine(%r)" % self.store

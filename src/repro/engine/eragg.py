@@ -1,0 +1,168 @@
+"""Embedded-reference operators ``vd`` / ``dv`` -- ComputeERAgg (Figure 3,
+Section 7.2), generalised to arbitrary aggregate selection terms.
+
+The shape follows the paper's sort-merge strategy:
+
+``dv (L1, L2, a)`` -- witnesses of ``r1`` are the L2 entries whose
+attribute ``a`` embeds ``dn(r1)``:
+
+1. scan L2, exploding each dn-valued ``a`` into a pair
+   ``(embedded-dn-key, witness-entry)`` (the list ``LP``);
+2. external-sort ``LP`` by the embedded dn's reverse key -- the
+   ``(|L2| m / B) log(|L2| m / B)`` term of Theorem 7.1;
+3. co-scan the sorted ``LP`` with L1 (already in the same order), folding
+   each matching pair into the witness-aggregate states of its unique L1
+   entry; every L1 entry (witnessed or not) is emitted annotated;
+4. the shared selection phase applies the filter.
+
+``vd (L1, L2, a)`` is symmetric but the pairs come from L1 and must be
+re-grouped by their owning entry after matching, which costs one more sort
+of the matched pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..model.dn import DN
+from ..query.aggregates import AggSelFilter
+from ..storage.extsort import external_sort
+from ..storage.pager import Pager
+from ..storage.runs import Run, RunWriter
+from .common import add_witness, fresh_states, resolve_terms, witness_terms_of
+from .selection import select_annotated
+
+__all__ = ["embedded_ref_select"]
+
+
+def embedded_ref_select(
+    pager: Pager,
+    op: str,
+    first: Run,
+    second: Run,
+    attribute: str,
+    agg_filter: Optional[AggSelFilter] = None,
+    memory_pages: int = 4,
+) -> Run:
+    """Evaluate ``(op first second attribute [agg_filter])`` on sorted runs."""
+    if op not in ("vd", "dv"):
+        raise ValueError("unknown embedded-reference operator %r" % op)
+    terms = witness_terms_of(agg_filter)
+    if op == "dv":
+        annotated = _annotate_dv(pager, first, second, attribute, terms, memory_pages)
+    else:
+        annotated = _annotate_vd(pager, first, second, attribute, terms, memory_pages)
+    try:
+        return select_annotated(pager, annotated, terms, agg_filter)
+    finally:
+        annotated.free()
+
+
+def _dn_values(entry, attribute: str) -> Iterator[DN]:
+    """The dn-valued occurrences of ``attribute`` on an entry."""
+    for value in entry.values(attribute):
+        if isinstance(value, DN):
+            yield value
+        elif isinstance(value, str):
+            try:
+                yield DN.parse(value)
+            except Exception:
+                continue
+
+
+def _annotate_dv(pager, first, second, attribute, terms, memory_pages) -> Run:
+    # Phase 1: explode L2 into (embedded dn key, witness) pairs.
+    pairs = RunWriter(pager)
+    for witness in second:
+        for target in _dn_values(witness, attribute):
+            pairs.append((target.key(), witness))
+    pair_run = pairs.close()
+    # Sort LP by the embedded dn key (same order L1 is already in).
+    sorted_pairs = external_sort(
+        pager, pair_run, key=lambda pair: pair[0], memory_pages=memory_pages
+    )
+    pair_run.free()
+    annotated = _fold_pairs_into(pager, first, sorted_pairs, terms)
+    sorted_pairs.free()
+    return annotated
+
+
+def _annotate_vd(pager, first, second, attribute, terms, memory_pages) -> Run:
+    # Phase 1: explode L1 into (embedded dn key, owner) pairs and sort by
+    # the embedded key so they line up with L2.
+    pairs = RunWriter(pager)
+    for owner in first:
+        for target in _dn_values(owner, attribute):
+            pairs.append((target.key(), owner))
+    pair_run = pairs.close()
+    sorted_pairs = external_sort(
+        pager, pair_run, key=lambda pair: pair[0], memory_pages=memory_pages
+    )
+    pair_run.free()
+
+    # Phase 2: co-scan with L2; a pair whose embedded dn names an L2 entry
+    # yields a (owner dn key, owner, witness) match.
+    matches = RunWriter(pager)
+    reader = sorted_pairs.reader()
+    witness_reader = second.reader()
+    while True:
+        pair = reader.peek()
+        witness = witness_reader.peek()
+        if pair is None or witness is None:
+            break
+        target_key = pair[0]
+        witness_key = witness.dn.key()
+        if target_key == witness_key:
+            _key, owner = reader.next()
+            matches.append((owner.dn.key(), owner, witness))
+        elif target_key < witness_key:
+            reader.next()
+        else:
+            witness_reader.next()
+    sorted_pairs.free()
+    match_run = matches.close()
+
+    # Phase 3: regroup matches by owner and fold along a co-scan of L1.
+    sorted_matches = external_sort(
+        pager, match_run, key=lambda match: match[0], memory_pages=memory_pages
+    )
+    match_run.free()
+    annotated = _fold_matches_into(pager, first, sorted_matches, terms)
+    sorted_matches.free()
+    return annotated
+
+
+def _fold_pairs_into(pager, first: Run, sorted_pairs: Run, terms) -> Run:
+    """dv phase 2: ``sorted_pairs`` holds (dn key, witness); co-scan with L1."""
+    writer = RunWriter(pager)
+    pair_reader = sorted_pairs.reader()
+    for entry in first:
+        entry_key = entry.dn.key()
+        states = fresh_states(terms)
+        while True:
+            pair = pair_reader.peek()
+            if pair is None or pair[0] > entry_key:
+                break
+            pair_reader.next()
+            if pair[0] == entry_key:
+                add_witness(states, terms, pair[1])
+        writer.append((entry, resolve_terms(states)))
+    return writer.close()
+
+
+def _fold_matches_into(pager, first: Run, sorted_matches: Run, terms) -> Run:
+    """vd phase 3: ``sorted_matches`` holds (owner key, owner, witness)."""
+    writer = RunWriter(pager)
+    match_reader = sorted_matches.reader()
+    for entry in first:
+        entry_key = entry.dn.key()
+        states = fresh_states(terms)
+        while True:
+            match = match_reader.peek()
+            if match is None or match[0] > entry_key:
+                break
+            match_reader.next()
+            if match[0] == entry_key:
+                add_witness(states, terms, match[2])
+        writer.append((entry, resolve_terms(states)))
+    return writer.close()

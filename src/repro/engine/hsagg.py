@@ -1,0 +1,40 @@
+"""Hierarchical selection, plain and aggregate -- the engine's entry point
+for ``p``, ``c``, ``a``, ``d``, ``ac`` and ``dc`` (ComputeHSAgg of
+Section 6.4, subsuming ComputeHSPC/HSAD/HSADc as the ``count($2) > 0``
+case).
+
+The heavy lifting is :func:`repro.engine.stackjoin.hierarchical_annotate`
+(one merge-driven stack pass, linear I/O) followed by
+:func:`repro.engine.selection.select_annotated` (at most two scans).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..query.aggregates import AggSelFilter
+from ..storage.pager import Pager
+from ..storage.runs import Run
+from .common import witness_terms_of
+from .selection import select_annotated
+from .stackjoin import hierarchical_annotate
+
+__all__ = ["hierarchical_select"]
+
+
+def hierarchical_select(
+    pager: Pager,
+    op: str,
+    first: Run,
+    second: Run,
+    third: Optional[Run] = None,
+    agg_filter: Optional[AggSelFilter] = None,
+) -> Run:
+    """Evaluate ``(op first second [third] [agg_filter])`` on sorted runs;
+    returns the selected entries of ``first`` as a sorted run."""
+    terms = witness_terms_of(agg_filter)
+    annotated = hierarchical_annotate(pager, op, first, second, third, terms)
+    try:
+        return select_annotated(pager, annotated, terms, agg_filter)
+    finally:
+        annotated.free()

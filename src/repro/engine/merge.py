@@ -1,0 +1,58 @@
+"""Boolean operators on sorted runs (Section 4.2).
+
+Straightforward list merging in the style of Jacobson et al.'s table-driven
+algorithm: both operands are sorted by reverse-dn key, so `(&)`, `(|)` and
+`(-)` are single co-scans writing a sorted output -- linear I/O, and the
+output order is preserved for the operators above in the query tree.
+"""
+
+from __future__ import annotations
+
+from ..storage.pager import Pager
+from ..storage.runs import Run, RunWriter
+
+__all__ = ["boolean_merge"]
+
+_OPS = ("and", "or", "diff")
+
+
+def boolean_merge(pager: Pager, op: str, left: Run, right: Run) -> Run:
+    """Compute ``left OP right`` on sorted, duplicate-free runs."""
+    if op not in _OPS:
+        raise ValueError("unknown boolean operator %r" % op)
+    writer = RunWriter(pager)
+    lreader = left.reader()
+    rreader = right.reader()
+    while True:
+        lhead = lreader.peek()
+        rhead = rreader.peek()
+        if lhead is None and rhead is None:
+            break
+        if lhead is None:
+            if op == "or":
+                writer.append(rreader.next())
+            else:
+                rreader.next()
+            continue
+        if rhead is None:
+            if op in ("or", "diff"):
+                writer.append(lreader.next())
+            else:
+                lreader.next()
+            continue
+        lkey = lhead.dn.key()
+        rkey = rhead.dn.key()
+        if lkey == rkey:
+            entry = lreader.next()
+            rreader.next()
+            if op in ("and", "or"):
+                writer.append(entry)
+        elif lkey < rkey:
+            entry = lreader.next()
+            if op in ("or", "diff"):
+                writer.append(entry)
+        else:
+            entry = rreader.next()
+            if op == "or":
+                writer.append(entry)
+    return writer.close()

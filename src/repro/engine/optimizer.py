@@ -1,0 +1,296 @@
+"""Query optimisation: algebraic rewrites, access-path choice, EXPLAIN.
+
+Three pieces, all grounded in the paper:
+
+1. **Rewrites** (:func:`rewrite`):
+
+   - *R1, the Section 8.1 identity in reverse*: the paper shows
+     ``(p Q1 Q2) = (ac Q1 Q2 (null-dn ? sub ? objectClass=*))`` and warns
+     that the rewriting "would lead to a very expensive evaluation as
+     written".  The optimiser recognises an ``ac``/``dc`` node whose third
+     operand is the whole instance and replaces it with the cheap ``p``/
+     ``c`` -- turning the paper's design argument into an optimisation.
+   - *R2, boolean idempotence*: ``(& Q Q) -> Q`` and ``(| Q Q) -> Q``.
+   - *R3, scope tightening*: in ``(& A B)`` with sub-scoped atomic
+     operands whose bases are nested, the outer base can be narrowed to
+     the inner one (the intersection lives inside the smaller subtree),
+     shrinking the leaf's scan range.
+
+2. **Access-path choice** (:class:`AccessPlanner`): per atomic leaf,
+   compare the estimated cost of the clustered subtree scan against each
+   applicable secondary index (B+tree for comparisons, string index for
+   equality/wildcard/presence) using the
+   :class:`~repro.engine.stats.CardinalityEstimator`, and remember the
+   decision.
+
+3. **EXPLAIN** (:func:`explain`): a physical-plan rendering with
+   estimated cardinalities and chosen access paths, and --- when run with
+   ``analyze=True`` through a :class:`PlannedEngine` --- actual sizes next
+   to the estimates.
+
+:class:`PlannedEngine` is a drop-in :class:`~repro.engine.engine.QueryEngine`
+that applies the rewrites once per query and follows the planner's
+per-leaf decisions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..filters.ast import Comparison, Equality, MatchAll, Presence, Substring
+
+from ..query.ast import (
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    Or,
+    Query,
+    Scope,
+    SimpleAggSelect,
+)
+from ..storage.runs import Run
+from ..storage.store import DirectoryStore
+from .atomic import evaluate_atomic
+from .engine import QueryEngine
+from .stats import CardinalityEstimator, DirectoryStatistics
+
+__all__ = ["rewrite", "AccessPlanner", "PlannedEngine", "explain", "ExplainNode"]
+
+
+# ---------------------------------------------------------------------------
+# Rewrites
+# ---------------------------------------------------------------------------
+
+
+def _is_whole_instance(query: Query) -> bool:
+    return (
+        isinstance(query, AtomicQuery)
+        and query.base.is_null()
+        and query.scope == Scope.SUB
+        and isinstance(query.filter, MatchAll)
+    )
+
+
+def rewrite(query: Query) -> Tuple[Query, List[str]]:
+    """Apply the rewrite rules bottom-up; returns (query', applied-rules).
+
+    The query is first normalised (associativity/commutativity/duplicate
+    elimination of the boolean operators), so R2 also catches commuted
+    duplicates like ``(& (& A B) (& B A))``."""
+    from ..query.normalize import normalize
+
+    normalized = normalize(query)
+    applied: List[str] = []
+    if normalized != query:
+        applied.append("R0: boolean operands normalised")
+    query = normalized
+
+    def walk(node: Query) -> Query:
+        if isinstance(node, AtomicQuery):
+            return node
+        if isinstance(node, (And, Or, Diff)):
+            left = walk(node.left)
+            right = walk(node.right)
+            if isinstance(node, (And, Or)) and left == right:
+                applied.append("R2: idempotent %s collapsed" % type(node).__name__)
+                return left
+            if isinstance(node, And):
+                tightened = _tighten_scopes(left, right, applied)
+                if tightened is not None:
+                    left, right = tightened
+            return type(node)(left, right)
+        if isinstance(node, HierarchySelect):
+            first = walk(node.first)
+            second = walk(node.second)
+            third = walk(node.third) if node.third is not None else None
+            if node.op in ("ac", "dc") and third is not None and _is_whole_instance(third):
+                cheap_op = "p" if node.op == "ac" else "c"
+                applied.append(
+                    "R1: (%s Q1 Q2 whole-instance) -> (%s Q1 Q2)" % (node.op, cheap_op)
+                )
+                return HierarchySelect(cheap_op, first, second, None, node.agg)
+            return HierarchySelect(node.op, first, second, third, node.agg)
+        if isinstance(node, SimpleAggSelect):
+            return SimpleAggSelect(walk(node.operand), node.agg)
+        if isinstance(node, EmbeddedRef):
+            return EmbeddedRef(
+                node.op, walk(node.first), walk(node.second), node.attribute, node.agg
+            )
+        return node
+
+    return walk(query), applied
+
+
+def _tighten_scopes(left: Query, right: Query, applied: List[str]):
+    """R3: narrow the wider sub-scoped base in an intersection of nested
+    subtrees."""
+    if not (
+        isinstance(left, AtomicQuery)
+        and isinstance(right, AtomicQuery)
+        and left.scope == Scope.SUB
+        and right.scope == Scope.SUB
+    ):
+        return None
+    if left.base.is_prefix_of(right.base) and left.base != right.base:
+        applied.append("R3: scope of left operand tightened to %s" % right.base)
+        return AtomicQuery(right.base, Scope.SUB, left.filter), right
+    if right.base.is_prefix_of(left.base) and left.base != right.base:
+        applied.append("R3: scope of right operand tightened to %s" % left.base)
+        return left, AtomicQuery(left.base, Scope.SUB, right.filter)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Access-path choice
+# ---------------------------------------------------------------------------
+
+
+class AccessPlanner:
+    """Chooses scan vs index per atomic leaf, cost-estimated in pages."""
+
+    def __init__(self, store: DirectoryStore, estimator: Optional[CardinalityEstimator] = None):
+        self.store = store
+        self.estimator = estimator or CardinalityEstimator(store)
+
+    def _index_available(self, filter_) -> Optional[str]:
+        if isinstance(filter_, Comparison) and filter_.attribute in self.store.int_indices:
+            return "btree(%s)" % filter_.attribute
+        if isinstance(filter_, Equality):
+            if filter_.attribute in self.store.int_indices:
+                return "btree(%s)" % filter_.attribute
+            if filter_.attribute in self.store.string_indices:
+                return "strindex(%s)" % filter_.attribute
+        if isinstance(filter_, (Substring, Presence)) and getattr(
+            filter_, "attribute", None
+        ) in self.store.string_indices:
+            return "strindex(%s)" % filter_.attribute
+        return None
+
+    def plan_leaf(self, query: AtomicQuery) -> Tuple[bool, str, float]:
+        """Returns (use_index, access-path label, estimated result size)."""
+        page_size = self.store.pager.page_size
+        estimated = self.estimator.atomic_cardinality(query)
+        start, end = self.store.page_range_for_subtree(query.base)
+        scan_pages = max(end - start, 1)
+        index_label = self._index_available(query.filter)
+        if index_label is None:
+            return False, "scan[%d pages]" % scan_pages, estimated
+        # Index cost: read matching postings (selectivity * index pages for
+        # wildcards/presence; t/B for equality and ranges) + fetch ~t data
+        # pages (unclustered).
+        selectivity = self.estimator.filter_selectivity(query.filter)
+        matches = selectivity * self.estimator.stats.total_entries
+        if isinstance(query.filter, (Substring, Presence)):
+            index_pages = max(self.estimator.stats.total_entries / page_size, 1)
+        else:
+            index_pages = max(matches / page_size, 1)
+        index_cost = index_pages + matches  # one data-page fault per match
+        if index_cost < scan_pages:
+            return True, "%s[~%d matches]" % (index_label, int(matches)), estimated
+        return False, "scan[%d pages]" % scan_pages, estimated
+
+
+# ---------------------------------------------------------------------------
+# The planned engine and EXPLAIN
+# ---------------------------------------------------------------------------
+
+
+class PlannedEngine(QueryEngine):
+    """A QueryEngine with rewrites and per-leaf access-path planning."""
+
+    def __init__(self, store: DirectoryStore, stats: Optional[DirectoryStatistics] = None):
+        super().__init__(store)
+        self.estimator = CardinalityEstimator(store, stats)
+        self.planner = AccessPlanner(store, self.estimator)
+        self.last_rewrites: List[str] = []
+
+    def run(self, query):
+        if isinstance(query, str):
+            from ..query.parser import parse_query
+
+            query = parse_query(query)
+        query, self.last_rewrites = rewrite(query)
+        return super().run(query)
+
+    def atomic_run(self, query: AtomicQuery) -> Run:
+        use_index, _label, _estimate = self.planner.plan_leaf(query)
+        return evaluate_atomic(self.store, query, use_indices=use_index)
+
+
+class ExplainNode:
+    """One node of an EXPLAIN tree."""
+
+    def __init__(self, label: str, estimate: float, children: List["ExplainNode"],
+                 actual: Optional[int] = None):
+        self.label = label
+        self.estimate = estimate
+        self.children = children
+        self.actual = actual
+
+    def render(self, indent: int = 0) -> str:
+        actual = "" if self.actual is None else "  actual=%d" % self.actual
+        line = "%s%s  (est=%.1f%s)" % ("  " * indent, self.label, self.estimate, actual)
+        return "\n".join([line] + [child.render(indent + 1) for child in self.children])
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def explain(
+    store: DirectoryStore,
+    query: Query,
+    analyze: bool = False,
+    planner: Optional[AccessPlanner] = None,
+) -> ExplainNode:
+    """Build the EXPLAIN tree for ``query`` (post-rewrite).  With
+    ``analyze=True`` each node also carries the actual result size,
+    obtained by running the sub-queries through a PlannedEngine."""
+    query, applied = rewrite(query)
+    planner = planner or AccessPlanner(store)
+    engine = PlannedEngine(store) if analyze else None
+
+    def estimate(node: Query) -> float:
+        if isinstance(node, AtomicQuery):
+            return planner.estimator.atomic_cardinality(node)
+        child_estimates = [estimate(child) for child in node.children()]
+        if isinstance(node, And):
+            return min(child_estimates)
+        if isinstance(node, Or):
+            return min(sum(child_estimates), planner.estimator.stats.total_entries)
+        if isinstance(node, Diff):
+            return child_estimates[0]
+        if isinstance(node, (HierarchySelect, EmbeddedRef)):
+            return child_estimates[0] * 0.5
+        if isinstance(node, SimpleAggSelect):
+            return child_estimates[0] * 0.5
+        return child_estimates[0] if child_estimates else 0.0
+
+    def build(node: Query) -> ExplainNode:
+        children = [build(child) for child in node.children()]
+        if isinstance(node, AtomicQuery):
+            _use_index, label, node_estimate = planner.plan_leaf(node)
+            text = "atomic %s via %s" % (node, label)
+        else:
+            node_estimate = estimate(node)
+            if isinstance(node, (And, Or, Diff)):
+                text = "boolean %s" % type(node).__name__.lower()
+            elif isinstance(node, HierarchySelect):
+                text = "hierarchy %s%s" % (node.op, " +agg" if node.agg else "")
+            elif isinstance(node, SimpleAggSelect):
+                text = "aggregate g [%s]" % node.agg
+            else:
+                text = "embedded %s(%s)%s" % (
+                    node.op, node.attribute, " +agg" if node.agg else "")
+        actual = None
+        if engine is not None:
+            run = engine.evaluate_to_run(node)
+            actual = len(run)
+            run.free()
+        return ExplainNode(text, node_estimate, children, actual)
+
+    root = build(query)
+    if applied:
+        root.label += "  [rewrites: %s]" % "; ".join(applied)
+    return root

@@ -1,0 +1,60 @@
+"""Simple aggregate selection ``(g Q AggSel)`` -- Section 6.3.
+
+Evaluated in at most two scans of the input run, as Theorem 6.1 states:
+
+1. when the filter contains entry-set aggregates (``count($$)``,
+   ``min(min(a))``, ...), one scan computes them incrementally;
+2. one scan tests the filter per entry (entry aggregates like ``min(a)``
+   are computed from the entry in place) and writes the survivors.
+
+When the filter has no entry-set aggregate the first scan is skipped and a
+single scan suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..query.aggregates import AggSelFilter, AggState
+from ..storage.pager import Pager
+from ..storage.runs import Run, RunWriter
+
+__all__ = ["simple_agg_select"]
+
+
+def simple_agg_select(pager: Pager, operand: Run, agg_filter: AggSelFilter) -> Run:
+    """Apply a simple aggregate selection filter to a sorted run."""
+    if agg_filter.needs_witnesses():
+        raise ValueError(
+            "simple aggregate selection cannot reference $2: %s" % agg_filter
+        )
+
+    set_aggs = agg_filter.entry_set_aggregates()
+    set_values: Dict[int, Optional[float]] = {}
+    if set_aggs:
+        states = {}
+        counts = {}
+        for esa in set_aggs:
+            if esa.inner is None:
+                counts[id(esa)] = 0
+            else:
+                states[id(esa)] = AggState(esa.func)
+        for entry in operand:  # scan 1
+            for esa in set_aggs:
+                if esa.inner is None:
+                    counts[id(esa)] += 1
+                else:
+                    value = esa.inner.evaluate(entry, None)
+                    if value is not None:
+                        states[id(esa)].add(value)
+        for esa in set_aggs:
+            if esa.inner is None:
+                set_values[id(esa)] = counts[id(esa)]
+            else:
+                set_values[id(esa)] = states[id(esa)].result()
+
+    writer = RunWriter(pager)
+    for entry in operand:  # scan 2
+        if agg_filter.test(entry, None, set_values):
+            writer.append(entry)
+    return writer.close()

@@ -1,0 +1,162 @@
+"""The generalised stack pass behind Figures 2, 4, 5 and 6.
+
+One algorithm skeleton covers all six hierarchical operators, in both their
+plain (L1) and aggregate (L2) forms:
+
+- the operands are merged into a single sorted labelled stream
+  (:func:`repro.engine.common.labeled_merge`);
+- a stack of frames mirrors the current root-to-leaf chain (observation (2)
+  of Section 5.3: when an entry is pushed, exactly its ancestors in the
+  merge are on the stack);
+- the ``below`` direction (operators ``p``, ``a``, ``ac``, whose witnesses
+  are up the chain) is resolved at *push* time from the frame beneath;
+- the ``above`` direction (operators ``c``, ``d``, ``dc``, whose witnesses
+  are in the subtree) accumulates into the top frame as witnesses are
+  pushed and, for ``d``/``dc``, propagates upward on pop exactly as the
+  ``above(rb) = above(rb) + above(rt)`` line of Figure 4;
+- for the path-constrained operators, entries labelled 3 reset the below
+  chain and absorb (rather than propagate) above states -- the
+  ``3 not in label`` guards of Figure 5;
+- instead of the paper's two-phase "write counts into L1, then rescan",
+  resolved entries ride per-frame :class:`~repro.engine.common.SpillList`\\ s
+  that concatenate parent-ward on pop, so the annotated output emerges
+  already in sorted order with linear I/O (see DESIGN.md).
+
+The paper's ``above``/``below`` integer counters are the special case of a
+single ``count($2)`` term; Section 6.4's generalisation to distributive and
+algebraic aggregates is the general case (a vector of
+:class:`~repro.query.aggregates.AggState`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..model.entry import Entry
+from ..query.aggregates import EntryAggregate
+from ..storage.pagedstack import PagedStack
+from ..storage.pager import Pager
+from ..storage.runs import Run, RunWriter
+from .common import (
+    SpillList,
+    add_witness,
+    copy_states,
+    fresh_states,
+    labeled_merge,
+    merge_states,
+    resolve_terms,
+)
+
+__all__ = ["hierarchical_annotate", "BELOW_OPS", "ABOVE_OPS"]
+
+#: Operators whose witness sets lie on the root-ward chain.
+BELOW_OPS = ("p", "a", "ac")
+#: Operators whose witness sets lie in the subtree.
+ABOVE_OPS = ("c", "d", "dc")
+
+
+class _Frame:
+    """One stack frame: an entry, its labels, its witness-aggregate states
+    and the deferred list of resolved entries from its subtree."""
+
+    __slots__ = ("entry", "label", "states", "dlist")
+
+    def __init__(self, entry: Entry, label: frozenset, states, dlist: SpillList):
+        self.entry = entry
+        self.label = label
+        self.states = states
+        self.dlist = dlist
+
+
+def hierarchical_annotate(
+    pager: Pager,
+    op: str,
+    first: Run,
+    second: Run,
+    third: Optional[Run] = None,
+    terms: Optional[Sequence[EntryAggregate]] = None,
+) -> Run:
+    """Run the stack pass; return a run of ``(entry, results)`` pairs --
+    every L1 entry, in sorted order, annotated with the resolved value of
+    each witness-aggregate term.
+
+    ``op`` is one of the six hierarchical operators; ``third`` is required
+    exactly for ``ac``/``dc``.
+    """
+    if op not in BELOW_OPS and op not in ABOVE_OPS:
+        raise ValueError("unknown hierarchical operator %r" % op)
+    if (op in ("ac", "dc")) != (third is not None):
+        raise ValueError("%s requires exactly %s operands" % (op, 3 if op in ("ac", "dc") else 2))
+    terms = list(terms) if terms else [EntryAggregate("count", "$2", None)]
+    below_direction = op in BELOW_OPS
+
+    runs = [first, second] + ([third] if third is not None else [])
+    writer = RunWriter(pager)
+    stack = PagedStack(pager)
+
+    def pop_frame() -> None:
+        frame: _Frame = stack.pop()
+        out = frame.dlist
+        if 1 in frame.label:
+            # The frame's own entry sorts before everything in its subtree.
+            out.prepend((frame.entry, resolve_terms(frame.states)))
+        top: Optional[_Frame] = stack.peek()
+        if top is not None:
+            if op == "d" or (op == "dc" and 3 not in frame.label):
+                merge_states(top.states, frame.states)
+            top.dlist.concat(out)
+        else:
+            out.flush_to(writer)
+
+    for entry, label in labeled_merge(runs):
+        # Unwind to the nearest stacked ancestor of the incoming entry.
+        while True:
+            top: Optional[_Frame] = stack.peek()
+            if top is None or top.entry.dn.is_ancestor_of(entry.dn):
+                break
+            pop_frame()
+
+        top = stack.peek()
+        if below_direction:
+            states = _below_states(op, terms, entry, top)
+        else:
+            states = fresh_states(terms)
+            _feed_above(op, terms, entry, label, top)
+        stack.push(_Frame(entry, label, states, SpillList(pager)))
+
+    while not stack.is_empty():
+        pop_frame()
+    return writer.close()
+
+
+def _below_states(op: str, terms, entry: Entry, top: Optional[_Frame]):
+    """The push-time resolution of the below direction (Figures 2/4/5)."""
+    if top is None:
+        return fresh_states(terms)
+    if op == "p":
+        states = fresh_states(terms)
+        if 2 in top.label and top.entry.dn.is_parent_of(entry.dn):
+            add_witness(states, terms, top.entry)
+        return states
+    if op == "a":
+        states = copy_states(top.states)
+        if 2 in top.label:
+            add_witness(states, terms, top.entry)
+        return states
+    # ac: an intervening Q3 entry cuts the chain (Figure 5); a blocker that
+    # is itself a witness still contributes itself.
+    states = fresh_states(terms) if 3 in top.label else copy_states(top.states)
+    if 2 in top.label:
+        add_witness(states, terms, top.entry)
+    return states
+
+
+def _feed_above(op: str, terms, entry: Entry, label: frozenset, top: Optional[_Frame]) -> None:
+    """The push-time contribution of a witness to the above direction."""
+    if top is None or 2 not in label:
+        return
+    if op == "c":
+        if top.entry.dn.is_parent_of(entry.dn):
+            add_witness(top.states, terms, entry)
+    else:  # d / dc: any stacked ancestor chain; counts propagate on pop
+        add_witness(top.states, terms, entry)

@@ -1,0 +1,31 @@
+"""Atomic and LDAP filters (Section 4.1)."""
+
+from .ast import (
+    Comparison,
+    Equality,
+    Filter,
+    FilterAnd,
+    FilterError,
+    FilterNot,
+    FilterOr,
+    MatchAll,
+    Presence,
+    Substring,
+)
+from .parser import FilterParseError, parse_atomic_filter, parse_filter
+
+__all__ = [
+    "Comparison",
+    "Equality",
+    "Filter",
+    "FilterAnd",
+    "FilterError",
+    "FilterNot",
+    "FilterOr",
+    "MatchAll",
+    "Presence",
+    "Substring",
+    "FilterParseError",
+    "parse_atomic_filter",
+    "parse_filter",
+]

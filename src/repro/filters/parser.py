@@ -1,0 +1,142 @@
+"""Parser for filter strings.
+
+Two entry points:
+
+- :func:`parse_atomic_filter` -- the atomic filters of Section 4.1, the only
+  filters admitted at the leaves of L0--L3 queries:
+  ``a=*``, ``a=v``, ``a=*v*`` (wildcards), ``a<v``, ``a<=v``, ``a>v``,
+  ``a>=v``.
+- :func:`parse_filter` -- the full LDAP filter language (RFC 2254 style),
+  additionally allowing ``(&...)``, ``(|...)`` and ``(!...)`` combinations,
+  used by the LDAP baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .ast import (
+    Comparison,
+    Equality,
+    Filter,
+    FilterAnd,
+    FilterError,
+    FilterNot,
+    FilterOr,
+    MatchAll,
+    Presence,
+    Substring,
+)
+
+__all__ = ["parse_filter", "parse_atomic_filter", "FilterParseError"]
+
+
+class FilterParseError(FilterError):
+    """Raised when a filter string cannot be parsed."""
+
+
+def parse_atomic_filter(text: str) -> Filter:
+    """Parse one atomic filter, with or without surrounding parentheses."""
+    text = text.strip()
+    if text.startswith("(") and text.endswith(")"):
+        inner = text[1:-1].strip()
+        if inner[:1] in "&|!":
+            raise FilterParseError(
+                "boolean filter %r is not atomic; L0 composes *queries*, "
+                "not filters" % text
+            )
+        text = inner
+    return _parse_simple(text)
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse a full LDAP filter (atomic or boolean combination)."""
+    text = text.strip()
+    if not text:
+        raise FilterParseError("empty filter")
+    if not text.startswith("("):
+        return _parse_simple(text)
+    node, rest = _parse_parenthesised(text)
+    if rest.strip():
+        raise FilterParseError("trailing garbage after filter: %r" % rest)
+    return node
+
+
+def _parse_parenthesised(text: str) -> Tuple[Filter, str]:
+    """Parse one ``(...)`` group at the head of ``text``; return the filter
+    and the remaining text."""
+    if not text.startswith("("):
+        raise FilterParseError("expected '(' at %r" % text[:20])
+    body, rest = _matching_paren(text)
+    body = body.strip()
+    if not body:
+        raise FilterParseError("empty () group")
+    head = body[0]
+    if head == "&" or head == "|":
+        operands = []
+        remainder = body[1:].strip()
+        while remainder:
+            operand, remainder = _parse_parenthesised(remainder)
+            operands.append(operand)
+            remainder = remainder.strip()
+        if head == "&":
+            return FilterAnd(operands), rest
+        return FilterOr(operands), rest
+    if head == "!":
+        operand, remainder = _parse_parenthesised(body[1:].strip())
+        if remainder.strip():
+            raise FilterParseError("(!) takes exactly one operand")
+        return FilterNot(operand), rest
+    return _parse_simple(body), rest
+
+
+def _matching_paren(text: str) -> Tuple[str, str]:
+    """Given text starting with '(', return (body, remainder-after-close)."""
+    depth = 0
+    for index, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return text[1:index], text[index + 1 :]
+    raise FilterParseError("unbalanced parentheses in %r" % text)
+
+
+def _parse_simple(text: str) -> Filter:
+    """Parse an atomic ``attr OP value`` filter body."""
+    text = text.strip()
+    # Two-character operators first so 'a<=3' is not read as 'a<' '=3'.
+    for op in ("<=", ">="):
+        if op in text:
+            attr, _sep, value = text.partition(op)
+            return Comparison(attr.strip(), op, _int_bound(value, text))
+    for op in ("<", ">"):
+        if op in text:
+            attr, _sep, value = text.partition(op)
+            return Comparison(attr.strip(), op, _int_bound(value, text))
+    if "=" in text:
+        attr, _sep, value = text.partition("=")
+        attr = attr.strip()
+        value = value.strip()
+        if not attr:
+            raise FilterParseError("missing attribute name in %r" % text)
+        if value == "*":
+            if attr == "objectClass":
+                # objectClass is mandatory on every entry, so objectClass=*
+                # is the match-everything filter of Section 8.1.
+                return MatchAll()
+            return Presence(attr)
+        if "*" in value:
+            return Substring(attr, value)
+        return Equality(attr, value)
+    raise FilterParseError("cannot parse atomic filter %r" % text)
+
+
+def _int_bound(value: str, context: str) -> int:
+    try:
+        return int(value.strip())
+    except ValueError:
+        raise FilterParseError(
+            "comparison bound must be an integer in %r" % context
+        ) from None

@@ -1,0 +1,17 @@
+"""The LDAP baseline: the paper's point of comparison (Sections 4.2, 8.1)."""
+
+from .emulate import LDAPSession, emulate_children, emulate_l0
+from .query import LDAPQuery, evaluate_ldap
+from .url import LDAPUrl, LDAPUrlError, format_ldap_url, parse_ldap_url
+
+__all__ = [
+    "LDAPSession",
+    "emulate_children",
+    "emulate_l0",
+    "LDAPQuery",
+    "evaluate_ldap",
+    "LDAPUrl",
+    "LDAPUrlError",
+    "format_ldap_url",
+    "parse_ldap_url",
+]

@@ -1,0 +1,159 @@
+"""LDAP URLs (RFC 2255, the paper's reference [19]).
+
+An LDAP URL packs a whole search into one string::
+
+    ldap://host:port/<dn>?<attributes>?<scope>?<filter>?<extensions>
+
+e.g. ``ldap://ldap.att.com/dc=att,dc=com?cn,mail?sub?(surName=jagadish)``.
+:func:`parse_ldap_url` parses one into an :class:`LDAPUrl`, whose
+:meth:`~LDAPUrl.to_query` yields the executable
+:class:`~repro.ldapx.query.LDAPQuery`; :func:`format_ldap_url` goes the
+other way.  Percent-escapes are honoured in every component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+from urllib.parse import quote, unquote
+
+from ..model.dn import DN
+from .query import LDAPQuery
+
+__all__ = ["LDAPUrl", "LDAPUrlError", "parse_ldap_url", "format_ldap_url"]
+
+_SCHEMES = ("ldap", "ldaps")
+_SCOPES = ("base", "one", "sub")
+
+
+class LDAPUrlError(ValueError):
+    """Raised on malformed LDAP URLs."""
+
+
+class LDAPUrl:
+    """A parsed LDAP URL."""
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        base: DN = DN(()),
+        attributes: Tuple[str, ...] = (),
+        scope: str = "base",
+        filter_text: str = "(objectClass=*)",
+        scheme: str = "ldap",
+    ):
+        if scope not in _SCOPES:
+            raise LDAPUrlError("unknown scope %r" % scope)
+        if scheme not in _SCHEMES:
+            raise LDAPUrlError("unknown scheme %r" % scheme)
+        self.scheme = scheme
+        self.host = host
+        self.port = port
+        self.base = base
+        self.attributes = tuple(attributes)
+        self.scope = scope
+        self.filter_text = filter_text
+
+    def to_query(self) -> LDAPQuery:
+        """The executable search this URL denotes."""
+        return LDAPQuery(self.base, self.scope, self.filter_text)
+
+    def __str__(self) -> str:
+        return format_ldap_url(self)
+
+    def __repr__(self) -> str:
+        return "LDAPUrl(%r)" % str(self)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LDAPUrl):
+            return NotImplemented
+        return (
+            self.scheme,
+            self.host,
+            self.port,
+            self.base,
+            self.attributes,
+            self.scope,
+            self.filter_text,
+        ) == (
+            other.scheme,
+            other.host,
+            other.port,
+            other.base,
+            other.attributes,
+            other.scope,
+            other.filter_text,
+        )
+
+
+def parse_ldap_url(url: str) -> LDAPUrl:
+    """Parse an RFC 2255 LDAP URL (extensions are accepted and ignored)."""
+    url = url.strip()
+    scheme, sep, rest = url.partition("://")
+    if not sep or scheme.lower() not in _SCHEMES:
+        raise LDAPUrlError("not an LDAP URL: %r" % url)
+
+    hostport, _slash, tail = rest.partition("/")
+    host: Optional[str] = None
+    port: Optional[int] = None
+    if hostport:
+        host, colon, port_text = hostport.partition(":")
+        host = host or None
+        if colon:
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise LDAPUrlError("bad port %r in %r" % (port_text, url)) from None
+            if not (0 < port < 65536):
+                raise LDAPUrlError("port out of range in %r" % url)
+
+    # tail = dn?attributes?scope?filter?extensions (all optional).
+    parts = tail.split("?")
+    if len(parts) > 5:
+        raise LDAPUrlError("too many '?' components in %r" % url)
+    parts += [""] * (5 - len(parts))
+    dn_text, attrs_text, scope_text, filter_text, _extensions = (
+        unquote(parts[0]),
+        parts[1],
+        parts[2].strip().lower(),
+        unquote(parts[3]),
+        parts[4],
+    )
+    try:
+        base = DN.parse(dn_text)
+    except Exception as exc:
+        raise LDAPUrlError("bad base dn %r: %s" % (dn_text, exc)) from exc
+    attributes = tuple(
+        unquote(attr.strip()) for attr in attrs_text.split(",") if attr.strip()
+    )
+    scope = scope_text or "base"
+    if scope not in _SCOPES:
+        raise LDAPUrlError("unknown scope %r in %r" % (scope, url))
+    filter_text = filter_text or "(objectClass=*)"
+    return LDAPUrl(
+        host=host,
+        port=port,
+        base=base,
+        attributes=attributes,
+        scope=scope,
+        filter_text=filter_text,
+        scheme=scheme.lower(),
+    )
+
+
+def format_ldap_url(parsed: LDAPUrl) -> str:
+    """Render back to string form (always spells out scope and filter)."""
+    hostport = parsed.host or ""
+    if parsed.port is not None:
+        hostport += ":%d" % parsed.port
+    dn_text = quote(str(parsed.base), safe="=,+ ")
+    attrs = ",".join(parsed.attributes)
+    filter_text = quote(parsed.filter_text, safe="()=*&|!<>")
+    return "%s://%s/%s?%s?%s?%s" % (
+        parsed.scheme,
+        hostport,
+        dn_text,
+        attrs,
+        parsed.scope,
+        filter_text,
+    )

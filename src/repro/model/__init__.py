@@ -1,0 +1,50 @@
+"""The network directory data model (Section 3 of the paper)."""
+
+from .dn import AVA, DN, ROOT_DN, RDN, DNSyntaxError
+from .entry import Entry
+from .instance import DirectoryInstance, InstanceError
+from .ldif import LDIFError, dump_ldif, dumps_ldif, load_ldif, loads_ldif
+from .integrity import find_dangling_references, reference_graph, referencing_entries
+from .projection import project, project_entry
+from .standard import standard_schema, telephone_number_type
+from .schema import OBJECT_CLASS, DirectorySchema, SchemaError
+from .types import (
+    DN_TYPE,
+    INT,
+    STRING,
+    AttributeType,
+    TypeRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "AVA",
+    "DN",
+    "ROOT_DN",
+    "RDN",
+    "DNSyntaxError",
+    "Entry",
+    "DirectoryInstance",
+    "InstanceError",
+    "LDIFError",
+    "dump_ldif",
+    "dumps_ldif",
+    "load_ldif",
+    "loads_ldif",
+    "find_dangling_references",
+    "reference_graph",
+    "referencing_entries",
+    "project",
+    "project_entry",
+    "standard_schema",
+    "telephone_number_type",
+    "OBJECT_CLASS",
+    "DirectorySchema",
+    "SchemaError",
+    "DN_TYPE",
+    "INT",
+    "STRING",
+    "AttributeType",
+    "TypeRegistry",
+    "default_registry",
+]

@@ -1,0 +1,86 @@
+"""Referential integrity over dn-valued attributes.
+
+Section 3.5 notes that "arbitrary DAGs and cyclic data can easily be
+described by having attributes 'pointing' to the referenced entries" --
+which also means references can dangle (the paper's QoS schema references
+profiles, periods, actions and exception policies that administrators
+add and remove independently).  This module audits them:
+
+- :func:`find_dangling_references` -- every (entry, attribute, target)
+  whose target dn is absent from the instance;
+- :func:`reference_graph` -- the directed reference graph as adjacency
+  lists (useful for closure/impact analysis);
+- :func:`referencing_entries` -- who points at a given dn (what would
+  break if it were deleted).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .dn import DN
+from .entry import Entry
+from .instance import DirectoryInstance
+
+__all__ = ["find_dangling_references", "reference_graph", "referencing_entries"]
+
+
+def _dn_refs(entry: Entry, attributes: Optional[Sequence[str]]) -> List[Tuple[str, DN]]:
+    """(attribute, target) pairs for the entry's dn-valued attributes."""
+    names = attributes if attributes is not None else entry.attributes()
+    refs = []
+    for attribute in names:
+        for value in entry.values(attribute):
+            if isinstance(value, DN):
+                refs.append((attribute, value))
+    return refs
+
+
+def find_dangling_references(
+    instance: DirectoryInstance,
+    attributes: Optional[Sequence[str]] = None,
+) -> List[Tuple[DN, str, DN]]:
+    """Every reference whose target entry does not exist.
+
+    ``attributes`` restricts the audit to the named attributes (default:
+    every dn-typed value on every entry)."""
+    dangling = []
+    for entry in instance:
+        for attribute, target in _dn_refs(entry, attributes):
+            if instance.get(target) is None:
+                dangling.append((entry.dn, attribute, target))
+    return dangling
+
+
+def reference_graph(
+    instance: DirectoryInstance,
+    attributes: Optional[Sequence[str]] = None,
+) -> Dict[DN, List[DN]]:
+    """Adjacency lists of the (existing-target) reference graph."""
+    graph: Dict[DN, List[DN]] = {}
+    for entry in instance:
+        targets = [
+            target
+            for _attribute, target in _dn_refs(entry, attributes)
+            if instance.get(target) is not None
+        ]
+        if targets:
+            graph[entry.dn] = sorted(set(targets), key=lambda dn: dn.key())
+    return graph
+
+
+def referencing_entries(
+    instance: DirectoryInstance,
+    target: Union[DN, str],
+    attributes: Optional[Sequence[str]] = None,
+) -> List[Tuple[DN, str]]:
+    """Who references ``target``: (referrer dn, attribute) pairs -- the
+    entries a deletion of ``target`` would leave dangling."""
+    if isinstance(target, str):
+        target = DN.parse(target)
+    referrers = []
+    for entry in instance:
+        for attribute, candidate in _dn_refs(entry, attributes):
+            if candidate == target:
+                referrers.append((entry.dn, attribute))
+    return referrers

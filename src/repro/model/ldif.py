@@ -1,0 +1,166 @@
+"""LDIF-style serialisation of directory instances.
+
+Network directories interchange data as LDIF (the LDAP Data Interchange
+Format); this module reads and writes a faithful subset so instances can
+be dumped, versioned and reloaded:
+
+- one record per entry: a ``dn:`` line followed by ``attribute: value``
+  lines, blank-line separated;
+- ``objectClass`` lines carry the entry's classes;
+- multi-valued attributes repeat the attribute line;
+- values are typed back through the schema on load (ints become ints,
+  dn-valued attributes become :class:`~repro.model.dn.DN`);
+- values containing leading/trailing spaces or newlines are base64-encoded
+  with the standard ``attribute:: value`` syntax;
+- ``#`` comment lines and line continuations (a leading single space) are
+  honoured on input.
+
+Entries may appear in any order; loading sorts them into the instance's
+canonical order and validates them against the schema.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+
+from .dn import DN
+
+from .instance import DirectoryInstance
+from .schema import OBJECT_CLASS, DirectorySchema
+
+__all__ = ["dump_ldif", "dumps_ldif", "load_ldif", "loads_ldif", "LDIFError"]
+
+
+class LDIFError(ValueError):
+    """Raised on malformed LDIF input."""
+
+
+def _needs_base64(value: str) -> bool:
+    if not value:
+        return False
+    if value[0] in (" ", ":", "<") or value[-1] == " ":
+        return True
+    return any(ch in value for ch in ("\n", "\r", "\0"))
+
+
+def _format_line(attribute: str, value: str) -> str:
+    if _needs_base64(value):
+        encoded = base64.b64encode(value.encode("utf-8")).decode("ascii")
+        return "%s:: %s" % (attribute, encoded)
+    return "%s: %s" % (attribute, value)
+
+
+def dumps_ldif(instance: DirectoryInstance) -> str:
+    """Serialise an instance to an LDIF string (canonical entry order)."""
+    records = []
+    for entry in instance:
+        lines = [_format_line("dn", str(entry.dn))]
+        for class_name in sorted(entry.classes):
+            lines.append(_format_line(OBJECT_CLASS, class_name))
+        for attribute in entry.attributes():
+            if attribute == OBJECT_CLASS:
+                continue
+            for value in entry.values(attribute):
+                lines.append(_format_line(attribute, str(value)))
+        records.append("\n".join(lines))
+    return "\n\n".join(records) + ("\n" if records else "")
+
+
+def dump_ldif(instance: DirectoryInstance, stream: TextIO) -> None:
+    """Serialise to a writable text stream."""
+    stream.write(dumps_ldif(instance))
+
+
+def _logical_lines(raw_lines: Iterable[str]) -> Iterator[str]:
+    """Unfold continuations and drop comments/blank bookkeeping upstream."""
+    current: Optional[str] = None
+    for raw in raw_lines:
+        line = raw.rstrip("\n")
+        if line.startswith(" ") and current is not None:
+            current += line[1:]
+            continue
+        if current is not None:
+            yield current
+        current = line
+    if current is not None:
+        yield current
+
+
+def _parse_line(line: str) -> Tuple[str, str]:
+    attribute, sep, rest = line.partition(":")
+    attribute = attribute.strip()
+    if not sep:
+        raise LDIFError("missing ':' in LDIF line %r" % line)
+    if not attribute:
+        raise LDIFError("missing attribute name in %r" % line)
+    if rest.startswith(":"):
+        encoded = rest[1:].strip()
+        try:
+            value = base64.b64decode(encoded.encode("ascii"), validate=True).decode("utf-8")
+        except Exception as exc:
+            raise LDIFError("bad base64 value in %r: %s" % (line, exc)) from exc
+        return attribute, value
+    return attribute, rest.strip()
+
+
+def loads_ldif(
+    text: str,
+    schema: DirectorySchema,
+    require_parents: bool = False,
+) -> DirectoryInstance:
+    """Parse LDIF text into a validated instance of ``schema``."""
+    instance = DirectoryInstance(schema, require_parents=False)
+    pending: List[Tuple[DN, List[str], Dict[str, List[str]]]] = []
+
+    record_lines: List[str] = []
+
+    def flush_record(lines: List[str]) -> None:
+        if not lines:
+            return
+        dn: Optional[DN] = None
+        classes: List[str] = []
+        values: Dict[str, List[str]] = {}
+        for line in _logical_lines(lines):
+            if not line or line.startswith("#"):
+                continue
+            attribute, value = _parse_line(line)
+            if attribute.lower() == "dn":
+                if dn is not None:
+                    raise LDIFError("duplicate dn line in record: %r" % line)
+                dn = DN.parse(value)
+            elif attribute == OBJECT_CLASS:
+                classes.append(value)
+            else:
+                values.setdefault(attribute, []).append(value)
+        if dn is None:
+            raise LDIFError("record without a dn line: %r..." % lines[0][:40])
+        if not classes:
+            raise LDIFError("record %s has no objectClass" % dn)
+        pending.append((dn, classes, values))
+
+    for raw in text.splitlines():
+        if raw.strip() == "" and not raw.startswith(" "):
+            flush_record(record_lines)
+            record_lines = []
+        else:
+            record_lines.append(raw)
+    flush_record(record_lines)
+
+    # Insert parents first so require_parents instances load regardless of
+    # record order in the file.
+    pending.sort(key=lambda record: record[0].key())
+    if require_parents:
+        instance = DirectoryInstance(schema, require_parents=True)
+    for dn, classes, values in pending:
+        instance.add(dn, classes, values)
+    return instance
+
+
+def load_ldif(
+    stream: TextIO,
+    schema: DirectorySchema,
+    require_parents: bool = False,
+) -> DirectoryInstance:
+    """Parse LDIF from a readable text stream."""
+    return loads_ldif(stream.read(), schema, require_parents=require_parents)

@@ -1,0 +1,37 @@
+"""Attribute projection of search results.
+
+LDAP searches name the attributes to return (so do LDAP URLs -- the
+second URL component).  Projection produces reduced *views* of entries:
+``objectClass`` and the RDN attributes are always retained so the
+projected entry still satisfies Definition 3.2's invariants
+(``rdn(r) subseteq val(r)``, objectClass in sync).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .entry import Entry
+
+__all__ = ["project_entry", "project"]
+
+
+def project_entry(entry: Entry, attributes: Sequence[str]) -> Entry:
+    """A copy of ``entry`` restricted to ``attributes`` (plus objectClass
+    and the RDN attributes).  An empty selection means "all attributes"
+    (LDAP's convention)."""
+    if not attributes:
+        return entry
+    keep = set(attributes)
+    keep.update(entry.dn.rdn.attributes())
+    values = {
+        attribute: list(entry.values(attribute))
+        for attribute in entry.attributes()
+        if attribute in keep and attribute != "objectClass"
+    }
+    return Entry(entry.dn, entry.classes, values)
+
+
+def project(entries: Iterable[Entry], attributes: Sequence[str]) -> List[Entry]:
+    """Project every entry of a result."""
+    return [project_entry(entry, attributes) for entry in entries]

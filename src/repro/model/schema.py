@@ -1,0 +1,140 @@
+"""Directory schemas (Definition 3.1).
+
+A directory schema is a 4-tuple ``S = (C, A, tau, beta)``:
+
+- ``C`` -- a finite set of class names;
+- ``A`` -- a finite set of attributes, always containing ``objectClass``;
+- ``tau : A -> T`` -- associates a *type* with each attribute, with
+  ``tau(objectClass) = string``.  Crucially, the type of an attribute is
+  defined independently of the classes that carry it: every occurrence of
+  the same attribute, in any class, shares one type;
+- ``beta : C -> 2^A`` -- associates each class with its set of *allowed*
+  attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from .types import AttributeType, TypeRegistry, default_registry
+
+__all__ = ["SchemaError", "DirectorySchema", "OBJECT_CLASS"]
+
+#: The mandatory attribute naming the classes of each entry.
+OBJECT_CLASS = "objectClass"
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is internally inconsistent, or when an entry
+    violates its schema."""
+
+
+class DirectorySchema:
+    """An explicit, validating implementation of Definition 3.1.
+
+    Example::
+
+        schema = DirectorySchema()
+        schema.add_attribute("dc", "string")
+        schema.add_class("dcObject", {"dc"})
+    """
+
+    def __init__(self, types: Optional[TypeRegistry] = None):
+        self.types = types or default_registry()
+        self._tau: Dict[str, str] = {OBJECT_CLASS: "string"}
+        self._beta: Dict[str, FrozenSet[str]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_attribute(self, name: str, type_name: str) -> None:
+        """Declare attribute ``name`` with type ``type_name``.
+
+        Re-declaring with the same type is a no-op; re-declaring with a
+        different type is an error (attribute types are class-independent).
+        """
+        if not name:
+            raise SchemaError("attribute name must be non-empty")
+        if type_name not in self.types:
+            raise SchemaError("unknown type %r for attribute %r" % (type_name, name))
+        existing = self._tau.get(name)
+        if existing is not None and existing != type_name:
+            raise SchemaError(
+                "attribute %r already has type %r (tried to re-declare as %r); "
+                "attribute types are shared across all classes" % (name, existing, type_name)
+            )
+        self._tau[name] = type_name
+
+    def add_class(self, name: str, allowed_attributes: Iterable[str]) -> None:
+        """Declare class ``name`` with its allowed attribute set.
+
+        ``objectClass`` is implicitly allowed for every class (condition
+        (c2) of Definition 3.2 makes every entry carry it)."""
+        if not name:
+            raise SchemaError("class name must be non-empty")
+        if name in self._beta:
+            raise SchemaError("class %r already declared" % name)
+        allowed = set(allowed_attributes)
+        allowed.add(OBJECT_CLASS)
+        missing = sorted(attr for attr in allowed if attr not in self._tau)
+        if missing:
+            raise SchemaError(
+                "class %r allows undeclared attributes: %s" % (name, ", ".join(missing))
+            )
+        self._beta[name] = frozenset(allowed)
+
+    # -- the four components ---------------------------------------------
+
+    @property
+    def classes(self) -> Set[str]:
+        """``C``: the declared class names."""
+        return set(self._beta)
+
+    @property
+    def attributes(self) -> Set[str]:
+        """``A``: the declared attribute names (always contains
+        ``objectClass``)."""
+        return set(self._tau)
+
+    def type_name_of(self, attribute: str) -> str:
+        """``tau``, by name."""
+        try:
+            return self._tau[attribute]
+        except KeyError:
+            raise SchemaError("undeclared attribute %r" % attribute) from None
+
+    def type_of(self, attribute: str) -> AttributeType:
+        """``tau``, resolved to the :class:`AttributeType`."""
+        return self.types.get(self.type_name_of(attribute))
+
+    def allowed_attributes(self, class_name: str) -> FrozenSet[str]:
+        """``beta(c)``: the allowed attributes of a class."""
+        try:
+            return self._beta[class_name]
+        except KeyError:
+            raise SchemaError("undeclared class %r" % class_name) from None
+
+    def has_class(self, class_name: str) -> bool:
+        return class_name in self._beta
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self._tau
+
+    # -- entry-level checks (used by DirectoryInstance) --------------------
+
+    def attribute_allowed_for(self, attribute: str, classes: Iterable[str]) -> bool:
+        """True iff ``attribute`` is an allowed attribute of at least one of
+        ``classes`` (condition (c1) of Definition 3.2)."""
+        return any(
+            attribute in self._beta.get(class_name, frozenset())
+            for class_name in classes
+        )
+
+    def coerce_value(self, attribute: str, value):
+        """Coerce ``value`` into the domain of ``tau(attribute)``."""
+        return self.type_of(attribute).coerce(value)
+
+    def __repr__(self) -> str:
+        return "DirectorySchema(classes=%d, attributes=%d)" % (
+            len(self._beta),
+            len(self._tau),
+        )

@@ -1,0 +1,104 @@
+"""A standard schema in the spirit of Netscape Directory Server 3.1.
+
+The paper's examples draw their classes (``dcObject``, ``domain``,
+``organizationalUnit``, ``inetOrgPerson``, ``organizationalPerson``, ...)
+"from the default schema of Netscape Directory Server 3.1"; this module
+provides a ready-made schema with those classes plus a ``telephoneNumber``
+type, so applications and examples don't have to re-declare the common
+vocabulary.
+
+The schema is open: callers may keep adding attributes and classes.
+"""
+
+from __future__ import annotations
+
+from .schema import DirectorySchema
+from .types import AttributeType, TypeRegistry
+
+__all__ = ["standard_schema", "telephone_number_type"]
+
+
+def telephone_number_type() -> AttributeType:
+    """A phone-number type: digits with optional +, spaces and dashes
+    (commercial servers carry such a type alongside string/int)."""
+
+    def contains(value) -> bool:
+        if not isinstance(value, str) or not value:
+            return False
+        bare = value.lstrip("+").replace("-", "").replace(" ", "")
+        return bare.isdigit()
+
+    return AttributeType("telephoneNumber", contains=contains, coerce=str)
+
+
+def standard_schema() -> DirectorySchema:
+    """The shared base vocabulary of the paper's figures."""
+    types = TypeRegistry()
+    types.register(telephone_number_type())
+    schema = DirectorySchema(types)
+
+    for attribute, type_name in (
+        ("dc", "string"),
+        ("ou", "string"),
+        ("o", "string"),
+        ("commonName", "string"),
+        ("surName", "string"),
+        ("givenName", "string"),
+        ("uid", "string"),
+        ("mail", "string"),
+        ("title", "string"),
+        ("description", "string"),
+        ("telephoneNumber", "telephoneNumber"),
+        ("facsimileTelephoneNumber", "telephoneNumber"),
+        ("roomNumber", "string"),
+        ("employeeNumber", "int"),
+        ("manager", "distinguishedName"),
+        ("secretary", "distinguishedName"),
+        ("seeAlso", "distinguishedName"),
+        ("member", "distinguishedName"),
+    ):
+        schema.add_attribute(attribute, type_name)
+
+    schema.add_class("dcObject", {"dc"})
+    schema.add_class("domain", {"dc", "description"})
+    schema.add_class("organization", {"o", "description", "telephoneNumber"})
+    schema.add_class("organizationalUnit", {"ou", "description", "telephoneNumber"})
+    schema.add_class(
+        "person",
+        {"commonName", "surName", "telephoneNumber", "description", "seeAlso"},
+    )
+    schema.add_class(
+        "organizationalPerson",
+        {
+            "commonName",
+            "surName",
+            "title",
+            "ou",
+            "telephoneNumber",
+            "facsimileTelephoneNumber",
+            "roomNumber",
+            "secretary",
+            "manager",
+            "seeAlso",
+        },
+    )
+    schema.add_class(
+        "inetOrgPerson",
+        {
+            "commonName",
+            "surName",
+            "givenName",
+            "uid",
+            "mail",
+            "title",
+            "ou",
+            "employeeNumber",
+            "telephoneNumber",
+            "roomNumber",
+            "manager",
+            "secretary",
+            "seeAlso",
+        },
+    )
+    schema.add_class("groupOfNames", {"commonName", "member", "description"})
+    return schema

@@ -1,0 +1,152 @@
+"""The type system of the directory data model (Section 3.1).
+
+The paper assumes a set ``T`` of type names, each with an associated domain,
+containing at least the basic types ``string`` and ``int`` plus the complex
+type ``distinguishedName`` whose domain is the set of DNs (sequences of sets
+of (attribute, value) pairs).  Commercial servers add a few more (telephone
+numbers, case-insensitive strings, ...); we model the ones the paper's
+examples need and leave the registry open for extension.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .dn import DN, DNSyntaxError
+
+__all__ = [
+    "AttributeType",
+    "TypeRegistry",
+    "STRING",
+    "INT",
+    "DN_TYPE",
+    "TypeError_",
+    "default_registry",
+]
+
+
+class TypeError_(ValueError):
+    """Raised when a value does not belong to the domain of a type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class AttributeType:
+    """A named type with a domain membership test and a canonicalizer.
+
+    ``contains(v)`` decides domain membership (Definition 3.1 uses
+    ``v in dom(t)``); ``coerce(v)`` converts accepted surface values (e.g.
+    the string form of an int, the string form of a DN) to the canonical
+    Python representation stored in directory entries.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        contains: Callable[[Any], bool],
+        coerce: Optional[Callable[[Any], Any]] = None,
+    ):
+        self.name = name
+        self._contains = contains
+        self._coerce = coerce or (lambda value: value)
+
+    def contains(self, value: Any) -> bool:
+        """True iff ``value`` (already canonical) is in this type's domain."""
+        return self._contains(value)
+
+    def coerce(self, value: Any) -> Any:
+        """Convert a surface value to canonical form, or raise
+        :class:`TypeError_`."""
+        try:
+            canonical = self._coerce(value)
+        except (ValueError, TypeError, DNSyntaxError) as exc:
+            raise TypeError_(
+                "%r is not a valid %s: %s" % (value, self.name, exc)
+            ) from exc
+        if not self._contains(canonical):
+            raise TypeError_("%r is not in dom(%s)" % (value, self.name))
+        return canonical
+
+    def __repr__(self) -> str:
+        return "AttributeType(%r)" % self.name
+
+
+def _coerce_int(value: Any) -> int:
+    if isinstance(value, bool):
+        raise ValueError("booleans are not directory ints")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return int(value.strip())
+    raise ValueError("cannot interpret as int")
+
+
+def _coerce_dn(value: Any) -> DN:
+    if isinstance(value, DN):
+        return value
+    if isinstance(value, str):
+        return DN.parse(value)
+    raise ValueError("cannot interpret as distinguishedName")
+
+
+#: The basic ``string`` type.
+STRING = AttributeType(
+    "string",
+    contains=lambda value: isinstance(value, str),
+    coerce=lambda value: value if isinstance(value, str) else str(value),
+)
+
+#: The basic ``int`` type.
+INT = AttributeType(
+    "int",
+    contains=lambda value: isinstance(value, int) and not isinstance(value, bool),
+    coerce=_coerce_int,
+)
+
+#: The complex ``distinguishedName`` type: values are DNs and can serve as
+#: directory entry references (Section 7).
+DN_TYPE = AttributeType(
+    "distinguishedName",
+    contains=lambda value: isinstance(value, DN),
+    coerce=_coerce_dn,
+)
+
+
+class TypeRegistry:
+    """The set ``T`` of types available to a schema.
+
+    Always contains ``string``, ``int`` and ``distinguishedName``; further
+    types may be registered (e.g. a ``telephoneNumber`` type).
+    """
+
+    def __init__(self) -> None:
+        self._types: Dict[str, AttributeType] = {}
+        for builtin in (STRING, INT, DN_TYPE):
+            self.register(builtin)
+
+    def register(self, type_: AttributeType) -> AttributeType:
+        if type_.name in self._types and self._types[type_.name] is not type_:
+            raise ValueError("type %r already registered" % type_.name)
+        self._types[type_.name] = type_
+        return type_
+
+    def get(self, name: str) -> AttributeType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise KeyError("unknown type %r" % name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def names(self):
+        return sorted(self._types)
+
+
+_DEFAULT = TypeRegistry()
+
+
+def default_registry() -> TypeRegistry:
+    """The shared default registry holding the built-in types."""
+    return _DEFAULT

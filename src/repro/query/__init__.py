@@ -1,0 +1,72 @@
+"""The query language family L0 -- L3 (Sections 4--7)."""
+
+from .aggregates import (
+    AGG_FUNCS,
+    INT_OPS,
+    WITNESS_COUNT_POSITIVE,
+    AggError,
+    AggSelFilter,
+    AggState,
+    Constant,
+    EntryAggregate,
+    EntrySetAggregate,
+)
+from .ast import (
+    ER_OPS,
+    HIER_OPS,
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    Or,
+    Query,
+    QueryError,
+    Scope,
+    SimpleAggSelect,
+    language_level,
+)
+from .builder import Q, QueryBuilder
+from .normalize import equivalent_modulo_acd, normalize
+from .parser import QueryParseError, parse_aggsel, parse_query
+from .semantics import ReferenceEvaluator, atomic_matches, evaluate, witness_set
+from .typecheck import QueryTypeError, check_query, validate_query
+
+__all__ = [
+    "AGG_FUNCS",
+    "INT_OPS",
+    "WITNESS_COUNT_POSITIVE",
+    "AggError",
+    "AggSelFilter",
+    "AggState",
+    "Constant",
+    "EntryAggregate",
+    "EntrySetAggregate",
+    "ER_OPS",
+    "HIER_OPS",
+    "And",
+    "AtomicQuery",
+    "Diff",
+    "EmbeddedRef",
+    "HierarchySelect",
+    "Or",
+    "Query",
+    "QueryError",
+    "Scope",
+    "SimpleAggSelect",
+    "language_level",
+    "Q",
+    "QueryBuilder",
+    "equivalent_modulo_acd",
+    "normalize",
+    "QueryParseError",
+    "parse_aggsel",
+    "parse_query",
+    "ReferenceEvaluator",
+    "atomic_matches",
+    "evaluate",
+    "witness_set",
+    "QueryTypeError",
+    "check_query",
+    "validate_query",
+]

@@ -1,0 +1,412 @@
+"""Aggregate selection (Section 6): terms, filters and incremental states.
+
+The grammar of Figure 9 builds aggregate selection filters
+``AggAttribute IntOp AggAttribute`` from three kinds of aggregate
+attributes:
+
+- integer constants, e.g. ``10``;
+- *entry aggregates* -- one value per entry: ``agg(a)`` / ``agg($1.a)``
+  (over the entry's own values of ``a``), ``agg($2.a)`` (over the values of
+  ``a`` across the entry's witness set) and ``count($2)`` (size of the
+  witness set);
+- *entry-set aggregates* -- one value per operator application:
+  ``agg1(entry-aggregate)`` folded across all entries of the first operand,
+  ``count($1)`` and ``count($$)``.
+
+Besides the definitional evaluation used by the reference semantics, this
+module provides :class:`AggState`: the incremental (distributive/algebraic,
+in the terminology the paper borrows from Ross et al.) accumulation that the
+external-memory algorithms of Figures 3 and 6 propagate through their stacks
+and scans.  ``min``/``max``/``average`` of an empty multiset are undefined;
+a comparison against an undefined aggregate is false.  ``count`` of an empty
+multiset is 0 and ``sum`` is 0.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..model.entry import Entry
+
+__all__ = [
+    "AGG_FUNCS",
+    "INT_OPS",
+    "AggError",
+    "AggState",
+    "Constant",
+    "EntryAggregate",
+    "EntrySetAggregate",
+    "AggSelFilter",
+    "WITNESS_COUNT_POSITIVE",
+]
+
+AGG_FUNCS = ("min", "max", "count", "sum", "average")
+
+INT_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class AggError(ValueError):
+    """Raised for ill-formed aggregate terms."""
+
+
+def _numeric(values: Iterable[Any]) -> List[float]:
+    """Keep the values an integer aggregate can range over."""
+    out = []
+    for value in values:
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out.append(value)
+        elif isinstance(value, str):
+            try:
+                out.append(int(value))
+            except ValueError:
+                continue
+    return out
+
+
+class AggState:
+    """Incremental state of one aggregate function over a multiset.
+
+    Supports ``add`` (one value), ``merge`` (another state) and ``result``.
+    ``count`` ignores the values themselves; for it, ``add_count`` bumps the
+    counter by an arbitrary amount (used for count($2) propagation).
+    """
+
+    __slots__ = ("func", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, func: str):
+        if func not in AGG_FUNCS:
+            raise AggError("unknown aggregate function %r" % func)
+        self.func = func
+        self._count = 0
+        self._sum = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def add(self, value: Any) -> None:
+        numeric = _numeric([value])
+        if self.func == "count":
+            self._count += 1
+            return
+        if not numeric:
+            return
+        number = numeric[0]
+        self._count += 1
+        self._sum += number
+        if self._min is None or number < self._min:
+            self._min = number
+        if self._max is None or number > self._max:
+            self._max = number
+
+    def add_count(self, amount: int) -> None:
+        if self.func != "count":
+            raise AggError("add_count only applies to count aggregates")
+        self._count += amount
+
+    def merge(self, other: "AggState") -> None:
+        if other.func != self.func:
+            raise AggError("cannot merge %s into %s" % (other.func, self.func))
+        self._count += other._count
+        self._sum += other._sum
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+
+    def copy(self) -> "AggState":
+        clone = AggState(self.func)
+        clone._count = self._count
+        clone._sum = self._sum
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
+    def result(self) -> Optional[float]:
+        if self.func == "count":
+            return self._count
+        if self.func == "sum":
+            return self._sum
+        if self._count == 0:
+            return None  # min/max/average of the empty multiset
+        if self.func == "min":
+            return self._min
+        if self.func == "max":
+            return self._max
+        return self._sum / self._count  # average
+
+    def __repr__(self) -> str:
+        return "AggState(%s=%r)" % (self.func, self.result())
+
+
+def apply_func(func: str, values: Iterable[Any]) -> Optional[float]:
+    """One-shot evaluation of an aggregate function over a multiset."""
+    state = AggState(func)
+    if func == "count":
+        state.add_count(sum(1 for _ in values))
+    else:
+        for value in values:
+            state.add(value)
+    return state.result()
+
+
+class Constant:
+    """An integer constant aggregate attribute."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, Constant) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("Constant", self.value))
+
+
+class EntryAggregate:
+    """``agg(target)`` producing one value per entry.
+
+    ``source`` selects the multiset:
+
+    - ``"$1"`` -- values of ``attribute`` on the entry itself (also the
+      meaning of a bare attribute name);
+    - ``"$2"`` with an attribute -- values of ``attribute`` across the
+      entry's witnesses;
+    - ``"$2"`` with ``attribute=None`` -- the witness count, i.e.
+      ``count($2)``.
+    """
+
+    __slots__ = ("func", "source", "attribute")
+
+    def __init__(self, func: str, source: str, attribute: Optional[str]):
+        if func not in AGG_FUNCS:
+            raise AggError("unknown aggregate function %r" % func)
+        if source not in ("$1", "$2"):
+            raise AggError("entry aggregate source must be $1 or $2")
+        if attribute is None and not (source == "$2" and func == "count"):
+            raise AggError("only count($2) may omit the attribute")
+        self.func = func
+        self.source = source
+        self.attribute = attribute
+
+    def needs_witnesses(self) -> bool:
+        return self.source == "$2"
+
+    def evaluate(
+        self,
+        entry: Entry,
+        witnesses: Optional[Sequence[Entry]] = None,
+    ) -> Optional[float]:
+        """``ea[r]`` (Definition 6.1) or ``ea[r, Rs]`` (Definition 6.2)."""
+        if self.source == "$1":
+            return apply_func(self.func, entry.values(self.attribute))
+        if witnesses is None:
+            raise AggError(
+                "%s references $2 but no witness set is available "
+                "(simple aggregate selection has no witnesses)" % self
+            )
+        if self.attribute is None:
+            return len(witnesses)
+        values: List[Any] = []
+        for witness in witnesses:
+            values.extend(witness.values(self.attribute))
+        return apply_func(self.func, values)
+
+    def fresh_state(self) -> AggState:
+        return AggState(self.func)
+
+    def witness_contribution(self, witness: Entry) -> Iterable[Any]:
+        """The values a single witness feeds into this aggregate's state."""
+        if self.attribute is None:
+            return (1,)  # count($2): each witness contributes one unit
+        return witness.values(self.attribute)
+
+    def __str__(self) -> str:
+        if self.attribute is None:
+            return "count($2)"
+        prefix = "" if self.source == "$1" else "$2."
+        if self.source == "$1":
+            prefix = "$1."
+        return "%s(%s%s)" % (self.func, prefix, self.attribute)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, EntryAggregate)
+            and (other.func, other.source, other.attribute)
+            == (self.func, self.source, self.attribute)
+        )
+
+    def __hash__(self):
+        return hash(("EntryAggregate", self.func, self.source, self.attribute))
+
+
+class EntrySetAggregate:
+    """``agg1(ea)``, ``count($1)`` or ``count($$)`` -- one value per
+    operator application.
+
+    ``inner is None`` encodes the two counting forms: ``count($1)`` in the
+    structural context and ``count($$)`` in the simple context; both count
+    the entries of the first operand, so they share a representation and
+    differ only in concrete syntax (kept in ``spelling``).
+    """
+
+    __slots__ = ("func", "inner", "spelling")
+
+    def __init__(
+        self,
+        func: str,
+        inner: Optional[EntryAggregate],
+        spelling: Optional[str] = None,
+    ):
+        if func not in AGG_FUNCS:
+            raise AggError("unknown aggregate function %r" % func)
+        if inner is None and func != "count":
+            raise AggError("only count may aggregate the bare entry set")
+        self.func = func
+        self.inner = inner
+        self.spelling = spelling or ("count($$)" if inner is None else None)
+
+    def evaluate(
+        self,
+        population: Sequence[Tuple[Entry, Optional[Sequence[Entry]]]],
+    ) -> Optional[float]:
+        """``esa[R1]`` / ``esa[R1, R2, f]``: ``population`` pairs every entry
+        of the first operand with its witness set (``None`` in the simple
+        context)."""
+        if self.inner is None:
+            return len(population)
+        inner_values = [
+            self.inner.evaluate(entry, witnesses)
+            for entry, witnesses in population
+        ]
+        return apply_func(
+            self.func, [v for v in inner_values if v is not None]
+        )
+
+    def __str__(self) -> str:
+        if self.inner is None:
+            return self.spelling
+        return "%s(%s)" % (self.func, self.inner)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, EntrySetAggregate)
+            and (other.func, other.inner) == (self.func, self.inner)
+        )
+
+    def __hash__(self):
+        return hash(("EntrySetAggregate", self.func, self.inner))
+
+
+class AggSelFilter:
+    """``aa1 IntOp aa2`` -- the aggregate selection filter."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left, op: str, right):
+        if op not in INT_OPS:
+            raise AggError("unknown integer comparison %r" % op)
+        for side in (left, right):
+            if not isinstance(side, (Constant, EntryAggregate, EntrySetAggregate)):
+                raise AggError("bad aggregate attribute %r" % (side,))
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def needs_witnesses(self) -> bool:
+        """True iff any side references $2 (witness-dependent)."""
+        return any(
+            isinstance(side, EntryAggregate) and side.needs_witnesses()
+            or isinstance(side, EntrySetAggregate)
+            and side.inner is not None
+            and side.inner.needs_witnesses()
+            for side in (self.left, self.right)
+        )
+
+    def entry_set_aggregates(self) -> List[EntrySetAggregate]:
+        return [
+            side
+            for side in (self.left, self.right)
+            if isinstance(side, EntrySetAggregate)
+        ]
+
+    def test(
+        self,
+        entry: Entry,
+        witnesses: Optional[Sequence[Entry]],
+        set_values: dict,
+    ) -> bool:
+        """Evaluate the filter for one entry.  ``set_values`` maps each
+        entry-set aggregate (by identity of the object) to its precomputed
+        value for this operator application."""
+        left = self._side_value(self.left, entry, witnesses, set_values)
+        right = self._side_value(self.right, entry, witnesses, set_values)
+        if left is None or right is None:
+            return False
+        return INT_OPS[self.op](left, right)
+
+    @staticmethod
+    def _side_value(side, entry, witnesses, set_values):
+        if isinstance(side, Constant):
+            return side.value
+        if isinstance(side, EntryAggregate):
+            return side.evaluate(entry, witnesses)
+        return set_values[id(side)]
+
+    def test_resolved(
+        self,
+        entry: Entry,
+        resolved: dict,
+        set_values: dict,
+    ) -> bool:
+        """Like :meth:`test`, but $2-sourced entry aggregates are looked up
+        in ``resolved`` (a mapping from term to its already-computed value,
+        as produced by the external-memory stack pass) instead of being
+        recomputed from a witness list."""
+        left = self._side_value_resolved(self.left, entry, resolved, set_values)
+        right = self._side_value_resolved(self.right, entry, resolved, set_values)
+        if left is None or right is None:
+            return False
+        return INT_OPS[self.op](left, right)
+
+    @staticmethod
+    def _side_value_resolved(side, entry, resolved, set_values):
+        if isinstance(side, Constant):
+            return side.value
+        if isinstance(side, EntryAggregate):
+            if side.needs_witnesses():
+                return resolved[side]
+            return side.evaluate(entry, None)
+        return set_values[id(side)]
+
+    def __str__(self) -> str:
+        return "%s %s %s" % (self.left, self.op, self.right)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, AggSelFilter)
+            and (other.left, other.op, other.right)
+            == (self.left, self.op, self.right)
+        )
+
+    def __hash__(self):
+        return hash(("AggSelFilter", self.left, self.op, self.right))
+
+
+#: ``count($2) > 0``: the aggregate filter that turns a structural aggregate
+#: operator back into the plain L1 hierarchical operator (end of Section 6.2).
+WITNESS_COUNT_POSITIVE = AggSelFilter(
+    EntryAggregate("count", "$2", None), ">", Constant(0)
+)

@@ -1,0 +1,223 @@
+"""A fluent Python API for building L0--L3 queries.
+
+The S-expression syntax is the paper's; programs prefer combinators::
+
+    from repro.query.builder import Q
+
+    units   = Q.sub("dc=att, dc=com").where("objectClass=organizationalUnit")
+    people  = Q.sub("dc=att, dc=com").where("surName=jagadish")
+    query   = units.with_child(people)                      # Example 5.1
+    busy    = units.with_child(people, having="count($2) > 10")   # Example 6.2
+    except_ = Q.sub("dc=att, dc=com").where("surName=*") - Q.sub(
+        "dc=research, dc=att, dc=com").where("surName=*")   # Example 4.1
+
+Every combinator returns a :class:`QueryBuilder` wrapping an immutable AST
+node (``.build()`` or ``.query`` to unwrap); ``&``, ``|`` and ``-`` are the
+boolean operators.  Aggregate filters may be given as strings (parsed with
+the paper's grammar) or :class:`~repro.query.aggregates.AggSelFilter`
+objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..filters.ast import Filter, MatchAll
+from ..filters.parser import parse_atomic_filter
+from ..model.dn import DN, ROOT_DN
+from .aggregates import AggSelFilter
+from .ast import (
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    Or,
+    Query,
+    Scope,
+    SimpleAggSelect,
+)
+from .parser import parse_aggsel
+
+__all__ = ["Q", "QueryBuilder"]
+
+_AggLike = Union[str, AggSelFilter, None]
+_FilterLike = Union[str, Filter]
+_QueryLike = Union["QueryBuilder", Query]
+
+
+def _agg(value: _AggLike) -> Optional[AggSelFilter]:
+    if value is None or isinstance(value, AggSelFilter):
+        return value
+    return parse_aggsel(value)
+
+
+def _filter(value: _FilterLike) -> Filter:
+    if isinstance(value, Filter):
+        return value
+    return parse_atomic_filter(value)
+
+
+def _query(value: _QueryLike) -> Query:
+    if isinstance(value, QueryBuilder):
+        return value.query
+    return value
+
+
+class QueryBuilder:
+    """An immutable wrapper around a query AST node."""
+
+    __slots__ = ("query",)
+
+    def __init__(self, query: Query):
+        object.__setattr__(self, "query", query)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("QueryBuilder is immutable")
+
+    def build(self) -> Query:
+        return self.query
+
+    # -- boolean operators ----------------------------------------------------
+
+    def __and__(self, other: _QueryLike) -> "QueryBuilder":
+        return QueryBuilder(And(self.query, _query(other)))
+
+    def __or__(self, other: _QueryLike) -> "QueryBuilder":
+        return QueryBuilder(Or(self.query, _query(other)))
+
+    def __sub__(self, other: _QueryLike) -> "QueryBuilder":
+        return QueryBuilder(Diff(self.query, _query(other)))
+
+    # -- hierarchical selection ----------------------------------------------
+
+    def with_parent(self, other: _QueryLike, having: _AggLike = None) -> "QueryBuilder":
+        """Entries of self with a parent in ``other`` -- ``(p self other)``."""
+        return QueryBuilder(
+            HierarchySelect("p", self.query, _query(other), None, _agg(having))
+        )
+
+    def with_child(self, other: _QueryLike, having: _AggLike = None) -> "QueryBuilder":
+        """``(c self other [having])``."""
+        return QueryBuilder(
+            HierarchySelect("c", self.query, _query(other), None, _agg(having))
+        )
+
+    def with_ancestor(self, other: _QueryLike, having: _AggLike = None) -> "QueryBuilder":
+        """``(a self other [having])``."""
+        return QueryBuilder(
+            HierarchySelect("a", self.query, _query(other), None, _agg(having))
+        )
+
+    def with_descendant(self, other: _QueryLike, having: _AggLike = None) -> "QueryBuilder":
+        """``(d self other [having])``."""
+        return QueryBuilder(
+            HierarchySelect("d", self.query, _query(other), None, _agg(having))
+        )
+
+    def with_nearest_ancestor(
+        self, other: _QueryLike, unless: _QueryLike, having: _AggLike = None
+    ) -> "QueryBuilder":
+        """``(ac self other unless [having])`` -- ancestors in ``other``
+        not separated from self by an ``unless`` entry."""
+        return QueryBuilder(
+            HierarchySelect(
+                "ac", self.query, _query(other), _query(unless), _agg(having)
+            )
+        )
+
+    def with_nearest_descendant(
+        self, other: _QueryLike, unless: _QueryLike, having: _AggLike = None
+    ) -> "QueryBuilder":
+        """``(dc self other unless [having])``."""
+        return QueryBuilder(
+            HierarchySelect(
+                "dc", self.query, _query(other), _query(unless), _agg(having)
+            )
+        )
+
+    # -- aggregates -----------------------------------------------------------
+
+    def having(self, agg: Union[str, AggSelFilter]) -> "QueryBuilder":
+        """Simple aggregate selection -- ``(g self agg)``."""
+        return QueryBuilder(SimpleAggSelect(self.query, _agg(agg)))
+
+    # -- embedded references ---------------------------------------------------
+
+    def referencing(
+        self, other: _QueryLike, attribute: str, having: _AggLike = None
+    ) -> "QueryBuilder":
+        """Entries of self whose ``attribute`` embeds a dn from ``other``
+        -- ``(vd self other attribute [having])``."""
+        return QueryBuilder(
+            EmbeddedRef("vd", self.query, _query(other), attribute, _agg(having))
+        )
+
+    def referenced_by(
+        self, other: _QueryLike, attribute: str, having: _AggLike = None
+    ) -> "QueryBuilder":
+        """Entries of self whose dn is embedded in ``attribute`` of some
+        ``other`` entry -- ``(dv self other attribute [having])``."""
+        return QueryBuilder(
+            EmbeddedRef("dv", self.query, _query(other), attribute, _agg(having))
+        )
+
+    def __str__(self) -> str:
+        return str(self.query)
+
+    def __repr__(self) -> str:
+        return "QueryBuilder(%s)" % self.query
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, QueryBuilder):
+            return self.query == other.query
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.query)
+
+
+class _Entrypoint:
+    """The ``Q`` facade: atomic query constructors."""
+
+    @staticmethod
+    def base(dn: Union[DN, str], filter_: _FilterLike = MatchAll()) -> QueryBuilder:
+        """``(dn ? base ? filter)``."""
+        return QueryBuilder(AtomicQuery(dn, Scope.BASE, _filter(filter_)))
+
+    @staticmethod
+    def one(dn: Union[DN, str], filter_: _FilterLike = MatchAll()) -> QueryBuilder:
+        """``(dn ? one ? filter)``."""
+        return QueryBuilder(AtomicQuery(dn, Scope.ONE, _filter(filter_)))
+
+    @staticmethod
+    def sub(dn: Union[DN, str] = ROOT_DN, filter_: _FilterLike = MatchAll()) -> QueryBuilder:
+        """``(dn ? sub ? filter)`` -- the workhorse."""
+        return QueryBuilder(AtomicQuery(dn, Scope.SUB, _filter(filter_)))
+
+    @staticmethod
+    def everything() -> QueryBuilder:
+        """The whole instance: ``(null-dn ? sub ? objectClass=*)``."""
+        return QueryBuilder(AtomicQuery(ROOT_DN, Scope.SUB, MatchAll()))
+
+    def __call__(self, text: str) -> QueryBuilder:
+        """Wrap a query given in the paper's concrete syntax."""
+        from .parser import parse_query
+
+        return QueryBuilder(parse_query(text))
+
+
+#: The public facade: ``Q.sub("dc=com", "kind=alpha")`` or
+#: ``Q.sub("dc=com").where("kind=alpha")``.
+Q = _Entrypoint()
+
+
+def _where(self: QueryBuilder, filter_: _FilterLike) -> QueryBuilder:
+    """Replace the filter of an atomic builder (``Q.sub(dn).where(f)``)."""
+    node = self.query
+    if not isinstance(node, AtomicQuery):
+        raise TypeError("where() applies to atomic queries only")
+    return QueryBuilder(AtomicQuery(node.base, node.scope, _filter(filter_)))
+
+
+QueryBuilder.where = _where

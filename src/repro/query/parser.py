@@ -1,0 +1,259 @@
+"""Parser for the concrete S-expression query syntax (Figures 7--10).
+
+The surface syntax follows the paper::
+
+    (dc=att, dc=com ? sub ? surName=jagadish)                  -- atomic
+    (- (dc=att, dc=com ? sub ? F1) (dc=research, ... ? sub ? F1))
+    (c Q1 Q2)  (p Q1 Q2)  (a Q1 Q2)  (d Q1 Q2)
+    (ac Q1 Q2 Q3)  (dc Q1 Q2 Q3)
+    (g Q count(SLAPVPRef) > 1)
+    (c Q1 Q2 count($2) > 10)
+    (vd Q1 Q2 SLATPRef)  (dv Q1 Q2 SLADSActRef [AggSel])
+
+Atomic queries are ``(base ? scope ? filter)`` with ``?`` separating the
+three parts (an empty base is the null dn).  Aggregate selection filters
+follow Figure 9: e.g. ``count($2) > 10``,
+``min(SLARulePriority)=min(min(SLARulePriority))``, ``count($$) >= 5``.
+
+Known limitation of the concrete syntax (inherited from the paper's
+notation): a literal ``?`` inside a dn or filter value cannot be escaped;
+such queries must be built programmatically
+(:mod:`repro.query.builder`), which has no such restriction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..filters.parser import parse_atomic_filter
+from ..model.dn import DN
+from .aggregates import (
+    AGG_FUNCS,
+    AggError,
+    AggSelFilter,
+    Constant,
+    EntryAggregate,
+    EntrySetAggregate,
+)
+from .ast import (
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    Or,
+    Query,
+    SimpleAggSelect,
+)
+
+__all__ = ["parse_query", "parse_aggsel", "QueryParseError"]
+
+
+class QueryParseError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+_BOOLEAN = {"&": And, "|": Or, "-": Diff}
+_HIER_BINARY = ("p", "c", "a", "d")
+_HIER_TERNARY = ("ac", "dc")
+_ER = ("vd", "dv")
+_OPERATORS = set(_BOOLEAN) | set(_HIER_BINARY) | set(_HIER_TERNARY) | set(_ER) | {"g"}
+
+
+def parse_query(text: str) -> Query:
+    """Parse one query; raises :class:`QueryParseError` on any leftover."""
+    query, index = _parse(text, _skip_ws(text, 0))
+    index = _skip_ws(text, index)
+    if index != len(text):
+        raise QueryParseError("trailing input after query: %r" % text[index:])
+    return query
+
+
+def _skip_ws(text: str, index: int) -> int:
+    while index < len(text) and text[index].isspace():
+        index += 1
+    return index
+
+
+def _parse(text: str, index: int) -> Tuple[Query, int]:
+    if index >= len(text) or text[index] != "(":
+        raise QueryParseError("expected '(' at position %d in %r" % (index, text))
+    inner = _skip_ws(text, index + 1)
+    token, after = _read_token(text, inner)
+    if token in _OPERATORS and _next_is_group(text, after):
+        return _parse_operator(token, text, after)
+    return _parse_atomic(text, index)
+
+
+def _read_token(text: str, index: int) -> Tuple[str, int]:
+    start = index
+    while index < len(text) and not text[index].isspace() and text[index] not in "()":
+        index += 1
+    return text[start:index], index
+
+
+def _next_is_group(text: str, index: int) -> bool:
+    index = _skip_ws(text, index)
+    return index < len(text) and text[index] == "("
+
+
+def _parse_operator(op: str, text: str, index: int) -> Tuple[Query, int]:
+    if op in _BOOLEAN:
+        left, index = _parse(text, _skip_ws(text, index))
+        right, index = _parse(text, _skip_ws(text, index))
+        index = _expect_close(text, index)
+        return _BOOLEAN[op](left, right), index
+
+    if op == "g":
+        operand, index = _parse(text, _skip_ws(text, index))
+        agg_text, index = _until_close(text, index)
+        if not agg_text.strip():
+            raise QueryParseError("(g Q AggSel) requires an aggregate filter")
+        return SimpleAggSelect(operand, parse_aggsel(agg_text)), index
+
+    if op in _HIER_BINARY or op in _HIER_TERNARY:
+        first, index = _parse(text, _skip_ws(text, index))
+        second, index = _parse(text, _skip_ws(text, index))
+        third: Optional[Query] = None
+        if op in _HIER_TERNARY:
+            third, index = _parse(text, _skip_ws(text, index))
+        agg_text, index = _until_close(text, index)
+        agg = parse_aggsel(agg_text) if agg_text.strip() else None
+        return HierarchySelect(op, first, second, third, agg), index
+
+    # vd / dv
+    first, index = _parse(text, _skip_ws(text, index))
+    second, index = _parse(text, _skip_ws(text, index))
+    index = _skip_ws(text, index)
+    attribute, index = _read_token(text, index)
+    if not attribute:
+        raise QueryParseError("(%s Q Q attr) is missing the attribute name" % op)
+    agg_text, index = _until_close(text, index)
+    agg = parse_aggsel(agg_text) if agg_text.strip() else None
+    return EmbeddedRef(op, first, second, attribute, agg), index
+
+
+def _expect_close(text: str, index: int) -> int:
+    index = _skip_ws(text, index)
+    if index >= len(text) or text[index] != ")":
+        raise QueryParseError("expected ')' at position %d in %r" % (index, text))
+    return index + 1
+
+
+def _until_close(text: str, index: int) -> Tuple[str, int]:
+    """Collect raw text (possibly containing balanced parens, as aggregate
+    terms do) until the enclosing operator's closing paren."""
+    depth = 0
+    start = index
+    while index < len(text):
+        ch = text[index]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            if depth == 0:
+                return text[start:index], index + 1
+            depth -= 1
+        index += 1
+    raise QueryParseError("unbalanced parentheses near %r" % text[start:])
+
+
+def _parse_atomic(text: str, index: int) -> Tuple[Query, int]:
+    body, index = _until_close(text, index + 1)
+    parts = body.split("?")
+    if len(parts) != 3:
+        raise QueryParseError(
+            "atomic query must be (base ? scope ? filter); got %r" % body
+        )
+    base_text, scope_text, filter_text = (part.strip() for part in parts)
+    base = DN.parse(base_text) if base_text else DN(())
+    scope = scope_text.lower()
+    try:
+        filter_ = parse_atomic_filter(filter_text)
+    except ValueError as exc:
+        raise QueryParseError("bad atomic filter %r: %s" % (filter_text, exc)) from exc
+    try:
+        return AtomicQuery(base, scope, filter_), index
+    except ValueError as exc:
+        raise QueryParseError(str(exc)) from exc
+
+
+# -- aggregate selection filters ------------------------------------------------
+
+
+def parse_aggsel(text: str) -> AggSelFilter:
+    """Parse ``AggAttribute IntOp AggAttribute`` (Figure 9)."""
+    left_text, op, right_text = _split_on_int_op(text)
+    try:
+        return AggSelFilter(
+            _parse_agg_attribute(left_text),
+            op,
+            _parse_agg_attribute(right_text),
+        )
+    except AggError as exc:
+        raise QueryParseError("bad aggregate filter %r: %s" % (text, exc)) from exc
+
+
+def _split_on_int_op(text: str) -> Tuple[str, str, str]:
+    """Find the top-level (outside parens) integer comparison operator."""
+    depth = 0
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0:
+            two = text[index : index + 2]
+            if two in ("<=", ">=", "!="):
+                return text[:index], two, text[index + 2 :]
+            if ch in "<>=":
+                return text[:index], ch, text[index + 1 :]
+        index += 1
+    raise QueryParseError("no comparison operator in aggregate filter %r" % text)
+
+
+def _parse_agg_attribute(text: str):
+    text = text.strip()
+    if not text:
+        raise QueryParseError("empty aggregate attribute")
+    try:
+        return Constant(int(text))
+    except ValueError:
+        pass
+    func, args = _split_call(text)
+    if func not in AGG_FUNCS:
+        raise QueryParseError("unknown aggregate function %r in %r" % (func, text))
+    args = args.strip()
+    if args == "$$":
+        return EntrySetAggregate("count", None, spelling="count($$)") if func == "count" else _bad(text)
+    if args == "$1":
+        return EntrySetAggregate("count", None, spelling="count($1)") if func == "count" else _bad(text)
+    if args == "$2":
+        return EntryAggregate("count", "$2", None) if func == "count" else _bad(text)
+    if "(" in args:
+        inner = _parse_agg_attribute(args)
+        if not isinstance(inner, EntryAggregate):
+            raise QueryParseError(
+                "entry-set aggregate must wrap an entry aggregate: %r" % text
+            )
+        return EntrySetAggregate(func, inner)
+    # ModAttrName: attr | $1.attr | $2.attr  (bare attr means the entry's own)
+    if args.startswith("$1."):
+        return EntryAggregate(func, "$1", args[3:])
+    if args.startswith("$2."):
+        return EntryAggregate(func, "$2", args[3:])
+    return EntryAggregate(func, "$1", args)
+
+
+def _split_call(text: str) -> Tuple[str, str]:
+    open_index = text.find("(")
+    if open_index <= 0 or not text.endswith(")"):
+        raise QueryParseError("expected agg(arg) form, got %r" % text)
+    return text[:open_index].strip(), text[open_index + 1 : -1]
+
+
+def _bad(text: str):
+    raise QueryParseError(
+        "only count may be applied to $$/$1/$2 directly: %r" % text
+    )

@@ -1,0 +1,250 @@
+"""Reference (definitional) semantics ``M(Q)`` for L0 -- L3.
+
+This evaluator transcribes Definitions 4.1, 5.1, 6.1, 6.2 and 7.1 literally,
+with no regard for efficiency: witness sets are found by scanning, which is
+quadratic.  It serves three purposes:
+
+1. an executable specification of the languages;
+2. the *correctness oracle* against which the external-memory engine is
+   differentially tested;
+3. the quadratic baseline the benchmarks compare the paper's algorithms to.
+
+Results are returned as lists of entries sorted by the reverse-dn key, the
+canonical order of every list in this system.
+
+One reading note: Definition 4.1 includes the base entry itself in the
+``one`` and ``sub`` scopes (``dn(r) = B \\/ dn(r) is a child of B``), unlike
+stock LDAP one-level search.  We follow the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from .aggregates import AggSelFilter
+from .ast import (
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    Or,
+    Query,
+    QueryError,
+    Scope,
+    SimpleAggSelect,
+)
+
+__all__ = ["evaluate", "atomic_matches", "witness_set", "ReferenceEvaluator"]
+
+
+def evaluate(query: Query, instance: DirectoryInstance) -> List[Entry]:
+    """Evaluate ``query`` on ``instance`` definitionally; sorted result."""
+    return ReferenceEvaluator(instance).evaluate(query)
+
+
+def atomic_matches(query: AtomicQuery, entry: Entry, instance) -> bool:
+    """Does ``entry`` satisfy atomic query ``query`` (filter + scope)?"""
+    schema = getattr(instance, "schema", None)
+    if not query.filter.matches(entry, schema):
+        return False
+    base, dn = query.base, entry.dn
+    if query.scope == Scope.BASE:
+        return dn == base
+    if query.scope == Scope.ONE:
+        return dn == base or base.is_parent_of(dn)
+    return dn == base or base.is_ancestor_of(dn)
+
+
+class ReferenceEvaluator:
+    """Definitional evaluator bound to one instance."""
+
+    def __init__(self, instance: DirectoryInstance):
+        self.instance = instance
+
+    # -- dispatch ---------------------------------------------------------
+
+    def evaluate(self, query: Query) -> List[Entry]:
+        result = self._eval(query)
+        return sorted(result, key=lambda e: e.dn.key())
+
+    def _eval(self, query: Query) -> List[Entry]:
+        if isinstance(query, AtomicQuery):
+            return self._atomic(query)
+        if isinstance(query, And):
+            return self._boolean(query, "and")
+        if isinstance(query, Or):
+            return self._boolean(query, "or")
+        if isinstance(query, Diff):
+            return self._boolean(query, "diff")
+        if isinstance(query, HierarchySelect):
+            return self._hierarchy(query)
+        if isinstance(query, SimpleAggSelect):
+            return self._simple_agg(query)
+        if isinstance(query, EmbeddedRef):
+            return self._embedded_ref(query)
+        raise QueryError("unknown query node %r" % (query,))
+
+    # -- L0 ----------------------------------------------------------------
+
+    def _atomic(self, query: AtomicQuery) -> List[Entry]:
+        return [
+            entry
+            for entry in self.instance
+            if atomic_matches(query, entry, self.instance)
+        ]
+
+    def _boolean(self, query, kind: str) -> List[Entry]:
+        left = {e.dn: e for e in self._eval(query.left)}
+        right = {e.dn for e in self._eval(query.right)}
+        if kind == "and":
+            return [e for dn, e in left.items() if dn in right]
+        if kind == "diff":
+            return [e for dn, e in left.items() if dn not in right]
+        # union: left entries plus right entries not already present
+        merged = dict(left)
+        for entry in self._eval(query.right):
+            merged.setdefault(entry.dn, entry)
+        return list(merged.values())
+
+    # -- L1 / L2 hierarchical -----------------------------------------------
+
+    def _hierarchy(self, query: HierarchySelect) -> List[Entry]:
+        first = self._eval(query.first)
+        second = self._eval(query.second)
+        third = self._eval(query.third) if query.third is not None else None
+        population = [
+            (entry, witness_set(query.op, entry, second, third))
+            for entry in first
+        ]
+        return _select(population, query.agg)
+
+    # -- L2 simple aggregate ---------------------------------------------------
+
+    def _simple_agg(self, query: SimpleAggSelect) -> List[Entry]:
+        operand = self._eval(query.operand)
+        population: List[Tuple[Entry, Optional[List[Entry]]]] = [
+            (entry, None) for entry in operand
+        ]
+        return _select(population, query.agg, require_witness=False)
+
+    # -- L3 embedded references ---------------------------------------------
+
+    def _embedded_ref(self, query: EmbeddedRef) -> List[Entry]:
+        first = self._eval(query.first)
+        second = self._eval(query.second)
+        attribute = query.attribute
+        if query.op == "vd":
+            # r1 selected iff some r2 with (a, dn(r2)) in val(r1).
+            by_dn: Dict[DN, Entry] = {e.dn: e for e in second}
+            population = []
+            for entry in first:
+                witnesses = []
+                for value in entry.values(attribute):
+                    target = _as_dn(value)
+                    if target is not None and target in by_dn:
+                        witnesses.append(by_dn[target])
+                population.append((entry, _dedupe_entries(witnesses)))
+        else:
+            # dv: r1 selected iff some r2 with (a, dn(r1)) in val(r2).
+            refs: Dict[DN, List[Entry]] = {}
+            for witness in second:
+                for value in witness.values(attribute):
+                    target = _as_dn(value)
+                    if target is not None:
+                        refs.setdefault(target, []).append(witness)
+            population = [
+                (entry, _dedupe_entries(refs.get(entry.dn, [])))
+                for entry in first
+            ]
+        return _select(population, query.agg)
+
+
+def witness_set(
+    op: str,
+    entry: Entry,
+    second: Sequence[Entry],
+    third: Optional[Sequence[Entry]] = None,
+) -> List[Entry]:
+    """The op-witness set ``ws_Q(entry)`` in ``second`` (Section 6.2),
+    blocked by ``third`` for the path-constrained operators."""
+    dn = entry.dn
+    if op == "p":
+        return [w for w in second if w.dn.is_parent_of(dn)]
+    if op == "c":
+        return [w for w in second if dn.is_parent_of(w.dn)]
+    if op == "a":
+        return [w for w in second if w.dn.is_ancestor_of(dn)]
+    if op == "d":
+        return [w for w in second if dn.is_ancestor_of(w.dn)]
+    if op == "dc":
+        assert third is not None
+        blockers = [b.dn for b in third]
+        witnesses = []
+        for w in second:
+            if not dn.is_ancestor_of(w.dn):
+                continue
+            blocked = any(
+                dn.is_ancestor_of(b) and b.is_ancestor_of(w.dn) for b in blockers
+            )
+            if not blocked:
+                witnesses.append(w)
+        return witnesses
+    if op == "ac":
+        assert third is not None
+        blockers = [b.dn for b in third]
+        witnesses = []
+        for w in second:
+            if not w.dn.is_ancestor_of(dn):
+                continue
+            blocked = any(
+                b.is_ancestor_of(dn) and w.dn.is_ancestor_of(b) for b in blockers
+            )
+            if not blocked:
+                witnesses.append(w)
+        return witnesses
+    raise QueryError("unknown hierarchical operator %r" % op)
+
+
+def _select(
+    population: List[Tuple[Entry, Optional[List[Entry]]]],
+    agg: Optional[AggSelFilter],
+    require_witness: bool = True,
+) -> List[Entry]:
+    """Apply the selection step shared by all witness-producing operators:
+    plain operators keep entries with non-empty witness sets; aggregate
+    variants evaluate the filter."""
+    if agg is None:
+        return [entry for entry, witnesses in population if witnesses]
+    set_values = {
+        id(esa): esa.evaluate(population) for esa in agg.entry_set_aggregates()
+    }
+    selected = []
+    for entry, witnesses in population:
+        if agg.test(entry, witnesses, set_values):
+            selected.append(entry)
+    return selected
+
+
+def _as_dn(value) -> Optional[DN]:
+    if isinstance(value, DN):
+        return value
+    if isinstance(value, str):
+        try:
+            return DN.parse(value)
+        except Exception:
+            return None
+    return None
+
+
+def _dedupe_entries(entries: List[Entry]) -> List[Entry]:
+    seen = set()
+    out = []
+    for entry in entries:
+        if entry.dn not in seen:
+            seen.add(entry.dn)
+            out.append(entry)
+    return out

@@ -1,0 +1,129 @@
+"""Schema-aware query validation.
+
+The languages are typed through the schema: comparisons require
+``tau(a) = int``, wildcards require ``tau(a) = string`` (Section 4.1), and
+the embedded-reference operators only make sense on
+``distinguishedName``-typed attributes (Section 7).  An ill-typed atomic
+filter is not an *error* at evaluation time -- it simply never matches --
+but a client almost certainly misspelled something, so real servers warn.
+This module provides that check:
+
+- :func:`validate_query` returns a list of human-readable problems
+  (empty = clean);
+- :func:`check_query` raises :class:`QueryTypeError` on the first problem
+  (strict mode, e.g. for the service's front door).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..filters.ast import (
+    Comparison,
+    Filter,
+    FilterAnd,
+    FilterNot,
+    FilterOr,
+    MatchAll,
+    Substring,
+)
+from ..model.schema import DirectorySchema
+from .aggregates import AggSelFilter, EntryAggregate, EntrySetAggregate
+from .ast import AtomicQuery, EmbeddedRef, HierarchySelect, Query, SimpleAggSelect
+
+__all__ = ["validate_query", "check_query", "QueryTypeError"]
+
+
+class QueryTypeError(ValueError):
+    """A query refers to the schema inconsistently."""
+
+
+def validate_query(query: Query, schema: DirectorySchema) -> List[str]:
+    """Every typing problem in the query, most significant first."""
+    problems: List[str] = []
+    for node in query.walk():
+        if isinstance(node, AtomicQuery):
+            _check_filter(node.filter, schema, problems)
+        elif isinstance(node, EmbeddedRef):
+            _check_ref_attribute(node.attribute, schema, problems)
+            if node.agg is not None:
+                _check_aggsel(node.agg, schema, problems)
+        elif isinstance(node, HierarchySelect):
+            if node.agg is not None:
+                _check_aggsel(node.agg, schema, problems)
+        elif isinstance(node, SimpleAggSelect):
+            _check_aggsel(node.agg, schema, problems)
+    return problems
+
+
+def check_query(query: Query, schema: DirectorySchema) -> None:
+    """Raise :class:`QueryTypeError` on the first problem."""
+    problems = validate_query(query, schema)
+    if problems:
+        raise QueryTypeError(problems[0])
+
+
+def _check_filter(filter_: Filter, schema: DirectorySchema, problems: List[str]) -> None:
+    if isinstance(filter_, MatchAll):
+        return
+    if isinstance(filter_, (FilterAnd, FilterOr)):
+        for operand in filter_.operands:
+            _check_filter(operand, schema, problems)
+        return
+    if isinstance(filter_, FilterNot):
+        _check_filter(filter_.operand, schema, problems)
+        return
+    attribute = getattr(filter_, "attribute", None)
+    if attribute is None:
+        return
+    if not schema.has_attribute(attribute):
+        problems.append("filter uses undeclared attribute %r" % attribute)
+        return
+    type_name = schema.type_name_of(attribute)
+    if isinstance(filter_, Comparison) and type_name != "int":
+        problems.append(
+            "comparison %s requires an int attribute but tau(%s) = %s"
+            % (filter_, attribute, type_name)
+        )
+    if isinstance(filter_, Substring) and type_name != "string":
+        problems.append(
+            "wildcard %s requires a string attribute but tau(%s) = %s"
+            % (filter_, attribute, type_name)
+        )
+
+
+def _check_ref_attribute(attribute: str, schema: DirectorySchema, problems: List[str]) -> None:
+    if not schema.has_attribute(attribute):
+        problems.append(
+            "embedded-reference operator uses undeclared attribute %r" % attribute
+        )
+        return
+    type_name = schema.type_name_of(attribute)
+    if type_name != "distinguishedName":
+        problems.append(
+            "vd/dv need a distinguishedName attribute but tau(%s) = %s"
+            % (attribute, type_name)
+        )
+
+
+def _check_aggsel(agg: AggSelFilter, schema: DirectorySchema, problems: List[str]) -> None:
+    for side in (agg.left, agg.right):
+        terms = []
+        if isinstance(side, EntryAggregate):
+            terms.append(side)
+        elif isinstance(side, EntrySetAggregate) and side.inner is not None:
+            terms.append(side.inner)
+        for term in terms:
+            if term.attribute is None:
+                continue
+            if not schema.has_attribute(term.attribute):
+                problems.append(
+                    "aggregate %s uses undeclared attribute %r" % (term, term.attribute)
+                )
+                continue
+            type_name = schema.type_name_of(term.attribute)
+            if term.func in ("min", "max", "sum", "average") and type_name != "int":
+                problems.append(
+                    "aggregate %s needs int values but tau(%s) = %s"
+                    % (term, term.attribute, type_name)
+                )

@@ -1,0 +1,6 @@
+"""The directory service layer: the LDAP-shaped integration of engine,
+updates, access control and result controls."""
+
+from .service import DirectoryService, ResultCode, SearchResult, ServiceError
+
+__all__ = ["DirectoryService", "ResultCode", "SearchResult", "ServiceError"]

@@ -1,0 +1,238 @@
+"""The directory service: the integration layer a deployment would run.
+
+Everything the repository builds, behind one LDAP-shaped interface:
+
+- **bind** -- associate a connection with a subject (authentication is a
+  lookup of the subject's ``userPassword``-style credential attribute, or
+  anonymous);
+- **search** -- any L0--L3 query (the paper's syntax, a builder object or
+  an AST), honouring access control, a size limit and paged retrieval;
+- **compare** -- LDAP's attribute-value assertion on one entry;
+- **add / delete / modify** -- mutations through the differential update
+  log (compaction is automatic before the next search);
+- result codes in the style of LDAP (success, noSuchObject,
+  sizeLimitExceeded, insufficientAccessRights, ...).
+
+The service owns an :class:`~repro.storage.maintenance.UpdatableDirectory`
+and rebuilds its engine view only when updates intervened, so repeated
+searches keep their I/O bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Union
+
+from ..engine.engine import QueryEngine
+from ..engine.paging import PagedSearch, run_limited
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from ..query.ast import Query
+from ..query.builder import QueryBuilder
+from ..query.parser import parse_query
+from ..security import AccessControlList
+from ..storage.maintenance import UpdatableDirectory, UpdateError
+
+__all__ = ["DirectoryService", "ResultCode", "SearchResult", "ServiceError"]
+
+
+class ResultCode:
+    """LDAP-style result codes."""
+
+    SUCCESS = "success"
+    NO_SUCH_OBJECT = "noSuchObject"
+    SIZE_LIMIT_EXCEEDED = "sizeLimitExceeded"
+    INSUFFICIENT_ACCESS = "insufficientAccessRights"
+    INVALID_CREDENTIALS = "invalidCredentials"
+    ENTRY_ALREADY_EXISTS = "entryAlreadyExists"
+    UNWILLING_TO_PERFORM = "unwillingToPerform"
+    COMPARE_TRUE = "compareTrue"
+    COMPARE_FALSE = "compareFalse"
+    PROTOCOL_ERROR = "protocolError"
+
+
+class ServiceError(RuntimeError):
+    """Raised for protocol misuse (e.g. operations before bind when the
+    service requires authentication)."""
+
+
+class SearchResult:
+    """One search's outcome: entries plus a result code."""
+
+    def __init__(self, code: str, entries: List[Entry], total_size: Optional[int] = None):
+        self.code = code
+        self.entries = entries
+        self.total_size = total_size if total_size is not None else len(entries)
+
+    def dns(self) -> List[str]:
+        return [str(entry.dn) for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return "SearchResult(%s, %d entries)" % (self.code, len(self.entries))
+
+
+class DirectoryService:
+    """One logical directory server."""
+
+    def __init__(
+        self,
+        instance: DirectoryInstance,
+        acl: Optional[AccessControlList] = None,
+        credential_attribute: str = "userPassword",
+        page_size: int = 16,
+        buffer_pages: int = 8,
+    ):
+        self.directory = UpdatableDirectory.from_instance(
+            instance, page_size=page_size, buffer_pages=buffer_pages
+        )
+        #: Default-open when no ACL is supplied.
+        self.acl = acl or AccessControlList(default_allow=True)
+        self.credential_attribute = credential_attribute
+        self._bound_subject: Optional[str] = None
+        self._engine: Optional[QueryEngine] = None
+        self._engine_generation = -1
+
+    # -- connection state --------------------------------------------------
+
+    def bind(self, subject_dn: Union[DN, str], credential: str) -> str:
+        """Simple bind: compare the credential against the subject entry's
+        credential attribute.  Returns a result code; on success the
+        connection is bound to the subject (its dn string)."""
+        if isinstance(subject_dn, str):
+            subject_dn = DN.parse(subject_dn)
+        entry = self.directory.lookup(subject_dn)
+        if entry is None:
+            return ResultCode.NO_SUCH_OBJECT
+        stored = [str(v) for v in entry.values(self.credential_attribute)]
+        if credential not in stored:
+            return ResultCode.INVALID_CREDENTIALS
+        self._bound_subject = str(subject_dn)
+        return ResultCode.SUCCESS
+
+    def bind_anonymous(self) -> str:
+        self._bound_subject = None
+        return ResultCode.SUCCESS
+
+    @property
+    def bound_subject(self) -> Optional[str]:
+        return self._bound_subject
+
+    # -- read operations -----------------------------------------------------
+
+    def _engine_now(self) -> QueryEngine:
+        generation = self.directory.compactions
+        if self.directory.pending():
+            self.directory.compact()
+            generation = self.directory.compactions
+        if self._engine is None or generation != self._engine_generation:
+            self._engine = QueryEngine(self.directory.store)
+            self._engine_generation = generation
+        return self._engine
+
+    def _visible(self, entries: Iterable[Entry]) -> List[Entry]:
+        subject = self._bound_subject
+        return [e for e in entries if self.acl.readable(subject, e.dn)]
+
+    def search(
+        self,
+        query: Union[str, Query, QueryBuilder],
+        size_limit: Optional[int] = None,
+        attributes: Optional[List[str]] = None,
+        strict: bool = False,
+    ) -> SearchResult:
+        """Evaluate a query; results filtered by the bound subject's
+        visibility, optionally size-limited and projected to the named
+        attributes.  With ``strict`` the query is type-checked against the
+        schema first (protocolError on violation)."""
+        if isinstance(query, QueryBuilder):
+            query = query.build()
+        if isinstance(query, str):
+            query = parse_query(query)
+        if strict:
+            from ..query.typecheck import validate_query
+
+            problems = validate_query(query, self.directory.schema)
+            if problems:
+                return SearchResult(ResultCode.PROTOCOL_ERROR, [], total_size=0)
+        engine = self._engine_now()
+        if size_limit is None:
+            result = engine.run(query)
+            visible = self._visible(result.entries)
+            code = ResultCode.SUCCESS
+            total = len(visible)
+        else:
+            limited = run_limited(engine, query, size_limit)
+            visible = self._visible(limited.entries)
+            code = (
+                ResultCode.SIZE_LIMIT_EXCEEDED
+                if limited.truncated
+                else ResultCode.SUCCESS
+            )
+            total = limited.total_size
+        if attributes:
+            from ..model.projection import project
+
+            visible = project(visible, attributes)
+        return SearchResult(code, visible, total_size=total)
+
+    def search_paged(
+        self, query: Union[str, Query, QueryBuilder], page_entries: int
+    ) -> Iterable[List[Entry]]:
+        """Paged retrieval (each page already visibility-filtered)."""
+        if isinstance(query, QueryBuilder):
+            query = query.build()
+        cursor = PagedSearch(self._engine_now(), query, page_entries)
+        for page in cursor:
+            yield self._visible(page)
+
+    def compare(self, dn: Union[DN, str], attribute: str, value: Any) -> str:
+        """LDAP compare: does the entry hold (attribute, value)?"""
+        if isinstance(dn, str):
+            dn = DN.parse(dn)
+        if not self.acl.readable(self._bound_subject, dn):
+            return ResultCode.INSUFFICIENT_ACCESS
+        self._engine_now()  # fold in pending updates first
+        entry = self.directory.lookup(dn)
+        if entry is None:
+            return ResultCode.NO_SUCH_OBJECT
+        if any(str(v) == str(value) for v in entry.values(attribute)):
+            return ResultCode.COMPARE_TRUE
+        return ResultCode.COMPARE_FALSE
+
+    # -- write operations -----------------------------------------------------
+
+    def add(self, dn, classes, attributes=None, **kw) -> str:
+        try:
+            self.directory.add(dn, classes, attributes, **kw)
+        except UpdateError:
+            return ResultCode.ENTRY_ALREADY_EXISTS
+        return ResultCode.SUCCESS
+
+    def delete(self, dn, recursive: bool = False) -> str:
+        try:
+            self.directory.delete(dn, recursive=recursive)
+        except UpdateError as exc:
+            if "children" in str(exc):
+                return ResultCode.UNWILLING_TO_PERFORM
+            return ResultCode.NO_SUCH_OBJECT
+        return ResultCode.SUCCESS
+
+    def modify(self, dn, replace=None, add_values=None, remove_values=None) -> str:
+        try:
+            self.directory.modify(
+                dn, replace=replace, add_values=add_values, remove_values=remove_values
+            )
+        except UpdateError as exc:
+            if "protected" in str(exc):
+                return ResultCode.UNWILLING_TO_PERFORM
+            return ResultCode.NO_SUCH_OBJECT
+        return ResultCode.SUCCESS
+
+    def __repr__(self) -> str:
+        return "DirectoryService(%r, bound=%r)" % (
+            self.directory,
+            self._bound_subject,
+        )

@@ -1,0 +1,98 @@
+"""A paged B+tree for integer attribute indices.
+
+Section 4.1 assumes atomic queries "can be evaluated with the help of
+B-tree indices for integer and distinguishedName filters".  This B+tree
+keeps its *leaf level* on the simulated device (every leaf visited costs a
+page read) and its upper levels in memory, mirroring the standard
+assumption that a B-tree's internal nodes are resident; the theorems charge
+atomic evaluation by its output size, so what matters is that a lookup
+reads only the ``t/B`` leaf pages holding its ``t`` results.
+
+Keys are ints (attribute values); payloads are master-run positions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .pager import Pager
+
+__all__ = ["BPlusTree"]
+
+
+class BPlusTree:
+    """Bulk-loaded, read-only B+tree over sorted (key, position) pairs."""
+
+    def __init__(
+        self,
+        pager: Pager,
+        leaf_page_ids: List[int],
+        leaf_first_keys: List[int],
+        length: int,
+    ):
+        self.pager = pager
+        self._leaf_page_ids = leaf_page_ids
+        self._leaf_first_keys = leaf_first_keys
+        self.length = length
+
+    @classmethod
+    def bulk_load(
+        cls, pager: Pager, sorted_pairs: Sequence[Tuple[int, int]]
+    ) -> "BPlusTree":
+        """Build from (key, position) pairs already sorted by key."""
+        leaf_page_ids: List[int] = []
+        leaf_first_keys: List[int] = []
+        size = pager.page_size
+        for start in range(0, len(sorted_pairs), size):
+            chunk = list(sorted_pairs[start : start + size])
+            leaf_page_ids.append(pager.append_page(chunk))
+            leaf_first_keys.append(chunk[0][0])
+        return cls(pager, leaf_page_ids, leaf_first_keys, len(sorted_pairs))
+
+    # -- queries -----------------------------------------------------------
+
+    def search(self, key: int) -> List[int]:
+        """Positions of entries with exactly this key."""
+        return list(self.range_scan(key, key, True, True))
+
+    def range_scan(
+        self,
+        low: Optional[int],
+        high: Optional[int],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Positions with key in the given (possibly open-ended) range,
+        reading only the leaf pages that can contain them."""
+        if not self._leaf_page_ids:
+            return
+        if low is None:
+            start_leaf = 0
+        else:
+            # bisect_left: duplicates of ``low`` may span leaf boundaries,
+            # so start at the last leaf whose first key is strictly below.
+            start_leaf = max(0, bisect_left(self._leaf_first_keys, low) - 1)
+        for leaf_index in range(start_leaf, len(self._leaf_page_ids)):
+            if high is not None and self._leaf_first_keys[leaf_index] > high:
+                break
+            for key, position in self.pager.read(self._leaf_page_ids[leaf_index]):
+                if low is not None:
+                    if key < low or (key == low and not low_inclusive):
+                        continue
+                if high is not None:
+                    if key > high or (key == high and not high_inclusive):
+                        if key > high:
+                            return
+                        continue
+                yield position
+
+    @property
+    def leaf_pages(self) -> int:
+        return len(self._leaf_page_ids)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return "BPlusTree(%d keys, %d leaf pages)" % (self.length, self.leaf_pages)

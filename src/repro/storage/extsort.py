@@ -1,0 +1,92 @@
+"""External merge sort over pager-resident runs.
+
+Used wherever the paper sorts: producing the initial reverse-dn-ordered
+entry lists, and sorting the pair list ``LP`` inside ``ComputeERAggDV``
+(Figure 3), whose ``(|L2| m / B) log(|L2| m / B)`` term is exactly this
+sort's cost.
+
+The sort honours the external-memory model: phase 1 fills a bounded
+in-memory workspace (``memory_pages`` pages of ``B`` records), sorts it and
+emits a level-0 run; phase 2 repeatedly merges up to ``fan_in`` runs until
+one remains.  All page movement goes through the pager and is counted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List
+
+from .pager import Pager
+from .runs import Run, RunWriter
+
+__all__ = ["external_sort", "merge_runs"]
+
+
+def external_sort(
+    pager: Pager,
+    records: Iterable[Any],
+    key: Callable[[Any], Any],
+    memory_pages: int = 4,
+) -> Run:
+    """Sort ``records`` by ``key`` into a single run.
+
+    ``memory_pages`` bounds the in-memory workspace (and the merge fan-in),
+    independent of input size, so the constant-memory discipline holds.
+    """
+    if memory_pages < 2:
+        raise ValueError("external sort needs at least 2 memory pages")
+    capacity = memory_pages * pager.page_size
+
+    runs: List[Run] = []
+    workspace: List[Any] = []
+    for record in records:
+        workspace.append(record)
+        if len(workspace) >= capacity:
+            runs.append(_emit_sorted(pager, workspace, key))
+            workspace = []
+    if workspace or not runs:
+        runs.append(_emit_sorted(pager, workspace, key))
+
+    fan_in = max(2, memory_pages - 1)
+    while len(runs) > 1:
+        merged: List[Run] = []
+        for start in range(0, len(runs), fan_in):
+            group = runs[start : start + fan_in]
+            if len(group) == 1:
+                merged.append(group[0])
+            else:
+                merged.append(merge_runs(pager, group, key))
+        runs = merged
+    return runs[0]
+
+
+def _emit_sorted(pager: Pager, workspace: List[Any], key) -> Run:
+    workspace.sort(key=key)
+    writer = RunWriter(pager)
+    writer.extend(workspace)
+    return writer.close()
+
+
+def merge_runs(
+    pager: Pager,
+    runs: List[Run],
+    key: Callable[[Any], Any],
+) -> Run:
+    """K-way merge of sorted runs into one; inputs are freed."""
+    writer = RunWriter(pager)
+    readers = [run.reader() for run in runs]
+    heap = []
+    for index, reader in enumerate(readers):
+        head = reader.peek()
+        if head is not None:
+            heapq.heappush(heap, (key(head), index))
+    while heap:
+        _item_key, index = heapq.heappop(heap)
+        reader = readers[index]
+        writer.append(reader.next())
+        head = reader.peek()
+        if head is not None:
+            heapq.heappush(heap, (key(head), index))
+    for run in runs:
+        run.free()
+    return writer.close()

@@ -1,0 +1,261 @@
+"""Directory maintenance: updates against the read-optimised store.
+
+Directories are read-mostly (the paper's engine is built around a
+clustered, sorted master run), so updates follow the classic differential
+scheme of that era: mutations accumulate in a validated, in-memory *update
+log*; :meth:`UpdatableDirectory.compact` merges the log into a fresh
+master run in one co-scan -- ``O((N + |log|)/B)`` page transfers plus the
+log sort -- and rebuilds the secondary indices.  Queries always run
+against a compacted image (:meth:`UpdatableDirectory.engine` compacts on
+demand), so every complexity bound of the query engine is preserved.
+
+Supported mutations:
+
+- :meth:`~UpdatableDirectory.add` -- insert a new entry (validated against
+  the schema exactly like :meth:`DirectoryInstance.add`);
+- :meth:`~UpdatableDirectory.delete` -- remove an entry (optionally a
+  whole subtree);
+- :meth:`~UpdatableDirectory.modify` -- replace / add / remove attribute
+  values of an existing entry (``objectClass`` cannot be modified; delete
+  and re-add instead).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Union
+
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance, InstanceError
+from ..model.schema import OBJECT_CLASS, DirectorySchema
+
+from .runs import RunWriter
+from .store import DirectoryStore
+
+__all__ = ["UpdatableDirectory", "UpdateError"]
+
+
+class UpdateError(InstanceError):
+    """Raised for invalid updates (unknown dn, duplicate add, ...)."""
+
+
+class UpdatableDirectory:
+    """A directory store plus a pending update log."""
+
+    def __init__(self, store: DirectoryStore, auto_compact_at: int = 1024):
+        self.store = store
+        self.schema = store.schema
+        #: Compact automatically once this many mutations are pending.
+        self.auto_compact_at = auto_compact_at
+        self._adds: Dict[DN, Entry] = {}
+        self._deletes: Set[DN] = set()
+        self._delete_subtrees: Set[DN] = set()
+        self.compactions = 0
+
+    # -- building ------------------------------------------------------------
+
+    @classmethod
+    def from_instance(
+        cls,
+        instance: DirectoryInstance,
+        page_size: int = 16,
+        buffer_pages: int = 8,
+        **options,
+    ) -> "UpdatableDirectory":
+        store = DirectoryStore.from_instance(
+            instance, page_size=page_size, buffer_pages=buffer_pages
+        )
+        return cls(store, **options)
+
+    # -- current-state lookups -------------------------------------------------
+
+    def lookup(self, dn: Union[DN, str]) -> Optional[Entry]:
+        """The entry at ``dn`` as of all pending updates."""
+        if isinstance(dn, str):
+            dn = DN.parse(dn)
+        if dn in self._adds:
+            return self._adds[dn]
+        if self._is_deleted(dn):
+            return None
+        for entry in self.store.scan_subtree(dn):
+            if entry.dn == dn:
+                return entry
+            break
+        return None
+
+    def _is_deleted(self, dn: DN) -> bool:
+        if dn in self._deletes:
+            return True
+        return any(root.is_prefix_of(dn) for root in self._delete_subtrees)
+
+    def pending(self) -> int:
+        return len(self._adds) + len(self._deletes) + len(self._delete_subtrees)
+
+    def __len__(self) -> int:
+        """Exact only right after compaction; otherwise an O(pending)
+        adjustment over the stored count (subtree deletes force compaction
+        first)."""
+        if self._delete_subtrees:
+            self.compact()
+        return len(self.store) + len(self._adds) - len(self._deletes)
+
+    # -- mutations ----------------------------------------------------------
+
+    def add(
+        self,
+        dn: Union[DN, str],
+        classes: Iterable[str],
+        attributes: Optional[Dict[str, Iterable[Any]]] = None,
+        **kw_attributes: Any,
+    ) -> Entry:
+        """Insert a new entry (schema-validated)."""
+        if isinstance(dn, str):
+            dn = DN.parse(dn)
+        if self.lookup(dn) is not None:
+            raise UpdateError("dn is a key: %s already present" % dn)
+        entry = _validated_entry(self.schema, dn, classes, attributes, kw_attributes)
+        self._deletes.discard(dn)
+        self._adds[dn] = entry
+        self._maybe_compact()
+        return entry
+
+    def delete(self, dn: Union[DN, str], recursive: bool = False) -> None:
+        """Remove the entry at ``dn``; with ``recursive`` its subtree too."""
+        if isinstance(dn, str):
+            dn = DN.parse(dn)
+        if self.lookup(dn) is None:
+            raise UpdateError("no entry at %s" % dn)
+        if recursive:
+            self._delete_subtrees.add(dn)
+            for pending_dn in [d for d in self._adds if dn.is_prefix_of(d)]:
+                del self._adds[pending_dn]
+        else:
+            if any(True for _ in self._children_now(dn)):
+                raise UpdateError("%s has children; pass recursive=True" % dn)
+            self._adds.pop(dn, None)
+            self._deletes.add(dn)
+        self._maybe_compact()
+
+    def modify(
+        self,
+        dn: Union[DN, str],
+        replace: Optional[Dict[str, Iterable[Any]]] = None,
+        add_values: Optional[Dict[str, Iterable[Any]]] = None,
+        remove_values: Optional[Dict[str, Iterable[Any]]] = None,
+    ) -> Entry:
+        """Change attribute values of an existing entry.
+
+        ``replace`` overwrites an attribute's whole value set (an empty
+        iterable removes the attribute); ``add_values`` and
+        ``remove_values`` adjust individual values.  The RDN attributes and
+        ``objectClass`` cannot be touched."""
+        if isinstance(dn, str):
+            dn = DN.parse(dn)
+        current = self.lookup(dn)
+        if current is None:
+            raise UpdateError("no entry at %s" % dn)
+        protected = set(dn.rdn.attributes()) | {OBJECT_CLASS}
+        values: Dict[str, List[Any]] = {
+            attr: list(current.values(attr))
+            for attr in current.attributes()
+            if attr != OBJECT_CLASS
+        }
+        for attr, vals in (replace or {}).items():
+            if attr in protected:
+                raise UpdateError("cannot modify protected attribute %r" % attr)
+            vals = list(vals)
+            if vals:
+                values[attr] = vals
+            else:
+                values.pop(attr, None)
+        for attr, vals in (add_values or {}).items():
+            if attr in protected:
+                raise UpdateError("cannot modify protected attribute %r" % attr)
+            values.setdefault(attr, []).extend(vals)
+        for attr, vals in (remove_values or {}).items():
+            if attr in protected:
+                raise UpdateError("cannot modify protected attribute %r" % attr)
+            doomed = {str(v) for v in vals}
+            values[attr] = [v for v in values.get(attr, []) if str(v) not in doomed]
+            if not values[attr]:
+                del values[attr]
+        entry = _validated_entry(self.schema, dn, current.classes, values, {})
+        self._adds[dn] = entry
+        self._deletes.discard(dn)
+        self._maybe_compact()
+        return entry
+
+    def _children_now(self, dn: DN):
+        for child_dn in self._adds:
+            if dn.is_parent_of(child_dn):
+                yield child_dn
+        for entry in self.store.scan_subtree(dn):
+            if dn.is_parent_of(entry.dn) and not self._is_deleted(entry.dn):
+                yield entry.dn
+
+    # -- compaction ----------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self.pending() >= self.auto_compact_at:
+            self.compact()
+
+    def compact(self) -> DirectoryStore:
+        """Merge the update log into a fresh master run (one co-scan)."""
+        if not self.pending():
+            return self.store
+        pager = self.store.pager
+        adds = sorted(self._adds.values(), key=lambda e: e.dn.key())
+        writer = RunWriter(pager)
+        add_index = 0
+        for entry in self.store.scan_all():
+            while add_index < len(adds) and adds[add_index].dn.key() < entry.dn.key():
+                writer.append(adds[add_index])
+                add_index += 1
+            if add_index < len(adds) and adds[add_index].dn == entry.dn:
+                writer.append(adds[add_index])  # modify: new version wins
+                add_index += 1
+                continue
+            if not self._is_deleted(entry.dn):
+                writer.append(entry)
+        while add_index < len(adds):
+            writer.append(adds[add_index])
+            add_index += 1
+        new_master = writer.close()
+
+        int_attrs = tuple(self.store.int_indices)
+        str_attrs = tuple(self.store.string_indices)
+        self.store.master.free()
+        self.store = DirectoryStore(pager, self.schema, new_master)
+        if int_attrs or str_attrs:
+            self.store.build_indices(int_attrs, str_attrs)
+        self._adds.clear()
+        self._deletes.clear()
+        self._delete_subtrees.clear()
+        self.compactions += 1
+        return self.store
+
+    def engine(self, **options):
+        """A query engine over the current state (compacts if needed)."""
+        from ..engine.engine import QueryEngine
+
+        self.compact()
+        return QueryEngine(self.store, **options)
+
+    def __repr__(self) -> str:
+        return "UpdatableDirectory(%d stored, %d pending)" % (
+            len(self.store),
+            self.pending(),
+        )
+
+
+def _validated_entry(
+    schema: DirectorySchema,
+    dn: DN,
+    classes: Iterable[str],
+    attributes: Optional[Dict[str, Iterable[Any]]],
+    kw_attributes: Dict[str, Any],
+) -> Entry:
+    """Build one schema-validated entry by round-tripping through a
+    scratch instance (reusing all of Definition 3.2's checks)."""
+    scratch = DirectoryInstance(schema)
+    return scratch.add(dn, classes, attributes, **kw_attributes)

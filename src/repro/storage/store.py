@@ -1,0 +1,161 @@
+"""The on-"disk" directory: master layout plus sparse index.
+
+A :class:`DirectoryStore` lays a :class:`~repro.model.instance.DirectoryInstance`
+out on the simulated block device as one master run of entries in
+reverse-dn order -- the clustering every algorithm in the paper assumes.
+Because the order is hierarchical, the subtree below any base dn occupies a
+*contiguous page range*; a small sparse index (the first dn key of each
+page) locates that range without touching the data pages, playing the role
+of the upper levels of the B-tree the paper assumes for dn filters (their
+traversal I/O is logarithmic and absorbed into the atomic-query cost the
+theorems take as given).
+
+Secondary attribute indices live in :mod:`repro.storage.btree` and
+:mod:`repro.storage.strindex` and are attached via :meth:`DirectoryStore.build_indices`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from ..model.dn import DN
+from ..model.entry import Entry
+from ..model.instance import DirectoryInstance
+from ..model.schema import DirectorySchema
+from .pager import Pager
+from .runs import Run, RunWriter
+
+__all__ = ["DirectoryStore"]
+
+
+class DirectoryStore:
+    """A read-optimised directory image on the simulated device."""
+
+    def __init__(self, pager: Pager, schema: DirectorySchema, master: Run):
+        self.pager = pager
+        self.schema = schema
+        self.master = master
+        # Sparse index: first dn key per master page (in memory, stands in
+        # for the resident upper levels of the dn B-tree).
+        self._page_first_keys: List[Tuple[str, ...]] = []
+        for page_id in master.page_ids:
+            records = pager.read(page_id)
+            if records:
+                self._page_first_keys.append(records[0].dn.key())
+        self.int_indices = {}
+        self.string_indices = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_instance(
+        cls,
+        instance: DirectoryInstance,
+        pager: Optional[Pager] = None,
+        page_size: int = 16,
+        buffer_pages: int = 8,
+    ) -> "DirectoryStore":
+        """Bulk-load an instance (already sorted) into a fresh store."""
+        pager = pager or Pager(page_size=page_size, buffer_pages=buffer_pages)
+        writer = RunWriter(pager)
+        writer.extend(instance)  # DirectoryInstance iterates in sorted order
+        master = writer.close()
+        return cls(pager, instance.schema, master)
+
+    def build_indices(
+        self,
+        int_attributes: Tuple[str, ...] = (),
+        string_attributes: Tuple[str, ...] = (),
+    ) -> None:
+        """Build secondary indices over the master run.
+
+        Int attributes get a paged B+tree supporting range scans; string
+        attributes get a sorted-distinct-value index supporting equality,
+        presence and wildcard filters.  (The paper cites B-trees, tries and
+        suffix trees; see DESIGN.md for the substitution note.)
+        """
+        from .btree import BPlusTree
+        from .strindex import StringIndex
+
+        int_pairs = {attr: [] for attr in int_attributes}
+        str_pairs = {attr: [] for attr in string_attributes}
+        for position, entry in enumerate(self.master):
+            for attr in int_attributes:
+                for value in entry.values(attr):
+                    if isinstance(value, int) and not isinstance(value, bool):
+                        int_pairs[attr].append((value, position))
+            for attr in string_attributes:
+                for value in entry.values(attr):
+                    str_pairs[attr].append((str(value), position))
+        for attr in int_attributes:
+            self.int_indices[attr] = BPlusTree.bulk_load(
+                self.pager, sorted(int_pairs[attr])
+            )
+        for attr in string_attributes:
+            self.string_indices[attr] = StringIndex.build(
+                self.pager, str_pairs[attr]
+            )
+
+    # -- positional access ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.master.length
+
+    @property
+    def page_count(self) -> int:
+        return self.master.page_count
+
+    def entry_at(self, position: int) -> Entry:
+        """Fetch the entry at a master-run position (one page read unless
+        buffered)."""
+        page_index = position // self.pager.page_size
+        offset = position % self.pager.page_size
+        records = self.pager.read(self.master.page_ids[page_index])
+        return records[offset]
+
+    def fetch_positions(self, positions: List[int]) -> List[Entry]:
+        """Fetch entries by sorted position list, page at a time."""
+        out = []
+        for position in sorted(set(positions)):
+            out.append(self.entry_at(position))
+        return out
+
+    # -- hierarchical range scans ------------------------------------------
+
+    def page_range_for_subtree(self, base: DN) -> Tuple[int, int]:
+        """The half-open master page-index range whose pages can contain
+        entries of the subtree rooted at ``base`` (including ``base``
+        itself).  Located via the in-memory sparse index: no data I/O."""
+        if base.is_null():
+            return 0, self.master.page_count
+        prefix = base.key()
+        # First page whose successor page starts at or before the prefix.
+        start = bisect_right(self._page_first_keys, prefix) - 1
+        if start < 0:
+            start = 0
+        # Upper sentinel: smallest key strictly above every key with this
+        # prefix.
+        sentinel = prefix[:-1] + (prefix[-1] + "￿",)
+        end = bisect_right(self._page_first_keys, sentinel)
+        return start, end
+
+    def scan_subtree(self, base: DN) -> Iterator[Entry]:
+        """Entries of the subtree at ``base`` (base included), in order,
+        reading only the relevant contiguous page range."""
+        start, end = self.page_range_for_subtree(base)
+        for page_index in range(start, end):
+            for entry in self.pager.read(self.master.page_ids[page_index]):
+                if base.is_prefix_of(entry.dn):
+                    yield entry
+
+    def scan_all(self) -> Iterator[Entry]:
+        """Full master scan, in order."""
+        return iter(self.master)
+
+    def __repr__(self) -> str:
+        return "DirectoryStore(%d entries, %d pages, B=%d)" % (
+            len(self),
+            self.page_count,
+            self.pager.page_size,
+        )

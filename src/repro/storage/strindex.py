@@ -1,0 +1,129 @@
+"""String attribute index: sorted (value, position) pairs on the device.
+
+The paper points to "trie and suffix tree indices [McCreight 76] for string
+filters".  We substitute a simpler structure with the same I/O profile for
+the filter classes the languages use (see DESIGN.md):
+
+- equality ``a=v``: binary search over the in-memory page directory, then
+  read only the pages holding the value -- ``t/B`` page reads;
+- prefix wildcards ``a=v*``: the matching values are a contiguous range of
+  the sorted index, same cost as equality;
+- general wildcards ``a=*v*``: scan the index pages (``V/B`` where ``V`` is
+  the number of (value, position) pairs), never the data pages;
+- presence ``a=*``: the whole index, ``V/B``.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Iterator, List, Sequence, Tuple
+
+from .pager import Pager
+
+__all__ = ["StringIndex"]
+
+
+class StringIndex:
+    """Read-only sorted index of (string value, master position) pairs."""
+
+    def __init__(
+        self,
+        pager: Pager,
+        page_ids: List[int],
+        page_first_values: List[str],
+        length: int,
+    ):
+        self.pager = pager
+        self._page_ids = page_ids
+        self._page_first_values = page_first_values
+        self.length = length
+
+    @classmethod
+    def build(
+        cls, pager: Pager, pairs: Sequence[Tuple[str, int]]
+    ) -> "StringIndex":
+        ordered = sorted(pairs)
+        page_ids: List[int] = []
+        first_values: List[str] = []
+        size = pager.page_size
+        for start in range(0, len(ordered), size):
+            chunk = list(ordered[start : start + size])
+            page_ids.append(pager.append_page(chunk))
+            first_values.append(chunk[0][0])
+        return cls(pager, page_ids, first_values, len(ordered))
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup_eq(self, value: str) -> Iterator[int]:
+        """Positions whose value equals ``value``."""
+        return self._range(value, value + "\0")
+
+    def lookup_prefix(self, prefix: str) -> Iterator[int]:
+        """Positions whose value starts with ``prefix``."""
+        return self._range(prefix, prefix + "￿")
+
+    def lookup_pattern(self, pattern: str) -> Iterator[int]:
+        """Positions whose value matches a ``*``-wildcard pattern.
+
+        A pattern with a literal prefix narrows the scan to the prefix
+        range; a leading ``*`` forces a full index scan."""
+        literal_prefix = pattern.split("*", 1)[0]
+        regex = re.compile(
+            "^%s$"
+            % "".join(
+                ".*" if piece == "*" else re.escape(piece)
+                for piece in re.split(r"(\*)", pattern)
+            )
+        )
+        if literal_prefix:
+            candidates = self._range_pairs(literal_prefix, literal_prefix + "￿")
+        else:
+            candidates = self._all_pairs()
+        for value, position in candidates:
+            if regex.match(value):
+                yield position
+
+    def lookup_presence(self) -> Iterator[int]:
+        """Positions of every entry holding the attribute (full index)."""
+        for _value, position in self._all_pairs():
+            yield position
+
+    # -- internals ----------------------------------------------------------
+
+    def _range(self, low: str, high_exclusive: str) -> Iterator[int]:
+        for _value, position in self._range_pairs(low, high_exclusive):
+            yield position
+
+    def _range_pairs(
+        self, low: str, high_exclusive: str
+    ) -> Iterator[Tuple[str, int]]:
+        if not self._page_ids:
+            return
+        # bisect_left: duplicates of ``low`` may span page boundaries, so
+        # start at the last page whose first value is strictly below ``low``.
+        start = max(0, bisect_left(self._page_first_values, low) - 1)
+        for page_index in range(start, len(self._page_ids)):
+            if self._page_first_values[page_index] >= high_exclusive:
+                break
+            for value, position in self.pager.read(self._page_ids[page_index]):
+                if value < low:
+                    continue
+                if value >= high_exclusive:
+                    return
+                yield value, position
+
+    def _all_pairs(self) -> Iterator[Tuple[str, int]]:
+        for page_id in self._page_ids:
+            for pair in self.pager.read(page_id):
+                yield pair
+
+    @property
+    def pages(self) -> int:
+        return len(self._page_ids)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return "StringIndex(%d pairs, %d pages)" % (self.length, self.pages)

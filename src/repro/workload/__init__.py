@@ -1,0 +1,16 @@
+"""Synthetic workloads: directory generators, random query factories, and
+scalable DEN application workloads."""
+
+from .den import call_workload, packet_workload, qos_workload, tops_workload
+from .generator import RandomQueries, balanced_instance, random_instance, synthetic_schema
+
+__all__ = [
+    "call_workload",
+    "packet_workload",
+    "qos_workload",
+    "tops_workload",
+    "RandomQueries",
+    "balanced_instance",
+    "random_instance",
+    "synthetic_schema",
+]

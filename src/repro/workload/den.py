@@ -1,0 +1,135 @@
+"""Scalable DEN workloads: the paper's two applications at any size.
+
+Section 3.4 contrasts the two partitioning styles -- the QoS directory is
+partitioned *by functionality* (all policies under one
+``ou=networkPolicies``), the TOPS directory *by subscriber* (each
+subscriber owns a personal subtree).  These generators scale both shapes
+so the benchmarks can show what each buys:
+
+- :func:`qos_workload` -- ``n`` policies with proportional profile /
+  validity-period / action pools and a realistic reference fan-out;
+- :func:`tops_workload` -- ``n`` subscribers with a few QHPs each and a
+  few call appearances per QHP;
+- :func:`packet_workload` / :func:`call_workload` -- request streams for
+  the two decision paths.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..apps.qos import PacketProfile, QoSDirectory
+from ..apps.tops import CallRequest, TOPSDirectory
+
+__all__ = ["qos_workload", "tops_workload", "packet_workload", "call_workload"]
+
+_SUBNETS = ["10.%d" % i for i in range(8)] + ["204.178.%d" % i for i in range(8)]
+
+
+def qos_workload(n_policies: int, seed: int = 0) -> QoSDirectory:
+    """A policy directory with ``n_policies`` rules over shared pools of
+    profiles (~n/2), validity periods (~n/4) and actions (~n/8)."""
+    rng = random.Random(seed)
+    qos = QoSDirectory("dc=research, dc=att, dc=com")
+
+    n_profiles = max(2, n_policies // 2)
+    n_periods = max(2, n_policies // 4)
+    n_actions = max(2, n_policies // 8)
+    for index in range(n_profiles):
+        subnet = rng.choice(_SUBNETS)
+        qos.add_traffic_profile(
+            "tp%04d" % index,
+            source_address="%s.%d.*" % (subnet, rng.randrange(256)),
+            source_port=rng.choice([None, 21, 25, 80, 443]),
+            protocol=rng.choice([None, "tcp", "udp"]),
+        )
+    for index in range(n_periods):
+        start_day = rng.randrange(1, 28)
+        qos.add_validity_period(
+            "pvp%04d" % index,
+            start=19980100000000 + start_day * 1000000,
+            end=19981231235959,
+            days_of_week=rng.sample(range(1, 8), rng.randint(0, 3)),
+        )
+    for index in range(n_actions):
+        qos.add_action(
+            "act%04d" % index,
+            rng.choice(["Permit", "Deny"]),
+            peak_rate=rng.randrange(1, 100),
+        )
+    policy_names: List[str] = []
+    for index in range(n_policies):
+        name = "pol%05d" % index
+        exceptions = (
+            rng.sample(policy_names, min(len(policy_names), rng.randint(0, 2)))
+            if policy_names and rng.random() < 0.2
+            else ()
+        )
+        qos.add_policy(
+            name,
+            priority=rng.randint(1, 8),
+            action="act%04d" % rng.randrange(n_actions),
+            profiles=["tp%04d" % rng.randrange(n_profiles)
+                      for _ in range(rng.randint(1, 3))],
+            periods=["pvp%04d" % rng.randrange(n_periods)
+                     for _ in range(rng.randint(0, 2))],
+            exceptions=exceptions,
+        )
+        policy_names.append(name)
+    return qos
+
+
+def tops_workload(n_subscribers: int, seed: int = 0) -> TOPSDirectory:
+    """A subscriber-partitioned TOPS directory: 2--4 QHPs each, 1--3 call
+    appearances per QHP."""
+    rng = random.Random(seed)
+    tops = TOPSDirectory("dc=research, dc=att, dc=com")
+    for index in range(n_subscribers):
+        uid = "sub%05d" % index
+        tops.add_subscriber(uid, "subscriber %d" % index, "name%05d" % index)
+        for qhp_index in range(rng.randint(2, 4)):
+            qhp = "qhp%d" % qhp_index
+            if qhp_index == 0:
+                tops.add_qhp(uid, qhp, priority=1, days_of_week=(6, 7))
+            else:
+                start = rng.choice([700, 800, 900])
+                tops.add_qhp(
+                    uid, qhp, priority=qhp_index + 1,
+                    start_time=start, end_time=start + 900,
+                )
+            for ca_index in range(rng.randint(1, 3)):
+                tops.add_call_appearance(
+                    uid, qhp, "973%07d" % rng.randrange(10 ** 7),
+                    priority=ca_index + 1, time_out=rng.choice([20, 30]),
+                )
+    return tops
+
+
+def packet_workload(count: int, seed: int = 1) -> List[PacketProfile]:
+    rng = random.Random(seed)
+    packets = []
+    for _ in range(count):
+        subnet = rng.choice(_SUBNETS)
+        packets.append(
+            PacketProfile(
+                source_address="%s.%d.%d" % (subnet, rng.randrange(256), rng.randrange(256)),
+                source_port=rng.choice([None, 21, 25, 80, 443]),
+                protocol=rng.choice(["tcp", "udp"]),
+                timestamp=19980601120000 + rng.randrange(10 ** 6),
+                day_of_week=rng.randint(1, 7),
+            )
+        )
+    return packets
+
+
+def call_workload(count: int, n_subscribers: int, seed: int = 2) -> List[CallRequest]:
+    rng = random.Random(seed)
+    return [
+        CallRequest(
+            "sub%05d" % rng.randrange(n_subscribers),
+            time_of_day=rng.choice([730, 930, 1200, 1500, 2300]),
+            day_of_week=rng.randint(1, 7),
+        )
+        for _ in range(count)
+    ]

@@ -1,0 +1,234 @@
+"""Synthetic directory and query generators.
+
+The paper's algorithms are sensitive only to list sizes and forest shape,
+so the generators are parameterised by exactly those: entry count, fanout
+(children per node), attribute-value selectivities and the density of
+dn-valued references.  They provide:
+
+- the data for the differential tests (random instance + random query at
+  every language level, engine vs. definitional semantics);
+- the scalable workloads the benchmark sweeps measure I/O on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..filters.ast import Comparison, Equality, MatchAll, Presence, Substring
+from ..model.dn import DN, ROOT_DN
+from ..model.instance import DirectoryInstance
+from ..model.schema import DirectorySchema
+from ..query.aggregates import (
+    AggSelFilter,
+    Constant,
+    EntryAggregate,
+    EntrySetAggregate,
+)
+from ..query.ast import (
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    Or,
+    Query,
+    Scope,
+    SimpleAggSelect,
+)
+
+__all__ = ["synthetic_schema", "random_instance", "RandomQueries", "balanced_instance"]
+
+_KINDS = ("alpha", "beta", "gamma", "delta")
+_TAGS = ("red", "green", "blue", "redish", "dark-red")
+
+
+def synthetic_schema() -> DirectorySchema:
+    """A small schema with the shapes the languages exercise: string, int
+    and dn-valued attributes, shared across overlapping classes."""
+    schema = DirectorySchema()
+    schema.add_attribute("name", "string")
+    schema.add_attribute("kind", "string")
+    schema.add_attribute("tag", "string")
+    schema.add_attribute("level", "int")
+    schema.add_attribute("weight", "int")
+    schema.add_attribute("ref", "distinguishedName")
+    schema.add_class("node", {"name", "kind", "tag", "level", "weight", "ref"})
+    schema.add_class("container", {"name", "kind", "tag"})
+    schema.add_class("item", {"name", "weight", "ref"})
+    return schema
+
+
+def random_instance(
+    seed: int,
+    size: int,
+    max_children: int = 4,
+    ref_density: float = 0.3,
+    forest_roots: int = 2,
+) -> DirectoryInstance:
+    """A random forest of ``size`` entries with heterogeneous attributes.
+
+    ``ref_density`` is the probability that an entry carries one or more
+    dn-valued ``ref`` attributes pointing at earlier entries (the L3 fuel).
+    """
+    rng = random.Random(seed)
+    schema = synthetic_schema()
+    instance = DirectoryInstance(schema)
+    dns: List[DN] = []
+    child_counts = {}
+    for index in range(size):
+        name = "e%d" % index
+        if index < forest_roots or not dns:
+            parent = ROOT_DN
+        else:
+            parent = rng.choice(dns)
+            while child_counts.get(parent, 0) >= max_children:
+                parent = rng.choice(dns)
+        dn = parent.child("name=%s" % name)
+        child_counts[parent] = child_counts.get(parent, 0) + 1
+
+        classes = rng.choice(
+            [["node"], ["container"], ["node", "item"], ["container", "node"]]
+        )
+        attrs = {"name": [name]}
+        if any(c in ("node", "container") for c in classes):
+            attrs["kind"] = [rng.choice(_KINDS)]
+            if rng.random() < 0.6:
+                attrs["tag"] = rng.sample(_TAGS, rng.randint(1, 2))
+        if "node" in classes:
+            attrs["level"] = [rng.randint(0, 9)]
+        if "node" in classes or "item" in classes:
+            if rng.random() < 0.8:
+                attrs["weight"] = [rng.randint(0, 100)]
+            if dns and rng.random() < ref_density:
+                attrs["ref"] = [
+                    rng.choice(dns) for _ in range(rng.randint(1, 3))
+                ]
+        instance.add(dn, classes, attrs)
+        dns.append(dn)
+    return instance
+
+
+def balanced_instance(
+    size: int,
+    fanout: int = 4,
+    seed: int = 7,
+    ref_density: float = 0.3,
+) -> DirectoryInstance:
+    """A near-balanced tree of exactly ``size`` entries (benchmark shape):
+    entry ``i``'s parent is entry ``(i - 1) // fanout``."""
+    rng = random.Random(seed)
+    schema = synthetic_schema()
+    instance = DirectoryInstance(schema)
+    dns: List[DN] = []
+    for index in range(size):
+        name = "e%d" % index
+        parent = ROOT_DN if index == 0 else dns[(index - 1) // fanout]
+        dn = parent.child("name=%s" % name)
+        attrs = {
+            "name": [name],
+            "kind": [rng.choice(_KINDS)],
+            "level": [rng.randint(0, 9)],
+            "weight": [rng.randint(0, 100)],
+        }
+        if dns and rng.random() < ref_density:
+            attrs["ref"] = [rng.choice(dns)]
+        instance.add(dn, ["node"], attrs)
+        dns.append(dn)
+    return instance
+
+
+class RandomQueries:
+    """Random query factory over a given instance, one method per level."""
+
+    def __init__(self, instance: DirectoryInstance, seed: int = 0):
+        self.rng = random.Random(seed)
+        self.dns: List[DN] = [entry.dn for entry in instance]
+
+    # -- leaves --------------------------------------------------------------
+
+    def random_filter(self):
+        rng = self.rng
+        choice = rng.randrange(7)
+        if choice == 0:
+            return Equality("kind", rng.choice(_KINDS))
+        if choice == 1:
+            return Comparison("weight", rng.choice(["<", "<=", ">", ">="]), rng.randint(0, 100))
+        if choice == 2:
+            return Presence("tag")
+        if choice == 3:
+            return Substring("tag", rng.choice(["*red*", "re*", "*ish"]))
+        if choice == 4:
+            return Comparison("level", "<", rng.randint(1, 9))
+        if choice == 5:
+            return Equality("objectClass", rng.choice(["node", "container", "item"]))
+        return MatchAll()
+
+    def random_base(self) -> DN:
+        if self.rng.random() < 0.25 or not self.dns:
+            return ROOT_DN
+        return self.rng.choice(self.dns)
+
+    def atomic(self) -> AtomicQuery:
+        scope = self.rng.choice([Scope.BASE, Scope.ONE, Scope.SUB, Scope.SUB])
+        return AtomicQuery(self.random_base(), scope, self.random_filter())
+
+    # -- languages --------------------------------------------------------
+
+    def l0(self, depth: int = 2) -> Query:
+        if depth <= 0 or self.rng.random() < 0.4:
+            return self.atomic()
+        ctor = self.rng.choice([And, Or, Diff])
+        return ctor(self.l0(depth - 1), self.l0(depth - 1))
+
+    def l1(self, depth: int = 1) -> Query:
+        op = self.rng.choice(["p", "c", "a", "d", "ac", "dc"])
+        third = self.l0(depth) if op in ("ac", "dc") else None
+        return HierarchySelect(op, self.l0(depth), self.l0(depth), third)
+
+    def agg_filter(self, structural: bool) -> AggSelFilter:
+        rng = self.rng
+        if structural:
+            candidates = [
+                EntryAggregate("count", "$2", None),
+                EntryAggregate(rng.choice(["min", "max", "sum"]), "$2", "weight"),
+                EntryAggregate(rng.choice(["min", "max"]), "$1", "weight"),
+            ]
+        else:
+            candidates = [
+                EntryAggregate(rng.choice(["min", "max", "count", "sum"]), "$1", "weight"),
+                EntryAggregate("count", "$1", "tag"),
+            ]
+        left = rng.choice(candidates)
+        if rng.random() < 0.3:
+            right = EntrySetAggregate(rng.choice(["min", "max"]), rng.choice(candidates))
+        elif rng.random() < 0.2:
+            right = EntrySetAggregate("count", None)
+        else:
+            right = Constant(rng.randint(0, 5))
+        op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
+        return AggSelFilter(left, op, right)
+
+    def l2(self, depth: int = 1) -> Query:
+        if self.rng.random() < 0.5:
+            return SimpleAggSelect(self.l0(depth), self.agg_filter(structural=False))
+        op = self.rng.choice(["p", "c", "a", "d", "ac", "dc"])
+        third = self.l0(depth) if op in ("ac", "dc") else None
+        return HierarchySelect(
+            op, self.l0(depth), self.l0(depth), third, self.agg_filter(structural=True)
+        )
+
+    def l3(self, depth: int = 1) -> Query:
+        op = self.rng.choice(["vd", "dv"])
+        agg = self.agg_filter(structural=True) if self.rng.random() < 0.5 else None
+        return EmbeddedRef(op, self.l0(depth), self.l0(depth), "ref", agg)
+
+    def any_level(self, depth: int = 1) -> Query:
+        pick = self.rng.randrange(4)
+        if pick == 0:
+            return self.l0(depth)
+        if pick == 1:
+            return self.l1(depth)
+        if pick == 2:
+            return self.l2(depth)
+        return self.l3(depth)

@@ -1,0 +1,161 @@
+"""The QoS/SLA application: Figure 12 reconstruction and Section 2
+decision semantics."""
+
+import pytest
+
+from repro.apps import qos
+from repro.model.dn import DN
+
+
+@pytest.fixture(scope="module")
+def directory():
+    return qos.build_paper_fragment()
+
+
+@pytest.fixture(scope="module")
+def pdp(directory):
+    return qos.PolicyDecisionPoint(directory)
+
+
+class TestFigure12Structure:
+    def test_policy_dso(self, directory):
+        dn = DN.parse(
+            "SLAPolicyName=dso, ou=SLAPolicyRules, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        )
+        policy = directory.instance.get(dn)
+        assert policy is not None
+        assert policy.first("SLARulePriority") == 2
+        assert policy.first("SLAPolicyScope") == "DataTraffic"
+        assert len(policy.values("SLATPRef")) == 2
+        assert len(policy.values("SLAPVPRef")) == 2
+        assert len(policy.values("SLAExceptionRef")) == 2
+
+    def test_profile_lsplitoff(self, directory):
+        dn = DN.parse(
+            "TPName=lsplitOff, ou=trafficProfile, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        )
+        profile = directory.instance.get(dn)
+        assert profile.first("SourceAddress") == "204.178.16.*"
+
+    def test_period_weekend(self, directory):
+        dn = DN.parse(
+            "PVPName=1998weekend, ou=policyValidityPeriod, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        )
+        period = directory.instance.get(dn)
+        assert period.first("PVStartTime") == 19980101060000
+        assert period.first("PVEndTime") == 19981231180000
+        assert set(period.values("PVDayOfWeek")) == {6, 7}
+
+    def test_action_denyall(self, directory):
+        dn = DN.parse(
+            "DSActionName=denyAll, ou=SLADSAction, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        )
+        action = directory.instance.get(dn)
+        assert action.first("DSPermission") == "Deny"
+        assert action.first("DSInProfilePeakRate") == 20
+        assert action.first("DSDropPriority") == 2
+
+    def test_instance_valid(self, directory):
+        assert directory.instance.validate() == []
+
+
+class TestMatching:
+    def test_address_wildcards(self, directory):
+        profile = directory.instance.get(DN.parse(
+            "TPName=lsplitOff, ou=trafficProfile, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        ))
+        assert qos.profile_matches(profile, qos.PacketProfile("204.178.16.5"))
+        assert qos.profile_matches(profile, qos.PacketProfile("204.178.16.250"))
+        assert not qos.profile_matches(profile, qos.PacketProfile("204.178.17.5"))
+        assert not qos.profile_matches(profile, qos.PacketProfile("10.0.0.1"))
+
+    def test_period_bounds(self, directory):
+        period = directory.instance.get(DN.parse(
+            "PVPName=1998weekend, ou=policyValidityPeriod, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        ))
+        weekend = qos.PacketProfile("x", timestamp=19980704120000, day_of_week=6)
+        weekday = qos.PacketProfile("x", timestamp=19980706120000, day_of_week=1)
+        too_early = qos.PacketProfile("x", timestamp=19970101000000, day_of_week=6)
+        assert qos.period_matches(period, weekend)
+        assert not qos.period_matches(period, weekday)
+        assert not qos.period_matches(period, too_early)
+
+
+class TestDecisions:
+    def test_deny_on_weekend(self, pdp):
+        packet = qos.PacketProfile("204.178.16.5", timestamp=19980704120000, day_of_week=6)
+        assert [a.first("DSActionName") for a in pdp.decide(packet)] == ["denyAll"]
+
+    def test_ftp_exception(self, pdp):
+        packet = qos.PacketProfile(
+            "204.178.16.5", dest_port=21, protocol="tcp",
+            timestamp=19980704120000, day_of_week=6,
+        )
+        assert [a.first("DSActionName") for a in pdp.decide(packet)] == ["allowFtp"]
+
+    def test_mail_exception(self, pdp):
+        packet = qos.PacketProfile(
+            "204.178.16.5", source_port=25, protocol="tcp",
+            timestamp=19980704120000, day_of_week=6,
+        )
+        assert [a.first("DSActionName") for a in pdp.decide(packet)] == ["allowMail"]
+
+    def test_thanksgiving(self, pdp):
+        packet = qos.PacketProfile("207.140.3.4", timestamp=19981126120000, day_of_week=4)
+        assert [a.first("DSActionName") for a in pdp.decide(packet)] == ["denyAll"]
+
+    def test_no_policy_applies(self, pdp):
+        packet = qos.PacketProfile("10.9.8.7", timestamp=19980706120000, day_of_week=1)
+        assert pdp.decide(packet) == []
+
+    def test_higher_priority_wins(self, directory):
+        qos2 = qos.build_paper_fragment()
+        qos2.add_action("expedite", "Permit", peak_rate=99)
+        qos2.add_traffic_profile("everything", source_address="*.*.*.*")
+        qos2.add_policy("vip", priority=1, action="expedite", profiles=("everything",))
+        pdp = qos.PolicyDecisionPoint(qos2)
+        packet = qos.PacketProfile("204.178.16.5", timestamp=19980704120000, day_of_week=6)
+        assert [a.first("DSActionName") for a in pdp.decide(packet)] == ["expedite"]
+
+
+class TestConflicts:
+    def test_paper_fragment_conflicts(self, directory):
+        pairs = {
+            tuple(sorted((a.first("SLAPolicyName"), b.first("SLAPolicyName"))))
+            for a, b in qos.find_conflicts(directory)
+        }
+        # dso conflicts with nobody (its exceptions cover the overlaps);
+        # fatt/mail overlap conservatively on a packet that is both ftp and
+        # smtp -- the detector is deliberately conservative.
+        assert ("dso", "fatt") not in pairs
+        assert ("dso", "mail") not in pairs
+
+    def test_genuine_conflict_detected(self):
+        qos2 = qos.QoSDirectory("dc=x, dc=com")
+        qos2.add_traffic_profile("all1", source_address="10.0.0.*")
+        qos2.add_traffic_profile("all2", source_address="10.0.*.*")
+        qos2.add_action("yes", "Permit")
+        qos2.add_action("no", "Deny")
+        qos2.add_policy("p1", priority=1, action="yes", profiles=("all1",))
+        qos2.add_policy("p2", priority=1, action="no", profiles=("all2",))
+        names = {
+            tuple(sorted((a.first("SLAPolicyName"), b.first("SLAPolicyName"))))
+            for a, b in qos.find_conflicts(qos2)
+        }
+        assert ("p1", "p2") in names
+
+    def test_exception_relation_suppresses_conflict(self):
+        qos2 = qos.QoSDirectory("dc=x, dc=com")
+        qos2.add_traffic_profile("all1", source_address="10.0.0.*")
+        qos2.add_action("yes", "Permit")
+        qos2.add_action("no", "Deny")
+        qos2.add_policy("p2", priority=1, action="no", profiles=("all1",))
+        qos2.add_policy("p1", priority=1, action="yes", profiles=("all1",),
+                        exceptions=("p2",))
+        assert qos.find_conflicts(qos2) == []

@@ -1,0 +1,99 @@
+"""The TOPS application: Figure 11 reconstruction and call resolution."""
+
+import pytest
+
+from repro.apps import tops
+from repro.model.dn import DN
+
+
+@pytest.fixture(scope="module")
+def directory():
+    return tops.build_paper_fragment()
+
+
+class TestFigure11Structure:
+    def test_subscriber_entry(self, directory):
+        dn = DN.parse("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com")
+        jag = directory.instance.get(dn)
+        assert jag is not None
+        assert jag.classes == frozenset({"inetOrgPerson", "TOPSSubscriber"})
+        assert jag.first("commonName") == "h jagadish"
+        assert jag.first("surName") == "jagadish"
+
+    def test_weekend_qhp_priority_1(self, directory):
+        qhp = directory.instance.get(directory.qhp_dn("jag", "weekend"))
+        assert qhp.first("priority") == 1
+        assert set(qhp.values("daysOfWeek")) == {6, 7}
+        assert not qhp.has("startTime")  # heterogeneity: absent constraint
+
+    def test_workinghours_qhp_priority_2(self, directory):
+        qhp = directory.instance.get(directory.qhp_dn("jag", "workinghours"))
+        assert qhp.first("priority") == 2
+        assert qhp.first("startTime") == 830
+        assert qhp.first("endTime") == 1730
+        assert not qhp.has("daysOfWeek")
+
+    def test_call_appearances(self, directory):
+        office = directory.instance.get(
+            directory.qhp_dn("jag", "workinghours").child("CANumber=9733608750")
+        )
+        assert office.first("priority") == 1
+        assert office.first("timeOut") == 30
+        secretary = directory.instance.get(
+            directory.qhp_dn("jag", "workinghours").child("CANumber=9733608751")
+        )
+        assert secretary.first("priority") == 2
+        assert secretary.first("timeOut") == 20
+        assert secretary.first("description") == "secretary"
+
+    def test_instance_valid(self, directory):
+        assert directory.instance.validate() == []
+
+
+class TestQHPMatching:
+    def test_time_window(self, directory):
+        qhp = directory.instance.get(directory.qhp_dn("jag", "workinghours"))
+        assert tops.qhp_matches(qhp, tops.CallRequest("jag", 1000, 2))
+        assert tops.qhp_matches(qhp, tops.CallRequest("jag", 830, 2))
+        assert tops.qhp_matches(qhp, tops.CallRequest("jag", 1730, 2))
+        assert not tops.qhp_matches(qhp, tops.CallRequest("jag", 829, 2))
+        assert not tops.qhp_matches(qhp, tops.CallRequest("jag", 2300, 2))
+
+    def test_days(self, directory):
+        qhp = directory.instance.get(directory.qhp_dn("jag", "weekend"))
+        assert tops.qhp_matches(qhp, tops.CallRequest("jag", 1000, 6))
+        assert not tops.qhp_matches(qhp, tops.CallRequest("jag", 1000, 3))
+
+    def test_allowed_callers(self):
+        directory = tops.build_paper_fragment()
+        directory.add_subscriber("vip", "very important", "person")
+        directory.add_qhp("vip", "friends", priority=1, allowed_callers=("jag",))
+        qhp = directory.instance.get(directory.qhp_dn("vip", "friends"))
+        assert tops.qhp_matches(qhp, tops.CallRequest("vip", 1000, 2, caller_uid="jag"))
+        assert not tops.qhp_matches(qhp, tops.CallRequest("vip", 1000, 2, caller_uid="x"))
+        assert not tops.qhp_matches(qhp, tops.CallRequest("vip", 1000, 2))
+
+
+class TestResolveCall:
+    def test_working_hours(self, directory):
+        result = tops.resolve_call(directory, tops.CallRequest("jag", 1000, 2))
+        assert [e.first("CANumber") for e in result] == [
+            "9733608750", "9733608751", "9733608798",
+        ]
+
+    def test_weekend_overrides_working_hours(self, directory):
+        # Saturday 10:00 matches BOTH QHPs; weekend has the higher priority
+        # (lower value), so only the voicemail appearance is returned.
+        result = tops.resolve_call(directory, tops.CallRequest("jag", 1000, 6))
+        assert [e.first("CANumber") for e in result] == ["9733608799"]
+
+    def test_unreachable_hours(self, directory):
+        assert tops.resolve_call(directory, tops.CallRequest("jag", 300, 2)) == []
+
+    def test_unknown_subscriber(self, directory):
+        assert tops.resolve_call(directory, tops.CallRequest("nobody", 1000, 2)) == []
+
+    def test_appearances_ordered_by_priority(self, directory):
+        result = tops.resolve_call(directory, tops.CallRequest("jag", 900, 1))
+        priorities = [e.first("priority") for e in result]
+        assert priorities == sorted(priorities)

@@ -1,0 +1,94 @@
+"""The corporate white pages application."""
+
+import pytest
+
+from repro.apps.whitepages import WhitePages
+
+
+@pytest.fixture(scope="module")
+def pages():
+    wp = WhitePages("dc=att, dc=com")
+    boss = wp.add_person(
+        ["research"], "jag", "h jagadish", "jagadish",
+        telephone="9733608776", title="department head",
+    )
+    divesh = wp.add_person(
+        ["research", "db"], "divesh", "divesh srivastava", "srivastava",
+        telephone="9733608777", manager=boss,
+    )
+    wp.add_person(
+        ["research", "db"], "dimitra", "dimitra vista", "vista",
+        manager=divesh,
+    )
+    wp.add_person(
+        ["research", "networking"], "kk", "k ramakrishnan", "ramakrishnan",
+        manager=boss,
+    )
+    wp.add_person(["sales"], "milo", "tova milo", "milo", telephone="5551234")
+    return wp
+
+
+class TestSearch:
+    def test_by_surname_fragment(self, pages):
+        hits = pages.search_people("srivast")
+        assert [e.first("uid") for e in hits] == ["divesh"]
+
+    def test_by_common_name(self, pages):
+        hits = pages.search_people("*tova*")
+        assert [e.first("uid") for e in hits] == ["milo"]
+
+    def test_pattern_passthrough(self, pages):
+        assert len(pages.search_people("*a*")) >= 4
+
+    def test_no_hits(self, pages):
+        assert pages.search_people("zzz") == []
+
+
+class TestHierarchy:
+    def test_unit_of_is_nearest(self, pages):
+        divesh = pages.search_people("srivast")[0]
+        unit = pages.unit_of(divesh)
+        assert unit.first("ou") == "db"  # not "research"
+
+    def test_unit_of_top_level_person(self, pages):
+        jag = pages.search_people("jagadish")[0]
+        assert pages.unit_of(jag).first("ou") == "research"
+
+    def test_headcount(self, pages):
+        units = pages.units_with_headcount_over(1)
+        assert [u.first("ou") for u in units] == ["db"]
+        assert pages.units_with_headcount_over(10) == []
+
+
+class TestReporting:
+    def test_direct_reports(self, pages):
+        jag = pages.search_people("jagadish")[0]
+        reports = pages.direct_reports(jag)
+        assert sorted(e.first("uid") for e in reports) == ["divesh", "kk"]
+
+    def test_managers_with_reports_over(self, pages):
+        managers = pages.managers_with_reports_over(1)
+        assert [e.first("uid") for e in managers] == ["jag"]
+
+    def test_management_chain(self, pages):
+        dimitra = pages.search_people("vista")[0]
+        chain = pages.management_chain(dimitra)
+        assert [e.first("uid") for e in chain] == ["divesh", "jag"]
+
+    def test_chain_of_top(self, pages):
+        jag = pages.search_people("jagadish")[0]
+        assert pages.management_chain(jag) == []
+
+
+class TestPhoneBook:
+    def test_unit_subtree(self, pages):
+        book = pages.phone_book(["research"])
+        names = [name for name, _phone in book]
+        assert names == sorted(names)
+        assert ("h jagadish", "9733608776") in book
+        assert ("divesh srivastava", "9733608777") in book
+        assert all("tova" not in name for name, _ in book)
+
+    def test_missing_phone_rendered(self, pages):
+        book = pages.phone_book(["research", "db"])
+        assert ("dimitra vista", "-") in book

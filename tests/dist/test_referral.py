@@ -1,0 +1,76 @@
+"""Client-chased referrals vs server-side federation."""
+
+import pytest
+
+from repro.dist import FederatedDirectory
+from repro.dist.referral import ReferralClient, ReferralError
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate
+from repro.workload import random_instance
+
+
+@pytest.fixture(scope="module")
+def setup():
+    instance = random_instance(33, size=120, forest_roots=3)
+    roots = sorted({e.dn for e in instance.roots()}, key=lambda dn: dn.key())
+    assignments = {"s%d" % i: [root] for i, root in enumerate(roots)}
+    deep = next(e.dn for e in instance if e.dn.depth() == 2)
+    assignments["delegated"] = [deep]
+    federation = FederatedDirectory.partition(instance, assignments, page_size=8)
+    return instance, federation, roots, deep
+
+
+class TestReferralChasing:
+    def test_local_base_no_referral(self, setup):
+        instance, federation, roots, _deep = setup
+        client = ReferralClient(federation, home="s0")
+        entries = client.search("(%s ? sub ? kind=alpha)" % roots[0])
+        expected = evaluate(
+            parse_query("(%s ? sub ? kind=alpha)" % roots[0]), instance
+        )
+        assert [e.dn for e in entries] == [e.dn for e in expected]
+        assert all("referral" not in outcome for _s, outcome in client.trace[:1])
+
+    def test_remote_base_chased(self, setup):
+        instance, federation, roots, _deep = setup
+        client = ReferralClient(federation, home="s0")
+        query_text = "(%s ? sub ? kind=beta)" % roots[1]
+        entries = client.search(query_text)
+        expected = evaluate(parse_query(query_text), instance)
+        assert [e.dn for e in entries] == [e.dn for e in expected]
+        assert any("referral" in outcome for _s, outcome in client.trace)
+
+    def test_spanning_delegation_correct(self, setup):
+        instance, federation, _roots, deep = setup
+        parent = deep.parent
+        client = ReferralClient(federation, home="s0")
+        query_text = "(%s ? sub ? objectClass=*)" % parent
+        entries = client.search(query_text)
+        expected = evaluate(parse_query(query_text), instance)
+        assert [e.dn for e in entries] == [e.dn for e in expected]
+
+    def test_matches_federation(self, setup):
+        instance, federation, roots, _deep = setup
+        client = ReferralClient(federation, home="s0")
+        for root in roots:
+            query_text = "(%s ? sub ? weight>=50)" % root
+            via_referral = client.search(query_text)
+            via_federation = federation.query("s0", query_text)
+            assert [str(e.dn) for e in via_referral] == via_federation.dns()
+
+    def test_composite_rejected(self, setup):
+        _instance, federation, roots, _deep = setup
+        client = ReferralClient(federation, home="s0")
+        with pytest.raises(ReferralError):
+            client.search(
+                "(& (%s ? sub ? kind=alpha) (%s ? sub ? kind=beta))"
+                % (roots[0], roots[0])
+            )
+
+    def test_messages_counted(self, setup):
+        _instance, federation, roots, _deep = setup
+        before = federation.network.messages
+        client = ReferralClient(federation, home="s0")
+        client.search("(%s ? base ? objectClass=*)" % roots[1])
+        # request + referral + request + result = 4 messages minimum.
+        assert federation.network.messages - before >= 4

@@ -1,0 +1,104 @@
+"""Replication and failover (footnote 4 of the paper)."""
+
+import pytest
+
+from repro.dist.network import SimulatedNetwork
+from repro.dist.replication import AvailabilityRouter, ReplicatedContext, ReplicationError
+from repro.query.parser import parse_query
+from repro.workload import synthetic_schema
+
+
+@pytest.fixture
+def context():
+    network = SimulatedNetwork()
+    replicated = ReplicatedContext(
+        "name=r", synthetic_schema(), secondaries=2, network=network
+    )
+    replicated.add("name=r", ["node"], name="r", kind="alpha")
+    for index in range(6):
+        replicated.add(
+            "name=e%d, name=r" % index,
+            ["node"],
+            name="e%d" % index,
+            kind="alpha" if index % 2 == 0 else "beta",
+        )
+    return network, replicated
+
+
+QUERY = parse_query("(name=r ? sub ? kind=alpha)")
+
+
+class TestSync:
+    def test_changelog_accumulates(self, context):
+        _network, replicated = context
+        assert replicated.changelog_length() == 7
+        assert replicated.lag("secondary0") == 7
+
+    def test_sync_ships_counted_batches(self, context):
+        network, replicated = context
+        shipped = replicated.sync()
+        assert shipped == {"secondary0": 7, "secondary1": 7}
+        assert network.messages == 2
+        assert network.entries_shipped == 14
+        assert replicated.lag("secondary0") == 0
+        # A second sync ships nothing.
+        assert replicated.sync() == {"secondary0": 0, "secondary1": 0}
+        assert network.messages == 2
+
+    def test_incremental_sync(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.add("name=late, name=r", ["node"], name="late")
+        assert replicated.lag("secondary0") == 1
+        assert replicated.sync()["secondary0"] == 1
+
+
+class TestFailover:
+    def test_primary_preferred(self, context):
+        _network, replicated = context
+        replicated.sync()
+        router = AvailabilityRouter(replicated)
+        entries = router.evaluate(QUERY)
+        assert router.served_by == ["primary"]
+        assert len(entries) == 4  # root + 3 alpha children
+
+    def test_failover_to_synced_secondary(self, context):
+        _network, replicated = context
+        replicated.sync()
+        router = AvailabilityRouter(replicated)
+        primary_answer = router.evaluate(QUERY)
+        router.mark_down("primary")
+        secondary_answer = router.evaluate(QUERY)
+        assert router.served_by[-1] == "secondary0"
+        assert [e.dn for e in secondary_answer] == [e.dn for e in primary_answer]
+
+    def test_stale_secondary_skipped(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.add("name=fresh, name=r", ["node"], name="fresh", kind="alpha")
+        router = AvailabilityRouter(replicated)
+        router.mark_down("primary")
+        with pytest.raises(ReplicationError):
+            router.evaluate(QUERY)  # both secondaries lag
+        replicated.sync()
+        entries = router.evaluate(QUERY)
+        assert any(e.first("name") == "fresh" for e in entries)
+
+    def test_mark_up_restores(self, context):
+        _network, replicated = context
+        replicated.sync()
+        router = AvailabilityRouter(replicated)
+        router.mark_down("primary")
+        router.evaluate(QUERY)
+        router.mark_up("primary")
+        router.evaluate(QUERY)
+        assert router.served_by[-1] == "primary"
+
+    def test_all_down(self, context):
+        _network, replicated = context
+        replicated.sync()
+        router = AvailabilityRouter(replicated)
+        for name in ("primary", "secondary0", "secondary1"):
+            router.mark_down(name)
+        with pytest.raises(ReplicationError):
+            router.evaluate(QUERY)

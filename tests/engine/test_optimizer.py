@@ -1,0 +1,186 @@
+"""Rewrites, access-path planning, EXPLAIN and the planned engine."""
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.engine.optimizer import AccessPlanner, PlannedEngine, explain, rewrite
+from repro.query.ast import And, AtomicQuery, HierarchySelect
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate
+from repro.storage.store import DirectoryStore
+from repro.workload import RandomQueries, balanced_instance, random_instance
+
+
+@pytest.fixture(scope="module")
+def store():
+    instance = balanced_instance(2000, fanout=4, seed=3)
+    s = DirectoryStore.from_instance(instance, page_size=16, buffer_pages=8)
+    s.build_indices(
+        int_attributes=("weight",), string_attributes=("name", "kind")
+    )
+    return instance, s
+
+
+class TestRewrites:
+    def test_r1_ac_to_p(self):
+        query = parse_query(
+            "(ac ( ? sub ? kind=alpha) ( ? sub ? kind=beta) ( ? sub ? objectClass=*))"
+        )
+        rewritten, rules = rewrite(query)
+        assert isinstance(rewritten, HierarchySelect) and rewritten.op == "p"
+        assert rewritten.third is None
+        assert any("R1" in rule for rule in rules)
+
+    def test_r1_dc_to_c(self):
+        query = parse_query(
+            "(dc ( ? sub ? kind=alpha) ( ? sub ? kind=beta) ( ? sub ? objectClass=*))"
+        )
+        rewritten, _rules = rewrite(query)
+        assert rewritten.op == "c"
+
+    def test_r1_preserves_agg_filter(self):
+        query = parse_query(
+            "(dc ( ? sub ? kind=alpha) ( ? sub ? kind=beta) ( ? sub ? objectClass=*)"
+            " count($2) > 3)"
+        )
+        rewritten, _rules = rewrite(query)
+        assert rewritten.op == "c"
+        assert rewritten.agg is not None
+
+    def test_r1_not_applied_to_real_blockers(self):
+        query = parse_query(
+            "(ac ( ? sub ? kind=alpha) ( ? sub ? kind=beta) ( ? sub ? kind=gamma))"
+        )
+        rewritten, rules = rewrite(query)
+        assert rewritten.op == "ac"
+        assert rules == []
+
+    def test_r2_idempotence(self):
+        query = parse_query("(& ( ? sub ? kind=alpha) ( ? sub ? kind=alpha))")
+        rewritten, rules = rewrite(query)
+        assert isinstance(rewritten, AtomicQuery)
+        # Exact duplicates collapse in normalisation (R0); R2 remains for
+        # duplicates that only appear after deeper rewrites.
+        assert any("R0" in rule or "R2" in rule for rule in rules)
+
+    def test_r3_scope_tightening(self):
+        query = parse_query(
+            "(& ( ? sub ? kind=alpha) (name=e1, name=e0 ? sub ? weight<50))"
+        )
+        rewritten, rules = rewrite(query)
+        assert any("R3" in rule for rule in rules)
+        assert isinstance(rewritten, And)
+        assert str(rewritten.left.base) == "name=e1, name=e0"
+
+    def test_r3_not_applied_across_unrelated_bases(self):
+        query = parse_query(
+            "(& (name=e1, name=e0 ? sub ? kind=alpha)"
+            "   (name=e2, name=e0 ? sub ? weight<50))"
+        )
+        _rewritten, rules = rewrite(query)
+        assert not any("R3" in rule for rule in rules)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_rewrites_preserve_semantics(self, seed):
+        instance = random_instance(seed, size=80)
+        queries = RandomQueries(instance, seed=seed + 3)
+        for _ in range(8):
+            query = queries.any_level(depth=2)
+            rewritten, _rules = rewrite(query)
+            assert [e.dn for e in evaluate(rewritten, instance)] == [
+                e.dn for e in evaluate(query, instance)
+            ], str(query)
+
+
+class TestAccessPlanner:
+    def test_selective_equality_uses_index(self, store):
+        _instance, s = store
+        planner = AccessPlanner(s)
+        use_index, label, _est = planner.plan_leaf(
+            parse_query("( ? sub ? name=e17)")
+        )
+        assert use_index
+        assert "strindex" in label
+
+    def test_unselective_filter_scans(self, store):
+        _instance, s = store
+        planner = AccessPlanner(s)
+        use_index, label, _est = planner.plan_leaf(
+            parse_query("( ? sub ? kind=alpha)")
+        )
+        # ~25% of entries match: fetching one page per match is worse than
+        # the clustered scan.
+        assert not use_index
+        assert "scan" in label
+
+    def test_unindexed_attribute_scans(self, store):
+        _instance, s = store
+        planner = AccessPlanner(s)
+        use_index, _label, _est = planner.plan_leaf(
+            parse_query("( ? sub ? level<3)")
+        )
+        assert not use_index
+
+
+class TestPlannedEngine:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_differential(self, store, seed):
+        instance, s = store
+        engine = PlannedEngine(s)
+        queries = RandomQueries(instance, seed=seed + 11)
+        for _ in range(6):
+            query = queries.any_level()
+            assert engine.run(query).dns() == [
+                str(e.dn) for e in evaluate(query, instance)
+            ], str(query)
+
+    def test_r1_rewrite_saves_io(self, store):
+        _instance, s = store
+        planned = PlannedEngine(s)
+        unplanned = QueryEngine(s, use_indices=False)
+        query = (
+            "(ac ( ? sub ? name=e5) ( ? sub ? name=e1) ( ? sub ? objectClass=*))"
+        )
+        planned_result = planned.run(query)
+        unplanned_result = unplanned.run(query)
+        assert planned_result.dns() == unplanned_result.dns()
+        assert any("R1" in rule for rule in planned.last_rewrites)
+        planned_cost = planned_result.io.logical_reads + planned_result.io.logical_writes
+        unplanned_cost = (
+            unplanned_result.io.logical_reads + unplanned_result.io.logical_writes
+        )
+        assert planned_cost * 5 < unplanned_cost
+
+
+class TestExplain:
+    def test_tree_shape_and_estimates(self, store):
+        _instance, s = store
+        node = explain(
+            s,
+            parse_query(
+                "(c ( ? sub ? kind=alpha) ( ? sub ? weight<50) count($2) > 1)"
+            ),
+        )
+        text = str(node)
+        assert "hierarchy c +agg" in text
+        assert "atomic" in text
+        assert "est=" in text
+
+    def test_analyze_adds_actuals(self, store):
+        instance, s = store
+        query = parse_query("( ? sub ? kind=alpha)")
+        node = explain(s, query, analyze=True)
+        actual = len(evaluate(query, instance))
+        assert node.actual == actual
+        assert "actual=%d" % actual in str(node)
+
+    def test_rewrites_reported(self, store):
+        _instance, s = store
+        node = explain(
+            s,
+            parse_query(
+                "(ac ( ? sub ? kind=alpha) ( ? sub ? kind=beta)"
+                " ( ? sub ? objectClass=*))"
+            ),
+        )
+        assert "R1" in str(node)

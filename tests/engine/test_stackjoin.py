@@ -1,0 +1,83 @@
+"""The generalised stack pass: annotations vs definitional witness sets."""
+
+import pytest
+
+from repro.engine.stackjoin import hierarchical_annotate
+from repro.query.aggregates import EntryAggregate
+from repro.query.semantics import witness_set
+from repro.storage.pager import Pager
+
+from .conftest import random_sublists, sorted_run
+
+COUNT = EntryAggregate("count", "$2", None)
+SUM_WEIGHT = EntryAggregate("sum", "$2", "weight")
+MIN_WEIGHT = EntryAggregate("min", "$2", "weight")
+
+
+def annotate(op, seed, terms, size=90):
+    lists = 3 if op in ("ac", "dc") else 2
+    _instance, subsets = random_sublists(seed, size=size, lists=lists)
+    pager = Pager(page_size=8, buffer_pages=6)
+    runs = [sorted_run(pager, subset) for subset in subsets]
+    third = runs[2] if lists == 3 else None
+    annotated = hierarchical_annotate(pager, op, runs[0], runs[1], third, terms)
+    return subsets, annotated.to_list()
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("op", ["p", "c", "a", "d", "ac", "dc"])
+def test_count_matches_witness_sets(op, seed):
+    subsets, annotated = annotate(op, seed, [COUNT])
+    first, second = subsets[0], subsets[1]
+    third = subsets[2] if len(subsets) == 3 else None
+    assert [entry.dn for entry, _ in annotated] == [e.dn for e in first]
+    for entry, (count,) in annotated:
+        expected = len(witness_set(op, entry, second, third))
+        assert count == expected, "%s at %s" % (op, entry.dn)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("op", ["c", "d", "a", "p", "ac", "dc"])
+def test_attribute_aggregates_match(op, seed):
+    subsets, annotated = annotate(op, seed, [SUM_WEIGHT, MIN_WEIGHT, COUNT])
+    second = subsets[1]
+    third = subsets[2] if len(subsets) == 3 else None
+    for entry, (total, minimum, count) in annotated:
+        witnesses = witness_set(op, entry, second, third)
+        values = [v for w in witnesses for v in w.values("weight")]
+        assert count == len(witnesses)
+        assert total == sum(values)
+        assert minimum == (min(values) if values else None)
+
+
+def test_output_sorted_and_complete():
+    subsets, annotated = annotate("d", 11, [COUNT], size=200)
+    keys = [entry.dn.key() for entry, _ in annotated]
+    assert keys == sorted(keys)
+    assert len(annotated) == len(subsets[0])
+
+
+def test_arity_validation(pager):
+    run = sorted_run(pager, [])
+    with pytest.raises(ValueError):
+        hierarchical_annotate(pager, "p", run, run, run)
+    with pytest.raises(ValueError):
+        hierarchical_annotate(pager, "ac", run, run, None)
+    with pytest.raises(ValueError):
+        hierarchical_annotate(pager, "zz", run, run)
+
+
+def test_linear_io_with_tiny_pool():
+    """The stack pass completes in a 3-page pool with linear I/O."""
+    _instance, (first, second) = random_sublists(2, size=3000)
+    pager = Pager(page_size=16, buffer_pages=3)
+    first_run = sorted_run(pager, first)
+    second_run = sorted_run(pager, second)
+    pager.flush()
+    before = pager.stats.snapshot()
+    annotated = hierarchical_annotate(pager, "d", first_run, second_run, None, [COUNT])
+    delta = pager.stats.since(before)
+    input_pages = first_run.page_count + second_run.page_count
+    # Inputs once, annotated output written (plus spill-list page traffic,
+    # each output record rides a spill page at most once in and once out).
+    assert delta.total <= 3 * (input_pages + 2 * annotated.page_count) + 8

@@ -1,0 +1,96 @@
+"""Statistics collection and cardinality estimation."""
+
+import pytest
+
+from repro.engine.stats import CardinalityEstimator, DirectoryStatistics
+from repro.filters.parser import parse_atomic_filter, parse_filter
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate
+from repro.storage.store import DirectoryStore
+from repro.workload import balanced_instance, random_instance
+
+
+@pytest.fixture(scope="module")
+def setup():
+    instance = balanced_instance(2000, fanout=4, seed=2)
+    store = DirectoryStore.from_instance(instance, page_size=16, buffer_pages=8)
+    stats = DirectoryStatistics.collect(store)
+    return instance, store, stats
+
+
+class TestCollection:
+    def test_totals(self, setup):
+        instance, _store, stats = setup
+        assert stats.total_entries == len(instance)
+        assert sum(stats.depth_counts.values()) == len(instance)
+
+    def test_attribute_counts(self, setup):
+        instance, _store, stats = setup
+        kind = stats.attribute("kind")
+        assert kind.entries_with == sum(1 for e in instance if e.has("kind"))
+        weight = stats.attribute("weight")
+        assert weight.int_min is not None and weight.int_max is not None
+        assert weight.int_min <= weight.int_max
+        assert sum(weight.histogram) == weight.value_count
+
+    def test_top_values(self, setup):
+        instance, _store, stats = setup
+        kind = stats.attribute("kind")
+        exact = {}
+        for entry in instance:
+            for value in entry.values("kind"):
+                exact[value] = exact.get(value, 0) + 1
+        for value, count in kind.top_values.items():
+            assert exact[value] == count
+
+    def test_missing_attribute(self, setup):
+        _instance, _store, stats = setup
+        assert stats.attribute("nosuchattr") is None
+
+
+class TestEstimation:
+    def _actual_fraction(self, instance, filter_text):
+        filter_ = parse_filter(filter_text)
+        hits = sum(1 for e in instance if filter_.matches(e, instance.schema))
+        return hits / len(instance)
+
+    @pytest.mark.parametrize(
+        "filter_text",
+        [
+            "kind=alpha",
+            "weight<25",
+            "weight>=80",
+            "level<5",
+            "tag=*",
+            "(&(kind=alpha)(weight<50))",
+            "(|(kind=alpha)(kind=beta))",
+            "(!(kind=alpha))",
+        ],
+    )
+    def test_selectivity_close(self, setup, filter_text):
+        instance, store, stats = setup
+        estimator = CardinalityEstimator(store, stats)
+        estimated = estimator.filter_selectivity(parse_filter(filter_text))
+        actual = self._actual_fraction(instance, filter_text)
+        assert abs(estimated - actual) < 0.15, (filter_text, estimated, actual)
+
+    def test_atomic_cardinality_tracks_actual(self, setup):
+        instance, store, stats = setup
+        estimator = CardinalityEstimator(store, stats)
+        for text in (
+            "( ? sub ? kind=alpha)",
+            "( ? sub ? weight<10)",
+            "(name=e1, name=e0 ? sub ? objectClass=*)",
+        ):
+            query = parse_query(text)
+            estimated = estimator.atomic_cardinality(query)
+            actual = len(evaluate(query, instance))
+            assert estimated >= actual * 0.3 - 2, text
+            assert estimated <= actual * 3 + 40, text
+
+    def test_base_scope_is_one(self, setup):
+        from repro.model.dn import DN
+
+        _instance, store, stats = setup
+        estimator = CardinalityEstimator(store, stats)
+        assert estimator.scope_size(DN.parse("name=e0"), "base") == 1

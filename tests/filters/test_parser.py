@@ -1,0 +1,82 @@
+"""Filter string parsing."""
+
+import pytest
+
+from repro.filters.ast import (
+    Comparison,
+    Equality,
+    FilterAnd,
+    FilterNot,
+    FilterOr,
+    MatchAll,
+    Presence,
+    Substring,
+)
+from repro.filters.parser import FilterParseError, parse_atomic_filter, parse_filter
+
+
+class TestAtomic:
+    def test_equality(self):
+        f = parse_atomic_filter("surName=jagadish")
+        assert f == Equality("surName", "jagadish")
+
+    def test_presence(self):
+        assert parse_atomic_filter("telephoneNumber=*") == Presence("telephoneNumber")
+
+    def test_object_class_star_is_match_all(self):
+        assert parse_atomic_filter("objectClass=*") == MatchAll()
+
+    def test_substring(self):
+        assert parse_atomic_filter("commonName=*jag*") == Substring("commonName", "*jag*")
+
+    def test_comparisons(self):
+        assert parse_atomic_filter("SLARulePriority<3") == Comparison("SLARulePriority", "<", 3)
+        assert parse_atomic_filter("n<=3") == Comparison("n", "<=", 3)
+        assert parse_atomic_filter("n>=3") == Comparison("n", ">=", 3)
+        assert parse_atomic_filter("n>3") == Comparison("n", ">", 3)
+
+    def test_parenthesised(self):
+        assert parse_atomic_filter("(cn=x)") == Equality("cn", "x")
+
+    def test_boolean_rejected(self):
+        with pytest.raises(FilterParseError):
+            parse_atomic_filter("(&(a=1)(b=2))")
+
+    def test_garbage(self):
+        with pytest.raises(FilterParseError):
+            parse_atomic_filter("no-operator-here")
+        with pytest.raises(FilterParseError):
+            parse_atomic_filter("n<abc")
+        with pytest.raises(FilterParseError):
+            parse_atomic_filter("=value")
+
+
+class TestComposite:
+    def test_and(self):
+        f = parse_filter("(&(cn=x)(n<3))")
+        assert isinstance(f, FilterAnd)
+        assert f.operands == [Equality("cn", "x"), Comparison("n", "<", 3)]
+
+    def test_nested(self):
+        f = parse_filter("(|(&(a=1)(b=2))(!(c=3)))")
+        assert isinstance(f, FilterOr)
+        assert isinstance(f.operands[0], FilterAnd)
+        assert isinstance(f.operands[1], FilterNot)
+
+    def test_not_single_operand(self):
+        with pytest.raises(FilterParseError):
+            parse_filter("(!(a=1)(b=2))")
+
+    def test_unbalanced(self):
+        with pytest.raises(FilterParseError):
+            parse_filter("(&(a=1)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(FilterParseError):
+            parse_filter("(a=1)junk")
+
+    def test_empty(self):
+        with pytest.raises(FilterParseError):
+            parse_filter("")
+        with pytest.raises(FilterParseError):
+            parse_filter("()")

@@ -1,0 +1,101 @@
+"""The LDAP baseline: single-base/scope queries and client emulation."""
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.filters.parser import parse_filter
+from repro.ldapx import LDAPQuery, LDAPSession, emulate_children, emulate_l0, evaluate_ldap
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate
+from repro.workload import RandomQueries, random_instance
+
+
+@pytest.fixture(scope="module")
+def setup():
+    instance = random_instance(7, size=120)
+    engine = QueryEngine.from_instance(instance, page_size=8, buffer_pages=6)
+    return instance, engine
+
+
+class TestLDAPQuery:
+    def test_boolean_filter_single_scan(self, setup):
+        instance, engine = setup
+        query = LDAPQuery("", "sub", "(&(kind=alpha)(weight>=50))")
+        run = evaluate_ldap(engine.store, query)
+        expected = [
+            e.dn
+            for e in instance
+            if "alpha" in map(str, e.values("kind"))
+            and any(isinstance(v, int) and v >= 50 for v in e.values("weight"))
+        ]
+        assert [e.dn for e in run.to_list()] == expected
+
+    def test_not_filter(self, setup):
+        instance, engine = setup
+        query = LDAPQuery("", "sub", "(!(kind=alpha))")
+        run = evaluate_ldap(engine.store, query)
+        expected = [e.dn for e in instance if "alpha" not in map(str, e.values("kind"))]
+        assert [e.dn for e in run.to_list()] == expected
+
+    def test_scopes_match_l0(self, setup):
+        """By construction our LDAP scopes equal Definition 4.1's."""
+        instance, engine = setup
+        base = list(instance)[10].dn
+        for scope in ("base", "one", "sub"):
+            ldap = evaluate_ldap(
+                engine.store, LDAPQuery(base, scope, "(objectClass=*)")
+            )
+            l0 = evaluate(
+                parse_query("(%s ? %s ? objectClass=*)" % (base, scope)), instance
+            )
+            assert [e.dn for e in ldap.to_list()] == [e.dn for e in l0]
+
+    def test_bad_scope(self):
+        with pytest.raises(ValueError):
+            LDAPQuery("dc=com", "tree", "(a=1)")
+
+    def test_str(self):
+        q = LDAPQuery("dc=com", "sub", "(cn=x)")
+        assert "ldapsearch" in str(q)
+
+
+class TestEmulation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_emulate_l0_correct(self, setup, seed):
+        instance, engine = setup
+        queries = RandomQueries(instance, seed=seed)
+        query = queries.l0(depth=2)
+        session = LDAPSession(engine.store)
+        got = [str(e.dn) for e in emulate_l0(session, query)]
+        expected = [str(e.dn) for e in evaluate(query, instance)]
+        assert got == expected
+        assert session.round_trips == len(query.atomic_leaves())
+
+    def test_emulate_l0_rejects_higher_levels(self, setup):
+        instance, engine = setup
+        queries = RandomQueries(instance, seed=0)
+        session = LDAPSession(engine.store)
+        with pytest.raises(ValueError):
+            emulate_l0(session, queries.l1())
+
+    def test_round_trips_counted(self, setup):
+        _instance, engine = setup
+        session = LDAPSession(engine.store)
+        session.search("", "sub", "(kind=alpha)")
+        session.search("", "sub", "(kind=beta)")
+        assert session.round_trips == 2
+        assert session.entries_shipped > 0
+
+    def test_emulate_children_matches_l1(self, setup):
+        """The navigational emulation agrees with the one-shot L1 query --
+        at many round trips instead of one."""
+        instance, engine = setup
+        first = parse_query("( ? sub ? kind=alpha)")
+        child_filter = parse_filter("weight>=1")
+        session = LDAPSession(engine.store)
+        got = [str(e.dn) for e in emulate_children(session, first, child_filter)]
+        l1 = parse_query("(c ( ? sub ? kind=alpha) ( ? sub ? weight>=1))")
+        expected = [str(e.dn) for e in evaluate(l1, instance)]
+        assert got == expected
+        candidates = len(evaluate(first, instance))
+        assert session.round_trips == candidates + 1  # one probe each + the fetch

@@ -1,0 +1,75 @@
+"""RFC 2255 LDAP URLs (the paper's reference [19])."""
+
+import pytest
+
+from repro.ldapx.url import LDAPUrl, LDAPUrlError, format_ldap_url, parse_ldap_url
+from repro.model.dn import DN
+
+
+class TestParse:
+    def test_full_url(self):
+        parsed = parse_ldap_url(
+            "ldap://ldap.att.com:389/dc=att,dc=com?cn,mail?sub?(surName=jagadish)"
+        )
+        assert parsed.host == "ldap.att.com"
+        assert parsed.port == 389
+        assert parsed.base == DN.parse("dc=att, dc=com")
+        assert parsed.attributes == ("cn", "mail")
+        assert parsed.scope == "sub"
+        assert parsed.filter_text == "(surName=jagadish)"
+
+    def test_defaults(self):
+        parsed = parse_ldap_url("ldap:///dc=com")
+        assert parsed.host is None
+        assert parsed.port is None
+        assert parsed.scope == "base"
+        assert parsed.filter_text == "(objectClass=*)"
+        assert parsed.attributes == ()
+
+    def test_empty_dn(self):
+        parsed = parse_ldap_url("ldap://host/")
+        assert parsed.base.is_null()
+
+    def test_percent_escapes(self):
+        parsed = parse_ldap_url("ldap:///dc=att%2Cdc=com??sub?(cn=a%20b)")
+        assert parsed.base == DN.parse("dc=att, dc=com")
+        assert parsed.filter_text == "(cn=a b)"
+
+    def test_ldaps(self):
+        assert parse_ldap_url("ldaps://secure/dc=com").scheme == "ldaps"
+
+    def test_extensions_ignored(self):
+        parsed = parse_ldap_url("ldap:///dc=com??sub?(cn=x)?bindname=cn=admin")
+        assert parsed.filter_text == "(cn=x)"
+
+    def test_errors(self):
+        for bad in (
+            "http://host/dc=com",
+            "ldap://host:notaport/dc=com",
+            "ldap://host:99999/dc=com",
+            "ldap:///dc=com??everywhere?(cn=x)",
+            "ldap:///dc=com??sub?(cn=x)?e1?too-many",
+        ):
+            with pytest.raises(LDAPUrlError):
+                parse_ldap_url(bad)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "ldap://ldap.att.com:389/dc=att, dc=com?cn,mail?sub?(surName=jagadish)",
+            "ldap:///?cn?one?(objectClass=*)",
+            "ldaps://h/ou=x, dc=com??base?(&(a=1)(b=2))",
+        ],
+    )
+    def test_parse_format_parse(self, url):
+        first = parse_ldap_url(url)
+        second = parse_ldap_url(format_ldap_url(first))
+        assert first == second
+
+    def test_to_query(self):
+        parsed = parse_ldap_url("ldap:///dc=com??sub?(&(cn=x)(n<3))")
+        query = parsed.to_query()
+        assert query.scope == "sub"
+        assert str(query.base) == "dc=com"

@@ -1,0 +1,98 @@
+"""Directory entries: multi-class, multi-valued, objectClass sync."""
+
+import pytest
+
+from repro.model.dn import DN
+from repro.model.entry import Entry
+
+
+def make(dn="cn=jag, dc=com", classes=("person",), **values):
+    return Entry(DN.parse(dn), classes, {k: v for k, v in values.items()})
+
+
+class TestConstruction:
+    def test_empty_class_set_rejected(self):
+        with pytest.raises(ValueError):
+            Entry(DN.parse("cn=x"), [], {})
+
+    def test_object_class_synced(self):
+        entry = make(classes=("person", "TOPSSubscriber"))
+        assert set(entry.values("objectClass")) == {"person", "TOPSSubscriber"}
+        assert entry.classes == frozenset({"person", "TOPSSubscriber"})
+
+    def test_object_class_values_cannot_be_overridden(self):
+        entry = Entry(
+            DN.parse("cn=x"), ["person"], {"objectClass": ["liar"]}
+        )
+        assert list(entry.values("objectClass")) == ["person"]
+
+    def test_multivalued(self):
+        entry = make(cn=["jag"], tag=["a", "b", "a"])
+        assert entry.values("tag") == ("a", "b")  # duplicates removed
+
+    def test_empty_value_list_means_absent(self):
+        entry = make(cn=["jag"], tag=[])
+        assert not entry.has("tag")
+
+
+class TestAccess:
+    def test_values_and_first(self):
+        entry = make(cn=["jag"], n=[3, 1])
+        assert entry.values("cn") == ("jag",)
+        assert entry.first("n") == 3
+        assert entry.first("missing") is None
+        assert entry.values("missing") == ()
+
+    def test_has(self):
+        entry = make(cn=["jag"])
+        assert entry.has("cn")
+        assert not entry.has("phone")
+
+    def test_pairs_sorted(self):
+        entry = make(z=["1"], a=["2"])
+        pairs = list(entry.pairs())
+        assert pairs == sorted(pairs)
+
+    def test_value_count(self):
+        entry = make(cn=["a", "b"])
+        assert entry.value_count("cn") == 2
+        assert entry.value_count("x") == 0
+
+    def test_attributes(self):
+        entry = make(cn=["x"])
+        assert entry.attributes() == ["cn", "objectClass"]
+
+
+class TestSemantics:
+    def test_rdn_consistent(self):
+        good = make("cn=jag, dc=com", cn=["jag"])
+        assert good.rdn_consistent()
+        bad = make("cn=jag, dc=com", cn=["other"])
+        assert not bad.rdn_consistent()
+
+    def test_rdn_consistent_with_int_values(self):
+        entry = make("n=5, dc=com", n=[5])
+        assert entry.rdn_consistent()
+
+    def test_equality_is_by_dn(self):
+        a = make(cn=["jag"])
+        b = make(cn=["different"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert not a.same_content(b)
+
+    def test_same_content(self):
+        a = make(cn=["jag"], tag=["x", "y"])
+        b = make(cn=["jag"], tag=["y", "x"])
+        assert a.same_content(b)  # value order does not matter
+
+    def test_with_values(self):
+        entry = make(cn=["jag"])
+        extended = entry.with_values(tag=["new"])
+        assert extended.values("tag") == ("new",)
+        assert not entry.has("tag")  # original untouched
+
+    def test_pretty(self):
+        text = make(cn=["jag"]).pretty()
+        assert "cn: jag" in text
+        assert "cn=jag, dc=com" in text

@@ -1,0 +1,128 @@
+"""Directory instances: the forest, validation, hierarchy navigation."""
+
+import pytest
+
+from repro.model.dn import DN, ROOT_DN
+from repro.model.instance import DirectoryInstance, InstanceError
+from repro.model.schema import DirectorySchema, SchemaError
+
+
+@pytest.fixture
+def schema():
+    s = DirectorySchema()
+    s.add_attribute("dc", "string")
+    s.add_attribute("cn", "string")
+    s.add_attribute("n", "int")
+    s.add_attribute("ref", "distinguishedName")
+    s.add_class("dcObject", {"dc"})
+    s.add_class("person", {"cn", "n", "ref"})
+    return s
+
+
+@pytest.fixture
+def inst(schema):
+    i = DirectoryInstance(schema)
+    i.add("dc=com", ["dcObject"], dc="com")
+    i.add("dc=att, dc=com", ["dcObject"], dc="att")
+    i.add("cn=jag, dc=att, dc=com", ["person"], cn="jag", n=5)
+    i.add("cn=div, dc=att, dc=com", ["person"], cn="div")
+    return i
+
+
+class TestAdd:
+    def test_dn_is_key(self, inst):
+        with pytest.raises(InstanceError):
+            inst.add("dc=com", ["dcObject"], dc="com")
+
+    def test_null_dn_rejected(self, inst):
+        with pytest.raises(InstanceError):
+            inst.add(ROOT_DN, ["dcObject"], dc="x")
+
+    def test_rdn_must_be_in_val(self, inst):
+        with pytest.raises(InstanceError):
+            inst.add("cn=ghost, dc=com", ["person"], cn="someone-else")
+
+    def test_undeclared_class(self, inst):
+        with pytest.raises(SchemaError):
+            inst.add("cn=x, dc=com", ["martian"], cn="x")
+
+    def test_attribute_must_be_allowed_by_some_class(self, inst):
+        with pytest.raises(SchemaError):
+            inst.add("dc=net", ["dcObject"], dc="net", cn="oops")
+
+    def test_values_coerced(self, inst):
+        entry = inst.add("cn=z, dc=com", ["person"], cn="z", n="42")
+        assert entry.values("n") == (42,)
+
+    def test_dn_valued_attribute(self, inst):
+        target = DN.parse("cn=jag, dc=att, dc=com")
+        entry = inst.add("cn=r, dc=com", ["person"], cn="r", ref=[str(target)])
+        assert entry.values("ref") == (target,)
+
+    def test_forest_allows_orphans_by_default(self, inst):
+        inst.add("cn=lone, dc=unseen, dc=org", ["person"], cn="lone")
+        assert len(inst) == 5
+
+    def test_require_parents(self, schema):
+        strict = DirectoryInstance(schema, require_parents=True)
+        strict.add("dc=com", ["dcObject"], dc="com")
+        with pytest.raises(InstanceError):
+            strict.add("cn=x, dc=org", ["person"], cn="x")
+        strict.add("cn=x, dc=com", ["person"], cn="x")
+
+
+class TestRemove:
+    def test_remove_leaf(self, inst):
+        assert inst.remove("cn=jag, dc=att, dc=com") == 1
+        assert inst.get("cn=jag, dc=att, dc=com") is None
+
+    def test_remove_inner_requires_recursive(self, inst):
+        with pytest.raises(InstanceError):
+            inst.remove("dc=att, dc=com")
+        removed = inst.remove("dc=att, dc=com", recursive=True)
+        assert removed == 3
+        assert len(inst) == 1
+
+    def test_remove_missing(self, inst):
+        with pytest.raises(InstanceError):
+            inst.remove("cn=nobody, dc=com")
+
+
+class TestNavigation:
+    def test_iteration_sorted(self, inst):
+        keys = [entry.dn.key() for entry in inst]
+        assert keys == sorted(keys)
+
+    def test_children_of(self, inst):
+        names = sorted(str(e.dn.rdn) for e in inst.children_of("dc=att, dc=com"))
+        assert names == ["cn=div", "cn=jag"]
+
+    def test_descendants_of(self, inst):
+        assert len(list(inst.descendants_of("dc=com"))) == 3
+        assert len(list(inst.subtree("dc=com"))) == 4
+
+    def test_parent_of(self, inst):
+        child = inst.get("cn=jag, dc=att, dc=com")
+        parent = inst.parent_of(child)
+        assert parent.dn == DN.parse("dc=att, dc=com")
+        root = inst.get("dc=com")
+        assert inst.parent_of(root) is None
+
+    def test_roots(self, inst):
+        inst.add("cn=lone, dc=unseen, dc=org", ["person"], cn="lone")
+        roots = sorted(str(e.dn) for e in inst.roots())
+        assert roots == ["cn=lone, dc=unseen, dc=org", "dc=com"]
+
+    def test_subtree_of_null_dn_is_everything(self, inst):
+        assert len(list(inst.subtree(ROOT_DN))) == len(inst)
+
+
+class TestValidate:
+    def test_clean_instance(self, inst):
+        assert inst.validate() == []
+
+    def test_add_entry_revalidates(self, inst):
+        entry = inst.get("cn=jag, dc=att, dc=com")
+        other = DirectoryInstance(inst.schema)
+        other.add_entry(entry)
+        assert other.get(entry.dn).same_content(entry)

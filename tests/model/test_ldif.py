@@ -1,0 +1,113 @@
+"""LDIF serialisation round-trips."""
+
+import io
+
+import pytest
+
+from repro.model.dn import DN
+from repro.model.ldif import LDIFError, dump_ldif, dumps_ldif, load_ldif, loads_ldif
+from repro.model.standard import standard_schema
+from repro.workload import random_instance, synthetic_schema
+
+
+class TestDump:
+    def test_basic_shape(self):
+        schema = standard_schema()
+        from repro.model.instance import DirectoryInstance
+
+        inst = DirectoryInstance(schema)
+        inst.add("dc=com", ["dcObject"], dc="com")
+        inst.add("ou=x, dc=com", ["organizationalUnit"], ou="x",
+                 description="a unit")
+        text = dumps_ldif(inst)
+        assert "dn: dc=com" in text
+        assert "objectClass: dcObject" in text
+        assert "description: a unit" in text
+        assert text.count("dn:") == 2
+
+    def test_base64_for_awkward_values(self):
+        schema = standard_schema()
+        from repro.model.instance import DirectoryInstance
+
+        inst = DirectoryInstance(schema)
+        inst.add("dc=com", ["dcObject"], dc="com")
+        inst.add(
+            "ou=x, dc=com", ["organizationalUnit"], ou="x",
+            description=" leading space",
+        )
+        text = dumps_ldif(inst)
+        assert "description:: " in text
+
+    def test_empty_instance(self):
+        from repro.model.instance import DirectoryInstance
+
+        assert dumps_ldif(DirectoryInstance(synthetic_schema())) == ""
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        original = random_instance(seed, size=60)
+        text = dumps_ldif(original)
+        reloaded = loads_ldif(text, synthetic_schema())
+        assert len(reloaded) == len(original)
+        for left, right in zip(original, reloaded):
+            assert left.dn == right.dn
+            assert left.classes == right.classes
+            # values compare as strings (ints/dns re-typed through schema)
+            for attr in left.attributes():
+                assert sorted(map(str, left.values(attr))) == sorted(
+                    map(str, right.values(attr))
+                ), attr
+
+    def test_types_restored(self):
+        original = random_instance(2, size=40, ref_density=1.0)
+        reloaded = loads_ldif(dumps_ldif(original), synthetic_schema())
+        entry = next(e for e in reloaded if e.has("weight"))
+        assert isinstance(entry.first("weight"), int)
+        entry = next(e for e in reloaded if e.has("ref"))
+        assert isinstance(entry.first("ref"), DN)
+
+    def test_stream_api(self):
+        original = random_instance(3, size=30)
+        buffer = io.StringIO()
+        dump_ldif(original, buffer)
+        buffer.seek(0)
+        reloaded = load_ldif(buffer, synthetic_schema())
+        assert len(reloaded) == len(original)
+
+
+class TestParsing:
+    def test_comments_and_continuations(self):
+        # A leading-space line continues the previous logical line, so the
+        # folded value joins "co" + "m" = "com".
+        text = "# a comment\ndn: dc=com\nobjectClass: dcObject\ndc: co\n m\n"
+        inst = loads_ldif(text, standard_schema())
+        assert inst.get("dc=com").first("dc") == "com"
+
+    def test_out_of_order_records(self):
+        text = (
+            "dn: ou=x, dc=com\nobjectClass: organizationalUnit\nou: x\n"
+            "\n"
+            "dn: dc=com\nobjectClass: dcObject\ndc: com\n"
+        )
+        inst = loads_ldif(text, standard_schema(), require_parents=True)
+        assert len(inst) == 2
+
+    def test_missing_dn(self):
+        with pytest.raises(LDIFError):
+            loads_ldif("objectClass: dcObject\ndc: com\n", standard_schema())
+
+    def test_missing_object_class(self):
+        with pytest.raises(LDIFError):
+            loads_ldif("dn: dc=com\ndc: com\n", standard_schema())
+
+    def test_missing_colon(self):
+        with pytest.raises(LDIFError):
+            loads_ldif("dn: dc=com\nobjectClass dcObject\n", standard_schema())
+
+    def test_bad_base64(self):
+        with pytest.raises(LDIFError):
+            loads_ldif(
+                "dn: dc=com\nobjectClass: dcObject\ndc:: !!!\n", standard_schema()
+            )

@@ -1,0 +1,52 @@
+"""Attribute projection of results."""
+
+from repro.model.dn import DN
+from repro.model.entry import Entry
+from repro.model.projection import project, project_entry
+
+
+def make_entry():
+    return Entry(
+        DN.parse("uid=jag, dc=com"),
+        ["inetOrgPerson"],
+        {
+            "uid": ["jag"],
+            "commonName": ["h jagadish"],
+            "telephoneNumber": ["9733608776"],
+            "mail": ["jag@att.com"],
+        },
+    )
+
+
+class TestProjectEntry:
+    def test_keeps_selected(self):
+        projected = project_entry(make_entry(), ["mail"])
+        assert projected.has("mail")
+        assert not projected.has("telephoneNumber")
+        assert not projected.has("commonName")
+
+    def test_always_keeps_object_class_and_rdn(self):
+        projected = project_entry(make_entry(), ["mail"])
+        assert projected.values("objectClass") == ("inetOrgPerson",)
+        assert projected.has("uid")  # rdn attribute survives
+        assert projected.rdn_consistent()
+
+    def test_empty_selection_means_all(self):
+        entry = make_entry()
+        assert project_entry(entry, []) is entry
+
+    def test_unknown_attribute_ignored(self):
+        projected = project_entry(make_entry(), ["nosuch"])
+        assert projected.attributes() == ["objectClass", "uid"]
+
+    def test_dn_preserved(self):
+        projected = project_entry(make_entry(), ["mail"])
+        assert projected.dn == make_entry().dn
+
+
+class TestProjectMany:
+    def test_projects_every_entry(self):
+        entries = [make_entry(), make_entry()]
+        projected = project(entries, ["commonName"])
+        assert all(e.has("commonName") for e in projected)
+        assert all(not e.has("mail") for e in projected)

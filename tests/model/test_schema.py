@@ -1,0 +1,77 @@
+"""Directory schemas (Definition 3.1)."""
+
+import pytest
+
+from repro.model.schema import OBJECT_CLASS, DirectorySchema, SchemaError
+
+
+@pytest.fixture
+def schema():
+    s = DirectorySchema()
+    s.add_attribute("cn", "string")
+    s.add_attribute("priority", "int")
+    s.add_attribute("ref", "distinguishedName")
+    s.add_class("thing", {"cn", "priority"})
+    return s
+
+
+class TestDeclaration:
+    def test_object_class_always_present(self):
+        s = DirectorySchema()
+        assert OBJECT_CLASS in s.attributes
+        assert s.type_name_of(OBJECT_CLASS) == "string"
+
+    def test_attribute_types_shared_across_classes(self, schema):
+        # Re-declaring with the same type is fine...
+        schema.add_attribute("cn", "string")
+        # ...but changing the type is not: tau is class-independent.
+        with pytest.raises(SchemaError):
+            schema.add_attribute("cn", "int")
+
+    def test_unknown_type_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_attribute("x", "floatish")
+
+    def test_empty_names_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_attribute("", "string")
+        with pytest.raises(SchemaError):
+            schema.add_class("", set())
+
+    def test_class_requires_declared_attributes(self, schema):
+        with pytest.raises(SchemaError) as err:
+            schema.add_class("bad", {"undeclared"})
+        assert "undeclared" in str(err.value)
+
+    def test_class_redeclaration_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_class("thing", {"cn"})
+
+    def test_object_class_implicitly_allowed(self, schema):
+        assert OBJECT_CLASS in schema.allowed_attributes("thing")
+
+
+class TestAccessors:
+    def test_components(self, schema):
+        assert schema.classes == {"thing"}
+        assert {"cn", "priority", "ref", OBJECT_CLASS} <= schema.attributes
+
+    def test_type_of(self, schema):
+        assert schema.type_of("priority").name == "int"
+        with pytest.raises(SchemaError):
+            schema.type_of("missing")
+
+    def test_allowed_attributes(self, schema):
+        assert "cn" in schema.allowed_attributes("thing")
+        with pytest.raises(SchemaError):
+            schema.allowed_attributes("missing")
+
+    def test_attribute_allowed_for(self, schema):
+        assert schema.attribute_allowed_for("cn", ["thing"])
+        assert not schema.attribute_allowed_for("ref", ["thing"])
+        # Union semantics: allowed if ANY class admits it.
+        schema.add_class("other", {"ref"})
+        assert schema.attribute_allowed_for("ref", ["thing", "other"])
+
+    def test_coerce_value(self, schema):
+        assert schema.coerce_value("priority", "7") == 7

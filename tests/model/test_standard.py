@@ -1,0 +1,58 @@
+"""The standard (Netscape-style) schema."""
+
+import pytest
+
+from repro.model.instance import DirectoryInstance
+from repro.model.standard import standard_schema, telephone_number_type
+from repro.model.types import TypeError_
+
+
+class TestTelephoneType:
+    def test_accepts_phone_shapes(self):
+        phone = telephone_number_type()
+        for value in ("9733608776", "+1-973-360-8776", "973 360 8776"):
+            assert phone.coerce(value) == value
+
+    def test_rejects_non_phones(self):
+        phone = telephone_number_type()
+        for value in ("not-a-phone", "", "12a34"):
+            with pytest.raises(TypeError_):
+                phone.coerce(value)
+
+
+class TestStandardSchema:
+    def test_paper_classes_present(self):
+        schema = standard_schema()
+        for class_name in (
+            "dcObject", "domain", "organizationalUnit",
+            "inetOrgPerson", "organizationalPerson", "person",
+        ):
+            assert schema.has_class(class_name), class_name
+
+    def test_multi_class_entry_like_section_3_5(self):
+        """An entry can be inetOrgPerson without subclass gymnastics and
+        use the union of allowed attributes."""
+        schema = standard_schema()
+        inst = DirectoryInstance(schema)
+        inst.add("dc=com", ["dcObject"], dc="com")
+        entry = inst.add(
+            "uid=jag, dc=com",
+            ["inetOrgPerson", "person"],
+            uid="jag",
+            commonName="h jagadish",
+            surName="jagadish",
+            telephoneNumber="9733608776",
+            seeAlso=["dc=com"],  # allowed via person
+        )
+        assert entry.first("telephoneNumber") == "9733608776"
+
+    def test_dn_valued_attributes(self):
+        schema = standard_schema()
+        assert schema.type_name_of("manager") == "distinguishedName"
+        assert schema.type_name_of("member") == "distinguishedName"
+
+    def test_open_for_extension(self):
+        schema = standard_schema()
+        schema.add_attribute("myAttr", "int")
+        schema.add_class("myClass", {"myAttr", "commonName"})
+        assert schema.has_class("myClass")

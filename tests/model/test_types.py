@@ -1,0 +1,79 @@
+"""Type system: domains, coercion, registry."""
+
+import pytest
+
+from repro.model.dn import DN
+from repro.model.types import (
+    DN_TYPE,
+    INT,
+    STRING,
+    AttributeType,
+    TypeError_,
+    TypeRegistry,
+    default_registry,
+)
+
+
+class TestBuiltins:
+    def test_string_contains(self):
+        assert STRING.contains("abc")
+        assert not STRING.contains(5)
+
+    def test_string_coerce(self):
+        assert STRING.coerce(5) == "5"
+        assert STRING.coerce("x") == "x"
+
+    def test_int_contains(self):
+        assert INT.contains(5)
+        assert not INT.contains("5")
+        assert not INT.contains(True)  # bools are not directory ints
+
+    def test_int_coerce(self):
+        assert INT.coerce("42") == 42
+        assert INT.coerce(7) == 7
+        with pytest.raises(TypeError_):
+            INT.coerce("abc")
+        with pytest.raises(TypeError_):
+            INT.coerce(True)
+
+    def test_dn_coerce(self):
+        dn = DN_TYPE.coerce("dc=att, dc=com")
+        assert isinstance(dn, DN)
+        assert dn == DN.parse("dc=att, dc=com")
+        assert DN_TYPE.coerce(dn) is dn
+        with pytest.raises(TypeError_):
+            DN_TYPE.coerce(5)
+
+
+class TestRegistry:
+    def test_defaults_present(self):
+        registry = default_registry()
+        for name in ("string", "int", "distinguishedName"):
+            assert name in registry
+            assert registry.get(name).name == name
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError):
+            default_registry().get("nosuch")
+
+    def test_register_custom(self):
+        registry = TypeRegistry()
+        phone = AttributeType(
+            "telephoneNumber",
+            contains=lambda v: isinstance(v, str) and v.replace("-", "").isdigit(),
+            coerce=str,
+        )
+        registry.register(phone)
+        assert registry.get("telephoneNumber").coerce("973-360") == "973-360"
+        with pytest.raises(TypeError_):
+            registry.get("telephoneNumber").coerce("not-a-phone")
+
+    def test_register_conflict(self):
+        registry = TypeRegistry()
+        other = AttributeType("string", contains=lambda v: True)
+        with pytest.raises(ValueError):
+            registry.register(other)
+
+    def test_names_sorted(self):
+        names = TypeRegistry().names()
+        assert names == sorted(names)

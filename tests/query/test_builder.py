@@ -1,0 +1,123 @@
+"""The fluent query builder mirrors the concrete syntax exactly."""
+
+import pytest
+
+from repro.query.builder import Q, QueryBuilder
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate
+from repro.workload import random_instance
+
+
+def same(builder, text):
+    assert builder.build() == parse_query(text), "%s != %s" % (builder, text)
+
+
+class TestAtoms:
+    def test_scopes(self):
+        same(Q.base("dc=com"), "(dc=com ? base ? objectClass=*)")
+        same(Q.one("dc=com"), "(dc=com ? one ? objectClass=*)")
+        same(Q.sub("dc=com"), "(dc=com ? sub ? objectClass=*)")
+
+    def test_everything(self):
+        same(Q.everything(), "( ? sub ? objectClass=*)")
+
+    def test_filters(self):
+        same(Q.sub("dc=com", "kind=alpha"), "(dc=com ? sub ? kind=alpha)")
+        same(
+            Q.sub("dc=com").where("weight<5"),
+            "(dc=com ? sub ? weight<5)",
+        )
+
+    def test_where_on_composite_rejected(self):
+        with pytest.raises(TypeError):
+            (Q.sub("dc=com") & Q.sub("dc=org")).where("a=1")
+
+    def test_parse_passthrough(self):
+        same(Q("(dc=com ? sub ? kind=alpha)"), "(dc=com ? sub ? kind=alpha)")
+
+
+class TestCombinators:
+    def test_boolean(self):
+        a = Q.sub("dc=com", "kind=alpha")
+        b = Q.sub("dc=com", "kind=beta")
+        same(a & b, "(& (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta))")
+        same(a | b, "(| (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta))")
+        same(a - b, "(- (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta))")
+
+    def test_example_4_1(self):
+        query = Q.sub("dc=att, dc=com", "surName=jagadish") - Q.sub(
+            "dc=research, dc=att, dc=com", "surName=jagadish"
+        )
+        same(
+            query,
+            "(- (dc=att, dc=com ? sub ? surName=jagadish)"
+            "   (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+        )
+
+    def test_hierarchical(self):
+        a = Q.sub("dc=com", "kind=alpha")
+        b = Q.sub("dc=com", "kind=beta")
+        same(a.with_parent(b), "(p (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta))")
+        same(a.with_child(b), "(c (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta))")
+        same(a.with_ancestor(b), "(a (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta))")
+        same(a.with_descendant(b), "(d (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta))")
+
+    def test_path_constrained(self):
+        a, b, c = (Q.sub("dc=com", "kind=%s" % k) for k in ("alpha", "beta", "gamma"))
+        same(
+            a.with_nearest_ancestor(b, unless=c),
+            "(ac (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta)"
+            " (dc=com ? sub ? kind=gamma))",
+        )
+        same(
+            a.with_nearest_descendant(b, unless=c),
+            "(dc (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta)"
+            " (dc=com ? sub ? kind=gamma))",
+        )
+
+    def test_aggregates(self):
+        a = Q.sub("dc=com", "kind=alpha")
+        b = Q.sub("dc=com", "kind=beta")
+        same(
+            a.with_child(b, having="count($2) > 10"),
+            "(c (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta) count($2) > 10)",
+        )
+        same(
+            a.having("count(tag) >= 1"),
+            "(g (dc=com ? sub ? kind=alpha) count(tag) >= 1)",
+        )
+
+    def test_embedded_refs(self):
+        a = Q.sub("dc=com", "kind=alpha")
+        b = Q.sub("dc=com", "kind=beta")
+        same(a.referencing(b, "ref"),
+             "(vd (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta) ref)")
+        same(a.referenced_by(b, "ref", having="count($2) = 0"),
+             "(dv (dc=com ? sub ? kind=alpha) (dc=com ? sub ? kind=beta) ref count($2) = 0)")
+
+
+class TestSemanticsAndImmutability:
+    def test_builders_evaluate_like_text(self):
+        instance = random_instance(9, size=60)
+        built = (
+            Q.sub("", "kind=alpha").with_descendant(Q.sub("", "weight>=50"))
+            & Q.everything()
+        ).build()
+        text = parse_query(
+            "(& (d ( ? sub ? kind=alpha) ( ? sub ? weight>=50)) ( ? sub ? objectClass=*))"
+        )
+        assert [e.dn for e in evaluate(built, instance)] == [
+            e.dn for e in evaluate(text, instance)
+        ]
+
+    def test_immutable(self):
+        builder = Q.sub("dc=com")
+        with pytest.raises(AttributeError):
+            builder.query = None
+
+    def test_reuse_is_safe(self):
+        base = Q.sub("dc=com", "kind=alpha")
+        first = base.with_parent(Q.everything())
+        second = base.with_child(Q.everything())
+        assert str(base) == "(dc=com ? sub ? kind=alpha)"
+        assert first != second

@@ -1,0 +1,178 @@
+"""The expressiveness results (Theorems 8.1 and 8.2), exercised concretely.
+
+Full inexpressibility proofs are meta-theoretic; these tests pin down the
+*witnesses* behind each claim: the containments are shown constructively
+(every LDAP query translates into L0, every Li query is an Li+1 query),
+and each strictness/irredundancy claim is shown on a concrete instance
+where the richer operator distinguishes situations the poorer operators
+provably conflate (the same finite query pieces give identical answers,
+the new operator does not).
+"""
+
+import pytest
+
+from repro.ldapx import LDAPQuery, LDAPSession, emulate_l0, evaluate_ldap
+from repro.engine import QueryEngine
+from repro.model.dn import ROOT_DN
+from repro.model.instance import DirectoryInstance
+from repro.query.ast import AtomicQuery, language_level
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate
+from repro.workload import RandomQueries, random_instance, synthetic_schema
+
+
+def chain(*kinds):
+    """A single chain instance with the given kind per level."""
+    instance = DirectoryInstance(synthetic_schema())
+    dn = ROOT_DN
+    for index, kind in enumerate(kinds):
+        dn = dn.child("name=n%d" % index)
+        instance.add(dn, ["node"], name="n%d" % index, kind=kind)
+    return instance
+
+
+class TestTheorem81Containments:
+    """LDAP ⊆ L0 ⊆ L1 ⊆ L2 ⊆ L3, constructively."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_ldap_query_is_an_l0_query(self, seed):
+        """An LDAP query with an *atomic* filter IS an atomic L0 query;
+        boolean LDAP filters translate to boolean combinations of atomic
+        queries over the same base and scope."""
+        instance = random_instance(seed, size=60)
+        engine = QueryEngine.from_instance(instance, page_size=8)
+        base = list(instance)[seed].dn
+        # (&(kind=alpha)(weight>=40)) over one base+scope ...
+        ldap = LDAPQuery(base, "sub", "(&(kind=alpha)(weight>=40))")
+        ldap_result = evaluate_ldap(engine.store, ldap).to_list()
+        # ... equals the L0 conjunction of the atomic pieces.
+        l0 = parse_query(
+            "(& (%s ? sub ? kind=alpha) (%s ? sub ? weight>=40))" % (base, base)
+        )
+        assert [e.dn for e in ldap_result] == [e.dn for e in evaluate(l0, instance)]
+
+    def test_syntactic_containments(self):
+        instance = random_instance(1, size=30)
+        queries = RandomQueries(instance, seed=2)
+        assert language_level(queries.l0()) <= 1   # every L0 query is L1
+        assert language_level(queries.l1()) <= 2   # every L1 query is L2
+        assert language_level(queries.l2()) <= 3   # every L2 query is L3
+
+
+class TestTheorem81Strictness:
+    def test_ldap_lacks_cross_base_difference(self):
+        """Example 4.1: the L0 difference needs two LDAP searches plus
+        client-side work -- no single LDAP query has two bases."""
+        instance = random_instance(3, size=60)
+        engine = QueryEngine.from_instance(instance, page_size=8)
+        roots = sorted((e.dn for e in instance.roots()), key=lambda d: d.key())
+        query = parse_query(
+            "(- ( ? sub ? kind=alpha) (%s ? sub ? kind=alpha))" % roots[0]
+        )
+        session = LDAPSession(engine.store)
+        emulated = emulate_l0(session, query)
+        assert [e.dn for e in emulated] == [e.dn for e in evaluate(query, instance)]
+        assert session.round_trips == 2  # irreducibly two searches
+
+    def test_l1_counts_only_existence(self):
+        """L1 < L2: two instances indistinguishable by every witness-
+        existence test but separated by counting."""
+        one_child = chain("alpha") ; one_child.add(
+            "name=c0, name=n0", ["node"], name="c0", kind="beta")
+        two_children = chain("alpha")
+        two_children.add("name=c0, name=n0", ["node"], name="c0", kind="beta")
+        two_children.add("name=c1, name=n0", ["node"], name="c1", kind="beta")
+        exists = parse_query("(c ( ? sub ? kind=alpha) ( ? sub ? kind=beta))")
+        # The L1 existence query cannot tell the instances apart ...
+        assert [str(e.dn) for e in evaluate(exists, one_child)] == [
+            str(e.dn) for e in evaluate(exists, two_children)
+        ]
+        # ... the L2 counting query can.
+        count2 = parse_query(
+            "(c ( ? sub ? kind=alpha) ( ? sub ? kind=beta) count($2) >= 2)"
+        )
+        assert evaluate(count2, one_child) == []
+        assert len(evaluate(count2, two_children)) == 1
+
+    def test_l2_cannot_see_references(self):
+        """L2 < L3: two instances with identical namespaces (so every
+        hierarchical/aggregate query agrees) but different references."""
+        with_ref = DirectoryInstance(synthetic_schema())
+        with_ref.add("name=a", ["node"], name="a")
+        with_ref.add("name=b", ["node"], name="b", ref=["name=a"])
+        without_ref = DirectoryInstance(synthetic_schema())
+        without_ref.add("name=a", ["node"], name="a")
+        without_ref.add("name=b", ["node"], name="b")
+        hier = parse_query("(d ( ? sub ? objectClass=*) ( ? sub ? name=b))")
+        assert [str(e.dn) for e in evaluate(hier, with_ref)] == [
+            str(e.dn) for e in evaluate(hier, without_ref)
+        ]
+        l3 = parse_query("(vd ( ? sub ? name=b) ( ? sub ? name=a) ref)")
+        assert len(evaluate(l3, with_ref)) == 1
+        assert evaluate(l3, without_ref) == []
+
+
+class TestTheorem82Irredundancy:
+    """The witnesses behind the operator-set separations: instances where
+    the operator families give genuinely different answers."""
+
+    def test_children_differs_from_descendants(self):
+        # a/d see through multiple levels; c/p see exactly one.
+        instance = chain("alpha", "gamma", "beta")
+        c_result = evaluate(
+            parse_query("(c ( ? sub ? kind=alpha) ( ? sub ? kind=beta))"), instance
+        )
+        d_result = evaluate(
+            parse_query("(d ( ? sub ? kind=alpha) ( ? sub ? kind=beta))"), instance
+        )
+        assert c_result == []         # beta is a grandchild, not a child
+        assert len(d_result) == 1     # but it is a descendant
+
+    def test_parents_differs_from_ancestors(self):
+        instance = chain("beta", "gamma", "alpha")
+        p_result = evaluate(
+            parse_query("(p ( ? sub ? kind=alpha) ( ? sub ? kind=beta))"), instance
+        )
+        a_result = evaluate(
+            parse_query("(a ( ? sub ? kind=alpha) ( ? sub ? kind=beta))"), instance
+        )
+        assert p_result == []
+        assert len(a_result) == 1
+
+    def test_ac_distinguishes_blocked_from_unblocked(self):
+        # Same binary-operator answers, different ac answers.
+        blocked = chain("beta", "gamma", "alpha")    # gamma between
+        unblocked = chain("beta", "delta", "alpha")  # delta is no blocker
+        binary = parse_query("(a ( ? sub ? kind=alpha) ( ? sub ? kind=beta))")
+        assert len(evaluate(binary, blocked)) == len(evaluate(binary, unblocked)) == 1
+        ac = parse_query(
+            "(ac ( ? sub ? kind=alpha) ( ? sub ? kind=beta) ( ? sub ? kind=gamma))"
+        )
+        assert evaluate(ac, blocked) == []
+        assert len(evaluate(ac, unblocked)) == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_82d_ac_expresses_p(self, seed):
+        """Theorem 8.2(d): (p Q1 Q2) = (ac Q1 Q2 whole-instance), at the
+        cost Section 8.1 warns about (measured in E10)."""
+        instance = random_instance(seed + 70, size=70)
+        queries = RandomQueries(instance, seed=seed)
+        q1 = queries.l0()
+        q2 = queries.l0()
+        p = parse_query("(p %s %s)" % (q1, q2))
+        ac = parse_query("(ac %s %s ( ? sub ? objectClass=*))" % (q1, q2))
+        assert [e.dn for e in evaluate(p, instance)] == [
+            e.dn for e in evaluate(ac, instance)
+        ]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_82d_dc_expresses_c(self, seed):
+        instance = random_instance(seed + 80, size=70)
+        queries = RandomQueries(instance, seed=seed)
+        q1 = queries.l0()
+        q2 = queries.l0()
+        c = parse_query("(c %s %s)" % (q1, q2))
+        dc = parse_query("(dc %s %s ( ? sub ? objectClass=*))" % (q1, q2))
+        assert [e.dn for e in evaluate(c, instance)] == [
+            e.dn for e in evaluate(dc, instance)
+        ]

@@ -1,0 +1,204 @@
+"""Concrete query syntax: the paper's own query strings must parse."""
+
+import pytest
+
+from repro.query.aggregates import Constant, EntryAggregate, EntrySetAggregate
+from repro.query.ast import (
+    And,
+    AtomicQuery,
+    Diff,
+    EmbeddedRef,
+    HierarchySelect,
+    SimpleAggSelect,
+)
+from repro.query.parser import QueryParseError, parse_aggsel, parse_query
+
+
+class TestAtomic:
+    def test_basic(self):
+        q = parse_query("(dc=att, dc=com ? sub ? surName=jagadish)")
+        assert isinstance(q, AtomicQuery)
+        assert str(q.base) == "dc=att, dc=com"
+        assert q.scope == "sub"
+
+    def test_null_base(self):
+        q = parse_query("( ? sub ? objectClass=*)")
+        assert q.base.is_null()
+
+    def test_all_scopes(self):
+        for scope in ("base", "one", "sub"):
+            q = parse_query("(dc=com ? %s ? cn=*)" % scope)
+            assert q.scope == scope
+
+    def test_wrong_part_count(self):
+        with pytest.raises(QueryParseError):
+            parse_query("(dc=com ? sub)")
+
+    def test_bad_scope(self):
+        with pytest.raises(QueryParseError):
+            parse_query("(dc=com ? everywhere ? cn=*)")
+
+
+class TestPaperQueries:
+    """Every query string printed in the paper parses to the right shape."""
+
+    def test_example_4_1_difference(self):
+        q = parse_query(
+            "(- (dc=att, dc=com ? sub ? surName=jagadish)"
+            "   (dc=research, dc=att, dc=com ? sub ? surName=jagadish))"
+        )
+        assert isinstance(q, Diff)
+
+    def test_example_5_1_children(self):
+        q = parse_query(
+            "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)"
+            "   (dc=att, dc=com ? sub ? surName=jagadish))"
+        )
+        assert isinstance(q, HierarchySelect) and q.op == "c" and q.agg is None
+
+    def test_example_5_2_ancestors(self):
+        q = parse_query(
+            "(a (dc=att, dc=com ? sub ? objectClass=trafficProfile)"
+            "   (dc=att, dc=com ? sub ? ou=networkPolicies))"
+        )
+        assert q.op == "a"
+
+    def test_example_5_3_path_constrained(self):
+        q = parse_query(
+            "(dc (dc=att, dc=com ? sub ? objectClass=dcObject)"
+            "    (& (dc=att, dc=com ? sub ? sourcePort=25)"
+            "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+            "    (dc=att, dc=com ? sub ? objectClass=dcObject))"
+        )
+        assert q.op == "dc"
+        assert isinstance(q.second, And)
+        assert q.third is not None
+
+    def test_example_6_1_simple_agg(self):
+        q = parse_query(
+            "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+            "   count(SLAPVPRef) > 1)"
+        )
+        assert isinstance(q, SimpleAggSelect)
+        assert str(q.agg.left) == "count($1.SLAPVPRef)"
+        assert q.agg.op == ">"
+        assert q.agg.right == Constant(1)
+
+    def test_example_6_2_structural_agg(self):
+        q = parse_query(
+            "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)"
+            "   (dc=att, dc=com ? sub ? objectClass=QHP)"
+            "   count($2) > 10)"
+        )
+        assert q.op == "c"
+        assert q.agg is not None
+        assert q.agg.left == EntryAggregate("count", "$2", None)
+
+    def test_example_7_1_vd(self):
+        q = parse_query(
+            "(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+            "    (& (dc=att, dc=com ? sub ? sourcePort=25)"
+            "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+            "    SLATPRef)"
+        )
+        assert isinstance(q, EmbeddedRef) and q.op == "vd"
+        assert q.attribute == "SLATPRef"
+
+    def test_example_7_1_nested_dv(self):
+        q = parse_query(
+            "(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)"
+            "    (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+            "           (& (dc=att, dc=com ? sub ? sourcePort=25)"
+            "              (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+            "           SLATPRef)"
+            "       min(SLARulePriority)=min(min(SLARulePriority)))"
+            "    SLADSActRef)"
+        )
+        assert q.op == "dv"
+        assert isinstance(q.second, SimpleAggSelect)
+        assert isinstance(q.second.operand, EmbeddedRef)
+
+    def test_section_8_1_p_via_ac(self):
+        q = parse_query(
+            "(ac (dc=a, dc=com ? sub ? cn=*) (dc=b, dc=com ? sub ? cn=*)"
+            "    ( ? sub ? objectClass=*))"
+        )
+        assert q.op == "ac" and q.third is not None
+
+
+class TestAggSel:
+    def test_count_forms(self):
+        assert parse_aggsel("count($$) > 3").left == EntrySetAggregate("count", None)
+        assert parse_aggsel("count($1) > 3").left == EntrySetAggregate("count", None)
+        assert parse_aggsel("count($2) > 3").left == EntryAggregate("count", "$2", None)
+
+    def test_dollar_prefixes(self):
+        agg = parse_aggsel("min($2.weight) <= max($1.weight)")
+        assert agg.left == EntryAggregate("min", "$2", "weight")
+        assert agg.right == EntryAggregate("max", "$1", "weight")
+
+    def test_nested_entry_set(self):
+        agg = parse_aggsel("min(SLARulePriority)=min(min(SLARulePriority))")
+        assert agg.right == EntrySetAggregate(
+            "min", EntryAggregate("min", "$1", "SLARulePriority")
+        )
+
+    def test_all_int_ops(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert parse_aggsel("count($2) %s 1" % op).op == op
+
+    def test_bad_function(self):
+        with pytest.raises(QueryParseError):
+            parse_aggsel("median(x) > 1")
+
+    def test_non_count_on_dollars(self):
+        with pytest.raises(QueryParseError):
+            parse_aggsel("min($$) > 1")
+        with pytest.raises(QueryParseError):
+            parse_aggsel("sum($2) > 1")
+
+    def test_missing_operator(self):
+        with pytest.raises(QueryParseError):
+            parse_aggsel("count($2)")
+
+
+class TestRobustness:
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryParseError):
+            parse_query("(dc=com ? sub ? cn=*) extra")
+
+    def test_unbalanced(self):
+        with pytest.raises(QueryParseError):
+            parse_query("(& (dc=com ? sub ? cn=*)")
+
+    def test_g_requires_filter(self):
+        with pytest.raises(QueryParseError):
+            parse_query("(g (dc=com ? sub ? cn=*))")
+
+    def test_vd_requires_attribute(self):
+        with pytest.raises(QueryParseError):
+            parse_query("(vd (dc=com ? sub ? cn=*) (dc=com ? sub ? cn=*))")
+
+    def test_question_mark_in_value_reports_clearly(self):
+        # Documented limitation of the concrete syntax: a literal '?' in a
+        # value splits the atomic query into too many parts.
+        with pytest.raises(QueryParseError) as err:
+            parse_query("(dc=com ? sub ? cn=what?)")
+        assert "base ? scope ? filter" in str(err.value)
+        # The builder API has no such restriction.
+        from repro.filters.ast import Equality
+        from repro.query.builder import Q
+
+        built = Q.sub("dc=com", Equality("cn", "what?")).build()
+        assert isinstance(built, AtomicQuery)
+
+    def test_roundtrip_via_str(self):
+        texts = [
+            "(- (dc=att, dc=com ? sub ? surName=jagadish)"
+            " (dc=research, dc=att, dc=com ? sub ? surName=jagadish))",
+            "(c (dc=com ? sub ? objectClass=x) (dc=com ? sub ? cn=*) count($2) > 10)",
+            "(vd (dc=com ? sub ? cn=*) (dc=com ? sub ? cn=*) ref)",
+        ]
+        for text in texts:
+            q = parse_query(text)
+            assert parse_query(str(q)) == q

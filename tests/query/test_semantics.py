@@ -1,0 +1,234 @@
+"""Definitional semantics M(Q) on a hand-built directory."""
+
+import pytest
+
+from repro.model.dn import DN
+from repro.model.instance import DirectoryInstance
+from repro.model.schema import DirectorySchema
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate, witness_set
+
+
+@pytest.fixture(scope="module")
+def inst():
+    schema = DirectorySchema()
+    schema.add_attribute("dc", "string")
+    schema.add_attribute("ou", "string")
+    schema.add_attribute("cn", "string")
+    schema.add_attribute("n", "int")
+    schema.add_attribute("ref", "distinguishedName")
+    schema.add_class("dcObject", {"dc"})
+    schema.add_class("organizationalUnit", {"ou"})
+    schema.add_class("person", {"cn", "n", "ref"})
+    i = DirectoryInstance(schema)
+    i.add("dc=com", ["dcObject"], dc="com")
+    i.add("dc=att, dc=com", ["dcObject"], dc="att")
+    i.add("dc=research, dc=att, dc=com", ["dcObject"], dc="research")
+    i.add("ou=labs, dc=research, dc=att, dc=com", ["organizationalUnit"], ou="labs")
+    i.add("cn=jag, ou=labs, dc=research, dc=att, dc=com", ["person"], cn="jag", n=3)
+    i.add("cn=div, ou=labs, dc=research, dc=att, dc=com", ["person"], cn="div", n=1)
+    i.add("ou=sales, dc=att, dc=com", ["organizationalUnit"], ou="sales")
+    i.add("cn=jag, ou=sales, dc=att, dc=com", ["person"], cn="jag", n=2,
+          ref=["cn=jag, ou=labs, dc=research, dc=att, dc=com"])
+    return i
+
+
+def dns(query_text, inst):
+    return [str(e.dn) for e in evaluate(parse_query(query_text), inst)]
+
+
+class TestAtomicScopes:
+    def test_base(self, inst):
+        assert dns("(dc=att, dc=com ? base ? objectClass=*)", inst) == ["dc=att, dc=com"]
+
+    def test_base_no_match(self, inst):
+        assert dns("(dc=att, dc=com ? base ? cn=*)", inst) == []
+
+    def test_one_includes_base(self, inst):
+        # Definition 4.1: one-scope includes the base entry itself.
+        result = dns("(dc=att, dc=com ? one ? objectClass=*)", inst)
+        assert "dc=att, dc=com" in result
+        assert "dc=research, dc=att, dc=com" in result
+        assert "ou=sales, dc=att, dc=com" in result
+        assert "ou=labs, dc=research, dc=att, dc=com" not in result
+
+    def test_sub_includes_base_and_all(self, inst):
+        result = dns("(dc=att, dc=com ? sub ? objectClass=*)", inst)
+        assert len(result) == 7
+
+    def test_null_base_covers_forest(self, inst):
+        assert len(dns("( ? sub ? objectClass=*)", inst)) == len(inst)
+
+    def test_filter_applies(self, inst):
+        assert dns("(dc=com ? sub ? n>=3)", inst) == [
+            "cn=jag, ou=labs, dc=research, dc=att, dc=com"
+        ]
+
+    def test_results_sorted_by_reverse_dn(self, inst):
+        result = evaluate(parse_query("( ? sub ? objectClass=*)"), inst)
+        keys = [e.dn.key() for e in result]
+        assert keys == sorted(keys)
+
+
+class TestBoolean:
+    def test_and(self, inst):
+        assert dns("(& (dc=com ? sub ? cn=jag) (dc=att, dc=com ? one ? objectClass=*))", inst) == []
+
+    def test_or_dedupes(self, inst):
+        result = dns("(| (dc=com ? sub ? cn=jag) (dc=com ? sub ? cn=jag))", inst)
+        assert len(result) == 2
+
+    def test_diff_example_4_1(self, inst):
+        result = dns(
+            "(- (dc=att, dc=com ? sub ? cn=jag)"
+            "   (dc=research, dc=att, dc=com ? sub ? cn=jag))",
+            inst,
+        )
+        assert result == ["cn=jag, ou=sales, dc=att, dc=com"]
+
+
+class TestHierarchy:
+    def test_children_example_5_1(self, inst):
+        result = dns(
+            "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)"
+            "   (dc=att, dc=com ? sub ? cn=jag))",
+            inst,
+        )
+        assert result == [
+            "ou=labs, dc=research, dc=att, dc=com",
+            "ou=sales, dc=att, dc=com",
+        ]
+
+    def test_parents(self, inst):
+        result = dns(
+            "(p (dc=com ? sub ? objectClass=person) (dc=com ? sub ? ou=labs))",
+            inst,
+        )
+        assert result == [
+            "cn=div, ou=labs, dc=research, dc=att, dc=com",
+            "cn=jag, ou=labs, dc=research, dc=att, dc=com",
+        ]
+
+    def test_ancestors(self, inst):
+        result = dns(
+            "(a (dc=com ? sub ? objectClass=dcObject) (dc=com ? sub ? dc=att))",
+            inst,
+        )
+        assert result == ["dc=research, dc=att, dc=com"]
+
+    def test_descendants(self, inst):
+        result = dns(
+            "(d (dc=com ? sub ? objectClass=dcObject) (dc=com ? sub ? cn=*))",
+            inst,
+        )
+        assert result == ["dc=com", "dc=att, dc=com", "dc=research, dc=att, dc=com"]
+
+    def test_dc_blocking(self, inst):
+        # Nearest-dcObject semantics: dc=com does NOT qualify for persons in
+        # research, because dc=att (another dcObject) intervenes.
+        result = dns(
+            "(dc ( ? sub ? objectClass=dcObject)"
+            "    ( ? sub ? cn=jag)"
+            "    ( ? sub ? objectClass=dcObject))",
+            inst,
+        )
+        # dc=att qualifies via the sales jag (no dcObject in between);
+        # dc=research via the labs jag; dc=com is blocked by dc=att.
+        assert result == ["dc=att, dc=com", "dc=research, dc=att, dc=com"]
+
+    def test_ac_blocking(self, inst):
+        # Closest dcObject ancestors: for each person, only the nearest
+        # dcObject above them qualifies (others blocked).
+        result = dns(
+            "(ac ( ? sub ? cn=*)"
+            "    ( ? sub ? dc=research)"
+            "    ( ? sub ? objectClass=dcObject))",
+            inst,
+        )
+        # dc=research is the nearest dcObject ancestor of the labs people.
+        assert result == [
+            "cn=div, ou=labs, dc=research, dc=att, dc=com",
+            "cn=jag, ou=labs, dc=research, dc=att, dc=com",
+        ]
+
+    def test_blocker_that_is_also_witness_contributes_itself(self, inst):
+        # dc=att is both witness (Q2) and blocker (Q3): entries directly
+        # below it still see it.
+        result = dns(
+            "(ac ( ? sub ? ou=*) ( ? sub ? dc=att) ( ? sub ? objectClass=dcObject))",
+            inst,
+        )
+        assert result == ["ou=sales, dc=att, dc=com"]
+
+
+class TestAggregates:
+    def test_simple_count(self, inst):
+        assert dns("(g ( ? sub ? objectClass=person) count(cn) >= 1)", inst) == [
+            "cn=div, ou=labs, dc=research, dc=att, dc=com",
+            "cn=jag, ou=labs, dc=research, dc=att, dc=com",
+            "cn=jag, ou=sales, dc=att, dc=com",
+        ]
+
+    def test_min_of_min(self, inst):
+        assert dns(
+            "(g ( ? sub ? objectClass=person) min(n)=min(min(n)))", inst
+        ) == ["cn=div, ou=labs, dc=research, dc=att, dc=com"]
+
+    def test_count_all(self, inst):
+        assert len(dns("(g ( ? sub ? objectClass=person) count($$) = 3)", inst)) == 3
+        assert dns("(g ( ? sub ? objectClass=person) count($$) = 99)", inst) == []
+
+    def test_structural_count(self, inst):
+        result = dns(
+            "(c ( ? sub ? objectClass=organizationalUnit)"
+            "   ( ? sub ? objectClass=person) count($2) >= 2)",
+            inst,
+        )
+        assert result == ["ou=labs, dc=research, dc=att, dc=com"]
+
+    def test_structural_witness_attr(self, inst):
+        result = dns(
+            "(c ( ? sub ? objectClass=organizationalUnit)"
+            "   ( ? sub ? objectClass=person) sum($2.n) >= 4)",
+            inst,
+        )
+        assert result == ["ou=labs, dc=research, dc=att, dc=com"]
+
+
+class TestEmbeddedRefs:
+    def test_vd(self, inst):
+        result = dns(
+            "(vd ( ? sub ? objectClass=person)"
+            "    (dc=research, dc=att, dc=com ? sub ? objectClass=person) ref)",
+            inst,
+        )
+        assert result == ["cn=jag, ou=sales, dc=att, dc=com"]
+
+    def test_dv(self, inst):
+        result = dns(
+            "(dv ( ? sub ? objectClass=person) ( ? sub ? objectClass=person) ref)",
+            inst,
+        )
+        assert result == ["cn=jag, ou=labs, dc=research, dc=att, dc=com"]
+
+    def test_dv_with_agg(self, inst):
+        result = dns(
+            "(dv ( ? sub ? objectClass=person) ( ? sub ? objectClass=person)"
+            " ref count($2) = 0)",
+            inst,
+        )
+        assert result == [
+            "cn=div, ou=labs, dc=research, dc=att, dc=com",
+            "cn=jag, ou=sales, dc=att, dc=com",
+        ]
+
+
+class TestWitnessSet:
+    def test_direction(self, inst):
+        entries = {str(e.dn): e for e in inst}
+        labs = entries["ou=labs, dc=research, dc=att, dc=com"]
+        people = [e for e in inst if "person" in e.classes]
+        assert len(witness_set("c", labs, people)) == 2
+        assert len(witness_set("d", labs, people)) == 2
+        assert witness_set("p", labs, people) == []
+        assert witness_set("a", labs, list(inst)) != []

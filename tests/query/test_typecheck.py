@@ -1,0 +1,90 @@
+"""Schema-aware query validation."""
+
+import pytest
+
+from repro.model.standard import standard_schema
+from repro.query.parser import parse_query
+from repro.query.typecheck import QueryTypeError, check_query, validate_query
+from repro.workload import synthetic_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema()
+
+
+class TestCleanQueries:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "( ? sub ? kind=alpha)",
+            "( ? sub ? weight<5)",
+            "( ? sub ? tag=*red*)",
+            "(c ( ? sub ? kind=alpha) ( ? sub ? weight>=1) count($2) > 1)",
+            "(g ( ? sub ? objectClass=node) min(weight) < 3)",
+            "(vd ( ? sub ? kind=alpha) ( ? sub ? kind=beta) ref)",
+        ],
+    )
+    def test_no_problems(self, schema, text):
+        assert validate_query(parse_query(text), schema) == []
+        check_query(parse_query(text), schema)
+
+
+class TestProblems:
+    def test_undeclared_attribute(self, schema):
+        problems = validate_query(parse_query("( ? sub ? colour=red)"), schema)
+        assert any("undeclared attribute 'colour'" in p for p in problems)
+
+    def test_comparison_on_string(self, schema):
+        problems = validate_query(parse_query("( ? sub ? kind<3)"), schema)
+        assert any("requires an int attribute" in p for p in problems)
+
+    def test_wildcard_on_int(self, schema):
+        problems = validate_query(parse_query("( ? sub ? weight=*5*)"), schema)
+        assert any("requires a string attribute" in p for p in problems)
+
+    def test_ref_operator_on_non_dn_attribute(self, schema):
+        problems = validate_query(
+            parse_query("(vd ( ? sub ? kind=alpha) ( ? sub ? kind=beta) name)"),
+            schema,
+        )
+        assert any("distinguishedName" in p for p in problems)
+
+    def test_numeric_aggregate_on_string(self, schema):
+        problems = validate_query(
+            parse_query("(g ( ? sub ? objectClass=node) min(kind) < 3)"), schema
+        )
+        assert any("needs int values" in p for p in problems)
+
+    def test_count_on_string_is_fine(self, schema):
+        assert validate_query(
+            parse_query("(g ( ? sub ? objectClass=node) count(kind) >= 1)"), schema
+        ) == []
+
+    def test_aggregate_undeclared_attribute(self, schema):
+        problems = validate_query(
+            parse_query("(c ( ? sub ? kind=a) ( ? sub ? kind=b) sum($2.bogus) > 1)"),
+            schema,
+        )
+        assert any("undeclared attribute 'bogus'" in p for p in problems)
+
+    def test_nested_boolean_filters_checked(self, schema):
+        from repro.filters.parser import parse_filter
+        from repro.ldapx import LDAPQuery
+
+        # Check via the query AST: wrap a composite filter manually.
+        from repro.query.ast import AtomicQuery
+
+        query = AtomicQuery("", "sub", parse_filter("(&(kind=a)(bogus=1))"))
+        problems = validate_query(query, schema)
+        assert any("bogus" in p for p in problems)
+
+    def test_check_query_raises(self, schema):
+        with pytest.raises(QueryTypeError):
+            check_query(parse_query("( ? sub ? colour=red)"), schema)
+
+    def test_multiple_problems_all_reported(self, schema):
+        problems = validate_query(
+            parse_query("(& ( ? sub ? colour=red) ( ? sub ? kind<3))"), schema
+        )
+        assert len(problems) == 2

@@ -1,0 +1,172 @@
+"""The directory service: bind, search, compare, mutations, controls."""
+
+import pytest
+
+from repro.model.instance import DirectoryInstance
+from repro.model.schema import DirectorySchema
+from repro.query.builder import Q
+from repro.security import AccessControlList
+from repro.server import DirectoryService, ResultCode
+
+
+def make_schema() -> DirectorySchema:
+    schema = DirectorySchema()
+    schema.add_attribute("dc", "string")
+    schema.add_attribute("uid", "string")
+    schema.add_attribute("cn", "string")
+    schema.add_attribute("userPassword", "string")
+    schema.add_attribute("grade", "int")
+    schema.add_class("dcObject", {"dc"})
+    schema.add_class("account", {"uid", "cn", "userPassword", "grade"})
+    return schema
+
+
+@pytest.fixture
+def service():
+    instance = DirectoryInstance(make_schema())
+    instance.add("dc=com", ["dcObject"], dc="com")
+    for uid, password, grade in (
+        ("alice", "wonder", 7),
+        ("bob", "builder", 5),
+        ("carol", "singer", 5),
+    ):
+        instance.add(
+            "uid=%s, dc=com" % uid,
+            ["account"],
+            uid=uid,
+            cn="%s person" % uid,
+            userPassword=password,
+            grade=grade,
+        )
+    acl = AccessControlList(default_allow=False)
+    acl.allow("*", "dc=com", base_only=True)
+    acl.allow("uid=alice, dc=com", "dc=com")       # alice reads everything
+    acl.allow("uid=bob, dc=com", "uid=bob, dc=com")  # bob reads only himself
+    return DirectoryService(instance, acl=acl, page_size=4)
+
+
+class TestBind:
+    def test_success(self, service):
+        assert service.bind("uid=alice, dc=com", "wonder") == ResultCode.SUCCESS
+        assert service.bound_subject == "uid=alice, dc=com"
+
+    def test_wrong_password(self, service):
+        assert service.bind("uid=alice, dc=com", "nope") == ResultCode.INVALID_CREDENTIALS
+        assert service.bound_subject is None
+
+    def test_unknown_subject(self, service):
+        assert service.bind("uid=ghost, dc=com", "x") == ResultCode.NO_SUCH_OBJECT
+
+    def test_anonymous(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        assert service.bind_anonymous() == ResultCode.SUCCESS
+        assert service.bound_subject is None
+
+
+class TestSearch:
+    QUERY = "( ? sub ? objectClass=account)"
+
+    def test_acl_enforced_per_subject(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        assert len(service.search(self.QUERY)) == 3
+        service.bind("uid=bob, dc=com", "builder")
+        assert service.search(self.QUERY).dns() == ["uid=bob, dc=com"]
+        service.bind_anonymous()
+        assert len(service.search(self.QUERY)) == 0
+
+    def test_builder_queries_accepted(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        result = service.search(Q.sub("dc=com", "grade>=6"))
+        assert result.dns() == ["uid=alice, dc=com"]
+
+    def test_size_limit(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        result = service.search(self.QUERY, size_limit=2)
+        assert result.code == ResultCode.SIZE_LIMIT_EXCEEDED
+        assert len(result) == 2
+        assert result.total_size == 3
+
+    def test_paged(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        pages = list(service.search_paged(self.QUERY, page_entries=2))
+        assert [len(p) for p in pages] == [2, 1]
+
+    def test_projection(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        result = service.search(self.QUERY, attributes=["cn"])
+        entry = result.entries[0]
+        assert entry.has("cn")
+        assert entry.has("uid")  # rdn attribute always kept
+        assert not entry.has("userPassword")
+
+    def test_strict_typecheck(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        bad = service.search("( ? sub ? bogus=1)", strict=True)
+        assert bad.code == ResultCode.PROTOCOL_ERROR
+        assert len(bad) == 0
+        good = service.search(self.QUERY, strict=True)
+        assert good.code == ResultCode.SUCCESS
+
+
+class TestCompare:
+    def test_true_false(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        assert service.compare("uid=bob, dc=com", "grade", 5) == ResultCode.COMPARE_TRUE
+        assert service.compare("uid=bob, dc=com", "grade", 9) == ResultCode.COMPARE_FALSE
+
+    def test_no_such_object(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        assert service.compare("uid=zz, dc=com", "grade", 1) == ResultCode.NO_SUCH_OBJECT
+
+    def test_access_denied(self, service):
+        service.bind("uid=bob, dc=com", "builder")
+        assert (
+            service.compare("uid=alice, dc=com", "grade", 7)
+            == ResultCode.INSUFFICIENT_ACCESS
+        )
+
+
+class TestMutations:
+    def test_add_then_visible(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        code = service.add("uid=dave, dc=com", ["account"], uid="dave",
+                           cn="dave person", userPassword="x", grade=1)
+        assert code == ResultCode.SUCCESS
+        assert "uid=dave, dc=com" in service.search("( ? sub ? uid=dave)").dns()
+
+    def test_add_duplicate(self, service):
+        assert (
+            service.add("uid=alice, dc=com", ["account"], uid="alice")
+            == ResultCode.ENTRY_ALREADY_EXISTS
+        )
+
+    def test_delete(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        assert service.delete("uid=carol, dc=com") == ResultCode.SUCCESS
+        assert service.search("( ? sub ? uid=carol)").dns() == []
+        assert service.delete("uid=carol, dc=com") == ResultCode.NO_SUCH_OBJECT
+
+    def test_delete_nonleaf_refused(self, service):
+        assert service.delete("dc=com") == ResultCode.UNWILLING_TO_PERFORM
+
+    def test_modify(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        assert (
+            service.modify("uid=bob, dc=com", replace={"grade": [9]})
+            == ResultCode.SUCCESS
+        )
+        assert service.search("( ? sub ? grade>=9)").dns() == ["uid=bob, dc=com"]
+
+    def test_modify_protected(self, service):
+        assert (
+            service.modify("uid=bob, dc=com", replace={"uid": ["eve"]})
+            == ResultCode.UNWILLING_TO_PERFORM
+        )
+
+    def test_updates_rebuild_engine_view(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        before = len(service.search("( ? sub ? objectClass=account)"))
+        service.add("uid=eve, dc=com", ["account"], uid="eve",
+                    cn="eve person", userPassword="p", grade=3)
+        after = len(service.search("( ? sub ? objectClass=account)"))
+        assert after == before + 1

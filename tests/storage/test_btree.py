@@ -1,0 +1,72 @@
+"""The B+tree index: point and range queries vs brute force."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BPlusTree
+from repro.storage.pager import Pager
+
+
+def build(pairs, page_size=4):
+    pager = Pager(page_size=page_size, buffer_pages=4)
+    return BPlusTree.bulk_load(pager, sorted(pairs)), pager
+
+
+class TestBasics:
+    def test_empty(self):
+        tree, _ = build([])
+        assert tree.search(5) == []
+        assert list(tree.range_scan(None, None)) == []
+
+    def test_point(self):
+        tree, _ = build([(i, i * 10) for i in range(20)])
+        assert tree.search(7) == [70]
+        assert tree.search(99) == []
+
+    def test_duplicate_keys(self):
+        tree, _ = build([(5, 1), (5, 2), (5, 3), (6, 4)])
+        assert sorted(tree.search(5)) == [1, 2, 3]
+
+    def test_open_ranges(self):
+        tree, _ = build([(i, i) for i in range(10)])
+        assert list(tree.range_scan(None, 3, True, True)) == [0, 1, 2, 3]
+        assert list(tree.range_scan(None, 3, True, False)) == [0, 1, 2]
+        assert list(tree.range_scan(7, None, False, True)) == [8, 9]
+        assert list(tree.range_scan(7, None, True, True)) == [7, 8, 9]
+
+    def test_range_reads_only_needed_leaves(self):
+        tree, pager = build([(i, i) for i in range(400)], page_size=8)
+        pager.flush()
+        before = pager.stats.snapshot()
+        result = list(tree.range_scan(100, 115))
+        assert result == list(range(100, 116))
+        # 16 results over 8-per-page leaves: at most 4 leaf reads.
+        assert pager.stats.since(before).logical_reads <= 4
+
+
+def test_duplicate_keys_spanning_leaf_boundaries():
+    """Regression: with many equal keys crossing page boundaries the scan
+    must start at the first leaf that can hold the key, not the last
+    (bisect_left, not bisect_right)."""
+    pairs = [(5, i) for i in range(20)] + [(7, 100 + i) for i in range(20)]
+    tree, _ = build(pairs, page_size=4)  # keys 5 and 7 each span 5 leaves
+    assert sorted(tree.search(5)) == list(range(20))
+    assert sorted(tree.search(7)) == list(range(100, 120))
+    assert sorted(tree.range_scan(5, 7)) == sorted(
+        list(range(20)) + list(range(100, 120))
+    )
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 50), st.integers(0, 1000)), max_size=100),
+    st.integers(0, 50),
+    st.integers(0, 50),
+)
+@settings(max_examples=50)
+def test_range_matches_bruteforce(pairs, low, high):
+    tree, _ = build(pairs)
+    got = sorted(tree.range_scan(min(low, high), max(low, high)))
+    expected = sorted(
+        value for key, value in pairs if min(low, high) <= key <= max(low, high)
+    )
+    assert got == expected

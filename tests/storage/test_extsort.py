@@ -1,0 +1,64 @@
+"""External merge sort."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.extsort import external_sort, merge_runs
+from repro.storage.pager import Pager
+from repro.storage.runs import run_from_iterable
+
+
+@given(st.lists(st.integers(-1000, 1000), max_size=200), st.integers(2, 5))
+@settings(max_examples=40)
+def test_sorts_anything(values, memory_pages):
+    pager = Pager(page_size=4, buffer_pages=4)
+    run = external_sort(pager, values, key=lambda v: v, memory_pages=memory_pages)
+    assert run.to_list() == sorted(values)
+
+
+def test_key_function_respected():
+    pager = Pager(page_size=4)
+    values = ["bb", "a", "ccc", "dddd"]
+    run = external_sort(pager, values, key=len, memory_pages=2)
+    assert run.to_list() == ["a", "bb", "ccc", "dddd"]
+
+
+def test_stability_not_required_but_order_total():
+    pager = Pager(page_size=4)
+    values = [(1, "x"), (0, "y"), (1, "z")]
+    run = external_sort(pager, values, key=lambda p: p[0], memory_pages=2)
+    assert [p[0] for p in run.to_list()] == [0, 1, 1]
+
+
+def test_memory_pages_validation():
+    with pytest.raises(ValueError):
+        external_sort(Pager(), [1], key=lambda v: v, memory_pages=1)
+
+
+def test_merge_runs_frees_inputs():
+    pager = Pager(page_size=4, buffer_pages=8)
+    a = run_from_iterable(pager, [1, 3, 5])
+    b = run_from_iterable(pager, [2, 4, 6])
+    merged = merge_runs(pager, [a, b], key=lambda v: v)
+    assert merged.to_list() == [1, 2, 3, 4, 5, 6]
+    with pytest.raises(Exception):
+        a.to_list()
+
+
+def test_io_is_n_log_n_shape():
+    """Doubling the input roughly doubles the sort I/O times a log factor --
+    never quadratic."""
+    page_size, memory_pages = 8, 4
+    costs = {}
+    for n in (1_000, 2_000, 4_000):
+        pager = Pager(page_size=page_size, buffer_pages=memory_pages + 2)
+        data = list(range(n))
+        random.Random(1).shuffle(data)
+        before = pager.stats.snapshot()
+        run = external_sort(pager, data, key=lambda v: v, memory_pages=memory_pages)
+        costs[n] = pager.stats.since(before).total
+        assert run.to_list() == sorted(data)
+    assert costs[2_000] < 3 * costs[1_000]
+    assert costs[4_000] < 3 * costs[2_000]

@@ -1,0 +1,70 @@
+"""Runs: sequential layout, readers, I/O proportionality."""
+
+import math
+
+import pytest
+
+from repro.storage.pager import Pager
+from repro.storage.runs import Run, RunReader, RunWriter, run_from_iterable
+
+
+class TestWriter:
+    def test_roundtrip(self):
+        pager = Pager(page_size=4, buffer_pages=4)
+        run = run_from_iterable(pager, range(11))
+        assert run.to_list() == list(range(11))
+        assert len(run) == 11
+        assert run.page_count == math.ceil(11 / 4)
+
+    def test_empty_run(self):
+        pager = Pager()
+        run = run_from_iterable(pager, [])
+        assert run.to_list() == []
+        assert run.page_count == 0
+
+    def test_writer_close_only_once(self):
+        pager = Pager()
+        writer = RunWriter(pager)
+        writer.append(1)
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.close()
+        with pytest.raises(RuntimeError):
+            writer.append(2)
+
+    def test_free_releases_pages(self):
+        pager = Pager(page_size=2)
+        run = run_from_iterable(pager, range(6))
+        run.free()
+        with pytest.raises(Exception):
+            run.to_list()
+
+
+class TestReader:
+    def test_peek_and_next(self):
+        pager = Pager(page_size=3)
+        reader = run_from_iterable(pager, [10, 20, 30, 40]).reader()
+        assert reader.peek() == 10
+        assert reader.next() == 10
+        assert reader.peek() == 20
+        assert list(reader) == [20, 30, 40]
+        assert reader.exhausted()
+        assert reader.peek() is None
+
+    def test_next_past_end(self):
+        pager = Pager()
+        reader = run_from_iterable(pager, [1]).reader()
+        reader.next()
+        with pytest.raises(StopIteration):
+            reader.next()
+
+    def test_scan_io_is_pages(self):
+        pager = Pager(page_size=5, buffer_pages=2)
+        run = run_from_iterable(pager, range(50))
+        pager.flush()
+        before = pager.stats.snapshot()
+        assert len(run.to_list()) == 50
+        delta = pager.stats.since(before)
+        assert delta.logical_reads == run.page_count == 10
+        # Physical: at most one fault per page (sequential, no re-reads).
+        assert delta.reads <= 10

@@ -1,0 +1,83 @@
+"""The string index: equality, prefix, wildcard, presence."""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.pager import Pager
+from repro.storage.strindex import StringIndex
+
+
+def build(pairs, page_size=4):
+    pager = Pager(page_size=page_size, buffer_pages=4)
+    return StringIndex.build(pager, pairs), pager
+
+
+PAIRS = [
+    ("alpha", 0), ("alpha", 3), ("beta", 1), ("beetle", 2),
+    ("gamma", 4), ("alphabet", 5), ("zed", 6),
+]
+
+
+class TestLookups:
+    def test_eq(self):
+        index, _ = build(PAIRS)
+        assert sorted(index.lookup_eq("alpha")) == [0, 3]
+        assert list(index.lookup_eq("nope")) == []
+
+    def test_prefix(self):
+        index, _ = build(PAIRS)
+        assert sorted(index.lookup_prefix("alpha")) == [0, 3, 5]
+        assert sorted(index.lookup_prefix("be")) == [1, 2]
+
+    def test_pattern(self):
+        index, _ = build(PAIRS)
+        assert sorted(index.lookup_pattern("*et*")) == [1, 2, 5]  # beta, beetle, alphabet
+        assert sorted(index.lookup_pattern("a*a")) == [0, 3]
+        assert sorted(index.lookup_pattern("be*")) == [1, 2]
+
+    def test_presence(self):
+        index, _ = build(PAIRS)
+        assert sorted(index.lookup_presence()) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_empty_index(self):
+        index, _ = build([])
+        assert list(index.lookup_eq("x")) == []
+        assert list(index.lookup_pattern("*x*")) == []
+        assert list(index.lookup_presence()) == []
+
+    def test_prefix_pattern_narrows_scan(self):
+        pairs = [("k%04d" % i, i) for i in range(400)]
+        index, pager = build(pairs, page_size=8)
+        pager.flush()
+        before = pager.stats.snapshot()
+        assert sorted(index.lookup_pattern("k000*")) == list(range(10))
+        assert pager.stats.since(before).logical_reads <= 4
+
+
+def test_duplicate_values_spanning_page_boundaries():
+    """Regression: equal values crossing index-page boundaries must all be
+    found by lookup_eq (bisect_left, not bisect_right)."""
+    pairs = [("dup", i) for i in range(20)] + [("zzz", 99)]
+    index, _ = build(pairs, page_size=4)
+    assert sorted(index.lookup_eq("dup")) == list(range(20))
+    assert list(index.lookup_eq("zzz")) == [99]
+
+
+@given(
+    st.lists(
+        st.tuples(st.text(alphabet="abc", min_size=0, max_size=4), st.integers(0, 99)),
+        max_size=60,
+    ),
+    st.text(alphabet="abc*", min_size=1, max_size=5),
+)
+@settings(max_examples=50)
+def test_pattern_matches_bruteforce(pairs, pattern):
+    if "*" not in pattern:
+        pattern += "*"
+    index, _ = build(pairs)
+    regex = re.compile(
+        "^%s$" % "".join(".*" if c == "*" else re.escape(c) for c in pattern)
+    )
+    expected = sorted(pos for value, pos in pairs if regex.match(value))
+    assert sorted(index.lookup_pattern(pattern)) == expected

@@ -1,0 +1,86 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def qos_ldif(tmp_path, capsys):
+    assert main(["dump-example", "qos"]) == 0
+    text = capsys.readouterr().out
+    path = tmp_path / "qos.ldif"
+    path.write_text(text)
+    return str(path)
+
+
+class TestDumpExample:
+    @pytest.mark.parametrize("which", ["qos", "tops", "whitepages"])
+    def test_dumps_parse_back(self, which, capsys, tmp_path):
+        assert main(["dump-example", which]) == 0
+        text = capsys.readouterr().out
+        assert "dn: " in text
+
+
+class TestQuery:
+    def test_basic(self, qos_ldif, capsys):
+        code = main([
+            "query", qos_ldif, "--schema", "qos",
+            "(dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLAPolicyName=dso" in out
+
+    def test_io_flag(self, qos_ldif, capsys):
+        main(["query", qos_ldif, "--schema", "qos", "--io",
+              "( ? sub ? objectClass=*)"])
+        err = capsys.readouterr().err
+        assert "page I/Os" in err
+
+    def test_bad_query_reports_error(self, qos_ldif, capsys):
+        code = main(["query", qos_ldif, "--schema", "qos", "(((broken"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_schema(self, qos_ldif):
+        with pytest.raises(SystemExit):
+            main(["query", qos_ldif, "--schema", "nope", "( ? sub ? a=*)"])
+
+    def test_missing_file(self, capsys):
+        code = main(["query", "/does/not/exist.ldif", "( ? sub ? a=*)"])
+        assert code == 1
+
+
+class TestExplain:
+    def test_plan_printed(self, qos_ldif, capsys):
+        code = main([
+            "explain", qos_ldif, "--schema", "qos", "--analyze",
+            "(a (dc=att, dc=com ? sub ? objectClass=trafficProfile)"
+            " (dc=att, dc=com ? sub ? ou=networkPolicies))",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hierarchy a" in out
+        assert "actual=" in out
+
+
+class TestStats:
+    def test_summary(self, qos_ldif, capsys):
+        assert main(["stats", qos_ldif, "--schema", "qos"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: " in out
+        assert "SLARulePriority" in out
+
+
+class TestLdapUrl:
+    def test_parsed_components(self, capsys):
+        code = main(["ldapurl",
+                     "ldap://h:389/dc=att,dc=com?cn?sub?(surName=jagadish)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scope:      sub" in out
+        assert "ldapsearch" in out
+
+    def test_bad_url(self, capsys):
+        assert main(["ldapurl", "http://nope"]) == 1

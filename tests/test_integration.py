@@ -1,0 +1,118 @@
+"""End-to-end integration: LDIF in, service on top, the paper's queries,
+online mutation, LDIF out -- every layer in one flow."""
+
+import pytest
+
+from repro.apps import qos
+from repro.model.ldif import dumps_ldif, loads_ldif
+from repro.query.builder import Q
+from repro.security import AccessControlList
+from repro.server import DirectoryService, ResultCode
+
+
+@pytest.fixture
+def service():
+    # 1. Build the Figure 12 directory, round-trip it through LDIF (the
+    #    interchange path), and serve the reloaded image.
+    original = qos.build_paper_fragment()
+    text = dumps_ldif(original.instance)
+    reloaded = loads_ldif(text, qos.qos_schema())
+    assert len(reloaded) == len(original.instance)
+    return DirectoryService(reloaded, page_size=8)
+
+
+POLICIES = "dc=research, dc=att, dc=com"
+
+
+class TestEndToEnd:
+    def test_paper_query_on_reloaded_data(self, service):
+        result = service.search(
+            "(g (%s ? sub ? objectClass=SLAPolicyRules) count(SLAPVPRef) > 1)"
+            % POLICIES
+        )
+        assert result.code == ResultCode.SUCCESS
+        assert result.dns() == [
+            "SLAPolicyName=dso, ou=SLAPolicyRules, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        ]
+
+    def test_builder_l3_on_reloaded_data(self, service):
+        policies = Q.sub(POLICIES, "objectClass=SLAPolicyRules")
+        smtp_profiles = Q.sub(POLICIES, "SourcePort=25") & Q.sub(
+            POLICIES, "objectClass=trafficProfile"
+        )
+        result = service.search(policies.referencing(smtp_profiles, "SLATPRef"))
+        assert result.dns() == [
+            "SLAPolicyName=mail, ou=SLAPolicyRules, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        ]
+
+    def test_mutate_then_requery(self, service):
+        # 2. Add a new higher-priority policy online...
+        actions_dn = "ou=SLADSAction, ou=networkPolicies, " + POLICIES
+        code = service.add(
+            "DSActionName=throttle, %s" % actions_dn,
+            ["SLADSAction"], DSActionName="throttle", DSPermission="Permit",
+            DSInProfilePeakRate=1,
+        )
+        assert code == ResultCode.SUCCESS
+        code = service.add(
+            "SLAPolicyName=urgent, ou=SLAPolicyRules, ou=networkPolicies, "
+            + POLICIES,
+            ["SLAPolicyRules"],
+            SLAPolicyName="urgent",
+            SLARulePriority=1,
+            SLADSActRef=["DSActionName=throttle, %s" % actions_dn],
+        )
+        assert code == ResultCode.SUCCESS
+        # 3. ...and the L2 minimum-priority query immediately sees it.
+        result = service.search(
+            "(g (%s ? sub ? objectClass=SLAPolicyRules)"
+            " min(SLARulePriority)=min(min(SLARulePriority)))" % POLICIES
+        )
+        assert result.dns() == [
+            "SLAPolicyName=urgent, ou=SLAPolicyRules, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        ]
+
+    def test_modify_shifts_aggregate_answer(self, service):
+        dso = (
+            "SLAPolicyName=dso, ou=SLAPolicyRules, ou=networkPolicies, "
+            + POLICIES
+        )
+        assert service.modify(dso, replace={"SLARulePriority": [1]}) == ResultCode.SUCCESS
+        result = service.search(
+            "(g (%s ? sub ? objectClass=SLAPolicyRules)"
+            " min(SLARulePriority)=min(min(SLARulePriority)))" % POLICIES
+        )
+        assert result.dns() == [dso]
+
+    def test_dump_after_mutation_roundtrips(self, service):
+        service.delete(
+            "SLAPolicyName=fatt, ou=SLAPolicyRules, ou=networkPolicies, "
+            + POLICIES
+        )
+        service.directory.compact()
+        # 4. Dump the live image and reload it: identical content.
+        instance = _as_instance(service)
+        text = dumps_ldif(instance)
+        again = loads_ldif(text, qos.qos_schema())
+        assert [str(e.dn) for e in again] == [str(e.dn) for e in instance]
+
+    def test_acl_layer_composes(self):
+        original = qos.build_paper_fragment()
+        acl = AccessControlList(default_allow=False)
+        acl.allow("*", "ou=trafficProfile, ou=networkPolicies, " + POLICIES)
+        guarded = DirectoryService(original.instance, acl=acl, page_size=8)
+        result = guarded.search("( ? sub ? objectClass=*)")
+        assert result.dns() and all("ou=trafficProfile" in dn for dn in result.dns())
+
+
+def _as_instance(service):
+    """Rebuild a logical instance from the service's current store."""
+    from repro.model.instance import DirectoryInstance
+
+    instance = DirectoryInstance(service.directory.schema)
+    for entry in service.directory.store.scan_all():
+        instance.add_entry(entry)
+    return instance

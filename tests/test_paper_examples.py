@@ -1,0 +1,168 @@
+"""Every worked query in the paper, run end-to-end on the reconstructed
+Figure 11/12 directories through the external-memory engine (experiment
+E12 of DESIGN.md)."""
+
+import pytest
+
+from repro.apps import qos, tops
+
+
+@pytest.fixture(scope="module")
+def qos_engine():
+    directory = qos.build_paper_fragment()
+    return directory, directory.engine(page_size=8)
+
+
+@pytest.fixture(scope="module")
+def tops_engine():
+    directory = tops.build_paper_fragment()
+    # A busy subscriber so Example 6.2's count(>10) threshold is reachable.
+    directory.add_subscriber("busy", "busy person", "busy")
+    for index in range(12):
+        directory.add_qhp("busy", "qhp%02d" % index, priority=index + 1)
+    return directory, directory.engine(page_size=8)
+
+
+class TestSection5:
+    def test_example_5_1_children(self, tops_engine):
+        """Organizational units that directly contain a jagadish entry."""
+        _directory, engine = tops_engine
+        result = engine.run(
+            "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)"
+            "   (dc=att, dc=com ? sub ? surName=jagadish))"
+        )
+        assert result.dns() == [
+            "ou=userProfiles, dc=research, dc=att, dc=com"
+        ]
+
+    def test_example_5_2_ancestors(self, qos_engine):
+        """Traffic profiles used for network policies: all profiles in the
+        fragment are under ou=networkPolicies, so all qualify."""
+        _directory, engine = qos_engine
+        result = engine.run(
+            "(a (dc=att, dc=com ? sub ? objectClass=trafficProfile)"
+            "   (dc=att, dc=com ? sub ? ou=networkPolicies))"
+        )
+        names = {dn.split(",")[0] for dn in result.dns()}
+        assert names == {
+            "TPName=csplitOff", "TPName=ftpSplit", "TPName=lsplitOff", "TPName=smtpIn",
+        }
+
+    def test_example_5_2_excludes_unused_profiles(self, qos_engine):
+        """A profile outside any networkPolicies subtree is excluded."""
+        directory, _old_engine = qos_engine
+        fresh = qos.build_paper_fragment()
+        fresh.instance.add(
+            "TPName=orphan, dc=research, dc=att, dc=com",
+            ["trafficProfile"], TPName="orphan", SourcePort=25,
+        )
+        engine = fresh.engine()
+        result = engine.run(
+            "(a (dc=att, dc=com ? sub ? objectClass=trafficProfile)"
+            "   (dc=att, dc=com ? sub ? ou=networkPolicies))"
+        )
+        assert not any("orphan" in dn for dn in result.dns())
+        plain = engine.run("(dc=att, dc=com ? sub ? objectClass=trafficProfile)")
+        assert any("orphan" in dn for dn in plain.dns())
+
+    def test_example_5_3_smtp_subnets(self, qos_engine):
+        """Which subnets have profiles governing SMTP traffic (port 25),
+        with nearest-dcObject semantics."""
+        _directory, engine = qos_engine
+        result = engine.run(
+            "(dc (dc=att, dc=com ? sub ? objectClass=dcObject)"
+            "    (& (dc=att, dc=com ? sub ? SourcePort=25)"
+            "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+            "    (dc=att, dc=com ? sub ? objectClass=dcObject))"
+        )
+        assert result.dns() == ["dc=research, dc=att, dc=com"]
+
+
+class TestSection6:
+    def test_example_6_1_multi_period_policies(self, qos_engine):
+        """Policies with more than one validity period: exactly dso."""
+        _directory, engine = qos_engine
+        result = engine.run(
+            "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+            "   count(SLAPVPRef) > 1)"
+        )
+        assert result.dns() == [
+            "SLAPolicyName=dso, ou=SLAPolicyRules, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        ]
+
+    def test_example_6_2_subscribers_with_many_qhps(self, tops_engine):
+        """TOPS subscribers with more than 10 query handling profiles."""
+        _directory, engine = tops_engine
+        result = engine.run(
+            "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)"
+            "   (dc=att, dc=com ? sub ? objectClass=QHP)"
+            "   count($2) > 10)"
+        )
+        assert result.dns() == [
+            "uid=busy, ou=userProfiles, dc=research, dc=att, dc=com"
+        ]
+
+
+class TestSection7:
+    def test_example_7_1_vd(self, qos_engine):
+        """Policies whose traffic profiles govern SMTP traffic."""
+        _directory, engine = qos_engine
+        result = engine.run(
+            "(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+            "    (& (dc=att, dc=com ? sub ? SourcePort=25)"
+            "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+            "    SLATPRef)"
+        )
+        assert result.dns() == [
+            "SLAPolicyName=mail, ou=SLAPolicyRules, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        ]
+
+    def test_example_7_1_extended_dv(self, qos_engine):
+        """The action of the highest-priority SMTP-governing policy."""
+        _directory, engine = qos_engine
+        result = engine.run(
+            "(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)"
+            "    (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)"
+            "           (& (dc=att, dc=com ? sub ? SourcePort=25)"
+            "              (dc=att, dc=com ? sub ? objectClass=trafficProfile))"
+            "           SLATPRef)"
+            "       min(SLARulePriority)=min(min(SLARulePriority)))"
+            "    SLADSActRef)"
+        )
+        assert result.dns() == [
+            "DSActionName=allowMail, ou=SLADSAction, ou=networkPolicies, "
+            "dc=research, dc=att, dc=com"
+        ]
+
+
+class TestSection8:
+    def test_p_expressible_via_ac(self, qos_engine):
+        """Theorem 8.2(d): (p Q1 Q2) == (ac Q1 Q2 whole-instance)."""
+        _directory, engine = qos_engine
+        p_result = engine.run(
+            "(p (dc=att, dc=com ? sub ? objectClass=trafficProfile)"
+            "   (dc=att, dc=com ? sub ? ou=trafficProfile))"
+        )
+        ac_result = engine.run(
+            "(ac (dc=att, dc=com ? sub ? objectClass=trafficProfile)"
+            "    (dc=att, dc=com ? sub ? ou=trafficProfile)"
+            "    ( ? sub ? objectClass=*))"
+        )
+        assert p_result.dns() == ac_result.dns()
+        assert len(p_result) == 4  # all four profiles sit under the container
+
+    def test_c_expressible_via_dc(self, tops_engine):
+        """The dual identity for children via dc."""
+        _directory, engine = tops_engine
+        c_result = engine.run(
+            "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)"
+            "   (dc=att, dc=com ? sub ? objectClass=QHP))"
+        )
+        dc_result = engine.run(
+            "(dc (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)"
+            "    (dc=att, dc=com ? sub ? objectClass=QHP)"
+            "    ( ? sub ? objectClass=*))"
+        )
+        assert c_result.dns() == dc_result.dns()

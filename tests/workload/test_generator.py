@@ -1,0 +1,76 @@
+"""Workload generators: validity, determinism, shape control."""
+
+import pytest
+
+from repro.query.ast import language_level
+from repro.workload import RandomQueries, balanced_instance, random_instance
+
+
+class TestRandomInstance:
+    def test_size(self):
+        assert len(random_instance(1, size=40)) == 40
+
+    def test_schema_valid(self):
+        assert random_instance(2, size=60).validate() == []
+
+    def test_deterministic(self):
+        a = random_instance(3, size=50)
+        b = random_instance(3, size=50)
+        assert [str(e.dn) for e in a] == [str(e.dn) for e in b]
+        for left, right in zip(a, b):
+            assert left.same_content(right)
+
+    def test_different_seeds_differ(self):
+        a = random_instance(4, size=50)
+        b = random_instance(5, size=50)
+        assert [str(e.dn) for e in a] != [str(e.dn) for e in b]
+
+    def test_max_children_respected(self):
+        instance = random_instance(6, size=80, max_children=2)
+        for entry in instance:
+            assert len(list(instance.children_of(entry.dn))) <= 2
+
+    def test_forest_roots(self):
+        instance = random_instance(7, size=40, forest_roots=3)
+        assert len([e for e in instance if e.dn.depth() == 1]) == 3
+
+    def test_refs_point_at_existing_entries(self):
+        instance = random_instance(8, size=60, ref_density=1.0)
+        dns = {e.dn for e in instance}
+        ref_count = 0
+        for entry in instance:
+            for ref in entry.values("ref"):
+                ref_count += 1
+                assert ref in dns
+        assert ref_count > 0
+
+
+class TestBalancedInstance:
+    def test_shape(self):
+        instance = balanced_instance(85, fanout=4)
+        assert len(instance) == 85
+        for entry in instance:
+            assert len(list(instance.children_of(entry.dn))) <= 4
+
+    def test_single_root(self):
+        instance = balanced_instance(50, fanout=3)
+        assert len(list(instance.roots())) == 1
+
+
+class TestRandomQueries:
+    def test_levels_bounded(self):
+        instance = random_instance(9, size=40)
+        queries = RandomQueries(instance, seed=0)
+        for _ in range(20):
+            assert language_level(queries.l0()) == 0
+            assert language_level(queries.l1()) <= 1
+            assert language_level(queries.l2()) <= 2
+            assert language_level(queries.l3()) == 3
+
+    def test_deterministic(self):
+        instance = random_instance(10, size=40)
+        a = RandomQueries(instance, seed=5)
+        b = RandomQueries(instance, seed=5)
+        assert [str(a.any_level()) for _ in range(10)] == [
+            str(b.any_level()) for _ in range(10)
+        ]
