@@ -1,0 +1,45 @@
+"""Precise invalidation from the update log.
+
+The :class:`~repro.storage.maintenance.UpdatableDirectory` publishes every
+validated mutation to its update listeners as ``(kind, dn, subtree)``:
+``kind`` is ``"add"``/``"delete"``/``"modify"``, and ``subtree`` is True
+only for recursive deletes (the updated region is the dn's whole
+subtree).  :class:`UpdateLogInvalidator` forwards each event to a
+:class:`~repro.cache.store.QueryCache`, which evicts exactly the cached
+results whose footprint touches the updated region.
+
+Because invalidation happens at *log-append* time -- not at compaction --
+a cached result that survives a burst of updates is still valid after the
+log folds into a fresh master run: compaction changes the physical image,
+never the logical content the log already described.  Nothing is flushed
+wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..model.dn import DN
+from ..storage.maintenance import UpdatableDirectory
+from .store import QueryCache
+
+__all__ = ["UpdateLogInvalidator"]
+
+
+class UpdateLogInvalidator:
+    """Subscribes a query cache to a directory's update log."""
+
+    def __init__(self, directory: UpdatableDirectory, cache: QueryCache):
+        self.directory = directory
+        self.cache = cache
+        directory.add_update_listener(self._on_update)
+
+    def _on_update(self, kind: str, dn: Union[DN, str], subtree: bool) -> None:
+        self.cache.invalidate(dn, subtree=subtree)
+
+    def detach(self) -> None:
+        """Stop receiving updates (idempotent)."""
+        self.directory.remove_update_listener(self._on_update)
+
+    def __repr__(self) -> str:
+        return "UpdateLogInvalidator(%r -> %r)" % (self.directory, self.cache)

@@ -1,0 +1,43 @@
+"""Canonical query fingerprints.
+
+Two queries that are equal modulo the boolean set identities
+(associativity, commutativity, idempotence -- everything
+:func:`repro.query.normalize.normalize` canonicalises) denote the same
+result set, so they must share one cache slot.  The fingerprint is the
+rendered text of the normalised AST, hashed to a fixed-width key.
+
+The hash is for key compactness only; collisions would serve a wrong
+result, so we use a cryptographic digest (SHA-1 over the canonical text),
+whose collision probability is negligible at any realistic cache size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+from ..query.ast import AtomicQuery, Query
+from ..query.normalize import normalize
+from ..query.parser import parse_query
+
+__all__ = ["canonical_text", "fingerprint", "atomic_fingerprint"]
+
+
+def canonical_text(query: Union[Query, str]) -> str:
+    """The rendered normal form: identical for ACD-equivalent queries."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    return str(normalize(query))
+
+
+def fingerprint(query: Union[Query, str]) -> str:
+    """A fixed-width cache key for ``query``."""
+    text = canonical_text(query)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+def atomic_fingerprint(query: AtomicQuery) -> str:
+    """Fingerprint of one atomic leaf (the unit the federation ships)."""
+    if not isinstance(query, AtomicQuery):
+        raise TypeError("atomic_fingerprint wants an AtomicQuery, got %r" % (query,))
+    return fingerprint(query)

@@ -1,0 +1,97 @@
+"""Cache observability: counters plus saved-I/O accounting.
+
+Mirrors the style of :class:`repro.storage.pager.IOStats`: plain integer
+counters with snapshot/delta helpers, so benchmarks can bracket a phase
+and report exactly what the cache did for it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["CacheStats"]
+
+
+class CacheStats:
+    """Counters of cache activity.
+
+    ``saved_logical_io`` accumulates, per hit, the logical page I/O the
+    original (missing) evaluation cost -- the work the cache avoided.
+    """
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "insertions",
+        "evictions",
+        "invalidations",
+        "rejected",
+        "saved_logical_io",
+    )
+
+    def __init__(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        insertions: int = 0,
+        evictions: int = 0,
+        invalidations: int = 0,
+        rejected: int = 0,
+        saved_logical_io: int = 0,
+    ):
+        self.hits = hits
+        self.misses = misses
+        self.insertions = insertions
+        self.evictions = evictions
+        self.invalidations = invalidations
+        #: Results too large for the byte budget (never admitted).
+        self.rejected = rejected
+        self.saved_logical_io = saved_logical_io
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            self.hits,
+            self.misses,
+            self.insertions,
+            self.evictions,
+            self.invalidations,
+            self.rejected,
+            self.saved_logical_io,
+        )
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The delta from an earlier snapshot."""
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.insertions - earlier.insertions,
+            self.evictions - earlier.evictions,
+            self.invalidations - earlier.invalidations,
+            self.rejected - earlier.rejected,
+            self.saved_logical_io - earlier.saved_logical_io,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            "CacheStats(hits=%d, misses=%d, evictions=%d, invalidations=%d, "
+            "saved_io=%d)"
+            % (
+                self.hits,
+                self.misses,
+                self.evictions,
+                self.invalidations,
+                self.saved_logical_io,
+            )
+        )

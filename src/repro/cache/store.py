@@ -1,0 +1,225 @@
+"""The bounded result store: byte budget, cost-aware eviction.
+
+Cached results are wildly heterogeneous -- a white-pages point lookup
+costs a handful of page reads, a hierarchical aggregate over a big
+subtree costs thousands -- so plain LRU (which only knows recency) evicts
+exactly the entries that are most expensive to recompute.  We use
+**GreedyDual-Size** (Cao & Irani, USENIX 1997): each resident entry has a
+priority ``H = L + cost / size`` where ``cost`` is the logical page I/O
+the original evaluation spent (the work a future hit saves), ``size`` is
+the entry's byte estimate, and ``L`` is a monotonically inflating floor
+set to the priority of the last eviction.  A hit refreshes ``H`` against
+the current ``L``, which is how recency re-enters; eviction removes the
+minimum-``H`` entry.  GreedyDual-Size degenerates to LRU when all costs
+and sizes are equal, and to cost-ordered eviction when recency is equal
+-- precisely the "cost-aware LRU" blend wanted here.
+
+Entries carry their :class:`~repro.cache.footprint.Footprint` and an
+optional opaque *tag* (the federation tags remote sublists with the
+owning server), so :meth:`QueryCache.invalidate` can evict precisely the
+footprint-intersecting entries and :meth:`QueryCache.invalidate_tag` can
+drop one origin wholesale.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..model.entry import Entry
+from .footprint import Footprint
+from .stats import CacheStats
+
+__all__ = ["CachedResult", "QueryCache"]
+
+
+class CachedResult:
+    """One cached query result (the pre-ACL entry list plus bookkeeping)."""
+
+    __slots__ = (
+        "key",
+        "query_text",
+        "entries",
+        "footprint",
+        "cost_io",
+        "size_bytes",
+        "tag",
+        "hits",
+        "priority",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        query_text: str,
+        entries: Sequence[Entry],
+        footprint: Footprint,
+        cost_io: int,
+        tag: Optional[str] = None,
+    ):
+        self.key = key
+        self.query_text = query_text
+        self.entries: Tuple[Entry, ...] = tuple(entries)
+        self.footprint = footprint
+        #: Logical page I/O the original evaluation cost == saved per hit.
+        self.cost_io = cost_io
+        self.size_bytes = _approx_bytes(self.entries)
+        self.tag = tag
+        self.hits = 0
+        self.priority = 0.0
+
+    def __repr__(self) -> str:
+        return "CachedResult(%s, %d entries, cost=%d, %dB)" % (
+            self.query_text,
+            len(self.entries),
+            self.cost_io,
+            self.size_bytes,
+        )
+
+
+class QueryCache:
+    """A bounded map from fingerprint to :class:`CachedResult`."""
+
+    def __init__(self, byte_budget: int = 512 * 1024, stats: Optional[CacheStats] = None):
+        if byte_budget < 1:
+            raise ValueError("byte_budget must be positive")
+        self.byte_budget = byte_budget
+        self.stats = stats or CacheStats()
+        self._entries: Dict[str, CachedResult] = {}
+        self._bytes = 0
+        # GreedyDual-Size state: the inflating floor and a lazy min-heap of
+        # (priority, key) candidates (stale heap items are skipped).
+        self._floor = 0.0
+        self._heap: List[Tuple[float, str]] = []
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CachedResult]:
+        """The cached result for ``key``, or None; counts hit/miss and
+        refreshes the entry's eviction priority."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.saved_logical_io += entry.cost_io
+        entry.hits += 1
+        self._reprioritise(entry)
+        return entry
+
+    def peek(self, key: str) -> Optional[CachedResult]:
+        """Like :meth:`get` but without touching any accounting."""
+        return self._entries.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CachedResult]:
+        return iter(list(self._entries.values()))
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    # -- admission ----------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        query_text: str,
+        entries: Sequence[Entry],
+        footprint: Footprint,
+        cost_io: int,
+        tag: Optional[str] = None,
+    ) -> Optional[CachedResult]:
+        """Admit a result; evicts minimum-priority residents to make room.
+        Results larger than the whole budget are rejected (returns None)."""
+        entry = CachedResult(key, query_text, entries, footprint, cost_io, tag)
+        if entry.size_bytes > self.byte_budget:
+            self.stats.rejected += 1
+            return None
+        if key in self._entries:
+            self._remove(key)
+        while self._bytes + entry.size_bytes > self.byte_budget:
+            self._evict_one()
+        self._entries[key] = entry
+        self._bytes += entry.size_bytes
+        self._reprioritise(entry)
+        self.stats.insertions += 1
+        return entry
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, dn, subtree: bool = False) -> int:
+        """Evict exactly the entries whose footprint touches the updated
+        region (one dn, or its whole subtree for recursive deletes).
+        Returns how many were evicted."""
+        doomed = [
+            entry.key
+            for entry in self._entries.values()
+            if entry.footprint.touches(dn, subtree=subtree)
+        ]
+        for key in doomed:
+            self._remove(key)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def invalidate_tag(self, tag: str) -> int:
+        """Evict every entry carrying ``tag`` (e.g. one origin server)."""
+        doomed = [e.key for e in self._entries.values() if e.tag == tag]
+        for key in doomed:
+            self._remove(key)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self._heap = []
+        self._bytes = 0
+        self.stats.invalidations += count
+        return count
+
+    # -- internals ---------------------------------------------------------
+
+    def _reprioritise(self, entry: CachedResult) -> None:
+        entry.priority = self._floor + entry.cost_io / max(entry.size_bytes, 1)
+        heapq.heappush(self._heap, (entry.priority, entry.key))
+
+    def _evict_one(self) -> None:
+        while self._heap:
+            priority, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if entry is None or entry.priority != priority:
+                continue  # stale heap item (entry refreshed or removed)
+            self._remove(key)
+            self._floor = priority
+            self.stats.evictions += 1
+            return
+        raise RuntimeError("eviction requested from an empty cache")
+
+    def _remove(self, key: str) -> None:
+        entry = self._entries.pop(key)
+        self._bytes -= entry.size_bytes
+
+    def __repr__(self) -> str:
+        return "QueryCache(%d entries, %d/%d bytes, %r)" % (
+            len(self._entries),
+            self._bytes,
+            self.byte_budget,
+            self.stats,
+        )
+
+
+def _approx_bytes(entries: Sequence[Entry]) -> int:
+    """A stable, platform-independent byte estimate of a result list:
+    per entry a fixed overhead plus the text sizes of its dn and pairs."""
+    total = 0
+    for entry in entries:
+        total += 64 + len(str(entry.dn))
+        for attr, value in entry.pairs():
+            total += len(attr) + len(str(value)) + 16
+    return total

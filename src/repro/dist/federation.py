@@ -22,11 +22,13 @@ algorithms described previously."
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
+from ..cache import QueryCache, atomic_fingerprint, query_footprint
 from ..engine.engine import QueryEngine, QueryResult
 from ..engine.merge import boolean_merge
 from ..model.dn import DN
+from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
 from ..model.schema import DirectorySchema
 from ..query.ast import AtomicQuery, Query
@@ -58,11 +60,22 @@ class FederatedResult(QueryResult):
 class FederatedDirectory:
     """A set of directory servers jointly serving one namespace."""
 
-    def __init__(self, schema: DirectorySchema, network: Optional[SimulatedNetwork] = None):
+    def __init__(
+        self,
+        schema: DirectorySchema,
+        network: Optional[SimulatedNetwork] = None,
+        leaf_cache_bytes: int = 256 * 1024,
+    ):
         self.schema = schema
         self.network = network or SimulatedNetwork()
         self.locator = ServerLocator()
         self.servers: Dict[str, DirectoryServer] = {}
+        #: Cache of shipped remote sublists, keyed ``(server, atomic
+        #: fingerprint)`` and tagged by the owning server so one origin can
+        #: be dropped wholesale.  ``leaf_cache_bytes=0`` disables it.
+        self.leaf_cache: Optional[QueryCache] = (
+            QueryCache(byte_budget=leaf_cache_bytes) if leaf_cache_bytes else None
+        )
 
     # -- construction -----------------------------------------------------
 
@@ -80,6 +93,7 @@ class FederatedDirectory:
         page_size: int = 16,
         buffer_pages: int = 8,
         network: Optional[SimulatedNetwork] = None,
+        leaf_cache_bytes: int = 256 * 1024,
     ) -> "FederatedDirectory":
         """Split one logical instance across servers.
 
@@ -87,7 +101,7 @@ class FederatedDirectory:
         Each entry goes to the server of its *most specific* registered
         context (delegated subdomains shadow their parents, as in DNS).
         """
-        fed = cls(instance.schema, network)
+        fed = cls(instance.schema, network, leaf_cache_bytes=leaf_cache_bytes)
         for name, contexts in assignments.items():
             dn_contexts = [
                 context if isinstance(context, DN) else DN.parse(context)
@@ -146,6 +160,36 @@ class FederatedDirectory:
                         break
         return owners
 
+    # -- leaf-cache maintenance --------------------------------------------
+
+    def invalidate_dn(self, dn: Union[DN, str], subtree: bool = True) -> int:
+        """Drop cached remote sublists whose footprint touches ``dn`` (by
+        default its whole subtree -- the unit remote updates arrive in)."""
+        if self.leaf_cache is None:
+            return 0
+        if isinstance(dn, str):
+            dn = DN.parse(dn)
+        return self.leaf_cache.invalidate(dn, subtree=subtree)
+
+    def refresh_server(self, name: str, entries: Iterable[Entry]) -> None:
+        """Replace one server's holdings (replication refresh) and drop
+        every cached sublist that server originated."""
+        self.servers[name].reload(entries)
+        if self.leaf_cache is not None:
+            self.leaf_cache.invalidate_tag(name)
+
+    def delegate_context(self, context: Union[DN, str], server_name: str) -> None:
+        """Referral-aware invalidation: re-register a naming context with a
+        (new) owner and drop cached sublists under the moved context --
+        they may now belong to a different server."""
+        if isinstance(context, str):
+            context = DN.parse(context)
+        self.locator.register(context, server_name)
+        if context not in self.servers[server_name].contexts:
+            self.servers[server_name].contexts.append(context)
+        if self.leaf_cache is not None:
+            self.leaf_cache.invalidate(context, subtree=True)
+
     def total_entries(self) -> int:
         return sum(server.entry_count() for server in self.servers.values())
 
@@ -166,13 +210,24 @@ class _CoordinatorEngine(QueryEngine):
 
     def atomic_run(self, query: AtomicQuery) -> Run:
         owners = self.federation.owners_for_atomic(query)
+        cache = self.federation.leaf_cache
         partial_runs: List[Run] = []
         for owner in owners:
             server = self.federation.servers[owner]
             if server is self.coordinator:
                 partial_runs.append(server.evaluate_atomic(query))
                 continue
-            # Remote leaf: request out, result entries shipped back.
+            # Remote leaf: served from the sublist cache when possible,
+            # otherwise request out + result entries shipped back.
+            key = None
+            if cache is not None:
+                key = "%s|%s" % (owner, atomic_fingerprint(query))
+                hit = cache.get(key)
+                if hit is not None:
+                    writer = RunWriter(self.pager)
+                    writer.extend(hit.entries)
+                    partial_runs.append(writer.close())
+                    continue
             self.federation.network.send(
                 self.coordinator.name, owner, "atomic-request"
             )
@@ -182,6 +237,17 @@ class _CoordinatorEngine(QueryEngine):
             self.federation.network.send(
                 owner, self.coordinator.name, "atomic-result", len(entries)
             )
+            if cache is not None:
+                # Weight by what a hit saves: the round trip plus the
+                # shipped entries (a network-cost proxy in I/O units).
+                cache.put(
+                    key,
+                    str(query),
+                    entries,
+                    query_footprint(query),
+                    cost_io=2 + len(entries),
+                    tag=owner,
+                )
             writer = RunWriter(self.pager)
             writer.extend(entries)
             partial_runs.append(writer.close())

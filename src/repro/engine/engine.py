@@ -42,12 +42,26 @@ __all__ = ["QueryEngine", "QueryResult"]
 
 
 class QueryResult:
-    """The outcome of one engine run: entries plus observed cost."""
+    """The outcome of one engine run: entries plus observed cost.
 
-    def __init__(self, entries: List[Entry], io: IOStats, elapsed: float):
+    ``cached``/``saved_io`` are filled in by result-cache layers (see
+    :mod:`repro.cache`) when a result is served without evaluation; a
+    plain engine run always reports ``cached=False``.
+    """
+
+    def __init__(
+        self,
+        entries: List[Entry],
+        io: IOStats,
+        elapsed: float,
+        cached: bool = False,
+        saved_io: int = 0,
+    ):
         self.entries = entries
         self.io = io
         self.elapsed = elapsed
+        self.cached = cached
+        self.saved_io = saved_io
 
     def dns(self) -> List[str]:
         """The result dn strings, in order (convenience for tests/examples)."""

@@ -20,10 +20,10 @@ searches keep their I/O bounds.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Union
+from typing import Any, Iterable, List, Optional, Tuple, Union
 
+from ..cache import QueryCache, UpdateLogInvalidator, fingerprint, query_footprint
 from ..engine.engine import QueryEngine
-from ..engine.paging import PagedSearch, run_limited
 from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
@@ -57,12 +57,28 @@ class ServiceError(RuntimeError):
 
 
 class SearchResult:
-    """One search's outcome: entries plus a result code."""
+    """One search's outcome: entries plus a result code.
 
-    def __init__(self, code: str, entries: List[Entry], total_size: Optional[int] = None):
+    ``total_size`` counts the entries *visible to the bound subject*
+    before any size limit -- the post-ACL semantics, applied uniformly to
+    the limited and unlimited paths.  ``cached``/``saved_io`` report
+    whether the semantic query cache served the search and how much
+    logical page I/O that avoided.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        entries: List[Entry],
+        total_size: Optional[int] = None,
+        cached: bool = False,
+        saved_io: int = 0,
+    ):
         self.code = code
         self.entries = entries
         self.total_size = total_size if total_size is not None else len(entries)
+        self.cached = cached
+        self.saved_io = saved_io
 
     def dns(self) -> List[str]:
         return [str(entry.dn) for entry in self.entries]
@@ -84,6 +100,7 @@ class DirectoryService:
         credential_attribute: str = "userPassword",
         page_size: int = 16,
         buffer_pages: int = 8,
+        cache_bytes: int = 512 * 1024,
     ):
         self.directory = UpdatableDirectory.from_instance(
             instance, page_size=page_size, buffer_pages=buffer_pages
@@ -94,6 +111,17 @@ class DirectoryService:
         self._bound_subject: Optional[str] = None
         self._engine: Optional[QueryEngine] = None
         self._engine_generation = -1
+        #: Semantic query cache over *pre-ACL* results; visibility is
+        #: re-filtered per bound subject on every hit.  ``cache_bytes=0``
+        #: disables caching.
+        self.cache: Optional[QueryCache] = (
+            QueryCache(byte_budget=cache_bytes) if cache_bytes else None
+        )
+        self._invalidator: Optional[UpdateLogInvalidator] = (
+            UpdateLogInvalidator(self.directory, self.cache)
+            if self.cache is not None
+            else None
+        )
 
     # -- connection state --------------------------------------------------
 
@@ -132,9 +160,41 @@ class DirectoryService:
             self._engine_generation = generation
         return self._engine
 
+    @property
+    def cache_stats(self):
+        """Hit/miss/eviction/invalidation counters and saved I/O of the
+        semantic cache (None when caching is disabled)."""
+        return self.cache.stats if self.cache is not None else None
+
     def _visible(self, entries: Iterable[Entry]) -> List[Entry]:
         subject = self._bound_subject
         return [e for e in entries if self.acl.readable(subject, e.dn)]
+
+    def _as_query(self, query: Union[str, Query, QueryBuilder]) -> Query:
+        if isinstance(query, QueryBuilder):
+            query = query.build()
+        if isinstance(query, str):
+            query = parse_query(query)
+        return query
+
+    def _result_entries(self, query: Query) -> Tuple[List[Entry], bool, int]:
+        """The query's full pre-ACL result, served from the semantic cache
+        when possible.  Returns (entries, was a cache hit, logical page
+        I/O the evaluation cost / a hit saved)."""
+        key = None
+        if self.cache is not None:
+            key = fingerprint(query)
+            hit = self.cache.get(key)
+            if hit is not None:
+                return list(hit.entries), True, hit.cost_io
+        engine = self._engine_now()
+        result = engine.run(query)
+        cost = result.io.logical_reads + result.io.logical_writes
+        if self.cache is not None:
+            self.cache.put(
+                key, str(query), result.entries, query_footprint(query), cost
+            )
+        return result.entries, False, cost
 
     def search(
         self,
@@ -146,47 +206,55 @@ class DirectoryService:
         """Evaluate a query; results filtered by the bound subject's
         visibility, optionally size-limited and projected to the named
         attributes.  With ``strict`` the query is type-checked against the
-        schema first (protocolError on violation)."""
-        if isinstance(query, QueryBuilder):
-            query = query.build()
-        if isinstance(query, str):
-            query = parse_query(query)
+        schema first (protocolError on violation).
+
+        ``total_size`` and the size-limit condition both use the *visible*
+        (post-ACL) result: the limit truncates what the subject could see,
+        and a denied entry never counts toward the total."""
+        query = self._as_query(query)
+        if size_limit is not None and size_limit < 1:
+            raise ValueError("size_limit must be positive")
         if strict:
             from ..query.typecheck import validate_query
 
             problems = validate_query(query, self.directory.schema)
             if problems:
                 return SearchResult(ResultCode.PROTOCOL_ERROR, [], total_size=0)
-        engine = self._engine_now()
-        if size_limit is None:
-            result = engine.run(query)
-            visible = self._visible(result.entries)
-            code = ResultCode.SUCCESS
-            total = len(visible)
+        entries, cached, cost = self._result_entries(query)
+        visible = self._visible(entries)
+        total = len(visible)
+        if size_limit is not None and total > size_limit:
+            visible = visible[:size_limit]
+            code = ResultCode.SIZE_LIMIT_EXCEEDED
         else:
-            limited = run_limited(engine, query, size_limit)
-            visible = self._visible(limited.entries)
-            code = (
-                ResultCode.SIZE_LIMIT_EXCEEDED
-                if limited.truncated
-                else ResultCode.SUCCESS
-            )
-            total = limited.total_size
+            code = ResultCode.SUCCESS
         if attributes:
             from ..model.projection import project
 
             visible = project(visible, attributes)
-        return SearchResult(code, visible, total_size=total)
+        return SearchResult(
+            code,
+            visible,
+            total_size=total,
+            cached=cached,
+            saved_io=cost if cached else 0,
+        )
 
     def search_paged(
         self, query: Union[str, Query, QueryBuilder], page_entries: int
     ) -> Iterable[List[Entry]]:
-        """Paged retrieval (each page already visibility-filtered)."""
-        if isinstance(query, QueryBuilder):
-            query = query.build()
-        cursor = PagedSearch(self._engine_now(), query, page_entries)
-        for page in cursor:
-            yield self._visible(page)
+        """Paged retrieval.  Accepts the same query forms as :meth:`search`
+        (string, builder or AST); pages chunk the visibility-filtered
+        result, so every page but the last is full."""
+        if page_entries < 1:
+            raise ValueError("page_entries must be positive")
+        query = self._as_query(query)
+        entries, _cached, _cost = self._result_entries(query)
+        visible = self._visible(entries)
+        return (
+            visible[start : start + page_entries]
+            for start in range(0, len(visible), page_entries)
+        )
 
     def compare(self, dn: Union[DN, str], attribute: str, value: Any) -> str:
         """LDAP compare: does the entry hold (attribute, value)?"""
@@ -204,20 +272,26 @@ class DirectoryService:
 
     # -- write operations -----------------------------------------------------
 
+    #: Structured :class:`UpdateError` codes -> protocol result codes.
+    _UPDATE_CODES = {
+        UpdateError.ALREADY_EXISTS: ResultCode.ENTRY_ALREADY_EXISTS,
+        UpdateError.NO_SUCH_ENTRY: ResultCode.NO_SUCH_OBJECT,
+        UpdateError.HAS_CHILDREN: ResultCode.UNWILLING_TO_PERFORM,
+        UpdateError.PROTECTED_ATTRIBUTE: ResultCode.UNWILLING_TO_PERFORM,
+    }
+
     def add(self, dn, classes, attributes=None, **kw) -> str:
         try:
             self.directory.add(dn, classes, attributes, **kw)
-        except UpdateError:
-            return ResultCode.ENTRY_ALREADY_EXISTS
+        except UpdateError as exc:
+            return self._UPDATE_CODES.get(exc.code, ResultCode.UNWILLING_TO_PERFORM)
         return ResultCode.SUCCESS
 
     def delete(self, dn, recursive: bool = False) -> str:
         try:
             self.directory.delete(dn, recursive=recursive)
         except UpdateError as exc:
-            if "children" in str(exc):
-                return ResultCode.UNWILLING_TO_PERFORM
-            return ResultCode.NO_SUCH_OBJECT
+            return self._UPDATE_CODES.get(exc.code, ResultCode.UNWILLING_TO_PERFORM)
         return ResultCode.SUCCESS
 
     def modify(self, dn, replace=None, add_values=None, remove_values=None) -> str:
@@ -226,9 +300,7 @@ class DirectoryService:
                 dn, replace=replace, add_values=add_values, remove_values=remove_values
             )
         except UpdateError as exc:
-            if "protected" in str(exc):
-                return ResultCode.UNWILLING_TO_PERFORM
-            return ResultCode.NO_SUCH_OBJECT
+            return self._UPDATE_CODES.get(exc.code, ResultCode.UNWILLING_TO_PERFORM)
         return ResultCode.SUCCESS
 
     def __repr__(self) -> str:

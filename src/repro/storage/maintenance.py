@@ -22,7 +22,7 @@ Supported mutations:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Set, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Union
 
 from ..model.dn import DN
 from ..model.entry import Entry
@@ -32,11 +32,34 @@ from ..model.schema import OBJECT_CLASS, DirectorySchema
 from .runs import RunWriter
 from .store import DirectoryStore
 
-__all__ = ["UpdatableDirectory", "UpdateError"]
+__all__ = ["UpdatableDirectory", "UpdateError", "UpdateListener"]
 
 
 class UpdateError(InstanceError):
-    """Raised for invalid updates (unknown dn, duplicate add, ...)."""
+    """Raised for invalid updates, with a structured ``code`` so callers
+    can map failures to protocol result codes without matching on the
+    message text."""
+
+    #: The dn names no current entry.
+    NO_SUCH_ENTRY = "noSuchEntry"
+    #: An add collided with an existing entry (dn is a key).
+    ALREADY_EXISTS = "alreadyExists"
+    #: A non-recursive delete hit an entry with children.
+    HAS_CHILDREN = "hasChildren"
+    #: A modify touched an RDN attribute or ``objectClass``.
+    PROTECTED_ATTRIBUTE = "protectedAttribute"
+    #: Anything else (schema violations surfaced as updates).
+    OTHER = "other"
+
+    def __init__(self, message: str, code: str = OTHER):
+        super().__init__(message)
+        self.code = code
+
+
+#: An update-log observer: called as ``listener(kind, dn, subtree)`` for
+#: every validated mutation (kind in "add"/"delete"/"modify"; subtree is
+#: True only for recursive deletes).
+UpdateListener = Callable[[str, DN, bool], None]
 
 
 class UpdatableDirectory:
@@ -51,6 +74,22 @@ class UpdatableDirectory:
         self._deletes: Set[DN] = set()
         self._delete_subtrees: Set[DN] = set()
         self.compactions = 0
+        self._listeners: List[UpdateListener] = []
+
+    # -- update log observers ---------------------------------------------
+
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Subscribe to validated mutations (query caches hook in here)."""
+        self._listeners.append(listener)
+
+    def remove_update_listener(self, listener: UpdateListener) -> None:
+        """Unsubscribe (idempotent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, kind: str, dn: DN, subtree: bool = False) -> None:
+        for listener in self._listeners:
+            listener(kind, dn, subtree)
 
     # -- building ------------------------------------------------------------
 
@@ -112,10 +151,13 @@ class UpdatableDirectory:
         if isinstance(dn, str):
             dn = DN.parse(dn)
         if self.lookup(dn) is not None:
-            raise UpdateError("dn is a key: %s already present" % dn)
+            raise UpdateError(
+                "dn is a key: %s already present" % dn, UpdateError.ALREADY_EXISTS
+            )
         entry = _validated_entry(self.schema, dn, classes, attributes, kw_attributes)
         self._deletes.discard(dn)
         self._adds[dn] = entry
+        self._notify("add", dn)
         self._maybe_compact()
         return entry
 
@@ -124,16 +166,20 @@ class UpdatableDirectory:
         if isinstance(dn, str):
             dn = DN.parse(dn)
         if self.lookup(dn) is None:
-            raise UpdateError("no entry at %s" % dn)
+            raise UpdateError("no entry at %s" % dn, UpdateError.NO_SUCH_ENTRY)
         if recursive:
             self._delete_subtrees.add(dn)
             for pending_dn in [d for d in self._adds if dn.is_prefix_of(d)]:
                 del self._adds[pending_dn]
         else:
             if any(True for _ in self._children_now(dn)):
-                raise UpdateError("%s has children; pass recursive=True" % dn)
+                raise UpdateError(
+                    "%s has children; pass recursive=True" % dn,
+                    UpdateError.HAS_CHILDREN,
+                )
             self._adds.pop(dn, None)
             self._deletes.add(dn)
+        self._notify("delete", dn, subtree=recursive)
         self._maybe_compact()
 
     def modify(
@@ -153,7 +199,7 @@ class UpdatableDirectory:
             dn = DN.parse(dn)
         current = self.lookup(dn)
         if current is None:
-            raise UpdateError("no entry at %s" % dn)
+            raise UpdateError("no entry at %s" % dn, UpdateError.NO_SUCH_ENTRY)
         protected = set(dn.rdn.attributes()) | {OBJECT_CLASS}
         values: Dict[str, List[Any]] = {
             attr: list(current.values(attr))
@@ -162,7 +208,10 @@ class UpdatableDirectory:
         }
         for attr, vals in (replace or {}).items():
             if attr in protected:
-                raise UpdateError("cannot modify protected attribute %r" % attr)
+                raise UpdateError(
+                    "cannot modify protected attribute %r" % attr,
+                    UpdateError.PROTECTED_ATTRIBUTE,
+                )
             vals = list(vals)
             if vals:
                 values[attr] = vals
@@ -170,11 +219,17 @@ class UpdatableDirectory:
                 values.pop(attr, None)
         for attr, vals in (add_values or {}).items():
             if attr in protected:
-                raise UpdateError("cannot modify protected attribute %r" % attr)
+                raise UpdateError(
+                    "cannot modify protected attribute %r" % attr,
+                    UpdateError.PROTECTED_ATTRIBUTE,
+                )
             values.setdefault(attr, []).extend(vals)
         for attr, vals in (remove_values or {}).items():
             if attr in protected:
-                raise UpdateError("cannot modify protected attribute %r" % attr)
+                raise UpdateError(
+                    "cannot modify protected attribute %r" % attr,
+                    UpdateError.PROTECTED_ATTRIBUTE,
+                )
             doomed = {str(v) for v in vals}
             values[attr] = [v for v in values.get(attr, []) if str(v) not in doomed]
             if not values[attr]:
@@ -182,6 +237,7 @@ class UpdatableDirectory:
         entry = _validated_entry(self.schema, dn, current.classes, values, {})
         self._adds[dn] = entry
         self._deletes.discard(dn)
+        self._notify("modify", dn)
         self._maybe_compact()
         return entry
 

@@ -2,7 +2,13 @@
 scalable DEN application workloads."""
 
 from .den import call_workload, packet_workload, qos_workload, tops_workload
-from .generator import RandomQueries, balanced_instance, random_instance, synthetic_schema
+from .generator import (
+    RandomQueries,
+    ZipfQueryStream,
+    balanced_instance,
+    random_instance,
+    synthetic_schema,
+)
 
 __all__ = [
     "call_workload",
@@ -10,6 +16,7 @@ __all__ = [
     "qos_workload",
     "tops_workload",
     "RandomQueries",
+    "ZipfQueryStream",
     "balanced_instance",
     "random_instance",
     "synthetic_schema",

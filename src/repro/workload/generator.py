@@ -37,7 +37,13 @@ from ..query.ast import (
     SimpleAggSelect,
 )
 
-__all__ = ["synthetic_schema", "random_instance", "RandomQueries", "balanced_instance"]
+__all__ = [
+    "synthetic_schema",
+    "random_instance",
+    "RandomQueries",
+    "ZipfQueryStream",
+    "balanced_instance",
+]
 
 _KINDS = ("alpha", "beta", "gamma", "delta")
 _TAGS = ("red", "green", "blue", "redish", "dark-red")
@@ -232,3 +238,58 @@ class RandomQueries:
         if pick == 2:
             return self.l2(depth)
         return self.l3(depth)
+
+
+class ZipfQueryStream:
+    """A repeated-query workload with Zipf-skewed popularity.
+
+    A fixed pool of ``distinct`` queries is drawn from :class:`RandomQueries`
+    once; the stream then emits pool members with probability proportional
+    to ``1 / rank**skew`` (rank 1 = hottest).  ``skew=0`` degenerates to a
+    uniform stream, ``skew=1.0`` is the classic web-trace distribution --
+    the regime where a semantic query cache pays off.  ``levels`` restricts
+    the pool to particular language levels (default: L0 only, so the stream
+    is cheap enough to replay against an uncached baseline).
+    """
+
+    def __init__(
+        self,
+        instance: DirectoryInstance,
+        distinct: int = 32,
+        skew: float = 1.0,
+        seed: int = 0,
+        levels: tuple = ("l0",),
+        depth: int = 1,
+    ):
+        if distinct < 1:
+            raise ValueError("distinct must be positive")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.rng = random.Random(seed)
+        factory = RandomQueries(instance, seed=seed)
+        self.pool: List[Query] = [
+            getattr(factory, self.rng.choice(list(levels)))(depth)
+            for _ in range(distinct)
+        ]
+        weights = [1.0 / (rank ** skew) for rank in range(1, distinct + 1)]
+        total = sum(weights)
+        self._cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def next(self) -> Query:
+        """Draw the next query from the skewed distribution."""
+        u = self.rng.random()
+        for index, threshold in enumerate(self._cdf):
+            if u <= threshold:
+                return self.pool[index]
+        return self.pool[-1]
+
+    def take(self, n: int) -> List[Query]:
+        return [self.next() for _ in range(n)]
+
+    def __iter__(self):
+        while True:
+            yield self.next()

@@ -1,0 +1,130 @@
+"""Static read footprints: ranges, closures and the coverage tests."""
+
+from repro.cache import Footprint, query_footprint
+from repro.model.dn import DN, ROOT_DN
+from repro.query.parser import parse_query
+
+
+COM = DN.parse("dc=com")
+ATT = DN.parse("dc=att, dc=com")
+RESEARCH = DN.parse("dc=research, dc=att, dc=com")
+ORG = DN.parse("dc=org")
+
+
+class TestFootprintAlgebra:
+    def test_point_covers_only_itself(self):
+        fp = Footprint.point(ATT)
+        assert fp.covers(ATT)
+        assert not fp.covers(COM)
+        assert not fp.covers(RESEARCH)
+
+    def test_subtree_covers_descendants(self):
+        fp = Footprint.subtree(ATT)
+        assert fp.covers(ATT)
+        assert fp.covers(RESEARCH)
+        assert not fp.covers(COM)
+        assert not fp.covers(ORG)
+
+    def test_everything(self):
+        fp = Footprint.everything()
+        for dn in (ROOT_DN, COM, RESEARCH, ORG):
+            assert fp.covers(dn)
+
+    def test_union_and_prune(self):
+        fp = Footprint.subtree(COM) | Footprint.point(RESEARCH)
+        # the point under dc=com is subsumed by the subtree range
+        assert len(fp) == 1
+        assert fp.covers(RESEARCH)
+
+    def test_nested_subtrees_prune(self):
+        fp = Footprint.subtree(COM) | Footprint.subtree(ATT)
+        assert len(fp) == 1
+
+    def test_intersects_subtree(self):
+        fp = Footprint.point(RESEARCH)
+        # deleting the subtree at dc=att wipes the point inside it
+        assert fp.intersects_subtree(ATT)
+        assert not fp.intersects_subtree(ORG)
+        # a subtree range intersects an updated region containing it ...
+        assert Footprint.subtree(ATT).intersects_subtree(COM)
+        # ... and one inside it
+        assert Footprint.subtree(COM).intersects_subtree(ATT)
+
+    def test_ancestor_closure_adds_chain_points(self):
+        fp = Footprint.subtree(RESEARCH).ancestor_closure()
+        assert fp.covers(ATT)
+        assert fp.covers(COM)
+        assert not fp.covers(ORG)
+
+    def test_descendant_closure_widens_points(self):
+        fp = Footprint.point(ATT).descendant_closure()
+        assert fp.covers(RESEARCH)
+        assert not fp.covers(COM)
+
+
+class TestQueryFootprint:
+    def test_atomic_base_scope_is_point(self):
+        fp = query_footprint(parse_query("(dc=att, dc=com ? base ? a=*)"))
+        assert fp.covers(ATT)
+        assert not fp.covers(RESEARCH)
+
+    def test_atomic_sub_scope_is_subtree(self):
+        fp = query_footprint(parse_query("(dc=att, dc=com ? sub ? a=*)"))
+        assert fp.covers(RESEARCH)
+        assert not fp.covers(COM)
+
+    def test_atomic_one_scope_conservative_subtree(self):
+        fp = query_footprint(parse_query("(dc=com ? one ? a=*)"))
+        assert fp.covers(ATT)
+        assert fp.covers(RESEARCH)  # conservative over-approximation
+
+    def test_boolean_union(self):
+        fp = query_footprint(
+            parse_query("(| (dc=att, dc=com ? sub ? a=*) (dc=org ? base ? a=*))")
+        )
+        assert fp.covers(RESEARCH)
+        assert fp.covers(ORG)
+        assert not fp.covers(COM)
+
+    def test_ancestor_operator_widens_upward(self):
+        # (a Q1 Q2): ancestors outside the operand subtrees can matter
+        fp = query_footprint(
+            parse_query(
+                "(a (dc=research, dc=att, dc=com ? sub ? a=*)"
+                "   (dc=research, dc=att, dc=com ? sub ? b=*))"
+            )
+        )
+        assert fp.covers(ATT)
+        assert fp.covers(COM)
+        assert not fp.covers(ORG)
+
+    def test_descendant_operator_widens_downward(self):
+        fp = query_footprint(
+            parse_query("(d (dc=com ? base ? a=*) (dc=com ? base ? b=*))")
+        )
+        assert fp.covers(RESEARCH)
+
+    def test_aggregate_variant_takes_both_closures(self):
+        fp = query_footprint(
+            parse_query(
+                "(p (dc=att, dc=com ? base ? a=*) (dc=att, dc=com ? base ? b=*)"
+                " count($2) > 1)"
+            )
+        )
+        assert fp.covers(COM)       # ancestor closure
+        assert fp.covers(RESEARCH)  # descendant closure
+
+    def test_simple_agg_keeps_operand_footprint(self):
+        fp = query_footprint(
+            parse_query("(g (dc=att, dc=com ? sub ? a=*) count($1.a) > 0)")
+        )
+        assert fp.covers(RESEARCH)
+        assert not fp.covers(ORG)
+
+    def test_embedded_ref_widens_to_everything(self):
+        fp = query_footprint(
+            parse_query(
+                "(vd (dc=att, dc=com ? sub ? a=*) (dc=att, dc=com ? sub ? b=*) ref)"
+            )
+        )
+        assert fp.covers(ORG)  # refs may point anywhere

@@ -1,0 +1,89 @@
+"""Update-log invalidation: precise, and survives compaction."""
+
+from repro.cache import QueryCache, UpdateLogInvalidator, fingerprint, query_footprint
+from repro.model.instance import DirectoryInstance
+from repro.query.parser import parse_query
+from repro.storage.maintenance import UpdatableDirectory
+from repro.workload import synthetic_schema
+
+
+def make_directory() -> UpdatableDirectory:
+    instance = DirectoryInstance(synthetic_schema())
+    instance.add("name=r1", ["container"], name="r1", kind="alpha")
+    instance.add("name=r2", ["container"], name="r2", kind="beta")
+    for root in ("r1", "r2"):
+        for i in range(4):
+            instance.add(
+                "name=%s-c%d, name=%s" % (root, i, root),
+                ["node"],
+                name="%s-c%d" % (root, i),
+                kind="alpha",
+                level=i,
+            )
+    return UpdatableDirectory.from_instance(instance, page_size=4, buffer_pages=4)
+
+
+def seed_cache(cache: QueryCache, directory: UpdatableDirectory, text: str) -> str:
+    query = parse_query(text)
+    key = fingerprint(query)
+    engine = directory.engine()
+    result = engine.run(query)
+    cache.put(key, text, result.entries, query_footprint(query), cost_io=10)
+    return key
+
+
+class TestUpdateLogInvalidator:
+    def test_add_evicts_only_intersecting(self):
+        directory = make_directory()
+        cache = QueryCache()
+        UpdateLogInvalidator(directory, cache)
+        r1 = seed_cache(cache, directory, "(name=r1 ? sub ? kind=alpha)")
+        r2 = seed_cache(cache, directory, "(name=r2 ? sub ? kind=alpha)")
+        directory.add("name=new, name=r1", ["node"], name="new", kind="alpha")
+        assert r1 not in cache
+        assert r2 in cache
+
+    def test_modify_evicts_point_cover(self):
+        directory = make_directory()
+        cache = QueryCache()
+        UpdateLogInvalidator(directory, cache)
+        r1 = seed_cache(cache, directory, "(name=r1 ? sub ? level<3)")
+        base = seed_cache(cache, directory, "(name=r2 ? base ? kind=*)")
+        directory.modify("name=r1-c0, name=r1", replace={"level": [7]})
+        assert r1 not in cache
+        assert base in cache
+
+    def test_recursive_delete_uses_subtree_region(self):
+        directory = make_directory()
+        cache = QueryCache()
+        UpdateLogInvalidator(directory, cache)
+        deep = seed_cache(
+            cache, directory, "(name=r1-c0, name=r1 ? base ? kind=*)"
+        )
+        other = seed_cache(cache, directory, "(name=r2 ? sub ? kind=*)")
+        directory.delete("name=r1", recursive=True)
+        assert deep not in cache
+        assert other in cache
+
+    def test_survivors_remain_valid_across_compaction(self):
+        directory = make_directory()
+        cache = QueryCache()
+        UpdateLogInvalidator(directory, cache)
+        r2 = seed_cache(cache, directory, "(name=r2 ? sub ? kind=alpha)")
+        expected = [e.dn for e in cache.peek(r2).entries]
+        directory.add("name=new, name=r1", ["node"], name="new", kind="alpha")
+        directory.compact()  # nothing flushed wholesale
+        assert r2 in cache
+        # the surviving entry still matches a fresh evaluation
+        fresh = directory.engine().run("(name=r2 ? sub ? kind=alpha)")
+        assert [e.dn for e in fresh.entries] == expected
+
+    def test_detach_stops_eviction(self):
+        directory = make_directory()
+        cache = QueryCache()
+        hook = UpdateLogInvalidator(directory, cache)
+        r1 = seed_cache(cache, directory, "(name=r1 ? sub ? kind=alpha)")
+        hook.detach()
+        directory.add("name=new, name=r1", ["node"], name="new", kind="alpha")
+        assert r1 in cache  # stale by design once detached
+        hook.detach()  # idempotent

@@ -1,0 +1,50 @@
+"""Canonical fingerprints: ACD-equivalent queries share one cache slot."""
+
+import pytest
+
+from repro.cache import atomic_fingerprint, canonical_text, fingerprint
+from repro.query.parser import parse_query
+
+
+class TestFingerprint:
+    def test_identical_queries_agree(self):
+        q = "( ? sub ? kind=alpha)"
+        assert fingerprint(q) == fingerprint(parse_query(q))
+
+    def test_commuted_and(self):
+        a = "(& ( ? sub ? kind=alpha) ( ? sub ? level<5))"
+        b = "(& ( ? sub ? level<5) ( ? sub ? kind=alpha))"
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_reassociated_or(self):
+        a = "(| (| ( ? sub ? kind=a) ( ? sub ? kind=b)) ( ? sub ? kind=c))"
+        b = "(| ( ? sub ? kind=a) (| ( ? sub ? kind=b) ( ? sub ? kind=c)))"
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_duplicate_operand_dropped(self):
+        a = "(& ( ? sub ? kind=alpha) ( ? sub ? kind=alpha))"
+        b = "( ? sub ? kind=alpha)"
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_difference_not_commuted(self):
+        a = "(- ( ? sub ? kind=alpha) ( ? sub ? kind=beta))"
+        b = "(- ( ? sub ? kind=beta) ( ? sub ? kind=alpha))"
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_distinct_queries_differ(self):
+        assert fingerprint("( ? sub ? kind=alpha)") != fingerprint(
+            "( ? sub ? kind=beta)"
+        )
+        assert fingerprint("( ? sub ? kind=alpha)") != fingerprint(
+            "( ? one ? kind=alpha)"
+        )
+
+    def test_canonical_text_is_rendered_normal_form(self):
+        text = canonical_text("(& ( ? sub ? b=*) ( ? sub ? a=*))")
+        assert text == canonical_text("(& ( ? sub ? a=*) ( ? sub ? b=*))")
+
+    def test_atomic_fingerprint_rejects_composites(self):
+        with pytest.raises(TypeError):
+            atomic_fingerprint(parse_query("(& ( ? sub ? a=*) ( ? sub ? b=*))"))
+        atomic = parse_query("(dc=com ? base ? a=*)")
+        assert atomic_fingerprint(atomic) == fingerprint(atomic)

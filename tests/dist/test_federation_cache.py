@@ -1,0 +1,91 @@
+"""The coordinator-side sublist cache: remote atomic results are reused
+across queries, and invalidation is per-subtree and per-server."""
+
+import pytest
+
+from repro.dist import FederatedDirectory
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate
+from repro.workload import random_instance
+
+
+@pytest.fixture
+def federation():
+    instance = random_instance(31, size=120, forest_roots=3)
+    roots = sorted({e.dn for e in instance.roots()}, key=lambda dn: dn.key())
+    assignments = {"server%d" % i: [root] for i, root in enumerate(roots)}
+    fed = FederatedDirectory.partition(instance, assignments, page_size=8)
+    return instance, fed
+
+
+def remote_query(fed):
+    """A coordinator and an atomic query it must answer remotely."""
+    at = "server0"
+    context = fed.servers["server1"].contexts[0]
+    return at, "(%s ? sub ? kind=alpha)" % context
+
+
+class TestLeafCache:
+    def test_repeat_query_ships_nothing(self, federation):
+        instance, fed = federation
+        at, text = remote_query(fed)
+        first = fed.query(at, text)
+        assert first.messages == 2
+        second = fed.query(at, text)
+        assert second.messages == 0
+        assert second.dns() == first.dns()
+
+    def test_cached_answer_is_correct(self, federation):
+        instance, fed = federation
+        at, text = remote_query(fed)
+        fed.query(at, text)  # warm
+        got = fed.query(at, text).dns()
+        assert got == [str(e.dn) for e in evaluate(parse_query(text), instance)]
+
+    def test_shared_sublist_across_composites(self, federation):
+        # a composite query containing an already-cached remote atom plus a
+        # purely-local atom needs no network traffic at all
+        instance, fed = federation
+        at, text = remote_query(fed)
+        fed.query(at, text)  # warm the remote sublist
+        local_context = fed.servers[at].contexts[0]
+        composite = fed.query(
+            at, "(| %s (%s ? sub ? name=e0))" % (text, local_context)
+        )
+        assert composite.messages == 0
+
+    def test_invalidate_dn_precise(self, federation):
+        instance, fed = federation
+        context0 = fed.servers["server1"].contexts[0]
+        context1 = fed.servers["server2"].contexts[0]
+        q0 = "(%s ? sub ? kind=alpha)" % context0
+        q1 = "(%s ? sub ? kind=alpha)" % context1
+        fed.query("server0", q0)
+        fed.query("server0", q1)
+        fed.invalidate_dn(context0, subtree=True)
+        assert fed.query("server0", q0).messages == 2  # re-shipped
+        assert fed.query("server0", q1).messages == 0  # survived
+
+    def test_refresh_server_drops_only_its_sublists(self, federation):
+        instance, fed = federation
+        context1 = fed.servers["server1"].contexts[0]
+        context2 = fed.servers["server2"].contexts[0]
+        q1 = "(%s ? sub ? kind=alpha)" % context1
+        q2 = "(%s ? sub ? kind=alpha)" % context2
+        fed.query("server0", q1)
+        fed.query("server0", q2)
+        entries = [e for e in instance if context1.is_prefix_of(e.dn)]
+        fed.refresh_server("server1", entries)
+        assert fed.query("server0", q1).messages == 2
+        assert fed.query("server0", q2).messages == 0
+
+    def test_disabled_cache_always_ships(self, federation):
+        instance, _ = federation
+        roots = sorted({e.dn for e in instance.roots()}, key=lambda dn: dn.key())
+        assignments = {"server%d" % i: [root] for i, root in enumerate(roots)}
+        fed = FederatedDirectory.partition(
+            instance, assignments, page_size=8, leaf_cache_bytes=0
+        )
+        at, text = remote_query(fed)
+        assert fed.query(at, text).messages == 2
+        assert fed.query(at, text).messages == 2

@@ -108,6 +108,53 @@ class TestSearch:
         assert good.code == ResultCode.SUCCESS
 
 
+class TestSearchPaged:
+    QUERY = "( ? sub ? objectClass=account)"
+
+    def test_accepts_string_queries(self, service):
+        service.bind("uid=alice, dc=com", "wonder")
+        from_str = list(service.search_paged(self.QUERY, page_entries=2))
+        from_ast = list(
+            service.search_paged(Q.sub("", "objectClass=account"), page_entries=2)
+        )
+        flatten = lambda pages: [str(e.dn) for page in pages for e in page]
+        assert flatten(from_str) == flatten(from_ast)
+
+    def test_pages_are_acl_filtered(self, service):
+        service.bind("uid=bob, dc=com", "builder")
+        pages = list(service.search_paged(self.QUERY, page_entries=2))
+        assert [len(p) for p in pages] == [1]
+        assert str(pages[0][0].dn) == "uid=bob, dc=com"
+
+    def test_bad_page_size_raises_eagerly(self, service):
+        with pytest.raises(ValueError):
+            service.search_paged(self.QUERY, page_entries=0)
+
+
+class TestSizeAccounting:
+    """total_size counts *visible* entries; the limit truncates them."""
+
+    QUERY = "( ? sub ? objectClass=account)"
+
+    def test_total_size_is_post_acl(self, service):
+        service.bind("uid=bob, dc=com", "builder")
+        result = service.search(self.QUERY)
+        assert result.code == ResultCode.SUCCESS
+        assert result.total_size == 1 == len(result)
+
+    def test_limit_applies_to_visible_not_raw(self, service):
+        # bob sees one entry; a limit of 1 is therefore NOT exceeded even
+        # though three entries matched pre-ACL
+        service.bind("uid=bob, dc=com", "builder")
+        result = service.search(self.QUERY, size_limit=1)
+        assert result.code == ResultCode.SUCCESS
+        assert result.total_size == 1
+
+    def test_bad_size_limit_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.search(self.QUERY, size_limit=0)
+
+
 class TestCompare:
     def test_true_false(self, service):
         service.bind("uid=alice, dc=com", "wonder")

@@ -127,6 +127,48 @@ class TestModify:
             directory.modify("name=ghost", replace={"kind": ["x"]})
 
 
+class TestErrorCodes:
+    """UpdateError carries a structured code -- no message sniffing."""
+
+    def test_duplicate_add(self, updatable):
+        instance, directory = updatable
+        existing = next(iter(instance)).dn
+        with pytest.raises(UpdateError) as excinfo:
+            directory.add(existing, ["node"], name="x")
+        assert excinfo.value.code == UpdateError.ALREADY_EXISTS
+
+    def test_delete_missing(self, updatable):
+        _instance, directory = updatable
+        with pytest.raises(UpdateError) as excinfo:
+            directory.delete("name=ghost")
+        assert excinfo.value.code == UpdateError.NO_SUCH_ENTRY
+
+    def test_delete_nonleaf(self, updatable):
+        instance, directory = updatable
+        inner = next(
+            e.dn for e in instance if any(True for _ in instance.children_of(e.dn))
+        )
+        with pytest.raises(UpdateError) as excinfo:
+            directory.delete(inner)
+        assert excinfo.value.code == UpdateError.HAS_CHILDREN
+
+    def test_modify_missing(self, updatable):
+        _instance, directory = updatable
+        with pytest.raises(UpdateError) as excinfo:
+            directory.modify("name=ghost", replace={"kind": ["x"]})
+        assert excinfo.value.code == UpdateError.NO_SUCH_ENTRY
+
+    def test_modify_protected(self, updatable):
+        instance, directory = updatable
+        victim = next(iter(instance))
+        with pytest.raises(UpdateError) as excinfo:
+            directory.modify(victim.dn, replace={"objectClass": ["other"]})
+        assert excinfo.value.code == UpdateError.PROTECTED_ATTRIBUTE
+
+    def test_default_code(self):
+        assert UpdateError("boom").code == UpdateError.OTHER
+
+
 class TestCompaction:
     def test_noop_when_empty(self, updatable):
         _instance, directory = updatable
