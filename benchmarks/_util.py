@@ -6,20 +6,47 @@ transfers through the pager -- the quantity the paper's theorems bound),
 prints a paper-style table, records it in the benchmark's ``extra_info``,
 and asserts the claimed asymptotic *shape* (we do not chase the authors'
 absolute constants; see EXPERIMENTS.md).
+
+Telemetry: every :func:`record` also persists its table -- and every
+:func:`measure_io` its wall-clock duration -- through
+:class:`repro.obs.telemetry.BenchEmitter`, producing one machine-readable
+``BENCH_<experiment>.json`` per benchmark module under
+``benchmarks/results/`` (override with ``REPRO_BENCH_DIR``).  The
+experiment name is derived from the calling module's file name
+(``test_e13_boolean.py`` -> ``e13_boolean``), so existing benchmarks feed
+the pipeline without per-call changes.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import random
+import sys
+import time
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.obs.telemetry import BenchEmitter
 from repro.storage.pager import Pager
 from repro.storage.runs import Run, run_from_iterable
 from repro.workload import balanced_instance, random_instance
 
 PAGE_SIZE = 16
 BUFFER_PAGES = 6
+
+#: The process-wide emitter every benchmark module reports into.
+EMITTER = BenchEmitter()
+
+
+def _caller_experiment(depth: int = 2) -> str:
+    """The experiment name of the benchmark module ``depth`` frames up
+    (``benchmarks/test_e13_boolean.py`` -> ``e13_boolean``)."""
+    frame = sys._getframe(depth)
+    path = frame.f_globals.get("__file__", "")
+    name = os.path.splitext(os.path.basename(path))[0]
+    if name.startswith("test_"):
+        name = name[len("test_"):]
+    return name or "adhoc"
 
 
 def fresh_pager(page_size: int = PAGE_SIZE, buffer_pages: int = BUFFER_PAGES) -> Pager:
@@ -47,11 +74,15 @@ def as_runs(pager: Pager, subsets) -> List[Run]:
 def measure_io(pager: Pager, fn: Callable[[], object]) -> Tuple[object, int, int]:
     """Run ``fn``; return (result, logical page accesses, physical
     transfers).  Logical accesses are the model-level cost (independent of
-    buffer luck); physical transfers show the buffer pool at work."""
+    buffer luck); physical transfers show the buffer pool at work.  The
+    wall-clock duration feeds the experiment's telemetry summary."""
     pager.flush()
     before = pager.stats.snapshot()
+    started = time.perf_counter()
     result = fn()
+    elapsed = time.perf_counter() - started
     delta = pager.stats.since(before)
+    EMITTER.add_timing(_caller_experiment(), elapsed)
     return result, delta.logical_reads + delta.logical_writes, delta.total
 
 
@@ -91,5 +122,14 @@ def assert_superlinear(ns: Sequence[int], costs: Sequence[float], floor: float =
 
 
 def record(benchmark, title: str, header, rows) -> None:
+    """Print the paper-style table, attach it to the pytest-benchmark
+    ``extra_info`` and persist it as ``BENCH_<experiment>.json``."""
     print_table(title, header, rows)
-    benchmark.extra_info[title] = [dict(zip(header, row)) for row in rows]
+    row_dicts = [dict(zip(header, row)) for row in rows]
+    benchmark.extra_info[title] = row_dicts
+    EMITTER.emit(
+        _caller_experiment(),
+        title,
+        row_dicts,
+        meta={"page_size": PAGE_SIZE, "buffer_pages": BUFFER_PAGES},
+    )

@@ -7,16 +7,19 @@ and report exactly what the cache did for it.
 
 from __future__ import annotations
 
-from typing import Dict
+from ..obs.stats import StatCounters
 
 __all__ = ["CacheStats"]
 
 
-class CacheStats:
+class CacheStats(StatCounters):
     """Counters of cache activity.
 
     ``saved_logical_io`` accumulates, per hit, the logical page I/O the
     original (missing) evaluation cost -- the work the cache avoided.
+
+    ``snapshot()``/``since()``/``delta()``/``as_dict()`` come from the
+    shared :class:`~repro.obs.stats.StatCounters` protocol.
     """
 
     __slots__ = (
@@ -56,32 +59,6 @@ class CacheStats:
     def hit_rate(self) -> float:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
-
-    def snapshot(self) -> "CacheStats":
-        return CacheStats(
-            self.hits,
-            self.misses,
-            self.insertions,
-            self.evictions,
-            self.invalidations,
-            self.rejected,
-            self.saved_logical_io,
-        )
-
-    def since(self, earlier: "CacheStats") -> "CacheStats":
-        """The delta from an earlier snapshot."""
-        return CacheStats(
-            self.hits - earlier.hits,
-            self.misses - earlier.misses,
-            self.insertions - earlier.insertions,
-            self.evictions - earlier.evictions,
-            self.invalidations - earlier.invalidations,
-            self.rejected - earlier.rejected,
-            self.saved_logical_io - earlier.saved_logical_io,
-        )
-
-    def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
 
     def __repr__(self) -> str:
         return (

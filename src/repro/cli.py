@@ -5,14 +5,17 @@ Usage (also via ``python -m repro``)::
     python -m repro dump-example qos > policies.ldif
     python -m repro query policies.ldif --schema qos \\
         "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules) count(SLAPVPRef) > 1)"
-    python -m repro explain policies.ldif --schema qos --analyze "( ? sub ? objectClass=*)"
-    python -m repro stats policies.ldif --schema qos
+    python -m repro explain policies.ldif --schema qos --analyze --json "( ? sub ? objectClass=*)"
+    python -m repro stats policies.ldif --schema qos --json
+    python -m repro metrics policies.ldif --schema qos --query "( ? sub ? objectClass=*)"
+    python -m repro bench-check benchmarks/results/BENCH_e13_boolean.json
     python -m repro ldapurl "ldap://host/dc=att,dc=com?cn?sub?(surName=jagadish)"
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -61,9 +64,17 @@ def _engine_for(instance, args):
 def _cmd_query(args) -> int:
     instance = _load(args.file, args.schema)
     engine = _engine_for(instance, args)
+    if args.trace:
+        from .obs.trace import Tracer
+
+        engine.tracer = Tracer(probes={"io": engine.pager.stats})
     result = engine.run(args.query)
     for dn in result.dns():
         print(dn)
+    if args.trace:
+        root = engine.tracer.last_root()
+        if root is not None:
+            print(root.render(), file=sys.stderr)
     if args.io:
         print(
             "-- %d entries, %d physical page I/Os (%d logical reads), %.2f ms"
@@ -92,7 +103,14 @@ def _cmd_explain(args) -> int:
             tuple(args.int_index or ()), tuple(args.string_index or ())
         )
     node = explain(store, parse_query(args.query), analyze=args.analyze)
-    print(node.render())
+    if args.json:
+        payload = node.as_dict()
+        if args.analyze:
+            payload["total_io"] = node.total_io()
+            payload["total_logical_io"] = node.total_logical_io()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(node.render())
     return 0
 
 
@@ -103,6 +121,26 @@ def _cmd_stats(args) -> int:
     instance = _load(args.file, args.schema)
     store = DirectoryStore.from_instance(instance, page_size=args.page_size)
     stats = DirectoryStatistics.collect(store)
+    if args.json:
+        payload = {
+            "entries": stats.total_entries,
+            "pages": store.page_count,
+            "page_size": store.pager.page_size,
+            "depths": {str(d): c for d, c in sorted(stats.depth_counts.items())},
+            "io": store.pager.stats.as_dict(),
+            "attributes": {
+                name: {
+                    "entries_with": attr.entries_with,
+                    "value_count": attr.value_count,
+                    "distinct_estimate": attr.distinct_estimate,
+                    "int_min": attr.int_min,
+                    "int_max": attr.int_max,
+                }
+                for name, attr in sorted(stats.attributes.items())
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print("entries: %d   pages: %d (B=%d)" % (
         stats.total_entries, store.page_count, store.pager.page_size))
     print("depths:  %s" % ", ".join(
@@ -118,6 +156,65 @@ def _cmd_stats(args) -> int:
             % (name, attr.entries_with, attr.value_count, attr.distinct_estimate, int_range)
         )
     return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Run searches through a full DirectoryService and dump the populated
+    metrics registry (Prometheus text by default, --json for JSON)."""
+    from .obs.metrics import MetricsRegistry
+    from .server.service import DirectoryService
+
+    instance = _load(args.file, args.schema)
+    registry = MetricsRegistry()
+    service = DirectoryService(
+        instance,
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+        metrics=registry,
+        slow_query_seconds=(
+            args.slow_ms / 1e3 if args.slow_ms is not None else None
+        ),
+    )
+    service.bind_anonymous()
+    for query in args.query or ():
+        service.search(query)
+    if args.json:
+        print(registry.to_json(indent=2))
+    else:
+        sys.stdout.write(registry.to_prometheus())
+    if args.slow_ms is not None and len(service.slow_queries):
+        print("-- %d slow queries (>= %gms):" % (
+            len(service.slow_queries), args.slow_ms), file=sys.stderr)
+        for record in service.slow_queries:
+            print("--   %.2fms io=%d %s" % (
+                record.elapsed * 1e3, record.io_total, record.query_text),
+                file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_check(args) -> int:
+    """Validate BENCH_*.json telemetry artifacts (CI's benchmark-smoke)."""
+    from .obs.telemetry import load_bench, validate_bench
+
+    failures = 0
+    for path in args.files:
+        try:
+            payload = load_bench(path)
+        except (OSError, ValueError) as exc:
+            print("%s: unreadable (%s)" % (path, exc))
+            failures += 1
+            continue
+        problems = validate_bench(payload)
+        if problems:
+            failures += 1
+            print("%s: INVALID" % path)
+            for problem in problems:
+                print("  - %s" % problem)
+        else:
+            tables = payload.get("tables", {})
+            rows = sum(len(r) for r in tables.values())
+            print("%s: ok (%d tables, %d rows)" % (path, len(tables), rows))
+    return 1 if failures else 0
 
 
 def _cmd_dump_example(args) -> int:
@@ -181,6 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("file")
     query.add_argument("query", help="query in the paper's syntax")
     query.add_argument("--io", action="store_true", help="print cost to stderr")
+    query.add_argument("--trace", action="store_true",
+                       help="print the span trace (per-operator time and I/O) to stderr")
     common(query)
     query.set_defaults(handler=_cmd_query)
 
@@ -188,14 +287,39 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("file")
     explain_cmd.add_argument("query")
     explain_cmd.add_argument("--analyze", action="store_true",
-                             help="also run each node and report actual sizes")
+                             help="also run the query once and report actual "
+                                  "sizes and per-operator page I/O")
+    explain_cmd.add_argument("--json", action="store_true",
+                             help="emit the plan as JSON")
     common(explain_cmd)
     explain_cmd.set_defaults(handler=_cmd_explain)
 
     stats_cmd = sub.add_parser("stats", help="print directory statistics")
     stats_cmd.add_argument("file")
+    stats_cmd.add_argument("--json", action="store_true",
+                           help="emit the statistics as JSON")
     common(stats_cmd)
     stats_cmd.set_defaults(handler=_cmd_stats)
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="run queries through a directory service and dump its metrics "
+             "registry (Prometheus text format)")
+    metrics_cmd.add_argument("file")
+    metrics_cmd.add_argument("--query", action="append", metavar="QUERY",
+                             help="search to run before dumping (repeatable)")
+    metrics_cmd.add_argument("--json", action="store_true",
+                             help="emit JSON instead of Prometheus text")
+    metrics_cmd.add_argument("--slow-ms", type=float, default=None, metavar="MS",
+                             help="slow-query log threshold in milliseconds "
+                                  "(log printed to stderr)")
+    common(metrics_cmd)
+    metrics_cmd.set_defaults(handler=_cmd_metrics)
+
+    bench_cmd = sub.add_parser(
+        "bench-check", help="validate BENCH_*.json benchmark telemetry files")
+    bench_cmd.add_argument("files", nargs="+")
+    bench_cmd.set_defaults(handler=_cmd_bench_check)
 
     dump = sub.add_parser("dump-example", help="write a sample directory as LDIF")
     dump.add_argument("which", choices=("qos", "tops", "whitepages"))

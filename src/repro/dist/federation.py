@@ -31,6 +31,8 @@ from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
 from ..model.schema import DirectorySchema
+from ..obs.metrics import get_registry
+from ..obs.trace import NULL_TRACER
 from ..query.ast import AtomicQuery, Query
 from ..query.parser import parse_query
 from ..storage.runs import Run, RunWriter
@@ -65,11 +67,37 @@ class FederatedDirectory:
         schema: DirectorySchema,
         network: Optional[SimulatedNetwork] = None,
         leaf_cache_bytes: int = 256 * 1024,
+        tracer=None,
+        metrics=None,
     ):
         self.schema = schema
         self.network = network or SimulatedNetwork()
         self.locator = ServerLocator()
         self.servers: Dict[str, DirectoryServer] = {}
+        #: The coordinator-side tracer; spans cross to remote servers via
+        #: the trace context carried with each request.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._m_remote_requests = self.metrics.counter(
+            "repro_fed_remote_requests_total",
+            "Atomic sub-queries routed to a remote owner",
+            labelnames=("server",),
+        )
+        self._m_shipped_sublists = self.metrics.counter(
+            "repro_fed_shipped_sublists_total",
+            "Result sublists shipped back from remote servers",
+            labelnames=("server",),
+        )
+        self._m_shipped_entries = self.metrics.counter(
+            "repro_fed_shipped_entries_total",
+            "Entries shipped back from remote servers",
+            labelnames=("server",),
+        )
+        self._m_leaf_cache = self.metrics.counter(
+            "repro_fed_leaf_cache_lookups_total",
+            "Remote-sublist cache lookups",
+            labelnames=("outcome",),
+        )
         #: Cache of shipped remote sublists, keyed ``(server, atomic
         #: fingerprint)`` and tagged by the owning server so one origin can
         #: be dropped wholesale.  ``leaf_cache_bytes=0`` disables it.
@@ -81,6 +109,13 @@ class FederatedDirectory:
 
     def add_server(self, server: DirectoryServer) -> DirectoryServer:
         self.servers[server.name] = server
+        if self.tracer.enabled and not server.tracer.enabled:
+            # A tracing federation gives each member its own tracer (one
+            # per pager, so I/O probes attribute correctly); remote spans
+            # still join the coordinator's trace via the carried context.
+            from ..obs.trace import Tracer
+
+            server.tracer = Tracer()
         for context in server.contexts:
             self.locator.register(context, server.name)
         return server
@@ -94,6 +129,8 @@ class FederatedDirectory:
         buffer_pages: int = 8,
         network: Optional[SimulatedNetwork] = None,
         leaf_cache_bytes: int = 256 * 1024,
+        tracer=None,
+        metrics=None,
     ) -> "FederatedDirectory":
         """Split one logical instance across servers.
 
@@ -101,7 +138,13 @@ class FederatedDirectory:
         Each entry goes to the server of its *most specific* registered
         context (delegated subdomains shadow their parents, as in DNS).
         """
-        fed = cls(instance.schema, network, leaf_cache_bytes=leaf_cache_bytes)
+        fed = cls(
+            instance.schema,
+            network,
+            leaf_cache_bytes=leaf_cache_bytes,
+            tracer=tracer,
+            metrics=metrics,
+        )
         for name, contexts in assignments.items():
             dn_contexts = [
                 context if isinstance(context, DN) else DN.parse(context)
@@ -134,7 +177,8 @@ class FederatedDirectory:
         engine = _CoordinatorEngine(self, coordinator)
         messages_before = self.network.messages
         shipped_before = self.network.entries_shipped
-        result = engine.run(query)
+        with self.tracer.span("fed-query", at=at):
+            result = engine.run(query)
         return FederatedResult(
             result.entries,
             result.io,
@@ -204,18 +248,25 @@ class _CoordinatorEngine(QueryEngine):
     """The queried server's engine with atomic leaves routed by ownership."""
 
     def __init__(self, federation: FederatedDirectory, coordinator: DirectoryServer):
-        super().__init__(coordinator.engine.store)
+        super().__init__(coordinator.engine.store, tracer=federation.tracer)
+        if federation.tracer.enabled:
+            # Rebind the I/O probe to *this* coordinator's pager (queries
+            # may be issued at different servers over the tracer's life).
+            federation.tracer.add_probe("io", self.pager.stats)
         self.federation = federation
         self.coordinator = coordinator
 
     def atomic_run(self, query: AtomicQuery) -> Run:
         owners = self.federation.owners_for_atomic(query)
         cache = self.federation.leaf_cache
+        tracer = self.federation.tracer
         partial_runs: List[Run] = []
         for owner in owners:
             server = self.federation.servers[owner]
             if server is self.coordinator:
-                partial_runs.append(server.evaluate_atomic(query))
+                partial_runs.append(
+                    server.evaluate_atomic(query, trace_context=tracer.context())
+                )
                 continue
             # Remote leaf: served from the sublist cache when possible,
             # otherwise request out + result entries shipped back.
@@ -224,19 +275,30 @@ class _CoordinatorEngine(QueryEngine):
                 key = "%s|%s" % (owner, atomic_fingerprint(query))
                 hit = cache.get(key)
                 if hit is not None:
+                    self.federation._m_leaf_cache.inc(outcome="hit")
                     writer = RunWriter(self.pager)
                     writer.extend(hit.entries)
                     partial_runs.append(writer.close())
                     continue
-            self.federation.network.send(
-                self.coordinator.name, owner, "atomic-request"
-            )
-            remote = server.evaluate_atomic(query)
-            entries = remote.to_list()
-            remote.free()
-            self.federation.network.send(
-                owner, self.coordinator.name, "atomic-result", len(entries)
-            )
+                self.federation._m_leaf_cache.inc(outcome="miss")
+            with tracer.span("remote-atomic", server=owner) as span:
+                context = tracer.context()
+                trace_id = context["trace_id"] if context else None
+                self.federation.network.send(
+                    self.coordinator.name, owner, "atomic-request",
+                    trace_id=trace_id,
+                )
+                self.federation._m_remote_requests.inc(server=owner)
+                remote = server.evaluate_atomic(query, trace_context=context)
+                entries = remote.to_list()
+                remote.free()
+                self.federation.network.send(
+                    owner, self.coordinator.name, "atomic-result", len(entries),
+                    trace_id=trace_id,
+                )
+                self.federation._m_shipped_sublists.inc(server=owner)
+                self.federation._m_shipped_entries.inc(len(entries), server=owner)
+                span.set(rows=len(entries))
             if cache is not None:
                 # Weight by what a hit saves: the round trip plus the
                 # shipped entries (a network-cost proxy in I/O units).

@@ -8,7 +8,7 @@ entries carried.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 __all__ = ["SimulatedNetwork"]
 
@@ -21,19 +21,33 @@ class SimulatedNetwork:
         self.entries_shipped = 0
         self.keep_log = keep_log
         self.log: List[Tuple[str, str, str, int]] = []
+        #: Trace ids riding along logged messages, parallel to ``log``
+        #: (None for untraced traffic) -- how span identity crosses the
+        #: simulated wire.
+        self.trace_ids: List[Optional[str]] = []
 
-    def send(self, source: str, destination: str, kind: str, entry_count: int = 0) -> None:
+    def send(
+        self,
+        source: str,
+        destination: str,
+        kind: str,
+        entry_count: int = 0,
+        trace_id: Optional[str] = None,
+    ) -> None:
         """Record one message; ``entry_count`` is the number of directory
-        entries in its payload (0 for pure requests)."""
+        entries in its payload (0 for pure requests).  ``trace_id`` tags
+        the message with the sending span's trace."""
         self.messages += 1
         self.entries_shipped += entry_count
         if self.keep_log:
             self.log.append((source, destination, kind, entry_count))
+            self.trace_ids.append(trace_id)
 
     def reset(self) -> None:
         self.messages = 0
         self.entries_shipped = 0
         self.log = []
+        self.trace_ids = []
 
     def __repr__(self) -> str:
         return "SimulatedNetwork(messages=%d, entries_shipped=%d)" % (

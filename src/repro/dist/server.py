@@ -15,6 +15,7 @@ from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
 from ..model.schema import DirectorySchema
+from ..obs.trace import NULL_TRACER
 from ..query.ast import AtomicQuery
 from ..storage.runs import Run
 
@@ -31,6 +32,7 @@ class DirectoryServer:
         contexts: List[DN],
         page_size: int = 16,
         buffer_pages: int = 8,
+        tracer=None,
     ):
         self.name = name
         self.contexts = list(contexts)
@@ -38,6 +40,9 @@ class DirectoryServer:
         self._engine: Optional[QueryEngine] = None
         self._page_size = page_size
         self._buffer_pages = buffer_pages
+        #: This server's own tracer; remote calls carrying a trace context
+        #: graft their spans into the caller's trace (same trace id).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def holds(self, dn: DN) -> bool:
         """Whether this server's contexts cover ``dn`` (ignoring delegation,
@@ -66,12 +71,25 @@ class DirectoryServer:
                 self._staging,
                 page_size=self._page_size,
                 buffer_pages=self._buffer_pages,
+                tracer=self.tracer,
             )
         return self._engine
 
-    def evaluate_atomic(self, query: AtomicQuery) -> Run:
-        """Serve one atomic query against the locally held entries."""
-        return self.engine.atomic_run(query)
+    def evaluate_atomic(self, query: AtomicQuery, trace_context=None) -> Run:
+        """Serve one atomic query against the locally held entries.
+
+        ``trace_context`` is a :meth:`~repro.obs.trace.Tracer.context`
+        dict from a remote caller; when this server traces, its span joins
+        the caller's trace (propagated trace id, parented under the
+        caller's span)."""
+        if not self.tracer.enabled:
+            return self.engine.atomic_run(query)
+        with self.tracer.span(
+            "serve-atomic", context=trace_context, server=self.name, query=str(query)
+        ) as span:
+            run = self.engine.atomic_run(query)
+            span.set(rows=len(run))
+            return run
 
     def entry_count(self) -> int:
         return len(self.engine.store)

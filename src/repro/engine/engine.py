@@ -28,6 +28,7 @@ from ..query.ast import (
     QueryError,
     SimpleAggSelect,
 )
+from ..obs.trace import NULL_TRACER
 from ..query.parser import parse_query
 from ..storage.pager import IOStats
 from ..storage.runs import Run
@@ -85,12 +86,20 @@ class QueryEngine:
         store: DirectoryStore,
         use_indices: bool = True,
         memory_pages: int = 4,
+        tracer=None,
     ):
         self.store = store
         self.pager = store.pager
         self.use_indices = use_indices
         #: Workspace bound for the sorts inside vd/dv (Figure 3).
         self.memory_pages = memory_pages
+        #: Span tracer (see :mod:`repro.obs.trace`).  The default no-op
+        #: tracer keeps the hot path allocation-free; pass a live
+        #: :class:`~repro.obs.trace.Tracer` to record one span per
+        #: operator with wall time and exact page-I/O attribution.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled and "io" not in self.tracer.probes:
+            self.tracer.add_probe("io", self.pager.stats)
 
     @classmethod
     def from_instance(
@@ -116,12 +125,15 @@ class QueryEngine:
         """Evaluate a query (AST or concrete syntax); return entries plus
         the I/O incurred."""
         if isinstance(query, str):
-            query = parse_query(query)
+            with self.tracer.span("parse"):
+                query = parse_query(query)
         before = self.pager.stats.snapshot()
         started = time.perf_counter()
-        result_run = self.evaluate_to_run(query)
-        entries = result_run.to_list()
-        result_run.free()
+        with self.tracer.span("execute") as span:
+            result_run = self.evaluate_to_run(query)
+            entries = result_run.to_list()
+            result_run.free()
+            span.set(rows=len(entries))
         elapsed = time.perf_counter() - started
         io = self.pager.stats.since(before)
         return QueryResult(entries, io, elapsed)
@@ -134,7 +146,21 @@ class QueryEngine:
         return evaluate_atomic(self.store, query, self.use_indices)
 
     def evaluate_to_run(self, query: Query) -> Run:
-        """Evaluate ``query`` to a sorted run (caller frees it)."""
+        """Evaluate ``query`` to a sorted run (caller frees it).
+
+        With a live tracer, every query-tree node gets one span (named
+        ``op:...``) recording its result size and -- via the ``io`` probe
+        -- the page transfers it caused, children included; the span tree
+        mirrors the query tree exactly, which is what EXPLAIN
+        ``--analyze`` walks for per-operator actuals."""
+        if not self.tracer.enabled:
+            return self._evaluate_node(query)
+        with self.tracer.span(_span_name(query)) as span:
+            result = self._evaluate_node(query)
+            span.set(rows=len(result))
+            return result
+
+    def _evaluate_node(self, query: Query) -> Run:
         if isinstance(query, AtomicQuery):
             return self.atomic_run(query)
 
@@ -192,3 +218,18 @@ class QueryEngine:
 
     def __repr__(self) -> str:
         return "QueryEngine(%r)" % self.store
+
+
+def _span_name(query: Query) -> str:
+    """The span name for one query-tree node (stable operator labels)."""
+    if isinstance(query, AtomicQuery):
+        return "op:atomic"
+    if isinstance(query, (And, Or, Diff)):
+        return "op:%s" % {And: "and", Or: "or", Diff: "diff"}[type(query)]
+    if isinstance(query, HierarchySelect):
+        return "op:hs:%s" % query.op
+    if isinstance(query, SimpleAggSelect):
+        return "op:agg"
+    if isinstance(query, EmbeddedRef):
+        return "op:er:%s" % query.op
+    return "op:%s" % type(query).__name__.lower()

@@ -200,8 +200,13 @@ class AccessPlanner:
 class PlannedEngine(QueryEngine):
     """A QueryEngine with rewrites and per-leaf access-path planning."""
 
-    def __init__(self, store: DirectoryStore, stats: Optional[DirectoryStatistics] = None):
-        super().__init__(store)
+    def __init__(
+        self,
+        store: DirectoryStore,
+        stats: Optional[DirectoryStatistics] = None,
+        tracer=None,
+    ):
+        super().__init__(store, tracer=tracer)
         self.estimator = CardinalityEstimator(store, stats)
         self.planner = AccessPlanner(store, self.estimator)
         self.last_rewrites: List[str] = []
@@ -220,19 +225,58 @@ class PlannedEngine(QueryEngine):
 
 
 class ExplainNode:
-    """One node of an EXPLAIN tree."""
+    """One node of an EXPLAIN tree.
+
+    With ``analyze`` the node carries actuals measured on a single traced
+    evaluation of the whole query: the operator's result size
+    (``actual``), its *own* page transfers (``actual_io`` physical /
+    ``actual_logical_io`` logical -- children's costs subtracted out, so
+    the tree's values sum to the pager's global delta for the run) and its
+    inclusive wall time.
+    """
 
     def __init__(self, label: str, estimate: float, children: List["ExplainNode"],
-                 actual: Optional[int] = None):
+                 actual: Optional[int] = None,
+                 actual_io: Optional[int] = None,
+                 actual_logical_io: Optional[int] = None,
+                 elapsed: Optional[float] = None):
         self.label = label
         self.estimate = estimate
         self.children = children
         self.actual = actual
+        self.actual_io = actual_io
+        self.actual_logical_io = actual_logical_io
+        self.elapsed = elapsed
+
+    def total_io(self) -> int:
+        """Sum of per-operator physical transfers over the subtree."""
+        own = self.actual_io or 0
+        return own + sum(child.total_io() for child in self.children)
+
+    def total_logical_io(self) -> int:
+        """Sum of per-operator logical page accesses over the subtree."""
+        own = self.actual_logical_io or 0
+        return own + sum(child.total_logical_io() for child in self.children)
 
     def render(self, indent: int = 0) -> str:
         actual = "" if self.actual is None else "  actual=%d" % self.actual
+        if self.actual_io is not None:
+            actual += " io=%d lio=%d" % (self.actual_io, self.actual_logical_io or 0)
         line = "%s%s  (est=%.1f%s)" % ("  " * indent, self.label, self.estimate, actual)
         return "\n".join([line] + [child.render(indent + 1) for child in self.children])
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by ``explain --json``)."""
+        node = {"label": self.label, "estimate": self.estimate}
+        if self.actual is not None:
+            node["actual"] = self.actual
+        if self.actual_io is not None:
+            node["actual_io"] = self.actual_io
+            node["actual_logical_io"] = self.actual_logical_io
+        if self.elapsed is not None:
+            node["elapsed_s"] = self.elapsed
+        node["children"] = [child.as_dict() for child in self.children]
+        return node
 
     def __str__(self) -> str:
         return self.render()
@@ -245,11 +289,25 @@ def explain(
     planner: Optional[AccessPlanner] = None,
 ) -> ExplainNode:
     """Build the EXPLAIN tree for ``query`` (post-rewrite).  With
-    ``analyze=True`` each node also carries the actual result size,
-    obtained by running the sub-queries through a PlannedEngine."""
+    ``analyze=True`` the rewritten query is evaluated **once** through a
+    span-traced :class:`PlannedEngine`; each node then carries the actual
+    result size and its own (exclusive) page I/O, harvested from the span
+    tree -- which mirrors the query tree exactly -- so the per-operator
+    actuals sum to the pager's global delta for the run."""
+    from ..obs.trace import Tracer
+
     query, applied = rewrite(query)
     planner = planner or AccessPlanner(store)
-    engine = PlannedEngine(store) if analyze else None
+    root_span = None
+    if analyze:
+        # Reuse the planner's statistics so the traced window holds the
+        # evaluation's I/O and nothing else -- the per-operator actuals
+        # then sum exactly to the pager delta of the run.
+        tracer = Tracer()
+        engine = PlannedEngine(store, stats=planner.estimator.stats, tracer=tracer)
+        result_run = engine.evaluate_to_run(query)
+        result_run.free()
+        root_span = tracer.last_root()
 
     def estimate(node: Query) -> float:
         if isinstance(node, AtomicQuery):
@@ -267,8 +325,12 @@ def explain(
             return child_estimates[0] * 0.5
         return child_estimates[0] if child_estimates else 0.0
 
-    def build(node: Query) -> ExplainNode:
-        children = [build(child) for child in node.children()]
+    def build(node: Query, span) -> ExplainNode:
+        child_spans = span.children if span is not None else []
+        children = [
+            build(child, child_spans[i] if i < len(child_spans) else None)
+            for i, child in enumerate(node.children())
+        ]
         if isinstance(node, AtomicQuery):
             _use_index, label, node_estimate = planner.plan_leaf(node)
             text = "atomic %s via %s" % (node, label)
@@ -283,14 +345,23 @@ def explain(
             else:
                 text = "embedded %s(%s)%s" % (
                     node.op, node.attribute, " +agg" if node.agg else "")
-        actual = None
-        if engine is not None:
-            run = engine.evaluate_to_run(node)
-            actual = len(run)
-            run.free()
-        return ExplainNode(text, node_estimate, children, actual)
+        actual = actual_io = actual_logical = elapsed = None
+        if span is not None:
+            actual = span.attrs.get("rows")
+            actual_io = span.exclusive("io", "total")
+            actual_logical = span.exclusive("io", "logical_total")
+            elapsed = span.elapsed
+        return ExplainNode(
+            text,
+            node_estimate,
+            children,
+            actual,
+            actual_io=actual_io,
+            actual_logical_io=actual_logical,
+            elapsed=elapsed,
+        )
 
-    root = build(query)
+    root = build(query, root_span)
     if applied:
         root.label += "  [rewrites: %s]" % "; ".join(applied)
     return root

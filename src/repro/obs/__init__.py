@@ -1,0 +1,50 @@
+"""Observability: span tracing, unified metrics, benchmark telemetry.
+
+The paper proves per-operator I/O bounds; this package makes them
+*measurable* in a running system, end to end:
+
+- :mod:`repro.obs.stats` -- the snapshot/delta protocol every counter
+  block (:class:`~repro.storage.pager.IOStats`,
+  :class:`~repro.cache.stats.CacheStats`) implements;
+- :mod:`repro.obs.trace` -- hierarchical spans with wall time and exact
+  per-operator page-I/O attribution (no-op and allocation-free when
+  disabled, which is the default);
+- :mod:`repro.obs.metrics` -- a process-wide registry of counters,
+  gauges and fixed-bucket histograms with Prometheus text and JSON
+  exposition;
+- :mod:`repro.obs.slowlog` -- the bounded slow-query log;
+- :mod:`repro.obs.telemetry` -- the ``BENCH_<experiment>.json`` emitter
+  behind the benchmark suite.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .slowlog import SlowQueryLog, SlowQueryRecord
+from .stats import StatCounters
+from .telemetry import BenchEmitter, load_bench, validate_bench
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BenchEmitter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Span",
+    "StatCounters",
+    "Tracer",
+    "get_registry",
+    "load_bench",
+    "set_registry",
+    "validate_bench",
+]

@@ -1,0 +1,361 @@
+"""A process-wide metrics registry with Prometheus and JSON exposition.
+
+Three instrument kinds, in the Prometheus data model:
+
+- :class:`Counter` -- monotonically increasing totals
+  (``repro_searches_total``);
+- :class:`Gauge` -- point-in-time values (``repro_buffer_hit_rate``);
+- :class:`Histogram` -- fixed-bucket distributions
+  (``repro_search_seconds``), exposed as the standard cumulative
+  ``_bucket``/``_sum``/``_count`` series.
+
+Instruments support a fixed set of label names declared at creation;
+observations pass label *values* as keyword arguments and each distinct
+label combination gets its own series.  Registration is idempotent:
+asking the registry for an instrument that already exists returns it
+(mismatched kind or labels raise), so any layer can declare the metrics
+it needs without coordination.
+
+:func:`get_registry` returns the process-wide default registry; services
+accept an explicit registry for isolation (tests, multi-tenant).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+#: Default latency buckets, in seconds (tuned for an in-process engine).
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labelnames: Sequence[str], labels: Dict[str, Any]) -> LabelKey:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            "expected labels %s, got %s" % (sorted(labelnames), sorted(labels))
+        )
+    return tuple((name, str(labels[name])) for name in labelnames)
+
+
+def _render_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join('%s="%s"' % (name, _escape(value)) for name, value in pairs)
+    return "{%s}" % body
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return "%d" % int(value)
+    return repr(value)
+
+
+class _Instrument:
+    """Common shape: a name, help text and declared label names."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: Dict[str, Any]) -> LabelKey:
+        return _label_key(self.labelnames, labels)
+
+    def expose(self) -> List[str]:
+        raise NotImplementedError
+
+    def as_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def _header(self) -> List[str]:
+        return [
+            "# HELP %s %s" % (self.name, self.help_text),
+            "# TYPE %s %s" % (self.name, self.kind),
+        ]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total (per label combination)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up (amount=%r)" % amount)
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def expose(self) -> List[str]:
+        lines = self._header()
+        for key in sorted(self._values):
+            lines.append(
+                "%s%s %s"
+                % (self.name, _render_labels(key), _format_value(self._values[key]))
+            )
+        if not self._values and not self.labelnames:
+            lines.append("%s 0" % self.name)
+        return lines
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "values": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def expose(self) -> List[str]:
+        lines = self._header()
+        for key in sorted(self._values):
+            lines.append(
+                "%s%s %s"
+                % (self.name, _render_labels(key), _format_value(self._values[key]))
+            )
+        if not self._values and not self.labelnames:
+            lines.append("%s 0" % self.name)
+        return lines
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "values": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket distribution (cumulative buckets, Prometheus
+    style)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ):
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        # per label key: [per-bound counts..., +Inf count], sum, count
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.bounds) + 1))
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: Any) -> int:
+        return self._totals.get(self._key(labels), 0)
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def expose(self) -> List[str]:
+        lines = self._header()
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            cumulative = 0
+            for bound, count in zip(self.bounds, counts):
+                cumulative += count
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (
+                        self.name,
+                        _render_labels(key, (("le", _format_value(bound)),)),
+                        cumulative,
+                    )
+                )
+            cumulative += counts[-1]
+            lines.append(
+                "%s_bucket%s %d"
+                % (self.name, _render_labels(key, (("le", "+Inf"),)), cumulative)
+            )
+            lines.append(
+                "%s_sum%s %s"
+                % (self.name, _render_labels(key), _format_value(self._sums[key]))
+            )
+            lines.append(
+                "%s_count%s %d" % (self.name, _render_labels(key), self._totals[key])
+            )
+        return lines
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "buckets": list(self.bounds),
+            "values": [
+                {
+                    "labels": dict(key),
+                    "counts": list(self._counts[key]),
+                    "sum": self._sums[key],
+                    "count": self._totals[key],
+                }
+                for key in sorted(self._counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """A named collection of instruments with unified exposition."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            if type(existing) is not type(instrument) or (
+                existing.labelnames != instrument.labelnames
+            ):
+                raise ValueError(
+                    "metric %r already registered as %s%s"
+                    % (instrument.name, existing.kind, list(existing.labelnames))
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help_text, labelnames))  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        return self._register(  # type: ignore[return-value]
+            Histogram(name, help_text, buckets, labelnames)
+        )
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def to_prometheus(self) -> str:
+        """The whole registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in self.names():
+            lines.extend(self._instruments[name].expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {name: self._instruments[name].as_dict() for name in self.names()}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return "MetricsRegistry(%d instruments)" % len(self._instruments)
+
+
+#: The process-wide default registry.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (every layer's fallback)."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

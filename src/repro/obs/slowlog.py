@@ -1,0 +1,109 @@
+"""The slow-query log: a bounded ring of searches that crossed a latency
+threshold.
+
+Aggregates (the latency histogram) tell you the tail exists; the slow log
+tells you *which queries* are in it.  :class:`DirectoryService` records
+every search here; entries past the threshold are kept (newest last, the
+ring drops the oldest) with the query text, latency, page I/O and cache
+disposition -- enough to re-run the offender under EXPLAIN ``--analyze``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["SlowQueryLog", "SlowQueryRecord"]
+
+
+class SlowQueryRecord:
+    """One over-threshold search."""
+
+    __slots__ = ("query_text", "elapsed", "io_total", "cached", "result_size")
+
+    def __init__(
+        self,
+        query_text: str,
+        elapsed: float,
+        io_total: int,
+        cached: bool,
+        result_size: int,
+    ):
+        self.query_text = query_text
+        self.elapsed = elapsed
+        self.io_total = io_total
+        self.cached = cached
+        self.result_size = result_size
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "query": self.query_text,
+            "elapsed_s": self.elapsed,
+            "io_total": self.io_total,
+            "cached": self.cached,
+            "result_size": self.result_size,
+        }
+
+    def __repr__(self) -> str:
+        return "SlowQueryRecord(%r, %.3fms, io=%d)" % (
+            self.query_text,
+            self.elapsed * 1e3,
+            self.io_total,
+        )
+
+
+class SlowQueryLog:
+    """Record searches slower than ``threshold_seconds`` (None disables)."""
+
+    def __init__(self, threshold_seconds: Optional[float] = None, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.threshold_seconds = threshold_seconds
+        self._records: Deque[SlowQueryRecord] = deque(maxlen=capacity)
+        #: Total over-threshold searches ever seen (the ring may have
+        #: dropped some).
+        self.total = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_seconds is not None
+
+    def record(
+        self,
+        query_text: str,
+        elapsed: float,
+        io_total: int = 0,
+        cached: bool = False,
+        result_size: int = 0,
+    ) -> Optional[SlowQueryRecord]:
+        """Log the search if it crossed the threshold; returns the record
+        (or None when under threshold / disabled)."""
+        if self.threshold_seconds is None or elapsed < self.threshold_seconds:
+            return None
+        record = SlowQueryRecord(query_text, elapsed, io_total, cached, result_size)
+        self._records.append(record)
+        self.total += 1
+        return record
+
+    def records(self) -> List[SlowQueryRecord]:
+        """The retained records, oldest first."""
+        return list(self._records)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [record.as_dict() for record in self._records]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return "SlowQueryLog(threshold=%s, %d retained, %d total)" % (
+            self.threshold_seconds,
+            len(self._records),
+            self.total,
+        )

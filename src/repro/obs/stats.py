@@ -1,0 +1,67 @@
+"""The snapshot/delta protocol shared by every counter block.
+
+The repository observes itself through plain-integer counter blocks --
+:class:`~repro.storage.pager.IOStats` for page transfers,
+:class:`~repro.cache.stats.CacheStats` for cache activity -- and the usual
+way to measure one phase is to *bracket* it: snapshot the live counters,
+run the phase, subtract.  :class:`StatCounters` factors that protocol out
+so every block offers the same four operations and new blocks get them for
+free:
+
+- :meth:`~StatCounters.snapshot` -- an immutable-by-convention copy;
+- :meth:`~StatCounters.since` / :meth:`~StatCounters.delta` -- the
+  counter-wise difference from an earlier snapshot;
+- :meth:`~StatCounters.as_dict` -- the counters as a plain dict (the
+  machine-readable form every exporter consumes).
+
+Subclasses declare their counters via ``__slots__`` and accept them as
+keyword arguments in ``__init__`` (zero defaults), which is all the base
+needs to reconstruct instances generically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["StatCounters"]
+
+
+class StatCounters:
+    """Base class for counter blocks with snapshot/delta semantics."""
+
+    __slots__ = ()
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        """The counter names, in declaration order across the hierarchy."""
+        names = []
+        for klass in reversed(cls.__mro__):
+            names.extend(getattr(klass, "__slots__", ()))
+        return tuple(names)
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain ``{name: value}`` dict."""
+        return {name: getattr(self, name) for name in self.field_names()}
+
+    def snapshot(self) -> "StatCounters":
+        """A point-in-time copy (use with :meth:`since` to bracket a
+        phase)."""
+        return type(self)(**self.as_dict())
+
+    def since(self, earlier: "StatCounters") -> "StatCounters":
+        """The counter-wise delta from an earlier snapshot."""
+        if type(earlier) is not type(self):
+            raise TypeError(
+                "cannot diff %s against %s"
+                % (type(self).__name__, type(earlier).__name__)
+            )
+        return type(self)(
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in self.field_names()
+            }
+        )
+
+    def delta(self, earlier: "StatCounters") -> "StatCounters":
+        """Alias of :meth:`since` (the name exporters use)."""
+        return self.since(earlier)

@@ -1,0 +1,129 @@
+"""Benchmark telemetry: machine-readable ``BENCH_<experiment>.json`` files.
+
+The benchmarks already print paper-style tables; this module persists the
+same rows (plus wall-clock timings) so the performance trajectory can be
+tracked across commits.  Each experiment gets one JSON document:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "experiment": "e13_boolean",
+      "tables": {"E13: ...": [{"op": "and", "entries": 2000, ...}, ...]},
+      "timings_s": {"count": 12, "total": 0.81, "max": 0.2},
+      "meta": {"page_size": 16}
+    }
+
+:class:`BenchEmitter` merges repeated :meth:`~BenchEmitter.emit` calls for
+the same experiment within one process run (a benchmark may record several
+tables), always rewriting the whole file.  The output directory defaults
+to ``benchmarks/results`` and honours ``REPRO_BENCH_DIR``.
+:func:`validate_bench` is the well-formedness check CI's benchmark-smoke
+job (and the tests) run against produced artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["BenchEmitter", "validate_bench", "load_bench", "DEFAULT_BENCH_DIR"]
+
+SCHEMA_VERSION = 1
+DEFAULT_BENCH_DIR = os.path.join("benchmarks", "results")
+
+_EXPERIMENT_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+class BenchEmitter:
+    """Accumulates one process run's benchmark tables and writes them as
+    ``BENCH_<experiment>.json`` documents."""
+
+    def __init__(self, out_dir: Optional[str] = None):
+        self.out_dir = out_dir or os.environ.get("REPRO_BENCH_DIR", DEFAULT_BENCH_DIR)
+        self._payloads: Dict[str, Dict[str, Any]] = {}
+
+    def path_for(self, experiment: str) -> str:
+        return os.path.join(self.out_dir, "BENCH_%s.json" % experiment)
+
+    def _payload(self, experiment: str) -> Dict[str, Any]:
+        if not _EXPERIMENT_RE.match(experiment):
+            raise ValueError("bad experiment name %r" % experiment)
+        return self._payloads.setdefault(
+            experiment,
+            {
+                "schema_version": SCHEMA_VERSION,
+                "experiment": experiment,
+                "tables": {},
+                "timings_s": {"count": 0, "total": 0.0, "max": 0.0},
+                "meta": {},
+            },
+        )
+
+    def add_timing(self, experiment: str, elapsed: float) -> None:
+        """Fold one measured wall-clock duration into the experiment's
+        latency summary (no file write; :meth:`emit` persists)."""
+        timings = self._payload(experiment)["timings_s"]
+        timings["count"] += 1
+        timings["total"] += elapsed
+        timings["max"] = max(timings["max"], elapsed)
+
+    def emit(
+        self,
+        experiment: str,
+        title: Optional[str] = None,
+        rows: Optional[Sequence[Dict[str, Any]]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Merge a table (and/or metadata) into the experiment's document
+        and write it out; returns the file path."""
+        payload = self._payload(experiment)
+        if title is not None:
+            payload["tables"][title] = list(rows or [])
+        if meta:
+            payload["meta"].update(meta)
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = self.path_for(experiment)
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return path
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def validate_bench(payload: Dict[str, Any]) -> List[str]:
+    """Well-formedness problems of a BENCH document ([] when valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            "schema_version %r != %d" % (payload.get("schema_version"), SCHEMA_VERSION)
+        )
+    experiment = payload.get("experiment")
+    if not isinstance(experiment, str) or not _EXPERIMENT_RE.match(experiment or ""):
+        problems.append("bad experiment name %r" % (experiment,))
+    tables = payload.get("tables")
+    if not isinstance(tables, dict) or not tables:
+        problems.append("tables missing or empty")
+    else:
+        for title, rows in tables.items():
+            if not isinstance(rows, list) or not rows:
+                problems.append("table %r has no rows" % title)
+                continue
+            for row in rows:
+                if not isinstance(row, dict):
+                    problems.append("table %r has a non-object row" % title)
+                    break
+    timings = payload.get("timings_s")
+    if not isinstance(timings, dict) or not {"count", "total", "max"} <= set(
+        timings or ()
+    ):
+        problems.append("timings_s missing count/total/max")
+    return problems

@@ -22,11 +22,16 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional, Tuple, Union
 
+import time
+
 from ..cache import QueryCache, UpdateLogInvalidator, fingerprint, query_footprint
 from ..engine.engine import QueryEngine
 from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
+from ..obs.metrics import get_registry
+from ..obs.slowlog import SlowQueryLog
+from ..obs.trace import NULL_TRACER
 from ..query.ast import Query
 from ..query.builder import QueryBuilder
 from ..query.parser import parse_query
@@ -101,9 +106,53 @@ class DirectoryService:
         page_size: int = 16,
         buffer_pages: int = 8,
         cache_bytes: int = 512 * 1024,
+        tracer=None,
+        metrics=None,
+        slow_query_seconds: Optional[float] = None,
+        slow_log_capacity: int = 64,
     ):
+        #: Span tracer for per-search phase timing and I/O attribution
+        #: (disabled -- and free -- by default).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: The metrics registry this service reports into (the process-wide
+        #: default unless an isolated one is supplied).
+        self.metrics = metrics if metrics is not None else get_registry()
+        #: Searches slower than ``slow_query_seconds`` land here (None
+        #: disables the log).
+        self.slow_queries = SlowQueryLog(slow_query_seconds, slow_log_capacity)
         self.directory = UpdatableDirectory.from_instance(
-            instance, page_size=page_size, buffer_pages=buffer_pages
+            instance,
+            page_size=page_size,
+            buffer_pages=buffer_pages,
+            metrics=self.metrics,
+        )
+        self._m_search_seconds = self.metrics.histogram(
+            "repro_search_seconds", "Search latency, end to end"
+        )
+        self._m_result_entries = self.metrics.histogram(
+            "repro_search_result_entries",
+            "Visible result size per search",
+            buckets=(0, 1, 10, 100, 1_000, 10_000, 100_000),
+        )
+        self._m_searches = self.metrics.counter(
+            "repro_searches_total", "Searches served", labelnames=("code",)
+        )
+        self._m_cache_lookups = self.metrics.counter(
+            "repro_cache_lookups_total",
+            "Semantic-cache lookups",
+            labelnames=("outcome",),
+        )
+        self._m_slow = self.metrics.counter(
+            "repro_slow_queries_total", "Searches over the slow-query threshold"
+        )
+        self._m_buffer_hit_rate = self.metrics.gauge(
+            "repro_buffer_hit_rate",
+            "Buffer-pool hit rate of the storage pager (lifetime)",
+        )
+        self._m_search_io = self.metrics.histogram(
+            "repro_search_logical_io",
+            "Logical page I/O per uncached search",
+            buckets=(1, 10, 100, 1_000, 10_000, 100_000),
         )
         #: Default-open when no ACL is supplied.
         self.acl = acl or AccessControlList(default_allow=True)
@@ -153,10 +202,11 @@ class DirectoryService:
     def _engine_now(self) -> QueryEngine:
         generation = self.directory.compactions
         if self.directory.pending():
-            self.directory.compact()
+            with self.tracer.span("compact", pending=self.directory.pending()):
+                self.directory.compact()
             generation = self.directory.compactions
         if self._engine is None or generation != self._engine_generation:
-            self._engine = QueryEngine(self.directory.store)
+            self._engine = QueryEngine(self.directory.store, tracer=self.tracer)
             self._engine_generation = generation
         return self._engine
 
@@ -183,13 +233,18 @@ class DirectoryService:
         I/O the evaluation cost / a hit saved)."""
         key = None
         if self.cache is not None:
-            key = fingerprint(query)
-            hit = self.cache.get(key)
+            with self.tracer.span("cache-lookup") as span:
+                key = fingerprint(query)
+                hit = self.cache.get(key)
+                span.set(hit=hit is not None)
             if hit is not None:
+                self._m_cache_lookups.inc(outcome="hit")
                 return list(hit.entries), True, hit.cost_io
+            self._m_cache_lookups.inc(outcome="miss")
         engine = self._engine_now()
         result = engine.run(query)
         cost = result.io.logical_reads + result.io.logical_writes
+        self._m_search_io.observe(cost)
         if self.cache is not None:
             self.cache.put(
                 key, str(query), result.entries, query_footprint(query), cost
@@ -211,34 +266,64 @@ class DirectoryService:
         ``total_size`` and the size-limit condition both use the *visible*
         (post-ACL) result: the limit truncates what the subject could see,
         and a denied entry never counts toward the total."""
-        query = self._as_query(query)
         if size_limit is not None and size_limit < 1:
             raise ValueError("size_limit must be positive")
-        if strict:
-            from ..query.typecheck import validate_query
+        started = time.perf_counter()
+        io_before = self.directory.store.pager.stats.snapshot()
+        with self.tracer.span("search") as search_span:
+            with self.tracer.span("parse"):
+                query = self._as_query(query)
+            if strict:
+                from ..query.typecheck import validate_query
 
-            problems = validate_query(query, self.directory.schema)
-            if problems:
-                return SearchResult(ResultCode.PROTOCOL_ERROR, [], total_size=0)
-        entries, cached, cost = self._result_entries(query)
-        visible = self._visible(entries)
-        total = len(visible)
-        if size_limit is not None and total > size_limit:
-            visible = visible[:size_limit]
-            code = ResultCode.SIZE_LIMIT_EXCEEDED
-        else:
-            code = ResultCode.SUCCESS
-        if attributes:
-            from ..model.projection import project
+                with self.tracer.span("typecheck"):
+                    problems = validate_query(query, self.directory.schema)
+                if problems:
+                    result = SearchResult(ResultCode.PROTOCOL_ERROR, [], total_size=0)
+                    self._observe_search(query, result, started, io_before)
+                    return result
+            entries, cached, cost = self._result_entries(query)
+            with self.tracer.span("acl-filter"):
+                visible = self._visible(entries)
+            total = len(visible)
+            if size_limit is not None and total > size_limit:
+                visible = visible[:size_limit]
+                code = ResultCode.SIZE_LIMIT_EXCEEDED
+            else:
+                code = ResultCode.SUCCESS
+            if attributes:
+                from ..model.projection import project
 
-            visible = project(visible, attributes)
-        return SearchResult(
-            code,
-            visible,
-            total_size=total,
-            cached=cached,
-            saved_io=cost if cached else 0,
+                visible = project(visible, attributes)
+            search_span.set(code=code, rows=total, cached=cached)
+            result = SearchResult(
+                code,
+                visible,
+                total_size=total,
+                cached=cached,
+                saved_io=cost if cached else 0,
+            )
+        self._observe_search(query, result, started, io_before)
+        return result
+
+    def _observe_search(self, query, result: SearchResult, started: float, io_before) -> None:
+        """Fold one finished search into metrics and the slow-query log."""
+        elapsed = time.perf_counter() - started
+        pager_stats = self.directory.store.pager.stats
+        io_delta = pager_stats.since(io_before)
+        self._m_search_seconds.observe(elapsed)
+        self._m_result_entries.observe(result.total_size)
+        self._m_searches.inc(code=result.code)
+        self._m_buffer_hit_rate.set(pager_stats.buffer_hit_rate)
+        slow = self.slow_queries.record(
+            str(query),
+            elapsed,
+            io_total=io_delta.logical_total,
+            cached=result.cached,
+            result_size=result.total_size,
         )
+        if slow is not None:
+            self._m_slow.inc()
 
     def search_paged(
         self, query: Union[str, Query, QueryBuilder], page_entries: int

@@ -28,6 +28,7 @@ from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance, InstanceError
 from ..model.schema import OBJECT_CLASS, DirectorySchema
+from ..obs.metrics import get_registry
 
 from .runs import RunWriter
 from .store import DirectoryStore
@@ -65,7 +66,7 @@ UpdateListener = Callable[[str, DN, bool], None]
 class UpdatableDirectory:
     """A directory store plus a pending update log."""
 
-    def __init__(self, store: DirectoryStore, auto_compact_at: int = 1024):
+    def __init__(self, store: DirectoryStore, auto_compact_at: int = 1024, metrics=None):
         self.store = store
         self.schema = store.schema
         #: Compact automatically once this many mutations are pending.
@@ -75,6 +76,19 @@ class UpdatableDirectory:
         self._delete_subtrees: Set[DN] = set()
         self.compactions = 0
         self._listeners: List[UpdateListener] = []
+        #: Count of listener callbacks that raised (dispatch continues
+        #: past failures; see :meth:`_notify`).
+        self.listener_errors = 0
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._compactions_metric = self.metrics.counter(
+            "repro_compactions_total",
+            "Update-log compactions merged into the master run",
+        )
+        self._listener_errors_metric = self.metrics.counter(
+            "repro_update_listener_errors_total",
+            "Update listeners that raised during dispatch (skipped, not fatal)",
+            labelnames=("kind",),
+        )
 
     # -- update log observers ---------------------------------------------
 
@@ -88,8 +102,14 @@ class UpdatableDirectory:
             self._listeners.remove(listener)
 
     def _notify(self, kind: str, dn: DN, subtree: bool = False) -> None:
-        for listener in self._listeners:
-            listener(kind, dn, subtree)
+        # A broken listener must not abort the (already validated) update
+        # or starve the listeners after it: record the failure and move on.
+        for listener in list(self._listeners):
+            try:
+                listener(kind, dn, subtree)
+            except Exception:
+                self.listener_errors += 1
+                self._listener_errors_metric.inc(kind=kind)
 
     # -- building ------------------------------------------------------------
 
@@ -288,6 +308,7 @@ class UpdatableDirectory:
         self._deletes.clear()
         self._delete_subtrees.clear()
         self.compactions += 1
+        self._compactions_metric.inc()
         return self.store
 
     def engine(self, **options):

@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, List
 
+from ..obs.stats import StatCounters
+
 __all__ = ["IOStats", "Pager", "PagerError"]
 
 
@@ -30,12 +32,17 @@ class PagerError(RuntimeError):
     """Raised on invalid page operations (bad id, oversized page, ...)."""
 
 
-class IOStats:
+class IOStats(StatCounters):
     """Counters of page transfers.
 
     ``reads``/``writes`` are transfers between "disk" and the buffer pool.
     ``logical_reads``/``logical_writes`` count page requests regardless of
     buffer hits, so hit rates can be derived.
+
+    ``snapshot()``/``since()``/``delta()``/``as_dict()`` come from the
+    shared :class:`~repro.obs.stats.StatCounters` protocol; bracketing a
+    phase with snapshot-then-since is how every layer (benchmarks, the
+    tracer, EXPLAIN ``--analyze``) attributes page transfers to it.
     """
 
     __slots__ = ("reads", "writes", "logical_reads", "logical_writes", "allocated")
@@ -59,24 +66,18 @@ class IOStats:
         """Total physical page transfers (the model's cost)."""
         return self.reads + self.writes
 
-    def snapshot(self) -> "IOStats":
-        return IOStats(
-            self.reads,
-            self.writes,
-            self.logical_reads,
-            self.logical_writes,
-            self.allocated,
-        )
+    @property
+    def logical_total(self) -> int:
+        """Total page requests regardless of buffer hits (the model-level
+        cost benchmarks track)."""
+        return self.logical_reads + self.logical_writes
 
-    def since(self, earlier: "IOStats") -> "IOStats":
-        """The delta from an earlier snapshot."""
-        return IOStats(
-            self.reads - earlier.reads,
-            self.writes - earlier.writes,
-            self.logical_reads - earlier.logical_reads,
-            self.logical_writes - earlier.logical_writes,
-            self.allocated - earlier.allocated,
-        )
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of logical reads served without a disk transfer."""
+        if not self.logical_reads:
+            return 0.0
+        return 1.0 - self.reads / self.logical_reads
 
     def __repr__(self) -> str:
         return "IOStats(reads=%d, writes=%d, total=%d)" % (

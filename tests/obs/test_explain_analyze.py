@@ -1,0 +1,70 @@
+"""EXPLAIN --analyze: per-operator actual page I/O reconciles exactly
+with the pager's global IOStats delta (the ISSUE's acceptance
+criterion)."""
+
+import pytest
+
+from repro.engine.optimizer import AccessPlanner, explain
+from repro.query.parser import parse_query
+from repro.query.semantics import evaluate
+from repro.storage.store import DirectoryStore
+from repro.workload import random_instance
+
+QUERY = "(& ( ? sub ? kind=alpha) ( ? sub ? weight<50))"
+
+
+@pytest.fixture
+def store_and_instance():
+    instance = random_instance(11, size=240)
+    store = DirectoryStore.from_instance(instance, page_size=8)
+    return store, instance
+
+
+class TestAnalyzeReconciliation:
+    def test_per_operator_io_sums_to_pager_delta(self, store_and_instance):
+        store, _instance = store_and_instance
+        # Collect statistics up front so the measured window holds only
+        # the evaluation; then the tree's per-operator (exclusive) I/O
+        # must account for every page the run transferred.
+        planner = AccessPlanner(store)
+        store.pager.flush()
+        before = store.pager.stats.snapshot()
+        node = explain(store, parse_query(QUERY), analyze=True, planner=planner)
+        delta = store.pager.stats.since(before)
+        assert node.total_io() == delta.total
+        assert node.total_logical_io() == delta.logical_total
+        assert node.total_io() > 0
+
+    def test_actuals_match_true_result_sizes(self, store_and_instance):
+        store, instance = store_and_instance
+        node = explain(store, parse_query(QUERY), analyze=True)
+        assert node.actual == len(evaluate(parse_query(QUERY), instance))
+        assert len(node.children) == 2
+        for child in node.children:
+            assert child.actual is not None
+            assert child.actual_io >= 0
+            assert child.elapsed >= 0.0
+
+    def test_render_shows_per_operator_io(self, store_and_instance):
+        store, _instance = store_and_instance
+        node = explain(store, parse_query(QUERY), analyze=True)
+        text = node.render()
+        assert "actual=" in text
+        assert "io=" in text and "lio=" in text
+
+    def test_as_dict_carries_actuals(self, store_and_instance):
+        store, _instance = store_and_instance
+        node = explain(store, parse_query(QUERY), analyze=True)
+        payload = node.as_dict()
+        assert payload["actual"] == node.actual
+        assert payload["actual_io"] == node.actual_io
+        assert [c["actual"] for c in payload["children"]] == [
+            c.actual for c in node.children
+        ]
+
+    def test_plain_explain_has_no_actuals(self, store_and_instance):
+        store, _instance = store_and_instance
+        node = explain(store, parse_query(QUERY), analyze=False)
+        assert node.actual is None
+        assert node.actual_io is None
+        assert "actual_io" not in node.as_dict()

@@ -1,0 +1,47 @@
+"""The slow-query log: threshold, ring capacity, disabled default."""
+
+from repro.obs.slowlog import SlowQueryLog
+
+import pytest
+
+
+class TestSlowQueryLog:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.record("( ? sub ? a=*)", elapsed=99.0) is None
+        assert len(log) == 0
+
+    def test_threshold_gates_recording(self):
+        log = SlowQueryLog(threshold_seconds=0.010)
+        assert log.record("fast", elapsed=0.002) is None
+        record = log.record("slow", elapsed=0.020, io_total=7,
+                            cached=False, result_size=3)
+        assert record is not None
+        assert [r.query_text for r in log] == ["slow"]
+        assert record.io_total == 7
+        assert record.result_size == 3
+
+    def test_ring_keeps_newest(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=2)
+        for i in range(5):
+            log.record("q%d" % i, elapsed=1.0)
+        assert [r.query_text for r in log.records()] == ["q3", "q4"]
+        assert log.total == 5
+
+    def test_as_dicts_round_trips(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record("( ? sub ? a=*)", elapsed=0.5, io_total=9, cached=True,
+                   result_size=2)
+        (d,) = log.as_dicts()
+        assert d == {
+            "query": "( ? sub ? a=*)",
+            "elapsed_s": 0.5,
+            "io_total": 9,
+            "cached": True,
+            "result_size": 2,
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_seconds=0.0, capacity=0)

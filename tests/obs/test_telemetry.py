@@ -1,0 +1,94 @@
+"""Benchmark telemetry: BENCH_*.json emission and validation."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import BenchEmitter, load_bench, validate_bench
+
+ROWS = [{"n": 100, "io": 40}, {"n": 200, "io": 81}]
+
+
+class TestBenchEmitter:
+    def test_emit_writes_valid_document(self, tmp_path):
+        emitter = BenchEmitter(out_dir=str(tmp_path))
+        emitter.add_timing("e13_boolean", 0.25)
+        emitter.add_timing("e13_boolean", 0.75)
+        path = emitter.emit("e13_boolean", "E13: and/or", ROWS,
+                            meta={"page_size": 16})
+        assert path == emitter.path_for("e13_boolean")
+        payload = load_bench(path)
+        assert validate_bench(payload) == []
+        assert payload["experiment"] == "e13_boolean"
+        assert payload["tables"]["E13: and/or"] == ROWS
+        assert payload["timings_s"] == {"count": 2, "total": 1.0, "max": 0.75}
+        assert payload["meta"]["page_size"] == 16
+
+    def test_repeated_emits_merge_tables(self, tmp_path):
+        emitter = BenchEmitter(out_dir=str(tmp_path))
+        emitter.emit("exp", "first", ROWS)
+        path = emitter.emit("exp", "second", ROWS[:1])
+        payload = load_bench(path)
+        assert sorted(payload["tables"]) == ["first", "second"]
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "out"))
+        emitter = BenchEmitter()
+        path = emitter.emit("exp", "t", ROWS)
+        assert str(tmp_path / "out") in path
+
+    def test_bad_experiment_name_rejected(self, tmp_path):
+        emitter = BenchEmitter(out_dir=str(tmp_path))
+        with pytest.raises(ValueError):
+            emitter.emit("no spaces allowed", "t", ROWS)
+
+
+class TestValidateBench:
+    def payload(self):
+        return {
+            "schema_version": 1,
+            "experiment": "e5_updates",
+            "tables": {"t": [{"n": 1}]},
+            "timings_s": {"count": 1, "total": 0.1, "max": 0.1},
+            "meta": {},
+        }
+
+    def test_accepts_well_formed(self):
+        assert validate_bench(self.payload()) == []
+
+    def test_flags_schema_version(self):
+        bad = self.payload()
+        bad["schema_version"] = 2
+        assert any("schema_version" in p for p in validate_bench(bad))
+
+    def test_flags_missing_tables(self):
+        bad = self.payload()
+        bad["tables"] = {}
+        assert any("tables" in p for p in validate_bench(bad))
+
+    def test_flags_rowless_table(self):
+        bad = self.payload()
+        bad["tables"] = {"t": []}
+        assert any("no rows" in p for p in validate_bench(bad))
+
+    def test_flags_non_object_rows(self):
+        bad = self.payload()
+        bad["tables"] = {"t": [1, 2]}
+        assert any("non-object" in p for p in validate_bench(bad))
+
+    def test_flags_missing_timings(self):
+        bad = self.payload()
+        del bad["timings_s"]
+        assert any("timings_s" in p for p in validate_bench(bad))
+
+    def test_flags_bad_experiment_name(self):
+        bad = self.payload()
+        bad["experiment"] = "oh no"
+        assert any("experiment" in p for p in validate_bench(bad))
+
+
+class TestBenchHelpers:
+    def test_load_bench_reads_json(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        assert load_bench(str(path)) == {"schema_version": 1}

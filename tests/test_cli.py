@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -71,6 +73,113 @@ class TestStats:
         out = capsys.readouterr().out
         assert "entries: " in out
         assert "SLARulePriority" in out
+
+    def test_json(self, qos_ldif, capsys):
+        assert main(["stats", qos_ldif, "--schema", "qos", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] > 0
+        assert "SLARulePriority" in payload["attributes"]
+        assert payload["io"]["logical_reads"] >= 0
+
+
+class TestTraceFlag:
+    def test_trace_prints_span_tree(self, qos_ldif, capsys):
+        code = main(["query", qos_ldif, "--schema", "qos", "--trace",
+                     "( ? sub ? objectClass=*)"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "execute" in err
+        assert "op:atomic" in err
+        assert "io=" in err
+
+
+class TestExplainJson:
+    def test_analyze_json_reconciles(self, qos_ldif, capsys):
+        code = main([
+            "explain", qos_ldif, "--schema", "qos", "--analyze", "--json",
+            "(a (dc=att, dc=com ? sub ? objectClass=trafficProfile)"
+            " (dc=att, dc=com ? sub ? ou=networkPolicies))",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["actual"] >= 0
+
+        def tree_io(node):
+            return node["actual_io"] + sum(
+                tree_io(child) for child in node["children"]
+            )
+
+        assert payload["total_io"] == tree_io(payload)
+        assert payload["total_logical_io"] >= payload["total_io"]
+
+    def test_plain_json_has_estimates_only(self, qos_ldif, capsys):
+        code = main(["explain", qos_ldif, "--schema", "qos", "--json",
+                     "( ? sub ? objectClass=*)"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "estimate" in payload
+        assert "actual" not in payload
+        assert "total_io" not in payload
+
+
+class TestMetricsCommand:
+    def test_prometheus_dump(self, qos_ldif, capsys):
+        code = main(["metrics", qos_ldif, "--schema", "qos",
+                     "--query", "( ? sub ? objectClass=*)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_searches_total counter" in out
+        assert 'repro_searches_total{code="success"} 1' in out
+        assert "repro_search_seconds_bucket" in out
+
+    def test_json_dump(self, qos_ldif, capsys):
+        code = main(["metrics", qos_ldif, "--schema", "qos", "--json",
+                     "--query", "( ? sub ? objectClass=*)",
+                     "--query", "( ? sub ? objectClass=*)"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repro_searches_total"]["values"][0]["value"] == 2
+        assert payload["repro_cache_lookups_total"]["kind"] == "counter"
+
+    def test_slow_log_printed(self, qos_ldif, capsys):
+        code = main(["metrics", qos_ldif, "--schema", "qos", "--slow-ms", "0",
+                     "--query", "( ? sub ? objectClass=*)"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "slow queries" in err
+        assert "objectClass" in err
+
+
+class TestBenchCheck:
+    def write(self, tmp_path, payload):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def valid_payload(self):
+        return {
+            "schema_version": 1,
+            "experiment": "x",
+            "tables": {"t": [{"n": 1, "io": 2}]},
+            "timings_s": {"count": 1, "total": 0.1, "max": 0.1},
+            "meta": {},
+        }
+
+    def test_valid_file_passes(self, tmp_path, capsys):
+        path = self.write(tmp_path, self.valid_payload())
+        assert main(["bench-check", path]) == 0
+        assert "ok (1 tables, 1 rows)" in capsys.readouterr().out
+
+    def test_invalid_file_fails(self, tmp_path, capsys):
+        bad = self.valid_payload()
+        bad["tables"] = {}
+        path = self.write(tmp_path, bad)
+        assert main(["bench-check", path]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["bench-check", "/does/not/exist.json"]) == 1
+        assert "unreadable" in capsys.readouterr().out
 
 
 class TestLdapUrl:
