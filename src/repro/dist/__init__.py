@@ -1,24 +1,43 @@
 """Distributed directory service: servers, DNS-style location, federation
-(Sections 3.3 and 8.3)."""
+(Sections 3.3 and 8.3), plus the chaos toolkit -- fault injection,
+retry/backoff, circuit breakers and graceful partial-result degradation
+(footnote 4's availability story, made testable)."""
 
+from .errors import (
+    DistError,
+    LocatorError,
+    NetworkError,
+    ReferralError,
+    ReplicationError,
+)
+from .faults import FaultInjector, FaultPlan
 from .federation import FederatedDirectory, FederatedResult
-from .locator import LocatorError, ServerLocator
+from .locator import ServerLocator
 from .network import SimulatedNetwork
-from .referral import Referral, ReferralClient, ReferralError
-from .replication import AvailabilityRouter, ReplicatedContext, ReplicationError
+from .referral import Referral, ReferralClient
+from .replication import AvailabilityRouter, ReplicatedContext
+from .resilience import CircuitBreaker, ResiliencePolicy, RetryPolicy, StaleStore
 from .server import DirectoryServer
 
 __all__ = [
+    "AvailabilityRouter",
+    "CircuitBreaker",
+    "DirectoryServer",
+    "DistError",
+    "FaultInjector",
+    "FaultPlan",
     "FederatedDirectory",
     "FederatedResult",
     "LocatorError",
-    "ServerLocator",
-    "SimulatedNetwork",
+    "NetworkError",
     "Referral",
     "ReferralClient",
     "ReferralError",
-    "AvailabilityRouter",
     "ReplicatedContext",
     "ReplicationError",
-    "DirectoryServer",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "ServerLocator",
+    "SimulatedNetwork",
+    "StaleStore",
 ]

@@ -18,11 +18,21 @@ algorithms described previously."
 - the queried server combines the shipped sorted lists with its local
   operator algorithms (it reuses the ordinary
   :class:`~repro.engine.QueryEngine` with the atomic hook overridden).
+
+When the network can fail (a :class:`~repro.dist.faults.FaultInjector`),
+:meth:`FederatedDirectory.enable_resilience` arms the availability story
+(footnote 4): every remote leaf goes through a per-server circuit breaker
+and bounded retries with backoff, and on exhaustion degrades down a
+ladder -- serve the last known good sublist, fail over to an attached
+replica router, or answer with the reachable servers only, marking the
+:class:`FederatedResult` partial (``strict`` mode re-raises instead).
+With resilience off and a fault-free network the query path is exactly
+the historical one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..cache import QueryCache, atomic_fingerprint, query_footprint
 from ..engine.engine import QueryEngine, QueryResult
@@ -36,26 +46,53 @@ from ..obs.trace import NULL_TRACER
 from ..query.ast import AtomicQuery, Query
 from ..query.parser import parse_query
 from ..storage.runs import Run, RunWriter
+from .errors import NetworkError, ReplicationError
 from .locator import ServerLocator
 from .network import SimulatedNetwork
+from .resilience import CircuitBreaker, ResiliencePolicy, StaleStore
 from .server import DirectoryServer
 
 __all__ = ["FederatedDirectory", "FederatedResult"]
 
 
 class FederatedResult(QueryResult):
-    """A query result annotated with the network traffic it caused."""
+    """A query result annotated with the network traffic it caused and,
+    under resilience, how degraded the answer is."""
 
-    def __init__(self, entries, io, elapsed, messages: int, entries_shipped: int):
+    def __init__(
+        self,
+        entries,
+        io,
+        elapsed,
+        messages: int,
+        entries_shipped: int,
+        retries: int = 0,
+        missing_servers: Optional[List[str]] = None,
+        warnings: Optional[List[str]] = None,
+    ):
         super().__init__(entries, io, elapsed)
         self.messages = messages
         self.entries_shipped = entries_shipped
+        #: Remote attempts beyond the first, across all leaves.
+        self.retries = retries
+        #: Servers whose data is absent from this answer.
+        self.missing_servers = list(missing_servers or [])
+        #: Human-readable degradation notes (stale serves, failovers,
+        #: missing servers), empty for a clean answer.
+        self.warnings = list(warnings or [])
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one owner's data is missing entirely."""
+        return bool(self.missing_servers)
 
     def __repr__(self) -> str:
-        return "FederatedResult(%d entries, messages=%d, shipped=%d)" % (
+        extra = ", partial=%s" % sorted(self.missing_servers) if self.partial else ""
+        return "FederatedResult(%d entries, messages=%d, shipped=%d%s)" % (
             len(self.entries),
             self.messages,
             self.entries_shipped,
+            extra,
         )
 
 
@@ -98,12 +135,35 @@ class FederatedDirectory:
             "Remote-sublist cache lookups",
             labelnames=("outcome",),
         )
+        self._m_retries = self.metrics.counter(
+            "repro_fed_retries_total",
+            "Remote atomic call retries",
+            labelnames=("server",),
+        )
+        self._m_remote_failures = self.metrics.counter(
+            "repro_fed_remote_failures_total",
+            "Remote atomic call failures (per attempt)",
+            labelnames=("server", "code"),
+        )
+        self._m_degraded = self.metrics.counter(
+            "repro_fed_degraded_total",
+            "Remote leaves answered by a degradation rung",
+            labelnames=("mode",),
+        )
         #: Cache of shipped remote sublists, keyed ``(server, atomic
         #: fingerprint)`` and tagged by the owning server so one origin can
         #: be dropped wholesale.  ``leaf_cache_bytes=0`` disables it.
         self.leaf_cache: Optional[QueryCache] = (
             QueryCache(byte_budget=leaf_cache_bytes) if leaf_cache_bytes else None
         )
+        #: Armed by :meth:`enable_resilience`; None means the historical
+        #: fail-fast behaviour (a network fault propagates).
+        self.resilience: Optional[ResiliencePolicy] = None
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._stale: Optional[StaleStore] = None
+        #: Per-server replica routers for failover degradation
+        #: (:meth:`attach_replica`).
+        self.replicas: Dict[str, "AvailabilityRouter"] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -167,6 +227,60 @@ class FederatedDirectory:
             fed.servers[name].load(entries)
         return fed
 
+    # -- resilience --------------------------------------------------------
+
+    def enable_resilience(
+        self, policy: Optional[ResiliencePolicy] = None, **kwargs
+    ) -> ResiliencePolicy:
+        """Arm retry + circuit breaking + degradation for remote leaves.
+
+        Pass a :class:`ResiliencePolicy`, or keyword arguments to build
+        one.  Returns the active policy.
+        """
+        if policy is not None and kwargs:
+            raise ValueError("pass a policy or keyword arguments, not both")
+        self.resilience = policy if policy is not None else ResiliencePolicy(**kwargs)
+        self._breakers = {}
+        self._stale = (
+            StaleStore(self.resilience.stale_keys)
+            if self.resilience.serve_stale
+            else None
+        )
+        return self.resilience
+
+    def attach_replica(self, server_name: str, router: "AvailabilityRouter") -> None:
+        """Register a replica router as the failover target for one
+        server: when its owner is unreachable past retries, atomic leaves
+        are answered by the router (within its staleness bound)."""
+        if server_name not in self.servers:
+            raise KeyError(server_name)
+        self.replicas[server_name] = router
+
+    def breaker_for(self, server_name: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one server."""
+        if self.resilience is None:
+            raise RuntimeError("resilience is not enabled")
+        breaker = self._breakers.get(server_name)
+        if breaker is None:
+            breaker = self.resilience.make_breaker(server_name, metrics=self.metrics)
+            self._breakers[server_name] = breaker
+        return breaker
+
+    @property
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        """Live breakers by server name (only servers that failed at
+        least once, or were queried through :meth:`breaker_for`)."""
+        return dict(self._breakers)
+
+    def _now(self) -> float:
+        """The network's simulated clock (0.0 on a clockless network)."""
+        return getattr(self.network, "now", 0.0)
+
+    def _sleep(self, seconds: float) -> None:
+        sleep = getattr(self.network, "sleep", None)
+        if sleep is not None:
+            sleep(seconds)
+
     # -- querying ----------------------------------------------------------
 
     def query(self, at: str, query: Union[Query, str]) -> FederatedResult:
@@ -185,6 +299,9 @@ class FederatedDirectory:
             result.elapsed,
             self.network.messages - messages_before,
             self.network.entries_shipped - shipped_before,
+            retries=engine.retries,
+            missing_servers=engine.missing_servers,
+            warnings=engine.warnings,
         )
 
     def owners_for_atomic(self, query: AtomicQuery) -> List[str]:
@@ -255,73 +372,203 @@ class _CoordinatorEngine(QueryEngine):
             federation.tracer.add_probe("io", self.pager.stats)
         self.federation = federation
         self.coordinator = coordinator
+        #: Degradation bookkeeping for this one query, folded into the
+        #: :class:`FederatedResult` by :meth:`FederatedDirectory.query`.
+        self.retries = 0
+        self.missing_servers: List[str] = []
+        self.warnings: List[str] = []
+        policy = federation.resilience
+        deadline_s = policy.retry.deadline_s if policy is not None else None
+        self._deadline = (
+            federation._now() + deadline_s if deadline_s is not None else None
+        )
 
     def atomic_run(self, query: AtomicQuery) -> Run:
         owners = self.federation.owners_for_atomic(query)
-        cache = self.federation.leaf_cache
-        tracer = self.federation.tracer
+        fed = self.federation
+        cache = fed.leaf_cache
+        tracer = fed.tracer
+        want_key = cache is not None or fed._stale is not None
         partial_runs: List[Run] = []
-        for owner in owners:
-            server = self.federation.servers[owner]
-            if server is self.coordinator:
-                partial_runs.append(
-                    server.evaluate_atomic(query, trace_context=tracer.context())
-                )
-                continue
-            # Remote leaf: served from the sublist cache when possible,
-            # otherwise request out + result entries shipped back.
-            key = None
-            if cache is not None:
-                key = "%s|%s" % (owner, atomic_fingerprint(query))
-                hit = cache.get(key)
-                if hit is not None:
-                    self.federation._m_leaf_cache.inc(outcome="hit")
-                    writer = RunWriter(self.pager)
-                    writer.extend(hit.entries)
-                    partial_runs.append(writer.close())
+        try:
+            for owner in owners:
+                server = fed.servers[owner]
+                if server is self.coordinator:
+                    partial_runs.append(
+                        server.evaluate_atomic(query, trace_context=tracer.context())
+                    )
                     continue
-                self.federation._m_leaf_cache.inc(outcome="miss")
-            with tracer.span("remote-atomic", server=owner) as span:
-                context = tracer.context()
-                trace_id = context["trace_id"] if context else None
-                self.federation.network.send(
-                    self.coordinator.name, owner, "atomic-request",
-                    trace_id=trace_id,
-                )
-                self.federation._m_remote_requests.inc(server=owner)
-                remote = server.evaluate_atomic(query, trace_context=context)
+                # Remote leaf: served from the sublist cache when possible,
+                # otherwise request out + result entries shipped back.
+                key = None
+                if want_key:
+                    key = "%s|%s" % (owner, atomic_fingerprint(query))
+                if cache is not None:
+                    hit = cache.get(key)
+                    if hit is not None:
+                        fed._m_leaf_cache.inc(outcome="hit")
+                        partial_runs.append(self._materialise(hit.entries))
+                        continue
+                    fed._m_leaf_cache.inc(outcome="miss")
+                entries, fresh = self._fetch_remote(owner, server, query, key)
+                if entries is None:
+                    continue  # degraded to a partial answer without this owner
+                if fresh:
+                    if cache is not None:
+                        # Weight by what a hit saves: the round trip plus the
+                        # shipped entries (a network-cost proxy in I/O units).
+                        cache.put(
+                            key,
+                            str(query),
+                            entries,
+                            query_footprint(query),
+                            cost_io=2 + len(entries),
+                            tag=owner,
+                        )
+                    if fed._stale is not None:
+                        fed._stale.put(key, entries)
+                partial_runs.append(self._materialise(entries))
+            if not partial_runs:
+                return RunWriter(self.pager).close()
+            # All partial runs now live on the coordinator's pager; shipped
+            # lists are sorted and disjoint (ownership partitions the
+            # namespace), so union merges keep everything sorted.
+            combined = partial_runs.pop(0)
+            while partial_runs:
+                run = partial_runs.pop(0)
+                try:
+                    merged = boolean_merge(self.pager, "or", combined, run)
+                finally:
+                    combined.free()
+                    run.free()
+                combined = merged
+            return combined
+        except BaseException:
+            for run in partial_runs:
+                run.free()
+            raise
+
+    # -- remote calls -------------------------------------------------------
+
+    def _materialise(self, entries) -> Run:
+        writer = RunWriter(self.pager)
+        writer.extend(entries)
+        return writer.close()
+
+    def _remote_once(self, owner: str, server: DirectoryServer,
+                     query: AtomicQuery) -> List[Entry]:
+        """One remote round trip: request out, evaluate there, results
+        shipped back.  Raises :class:`NetworkError` if either message
+        faults."""
+        fed = self.federation
+        tracer = fed.tracer
+        with tracer.span("remote-atomic", server=owner) as span:
+            context = tracer.context()
+            trace_id = context["trace_id"] if context else None
+            fed.network.send(
+                self.coordinator.name, owner, "atomic-request",
+                trace_id=trace_id,
+            )
+            fed._m_remote_requests.inc(server=owner)
+            remote = server.evaluate_atomic(query, trace_context=context)
+            try:
                 entries = remote.to_list()
+            finally:
                 remote.free()
-                self.federation.network.send(
-                    owner, self.coordinator.name, "atomic-result", len(entries),
-                    trace_id=trace_id,
+            fed.network.send(
+                owner, self.coordinator.name, "atomic-result", len(entries),
+                trace_id=trace_id,
+            )
+            fed._m_shipped_sublists.inc(server=owner)
+            fed._m_shipped_entries.inc(len(entries), server=owner)
+            span.set(rows=len(entries))
+        return entries
+
+    def _fetch_remote(
+        self, owner: str, server: DirectoryServer, query: AtomicQuery,
+        key: Optional[str],
+    ) -> Tuple[Optional[List[Entry]], bool]:
+        """The remote leaf's entries through retry + breaker + degradation.
+
+        Returns ``(entries, fresh)``: fresh entries may be cached; stale or
+        replica-served entries may not; ``(None, False)`` means the owner
+        is missing from a partial answer.
+        """
+        fed = self.federation
+        policy = fed.resilience
+        if policy is None:
+            return self._remote_once(owner, server, query), True
+        breaker = fed.breaker_for(owner)
+        last_error: Optional[NetworkError] = None
+        if not breaker.allow(fed._now()):
+            fed._m_remote_failures.inc(server=owner, code=NetworkError.BREAKER_OPEN)
+            last_error = NetworkError(
+                "circuit breaker open for %s" % owner,
+                code=NetworkError.BREAKER_OPEN,
+                server=owner,
+            )
+        else:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    entries = self._remote_once(owner, server, query)
+                    breaker.record_success(fed._now())
+                    return entries, True
+                except NetworkError as exc:
+                    last_error = exc
+                    breaker.record_failure(fed._now())
+                    fed._m_remote_failures.inc(server=owner, code=exc.code)
+                    if not policy.retry.should_retry(
+                        attempts, fed._now(), self._deadline
+                    ) or not breaker.allow(fed._now()):
+                        break
+                    self.retries += 1
+                    fed._m_retries.inc(server=owner)
+                    fed._sleep(policy.retry.backoff(attempts))
+        return self._degrade(owner, query, key, last_error)
+
+    def _degrade(
+        self, owner: str, query: AtomicQuery, key: Optional[str],
+        error: Optional[NetworkError],
+    ) -> Tuple[Optional[List[Entry]], bool]:
+        """The degradation ladder once retries are exhausted: stale,
+        replica, partial (or raise in strict mode)."""
+        fed = self.federation
+        policy = fed.resilience
+        cause = error.code if error is not None else "unknown"
+        if fed._stale is not None and key is not None:
+            stale = fed._stale.get(key)
+            if stale is not None:
+                fed._m_degraded.inc(mode="stale")
+                self.warnings.append(
+                    "%s unreachable (%s); served last known good sublist"
+                    % (owner, cause)
                 )
-                self.federation._m_shipped_sublists.inc(server=owner)
-                self.federation._m_shipped_entries.inc(len(entries), server=owner)
-                span.set(rows=len(entries))
-            if cache is not None:
-                # Weight by what a hit saves: the round trip plus the
-                # shipped entries (a network-cost proxy in I/O units).
-                cache.put(
-                    key,
-                    str(query),
-                    entries,
-                    query_footprint(query),
-                    cost_io=2 + len(entries),
-                    tag=owner,
+                return list(stale), False
+        router = fed.replicas.get(owner)
+        if router is not None:
+            try:
+                entries = router.evaluate(query)
+            except ReplicationError as exc:
+                self.warnings.append(
+                    "%s unreachable (%s); replica failover failed (%s)"
+                    % (owner, cause, exc.code)
                 )
-            writer = RunWriter(self.pager)
-            writer.extend(entries)
-            partial_runs.append(writer.close())
-        if not partial_runs:
-            return RunWriter(self.pager).close()
-        # All partial runs now live on the coordinator's pager; shipped
-        # lists are sorted and disjoint (ownership partitions the
-        # namespace), so union merges keep everything sorted.
-        combined = partial_runs[0]
-        for run in partial_runs[1:]:
-            merged = boolean_merge(self.pager, "or", combined, run)
-            combined.free()
-            run.free()
-            combined = merged
-        return combined
+            else:
+                fed._m_degraded.inc(mode="replica")
+                self.warnings.append(
+                    "%s unreachable (%s); served by replica %s"
+                    % (owner, cause, router.served_by[-1])
+                )
+                return entries, False
+        if policy.mode == "strict":
+            raise error if error is not None else NetworkError(
+                "%s unreachable" % owner, code=NetworkError.OTHER, server=owner
+            )
+        fed._m_degraded.inc(mode="partial")
+        self.missing_servers.append(owner)
+        self.warnings.append(
+            "%s unreachable (%s); result is partial without it" % (owner, cause)
+        )
+        return None, False

@@ -13,12 +13,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from ..model.dn import DN, ROOT_DN
+from .errors import LocatorError
 
 __all__ = ["ServerLocator", "LocatorError"]
-
-
-class LocatorError(LookupError):
-    """Raised when no server owns a dn."""
 
 
 class ServerLocator:
@@ -55,7 +52,9 @@ class ServerLocator:
                     return self._secondaries[probe][0]
                 return self._primary[probe]
             if probe.is_null():
-                raise LocatorError("no server owns %s" % dn)
+                raise LocatorError(
+                    "no server owns %s" % dn, code=LocatorError.NO_OWNER
+                )
             probe = probe.parent if probe.depth() > 1 else ROOT_DN
 
     def contexts_of(self, server: str) -> List[DN]:

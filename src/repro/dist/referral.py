@@ -24,13 +24,10 @@ from typing import List, Tuple, Union
 from ..model.entry import Entry
 from ..query.ast import AtomicQuery
 from ..query.parser import parse_query
+from .errors import ReferralError
 from .federation import FederatedDirectory
 
 __all__ = ["Referral", "ReferralError", "ReferralClient"]
-
-
-class ReferralError(RuntimeError):
-    """Raised when a referral chain cannot be resolved."""
 
 
 class Referral:
@@ -88,7 +85,8 @@ class ReferralClient:
             if not isinstance(query, AtomicQuery):
                 raise ReferralError(
                     "referral clients handle atomic queries only; "
-                    "decompose composites client-side"
+                    "decompose composites client-side",
+                    code=ReferralError.NOT_ATOMIC,
                 )
         server_name = self.home
         hops = 0
@@ -96,10 +94,16 @@ class ReferralClient:
         while isinstance(result, Referral):
             hops += 1
             if hops > self.max_hops:
-                raise ReferralError("referral limit exceeded for %s" % query)
+                raise ReferralError(
+                    "referral limit exceeded for %s" % query,
+                    code=ReferralError.LIMIT_EXCEEDED,
+                )
             server_name = result.target
             if server_name not in self.federation.servers:
-                raise ReferralError("referral to unknown server %r" % server_name)
+                raise ReferralError(
+                    "referral to unknown server %r" % server_name,
+                    code=ReferralError.UNKNOWN_SERVER,
+                )
             result = self._ask(server_name, query)
         entries = result
         # Subordinate referrals: delegated subdomains inside the scope are

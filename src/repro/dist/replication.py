@@ -22,14 +22,11 @@ from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
 from ..model.schema import DirectorySchema
 from ..query.ast import AtomicQuery
+from .errors import ReplicationError
 from .network import SimulatedNetwork
 from .server import DirectoryServer
 
 __all__ = ["ReplicatedContext", "AvailabilityRouter", "ReplicationError"]
-
-
-class ReplicationError(RuntimeError):
-    """Raised when no live replica can serve a request."""
 
 
 class ReplicatedContext:
@@ -70,6 +67,14 @@ class ReplicatedContext:
 
     def add(self, dn, classes, attributes=None, **kw) -> Entry:
         entry = self._primary_instance.add(dn, classes, attributes, **kw)
+        self._changelog.append(("add", entry))
+        self._built = False
+        return entry
+
+    def add_entry(self, entry: Entry) -> Entry:
+        """Record an already-built entry (mirroring an existing server's
+        holdings into this replicated context)."""
+        self._primary_instance.add_entry(entry)
         self._changelog.append(("add", entry))
         self._built = False
         return entry
@@ -121,12 +126,26 @@ class ReplicatedContext:
 
 class AvailabilityRouter:
     """Routes atomic queries to the context's primary, failing over to the
-    first live, fully-synced secondary when the primary is down."""
+    first live secondary within the staleness bound when the primary is
+    down.
 
-    def __init__(self, replicated: ReplicatedContext):
+    ``max_lag`` bounds how many unsynced changelog records a serving
+    secondary may be behind; the default 0 keeps the strict in-sync-only
+    behaviour.  Every evaluation appends its routing trail -- one
+    ``(replica, decision)`` pair per candidate considered, decisions being
+    ``"down"``, ``"lag=N"`` or ``"served"`` -- to :attr:`decisions`, so
+    tests and the chaos report can assert *why* a replica was skipped.
+    """
+
+    def __init__(self, replicated: ReplicatedContext, max_lag: int = 0):
+        if max_lag < 0:
+            raise ValueError("max_lag must be non-negative")
         self.replicated = replicated
+        self.max_lag = max_lag
         self._down: set = set()
         self.served_by: List[str] = []
+        #: Per-evaluate routing trails, newest last.
+        self.decisions: List[List[Tuple[str, str]]] = []
 
     def mark_down(self, name: str) -> None:
         self._down.add(name)
@@ -134,20 +153,33 @@ class AvailabilityRouter:
     def mark_up(self, name: str) -> None:
         self._down.discard(name)
 
-    def evaluate(self, query: AtomicQuery) -> List[Entry]:
+    def evaluate(self, query: AtomicQuery, max_lag: Optional[int] = None) -> List[Entry]:
+        """Serve one atomic query from the best acceptable replica;
+        ``max_lag`` overrides the router's staleness bound per call."""
+        limit = self.max_lag if max_lag is None else max_lag
         replicated = self.replicated
+        trail: List[Tuple[str, str]] = []
+        self.decisions.append(trail)
         candidates = ["primary"] + [s.name for s in replicated.secondaries]
         for name in candidates:
             if name in self._down:
+                trail.append((name, "down"))
                 continue
-            if name != "primary" and replicated.lag(name) > 0:
-                continue  # stale replica: skip rather than serve old data
+            lag = 0 if name == "primary" else replicated.lag(name)
+            if lag > limit:
+                # Stale past the bound: skip rather than serve old data.
+                trail.append((name, "lag=%d" % lag))
+                continue
             server = replicated.server(name)
             run = server.evaluate_atomic(query)
-            entries = run.to_list()
-            run.free()
+            try:
+                entries = run.to_list()
+            finally:
+                run.free()
+            trail.append((name, "served"))
             self.served_by.append(name)
             return entries
         raise ReplicationError(
-            "no live, in-sync replica for %s" % replicated.context
+            "no live replica within lag %d for %s" % (limit, replicated.context),
+            code=ReplicationError.NO_REPLICA,
         )

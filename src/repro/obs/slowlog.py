@@ -11,15 +11,24 @@ disposition -- enough to re-run the offender under EXPLAIN ``--analyze``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 __all__ = ["SlowQueryLog", "SlowQueryRecord"]
 
 
 class SlowQueryRecord:
-    """One over-threshold search."""
+    """One over-threshold search.
 
-    __slots__ = ("query_text", "elapsed", "io_total", "cached", "result_size")
+    ``retries`` and ``warnings`` carry the federated degradation story
+    (remote attempts beyond the first; stale/replica/partial notes) --
+    zero/empty for ordinary local searches, and omitted from
+    :meth:`as_dict` in that case so existing consumers see no change.
+    """
+
+    __slots__ = (
+        "query_text", "elapsed", "io_total", "cached", "result_size",
+        "retries", "warnings",
+    )
 
     def __init__(
         self,
@@ -28,21 +37,30 @@ class SlowQueryRecord:
         io_total: int,
         cached: bool,
         result_size: int,
+        retries: int = 0,
+        warnings: Tuple[str, ...] = (),
     ):
         self.query_text = query_text
         self.elapsed = elapsed
         self.io_total = io_total
         self.cached = cached
         self.result_size = result_size
+        self.retries = retries
+        self.warnings = tuple(warnings)
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "query": self.query_text,
             "elapsed_s": self.elapsed,
             "io_total": self.io_total,
             "cached": self.cached,
             "result_size": self.result_size,
         }
+        if self.retries:
+            payload["retries"] = self.retries
+        if self.warnings:
+            payload["warnings"] = list(self.warnings)
+        return payload
 
     def __repr__(self) -> str:
         return "SlowQueryRecord(%r, %.3fms, io=%d)" % (
@@ -75,12 +93,17 @@ class SlowQueryLog:
         io_total: int = 0,
         cached: bool = False,
         result_size: int = 0,
+        retries: int = 0,
+        warnings: Tuple[str, ...] = (),
     ) -> Optional[SlowQueryRecord]:
         """Log the search if it crossed the threshold; returns the record
         (or None when under threshold / disabled)."""
         if self.threshold_seconds is None or elapsed < self.threshold_seconds:
             return None
-        record = SlowQueryRecord(query_text, elapsed, io_total, cached, result_size)
+        record = SlowQueryRecord(
+            query_text, elapsed, io_total, cached, result_size,
+            retries=retries, warnings=warnings,
+        )
         self._records.append(record)
         self.total += 1
         return record

@@ -68,7 +68,9 @@ class SearchResult:
     before any size limit -- the post-ACL semantics, applied uniformly to
     the limited and unlimited paths.  ``cached``/``saved_io`` report
     whether the semantic query cache served the search and how much
-    logical page I/O that avoided.
+    logical page I/O that avoided.  ``warnings`` carries degradation
+    notes when the service fronts a federation (stale sublists, replica
+    failovers, missing servers); an empty list is a clean answer.
     """
 
     def __init__(
@@ -78,12 +80,14 @@ class SearchResult:
         total_size: Optional[int] = None,
         cached: bool = False,
         saved_io: int = 0,
+        warnings: Optional[List[str]] = None,
     ):
         self.code = code
         self.entries = entries
         self.total_size = total_size if total_size is not None else len(entries)
         self.cached = cached
         self.saved_io = saved_io
+        self.warnings = list(warnings or [])
 
     def dns(self) -> List[str]:
         return [str(entry.dn) for entry in self.entries]
@@ -154,6 +158,10 @@ class DirectoryService:
             "Logical page I/O per uncached search",
             buckets=(1, 10, 100, 1_000, 10_000, 100_000),
         )
+        self._m_degraded = self.metrics.counter(
+            "repro_degraded_searches_total",
+            "Searches answered with degradation warnings",
+        )
         #: Default-open when no ACL is supplied.
         self.acl = acl or AccessControlList(default_allow=True)
         self.credential_attribute = credential_attribute
@@ -171,6 +179,25 @@ class DirectoryService:
             if self.cache is not None
             else None
         )
+        #: (federation, coordinator name) once :meth:`attach_federation`
+        #: makes this service a federation frontend.
+        self._federation: Optional[Tuple[Any, str]] = None
+
+    # -- federation frontend ------------------------------------------------
+
+    def attach_federation(self, federation, at: str) -> None:
+        """Serve searches from a federation, issued at server ``at``.
+
+        The service becomes the deployment's frontend: reads evaluate
+        distributedly (through the federation's leaf cache, retries and
+        degradation ladder) while binds, compares and mutations keep using
+        the locally held directory.  Degradation warnings surface on every
+        :class:`SearchResult` and in the slow-query log, and degraded
+        searches are counted in ``repro_degraded_searches_total``.
+        """
+        if at not in federation.servers:
+            raise KeyError(at)
+        self._federation = (federation, at)
 
     # -- connection state --------------------------------------------------
 
@@ -227,10 +254,27 @@ class DirectoryService:
             query = parse_query(query)
         return query
 
-    def _result_entries(self, query: Query) -> Tuple[List[Entry], bool, int]:
+    def _result_entries(self, query: Query) -> Tuple[List[Entry], bool, int, List[str], int]:
         """The query's full pre-ACL result, served from the semantic cache
         when possible.  Returns (entries, was a cache hit, logical page
-        I/O the evaluation cost / a hit saved)."""
+        I/O the evaluation cost / a hit saved, degradation warnings,
+        remote retries)."""
+        if self._federation is not None:
+            # Federation frontend: the distributed evaluation brings its
+            # own leaf cache, retries and degradation ladder; the local
+            # semantic cache is bypassed (its invalidation only sees local
+            # updates, not remote ones).
+            federation, at = self._federation
+            fed_result = federation.query(at, query)
+            cost = fed_result.io.logical_reads + fed_result.io.logical_writes
+            self._m_search_io.observe(cost)
+            return (
+                fed_result.entries,
+                False,
+                cost,
+                list(fed_result.warnings),
+                fed_result.retries,
+            )
         key = None
         if self.cache is not None:
             with self.tracer.span("cache-lookup") as span:
@@ -239,7 +283,7 @@ class DirectoryService:
                 span.set(hit=hit is not None)
             if hit is not None:
                 self._m_cache_lookups.inc(outcome="hit")
-                return list(hit.entries), True, hit.cost_io
+                return list(hit.entries), True, hit.cost_io, [], 0
             self._m_cache_lookups.inc(outcome="miss")
         engine = self._engine_now()
         result = engine.run(query)
@@ -249,7 +293,7 @@ class DirectoryService:
             self.cache.put(
                 key, str(query), result.entries, query_footprint(query), cost
             )
-        return result.entries, False, cost
+        return result.entries, False, cost, [], 0
 
     def search(
         self,
@@ -282,7 +326,7 @@ class DirectoryService:
                     result = SearchResult(ResultCode.PROTOCOL_ERROR, [], total_size=0)
                     self._observe_search(query, result, started, io_before)
                     return result
-            entries, cached, cost = self._result_entries(query)
+            entries, cached, cost, warnings, retries = self._result_entries(query)
             with self.tracer.span("acl-filter"):
                 visible = self._visible(entries)
             total = len(visible)
@@ -302,11 +346,13 @@ class DirectoryService:
                 total_size=total,
                 cached=cached,
                 saved_io=cost if cached else 0,
+                warnings=warnings,
             )
-        self._observe_search(query, result, started, io_before)
+        self._observe_search(query, result, started, io_before, retries=retries)
         return result
 
-    def _observe_search(self, query, result: SearchResult, started: float, io_before) -> None:
+    def _observe_search(self, query, result: SearchResult, started: float,
+                        io_before, retries: int = 0) -> None:
         """Fold one finished search into metrics and the slow-query log."""
         elapsed = time.perf_counter() - started
         pager_stats = self.directory.store.pager.stats
@@ -314,6 +360,8 @@ class DirectoryService:
         self._m_search_seconds.observe(elapsed)
         self._m_result_entries.observe(result.total_size)
         self._m_searches.inc(code=result.code)
+        if result.warnings:
+            self._m_degraded.inc()
         self._m_buffer_hit_rate.set(pager_stats.buffer_hit_rate)
         slow = self.slow_queries.record(
             str(query),
@@ -321,6 +369,8 @@ class DirectoryService:
             io_total=io_delta.logical_total,
             cached=result.cached,
             result_size=result.total_size,
+            retries=retries,
+            warnings=tuple(result.warnings),
         )
         if slow is not None:
             self._m_slow.inc()
@@ -334,7 +384,7 @@ class DirectoryService:
         if page_entries < 1:
             raise ValueError("page_entries must be positive")
         query = self._as_query(query)
-        entries, _cached, _cost = self._result_entries(query)
+        entries, _cached, _cost, _warnings, _retries = self._result_entries(query)
         visible = self._visible(entries)
         return (
             visible[start : start + page_entries]

@@ -100,5 +100,61 @@ class TestFailover:
         router = AvailabilityRouter(replicated)
         for name in ("primary", "secondary0", "secondary1"):
             router.mark_down(name)
+        with pytest.raises(ReplicationError) as caught:
+            router.evaluate(QUERY)
+        assert caught.value.code == ReplicationError.NO_REPLICA
+
+
+class TestBoundedStaleness:
+    def test_max_lag_admits_slightly_stale_secondaries(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.add("name=fresh, name=r", ["node"], name="fresh", kind="alpha")
+        router = AvailabilityRouter(replicated, max_lag=1)
+        router.mark_down("primary")
+        entries = router.evaluate(QUERY)  # one record behind: acceptable
+        assert router.served_by == ["secondary0"]
+        assert not any(e.first("name") == "fresh" for e in entries)
+
+    def test_per_call_override(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.add("name=fresh, name=r", ["node"], name="fresh", kind="alpha")
+        router = AvailabilityRouter(replicated)  # strict by default
+        router.mark_down("primary")
         with pytest.raises(ReplicationError):
             router.evaluate(QUERY)
+        assert router.evaluate(QUERY, max_lag=1) is not None
+
+    def test_validation(self, context):
+        _network, replicated = context
+        with pytest.raises(ValueError):
+            AvailabilityRouter(replicated, max_lag=-1)
+
+
+class TestDecisionTrail:
+    def test_trail_records_why_each_candidate_was_skipped(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.add("name=fresh, name=r", ["node"], name="fresh", kind="alpha")
+        replicated.sync()  # secondary0 catches up...
+        replicated.add("name=later, name=r", ["node"], name="later")
+        router = AvailabilityRouter(replicated)
+        router.mark_down("primary")
+        with pytest.raises(ReplicationError):
+            router.evaluate(QUERY)
+        assert router.decisions[-1] == [
+            ("primary", "down"),
+            ("secondary0", "lag=1"),
+            ("secondary1", "lag=1"),
+        ]
+
+    def test_trail_ends_with_the_server_that_served(self, context):
+        _network, replicated = context
+        replicated.sync()
+        router = AvailabilityRouter(replicated)
+        router.mark_down("primary")
+        router.evaluate(QUERY)
+        assert router.decisions == [
+            [("primary", "down"), ("secondary0", "served")]
+        ]

@@ -182,6 +182,53 @@ class TestBenchCheck:
         assert "unreadable" in capsys.readouterr().out
 
 
+class TestChaos:
+    def test_fault_free_run_is_fully_exact(self, qos_ldif, capsys):
+        code = main(["chaos", qos_ldif, "--schema", "qos", "--queries", "20",
+                     "--drop-rate", "0", "--latency-ms", "0", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["availability"] == 1.0
+        assert report["exact"] == 20
+        assert report["mismatch"] == 0 and report["failed"] == 0
+        assert report["faults"] == {}
+        assert report["retries"] == 0
+
+    def test_seeded_drops_are_reported_and_deterministic(self, qos_ldif, capsys):
+        argv = ["chaos", qos_ldif, "--schema", "qos", "--queries", "30",
+                "--drop-rate", "0.15", "--seed", "5", "--no-cache", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["faults"].get("dropped", 0) > 0
+        assert first["retries"] > 0
+        assert first["mismatch"] == 0
+
+    def test_crash_window_degrades_to_partials(self, qos_ldif, capsys):
+        code = main(["chaos", qos_ldif, "--schema", "qos", "--queries", "15",
+                     "--drop-rate", "0", "--crash", "server1:0",
+                     "--no-cache", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["partial"] > 0
+        assert report["failed"] == 0  # partial mode still answers
+        assert "serverDown" in report["faults"]
+
+    def test_human_report(self, qos_ldif, capsys):
+        assert main(["chaos", qos_ldif, "--schema", "qos",
+                     "--queries", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos report" in out
+        assert "availability" in out
+
+    def test_bad_window_spec(self, qos_ldif):
+        with pytest.raises(SystemExit):
+            main(["chaos", qos_ldif, "--schema", "qos",
+                  "--crash", "server1"])
+
+
 class TestLdapUrl:
     def test_parsed_components(self, capsys):
         code = main(["ldapurl",
