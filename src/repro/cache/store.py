@@ -24,6 +24,7 @@ drop one origin wholesale.
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..model.entry import Entry
@@ -78,13 +79,24 @@ class CachedResult:
 
 
 class QueryCache:
-    """A bounded map from fingerprint to :class:`CachedResult`."""
+    """A bounded map from fingerprint to :class:`CachedResult`.
+
+    Thread-safe: lookups, admissions (including the GreedyDual-Size
+    eviction loop and its floor/heap state) and invalidations run under
+    one reentrant lock, which is also attached to :attr:`stats` so
+    bracketed cache-stat snapshots are consistent.  Without the lock a
+    concurrent ``put``/``put`` pair can double-count resident bytes and
+    evict for ever, and ``get``/``invalidate`` can resurrect a heap entry
+    for a removed key.
+    """
 
     def __init__(self, byte_budget: int = 512 * 1024, stats: Optional[CacheStats] = None):
         if byte_budget < 1:
             raise ValueError("byte_budget must be positive")
         self.byte_budget = byte_budget
+        self._lock = threading.RLock()
         self.stats = stats or CacheStats()
+        self.stats.attach_lock(self._lock)
         self._entries: Dict[str, CachedResult] = {}
         self._bytes = 0
         # GreedyDual-Size state: the inflating floor and a lazy min-heap of
@@ -97,32 +109,38 @@ class QueryCache:
     def get(self, key: str) -> Optional[CachedResult]:
         """The cached result for ``key``, or None; counts hit/miss and
         refreshes the entry's eviction priority."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self.stats.saved_logical_io += entry.cost_io
-        entry.hits += 1
-        self._reprioritise(entry)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self.stats.saved_logical_io += entry.cost_io
+            entry.hits += 1
+            self._reprioritise(entry)
+            return entry
 
     def peek(self, key: str) -> Optional[CachedResult]:
         """Like :meth:`get` but without touching any accounting."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __iter__(self) -> Iterator[CachedResult]:
-        return iter(list(self._entries.values()))
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     @property
     def resident_bytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     # -- admission ----------------------------------------------------------
 
@@ -138,18 +156,19 @@ class QueryCache:
         """Admit a result; evicts minimum-priority residents to make room.
         Results larger than the whole budget are rejected (returns None)."""
         entry = CachedResult(key, query_text, entries, footprint, cost_io, tag)
-        if entry.size_bytes > self.byte_budget:
-            self.stats.rejected += 1
-            return None
-        if key in self._entries:
-            self._remove(key)
-        while self._bytes + entry.size_bytes > self.byte_budget:
-            self._evict_one()
-        self._entries[key] = entry
-        self._bytes += entry.size_bytes
-        self._reprioritise(entry)
-        self.stats.insertions += 1
-        return entry
+        with self._lock:
+            if entry.size_bytes > self.byte_budget:
+                self.stats.rejected += 1
+                return None
+            if key in self._entries:
+                self._remove(key)
+            while self._bytes + entry.size_bytes > self.byte_budget:
+                self._evict_one()
+            self._entries[key] = entry
+            self._bytes += entry.size_bytes
+            self._reprioritise(entry)
+            self.stats.insertions += 1
+            return entry
 
     # -- invalidation --------------------------------------------------------
 
@@ -157,31 +176,34 @@ class QueryCache:
         """Evict exactly the entries whose footprint touches the updated
         region (one dn, or its whole subtree for recursive deletes).
         Returns how many were evicted."""
-        doomed = [
-            entry.key
-            for entry in self._entries.values()
-            if entry.footprint.touches(dn, subtree=subtree)
-        ]
-        for key in doomed:
-            self._remove(key)
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                entry.key
+                for entry in self._entries.values()
+                if entry.footprint.touches(dn, subtree=subtree)
+            ]
+            for key in doomed:
+                self._remove(key)
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def invalidate_tag(self, tag: str) -> int:
         """Evict every entry carrying ``tag`` (e.g. one origin server)."""
-        doomed = [e.key for e in self._entries.values() if e.tag == tag]
-        for key in doomed:
-            self._remove(key)
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [e.key for e in self._entries.values() if e.tag == tag]
+            for key in doomed:
+                self._remove(key)
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> int:
-        count = len(self._entries)
-        self._entries.clear()
-        self._heap = []
-        self._bytes = 0
-        self.stats.invalidations += count
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._heap = []
+            self._bytes = 0
+            self.stats.invalidations += count
+            return count
 
     # -- internals ---------------------------------------------------------
 

@@ -122,8 +122,8 @@ class FaultInjector(SimulatedNetwork):
     """
 
     def __init__(self, plan: Optional[FaultPlan] = None, keep_log: bool = False,
-                 metrics=None):
-        super().__init__(keep_log=keep_log)
+                 metrics=None, wire_latency_s: float = 0.0):
+        super().__init__(keep_log=keep_log, wire_latency_s=wire_latency_s)
         self.plan = plan or FaultPlan()
         self._rng = random.Random(self.plan.seed)
         #: Simulated clock, in seconds.
@@ -143,9 +143,11 @@ class FaultInjector(SimulatedNetwork):
     def sleep(self, seconds: float) -> None:
         """Advance the simulated clock (retry backoff 'waits' here)."""
         if seconds > 0:
-            self.now += seconds
+            with self._lock:
+                self.now += seconds
 
     def _fault(self, code: str, message: str, server: Optional[str] = None):
+        # Called with self._lock held (from send); raising releases it.
         self.faults[code] = self.faults.get(code, 0) + 1
         self._m_faults.inc(code=code)
         raise NetworkError(message, code=code, server=server)
@@ -159,55 +161,61 @@ class FaultInjector(SimulatedNetwork):
         trace_id: Optional[str] = None,
     ) -> None:
         plan = self.plan
-        index = self.attempts
-        self.attempts += 1
-        for endpoint in (source, destination):
-            if plan.crashed(endpoint, self.now):
+        # Fault decision, RNG draws and clock advance happen atomically
+        # under the network lock (parallel scatter sends from several
+        # threads); the delivery -- which may really sleep -- happens
+        # outside it so concurrent waits overlap.
+        with self._lock:
+            index = self.attempts
+            self.attempts += 1
+            for endpoint in (source, destination):
+                if plan.crashed(endpoint, self.now):
+                    self._fault(
+                        NetworkError.SERVER_DOWN,
+                        "%s is down (message %s -> %s)" % (endpoint, source, destination),
+                        server=endpoint,
+                    )
+            if plan.partitioned(source, destination, self.now):
                 self._fault(
-                    NetworkError.SERVER_DOWN,
-                    "%s is down (message %s -> %s)" % (endpoint, source, destination),
-                    server=endpoint,
+                    NetworkError.PARTITIONED,
+                    "%s and %s are partitioned" % (source, destination),
+                    server=destination,
                 )
-        if plan.partitioned(source, destination, self.now):
-            self._fault(
-                NetworkError.PARTITIONED,
-                "%s and %s are partitioned" % (source, destination),
-                server=destination,
-            )
-        # RNG draws happen in a fixed order (drop, then latency) so the
-        # schedule replays identically for a given plan and workload.
-        dropped = plan.drop_rate > 0 and self._rng.random() < plan.drop_rate
-        latency = plan.latency_s
-        if plan.jitter_s:
-            latency += self._rng.random() * plan.jitter_s
-        if index in plan._drop_indices:
-            dropped = True
-        if dropped:
+            # RNG draws happen in a fixed order (drop, then latency) so the
+            # schedule replays identically for a given plan and workload.
+            dropped = plan.drop_rate > 0 and self._rng.random() < plan.drop_rate
+            latency = plan.latency_s
+            if plan.jitter_s:
+                latency += self._rng.random() * plan.jitter_s
+            if index in plan._drop_indices:
+                dropped = True
+            if dropped:
+                self.now += latency
+                self._fault(
+                    NetworkError.DROPPED,
+                    "dropped %s message %s -> %s" % (kind, source, destination),
+                    server=destination,
+                )
+            if plan.timeout_s is not None and latency > plan.timeout_s:
+                self.now += plan.timeout_s
+                self._fault(
+                    NetworkError.TIMEOUT,
+                    "%s message %s -> %s timed out" % (kind, source, destination),
+                    server=destination,
+                )
             self.now += latency
-            self._fault(
-                NetworkError.DROPPED,
-                "dropped %s message %s -> %s" % (kind, source, destination),
-                server=destination,
-            )
-        if plan.timeout_s is not None and latency > plan.timeout_s:
-            self.now += plan.timeout_s
-            self._fault(
-                NetworkError.TIMEOUT,
-                "%s message %s -> %s timed out" % (kind, source, destination),
-                server=destination,
-            )
-        self.now += latency
         super().send(source, destination, kind, entry_count, trace_id)
 
     def fault_count(self) -> int:
         return sum(self.faults.values())
 
     def reset(self) -> None:
-        super().reset()
-        self._rng = random.Random(self.plan.seed)
-        self.now = 0.0
-        self.attempts = 0
-        self.faults = {}
+        with self._lock:
+            super().reset()
+            self._rng = random.Random(self.plan.seed)
+            self.now = 0.0
+            self.attempts = 0
+            self.faults = {}
 
     def __repr__(self) -> str:
         return "FaultInjector(messages=%d, faults=%d, now=%.3fs)" % (

@@ -32,11 +32,13 @@ the historical one.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+import threading
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..cache import QueryCache, atomic_fingerprint, query_footprint
 from ..engine.engine import QueryEngine, QueryResult
 from ..engine.merge import boolean_merge
+from ..exec import WorkerPool
 from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
@@ -69,8 +71,9 @@ class FederatedResult(QueryResult):
         retries: int = 0,
         missing_servers: Optional[List[str]] = None,
         warnings: Optional[List[str]] = None,
+        eval_errors: int = 0,
     ):
-        super().__init__(entries, io, elapsed)
+        super().__init__(entries, io, elapsed, eval_errors=eval_errors)
         self.messages = messages
         self.entries_shipped = entries_shipped
         #: Remote attempts beyond the first, across all leaves.
@@ -106,11 +109,16 @@ class FederatedDirectory:
         leaf_cache_bytes: int = 256 * 1024,
         tracer=None,
         metrics=None,
+        max_workers: int = 1,
     ):
         self.schema = schema
         self.network = network or SimulatedNetwork()
         self.locator = ServerLocator()
         self.servers: Dict[str, DirectoryServer] = {}
+        #: Scatter pool for remote atomic leaves.  The default single
+        #: worker runs everything inline -- the historical sequential
+        #: path, bit for bit (see :meth:`enable_parallelism`).
+        self.pool = WorkerPool(max_workers, name="fed-scatter")
         #: The coordinator-side tracer; spans cross to remote servers via
         #: the trace context carried with each request.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -160,6 +168,7 @@ class FederatedDirectory:
         #: fail-fast behaviour (a network fault propagates).
         self.resilience: Optional[ResiliencePolicy] = None
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
         self._stale: Optional[StaleStore] = None
         #: Per-server replica routers for failover degradation
         #: (:meth:`attach_replica`).
@@ -191,6 +200,7 @@ class FederatedDirectory:
         leaf_cache_bytes: int = 256 * 1024,
         tracer=None,
         metrics=None,
+        max_workers: int = 1,
     ) -> "FederatedDirectory":
         """Split one logical instance across servers.
 
@@ -204,6 +214,7 @@ class FederatedDirectory:
             leaf_cache_bytes=leaf_cache_bytes,
             tracer=tracer,
             metrics=metrics,
+            max_workers=max_workers,
         )
         for name, contexts in assignments.items():
             dn_contexts = [
@@ -226,6 +237,21 @@ class FederatedDirectory:
         for name, entries in buckets.items():
             fed.servers[name].load(entries)
         return fed
+
+    # -- parallelism -------------------------------------------------------
+
+    def enable_parallelism(self, max_workers: int) -> WorkerPool:
+        """Replace the scatter pool: remote atomic leaves fan out across
+        up to ``max_workers`` threads, gathered back in deterministic
+        owner order.  ``max_workers=1`` restores the inline sequential
+        path.  Returns the new pool."""
+        self.pool.close()
+        self.pool = WorkerPool(max_workers, name="fed-scatter")
+        return self.pool
+
+    def close(self) -> None:
+        """Release the scatter pool's threads (idempotent)."""
+        self.pool.close()
 
     # -- resilience --------------------------------------------------------
 
@@ -257,14 +283,19 @@ class FederatedDirectory:
         self.replicas[server_name] = router
 
     def breaker_for(self, server_name: str) -> CircuitBreaker:
-        """The (lazily created) circuit breaker guarding one server."""
+        """The (lazily created) circuit breaker guarding one server.
+        Creation is locked: two scatter workers racing here must get the
+        same breaker, not two half-counted ones."""
         if self.resilience is None:
             raise RuntimeError("resilience is not enabled")
-        breaker = self._breakers.get(server_name)
-        if breaker is None:
-            breaker = self.resilience.make_breaker(server_name, metrics=self.metrics)
-            self._breakers[server_name] = breaker
-        return breaker
+        with self._breaker_lock:
+            breaker = self._breakers.get(server_name)
+            if breaker is None:
+                breaker = self.resilience.make_breaker(
+                    server_name, metrics=self.metrics
+                )
+                self._breakers[server_name] = breaker
+            return breaker
 
     @property
     def breakers(self) -> Dict[str, CircuitBreaker]:
@@ -302,6 +333,7 @@ class FederatedDirectory:
             retries=engine.retries,
             missing_servers=engine.missing_servers,
             warnings=engine.warnings,
+            eval_errors=result.eval_errors,
         )
 
     def owners_for_atomic(self, query: AtomicQuery) -> List[str]:
@@ -361,11 +393,41 @@ class FederatedDirectory:
         )
 
 
+class _LeafOutcome:
+    """One owner's share of an atomic scatter, filled in by the worker.
+
+    Workers only talk to the network and the remote server and record
+    their bookkeeping *here*; the gather loop folds outcomes into the
+    engine and the coordinator's pager in owner order, so warnings,
+    cache admissions and page I/O sequence identically however the
+    threads interleaved."""
+
+    __slots__ = ("owner", "key", "entries", "fresh", "missing", "retries",
+                 "warnings")
+
+    def __init__(self, owner: str, key: Optional[str] = None):
+        self.owner = owner
+        self.key = key
+        #: Shipped entries (None while pending, or when degraded to a
+        #: partial answer without this owner).
+        self.entries: Optional[List[Entry]] = None
+        #: Whether ``entries`` came from the live owner (cacheable), as
+        #: opposed to the leaf cache / stale store / a replica.
+        self.fresh = False
+        self.missing = False
+        self.retries = 0
+        self.warnings: List[str] = []
+
+
 class _CoordinatorEngine(QueryEngine):
     """The queried server's engine with atomic leaves routed by ownership."""
 
     def __init__(self, federation: FederatedDirectory, coordinator: DirectoryServer):
-        super().__init__(coordinator.engine.store, tracer=federation.tracer)
+        super().__init__(
+            coordinator.engine.store,
+            tracer=federation.tracer,
+            pool=federation.pool,
+        )
         if federation.tracer.enabled:
             # Rebind the I/O probe to *this* coordinator's pager (queries
             # may be issued at different servers over the tracer's life).
@@ -384,50 +446,82 @@ class _CoordinatorEngine(QueryEngine):
         )
 
     def atomic_run(self, query: AtomicQuery) -> Run:
-        owners = self.federation.owners_for_atomic(query)
+        """Scatter the leaf to its owners, gather in owner order.
+
+        The scatter phase fans the *remote* owners out over the
+        federation's :class:`~repro.exec.WorkerPool` (inline when the
+        pool is single-worker); remote tasks touch only the network and
+        the remote servers' pagers.  The gather barrier then walks the
+        outcomes in owner order on the calling thread, doing every
+        coordinator-pager operation -- the coordinator-local leaf's own
+        evaluation, materialising shipped sublists, the union merges --
+        exactly where the sequential loop did, so a single-worker pool
+        reproduces the historical page-op sequence bit for bit.
+        """
         fed = self.federation
+        owners = fed.owners_for_atomic(query)
         cache = fed.leaf_cache
         tracer = fed.tracer
         want_key = cache is not None or fed._stale is not None
-        partial_runs: List[Run] = []
-        try:
-            for owner in owners:
-                server = fed.servers[owner]
-                if server is self.coordinator:
-                    partial_runs.append(
-                        server.evaluate_atomic(query, trace_context=tracer.context())
-                    )
-                    continue
-                # Remote leaf: served from the sublist cache when possible,
-                # otherwise request out + result entries shipped back.
-                key = None
-                if want_key:
-                    key = "%s|%s" % (owner, atomic_fingerprint(query))
+        scatter_context = tracer.context()
+
+        def scatter(owner: str) -> _LeafOutcome:
+            server = fed.servers[owner]
+            key = (
+                "%s|%s" % (owner, atomic_fingerprint(query)) if want_key else None
+            )
+            outcome = _LeafOutcome(owner, key)
+            if server is self.coordinator:
+                return outcome  # evaluated at the gather, on our pager
+            token = tracer.adopt(scatter_context)
+            try:
+                # Served from the sublist cache when possible, otherwise
+                # request out + result entries shipped back.
                 if cache is not None:
                     hit = cache.get(key)
                     if hit is not None:
                         fed._m_leaf_cache.inc(outcome="hit")
-                        partial_runs.append(self._materialise(hit.entries))
-                        continue
+                        outcome.entries = list(hit.entries)
+                        return outcome
                     fed._m_leaf_cache.inc(outcome="miss")
-                entries, fresh = self._fetch_remote(owner, server, query, key)
-                if entries is None:
+                self._fetch_remote(outcome, server, query)
+            finally:
+                tracer.release(token)
+            return outcome
+
+        outcomes = fed.pool.map_ordered(scatter, owners)
+        partial_runs: List[Run] = []
+        try:
+            for outcome in outcomes:
+                self.retries += outcome.retries
+                self.warnings.extend(outcome.warnings)
+                if outcome.missing:
+                    self.missing_servers.append(outcome.owner)
+                server = fed.servers[outcome.owner]
+                if server is self.coordinator:
+                    partial_runs.append(
+                        server.evaluate_atomic(
+                            query, trace_context=tracer.context()
+                        )
+                    )
+                    continue
+                if outcome.entries is None:
                     continue  # degraded to a partial answer without this owner
-                if fresh:
+                if outcome.fresh:
                     if cache is not None:
                         # Weight by what a hit saves: the round trip plus the
                         # shipped entries (a network-cost proxy in I/O units).
                         cache.put(
-                            key,
+                            outcome.key,
                             str(query),
-                            entries,
+                            outcome.entries,
                             query_footprint(query),
-                            cost_io=2 + len(entries),
-                            tag=owner,
+                            cost_io=2 + len(outcome.entries),
+                            tag=outcome.owner,
                         )
                     if fed._stale is not None:
-                        fed._stale.put(key, entries)
-                partial_runs.append(self._materialise(entries))
+                        fed._stale.put(outcome.key, outcome.entries)
+                partial_runs.append(self._materialise(outcome.entries))
             if not partial_runs:
                 return RunWriter(self.pager).close()
             # All partial runs now live on the coordinator's pager; shipped
@@ -485,19 +579,25 @@ class _CoordinatorEngine(QueryEngine):
         return entries
 
     def _fetch_remote(
-        self, owner: str, server: DirectoryServer, query: AtomicQuery,
-        key: Optional[str],
-    ) -> Tuple[Optional[List[Entry]], bool]:
-        """The remote leaf's entries through retry + breaker + degradation.
+        self, outcome: _LeafOutcome, server: DirectoryServer,
+        query: AtomicQuery,
+    ) -> None:
+        """Fill ``outcome`` with the remote leaf's entries through retry +
+        breaker + degradation.
 
-        Returns ``(entries, fresh)``: fresh entries may be cached; stale or
-        replica-served entries may not; ``(None, False)`` means the owner
-        is missing from a partial answer.
+        Fresh entries (``outcome.fresh``) may be cached; stale or
+        replica-served ones may not; ``entries is None`` plus
+        ``outcome.missing`` means the owner is absent from a partial
+        answer.  Runs on a scatter worker: all bookkeeping goes through
+        the outcome, never the engine.
         """
         fed = self.federation
+        owner = outcome.owner
         policy = fed.resilience
         if policy is None:
-            return self._remote_once(owner, server, query), True
+            outcome.entries = self._remote_once(owner, server, query)
+            outcome.fresh = True
+            return
         breaker = fed.breaker_for(owner)
         last_error: Optional[NetworkError] = None
         if not breaker.allow(fed._now()):
@@ -514,7 +614,9 @@ class _CoordinatorEngine(QueryEngine):
                 try:
                     entries = self._remote_once(owner, server, query)
                     breaker.record_success(fed._now())
-                    return entries, True
+                    outcome.entries = entries
+                    outcome.fresh = True
+                    return
                 except NetworkError as exc:
                     last_error = exc
                     breaker.record_failure(fed._now())
@@ -523,52 +625,54 @@ class _CoordinatorEngine(QueryEngine):
                         attempts, fed._now(), self._deadline
                     ) or not breaker.allow(fed._now()):
                         break
-                    self.retries += 1
+                    outcome.retries += 1
                     fed._m_retries.inc(server=owner)
                     fed._sleep(policy.retry.backoff(attempts))
-        return self._degrade(owner, query, key, last_error)
+        self._degrade(outcome, query, last_error)
 
     def _degrade(
-        self, owner: str, query: AtomicQuery, key: Optional[str],
+        self, outcome: _LeafOutcome, query: AtomicQuery,
         error: Optional[NetworkError],
-    ) -> Tuple[Optional[List[Entry]], bool]:
+    ) -> None:
         """The degradation ladder once retries are exhausted: stale,
         replica, partial (or raise in strict mode)."""
         fed = self.federation
+        owner = outcome.owner
         policy = fed.resilience
         cause = error.code if error is not None else "unknown"
-        if fed._stale is not None and key is not None:
-            stale = fed._stale.get(key)
+        if fed._stale is not None and outcome.key is not None:
+            stale = fed._stale.get(outcome.key)
             if stale is not None:
                 fed._m_degraded.inc(mode="stale")
-                self.warnings.append(
+                outcome.warnings.append(
                     "%s unreachable (%s); served last known good sublist"
                     % (owner, cause)
                 )
-                return list(stale), False
+                outcome.entries = list(stale)
+                return
         router = fed.replicas.get(owner)
         if router is not None:
             try:
                 entries = router.evaluate(query)
             except ReplicationError as exc:
-                self.warnings.append(
+                outcome.warnings.append(
                     "%s unreachable (%s); replica failover failed (%s)"
                     % (owner, cause, exc.code)
                 )
             else:
                 fed._m_degraded.inc(mode="replica")
-                self.warnings.append(
+                outcome.warnings.append(
                     "%s unreachable (%s); served by replica %s"
                     % (owner, cause, router.served_by[-1])
                 )
-                return entries, False
+                outcome.entries = entries
+                return
         if policy.mode == "strict":
             raise error if error is not None else NetworkError(
                 "%s unreachable" % owner, code=NetworkError.OTHER, server=owner
             )
         fed._m_degraded.inc(mode="partial")
-        self.missing_servers.append(owner)
-        self.warnings.append(
+        outcome.missing = True
+        outcome.warnings.append(
             "%s unreachable (%s); result is partial without it" % (owner, cause)
         )
-        return None, False

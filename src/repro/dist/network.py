@@ -4,10 +4,22 @@ Section 8.3's distributed evaluation claim is about *where* work happens
 and *what* gets shipped; this network makes both observable: every message
 between servers is counted, and result shipments also count the number of
 entries carried.
+
+Thread-safety: the coordinator's parallel scatter (see
+:mod:`repro.exec`) sends from several worker threads at once, so the
+counters and the optional log are guarded by one reentrant lock
+(reentrant because :class:`~repro.dist.faults.FaultInjector` extends
+:meth:`send` and calls back into it).  ``wire_latency_s`` optionally adds
+a *real* ``time.sleep`` per message -- slept outside the lock so
+concurrent sends overlap their waits, which is exactly the wall-clock
+effect the parallel benchmark measures.  It defaults to 0.0: the
+simulated model and its deterministic counters are unchanged.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import List, Optional, Tuple
 
 __all__ = ["SimulatedNetwork"]
@@ -16,10 +28,16 @@ __all__ = ["SimulatedNetwork"]
 class SimulatedNetwork:
     """Message/entry counters plus an optional log of traffic."""
 
-    def __init__(self, keep_log: bool = False):
+    def __init__(self, keep_log: bool = False, wire_latency_s: float = 0.0):
+        if wire_latency_s < 0:
+            raise ValueError("wire_latency_s must be non-negative")
+        self._lock = threading.RLock()
         self.messages = 0
         self.entries_shipped = 0
         self.keep_log = keep_log
+        #: Real seconds slept per delivered message (0.0 = purely
+        #: simulated, no wall-clock cost).
+        self.wire_latency_s = wire_latency_s
         self.log: List[Tuple[str, str, str, int]] = []
         #: Trace ids riding along logged messages, parallel to ``log``
         #: (None for untraced traffic) -- how span identity crosses the
@@ -37,17 +55,21 @@ class SimulatedNetwork:
         """Record one message; ``entry_count`` is the number of directory
         entries in its payload (0 for pure requests).  ``trace_id`` tags
         the message with the sending span's trace."""
-        self.messages += 1
-        self.entries_shipped += entry_count
-        if self.keep_log:
-            self.log.append((source, destination, kind, entry_count))
-            self.trace_ids.append(trace_id)
+        with self._lock:
+            self.messages += 1
+            self.entries_shipped += entry_count
+            if self.keep_log:
+                self.log.append((source, destination, kind, entry_count))
+                self.trace_ids.append(trace_id)
+        if self.wire_latency_s > 0:
+            time.sleep(self.wire_latency_s)
 
     def reset(self) -> None:
-        self.messages = 0
-        self.entries_shipped = 0
-        self.log = []
-        self.trace_ids = []
+        with self._lock:
+            self.messages = 0
+            self.entries_shipped = 0
+            self.log = []
+            self.trace_ids = []
 
     def __repr__(self) -> str:
         return "SimulatedNetwork(messages=%d, entries_shipped=%d)" % (

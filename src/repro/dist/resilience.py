@@ -23,6 +23,7 @@ and the chaos benchmark control time exactly.
 from __future__ import annotations
 
 import random
+import threading
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
@@ -57,12 +58,15 @@ class RetryPolicy:
         self.jitter = jitter
         self.deadline_s = deadline_s
         self._rng = random.Random(seed)
+        self._lock = threading.Lock()
 
     def backoff(self, failures: int) -> float:
         """The wait before the next attempt, after ``failures`` (>= 1)
         consecutive failures."""
         base = self.backoff_s * (self.multiplier ** (failures - 1))
-        return base * (1.0 + self.jitter * self._rng.random())
+        with self._lock:  # the seeded RNG is shared across workers
+            draw = self._rng.random()
+        return base * (1.0 + self.jitter * draw)
 
     def should_retry(self, attempts: int, now: float,
                      deadline: Optional[float]) -> bool:
@@ -110,6 +114,10 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at = 0.0
         self._probes = 0
+        # One breaker may be consulted by several scatter workers at
+        # once; state reads+transitions must be atomic or two threads can
+        # both win a half-open probe slot / tear a transition append.
+        self._lock = threading.Lock()
         #: (now, from_state, to_state) per transition, oldest first.
         self.transitions: List[Tuple[float, str, str]] = []
         self._m_transitions = (
@@ -138,29 +146,32 @@ class CircuitBreaker:
 
     def allow(self, now: float) -> bool:
         """Whether a call may be attempted at (simulated) time ``now``."""
-        if self.state == self.OPEN and now - self.opened_at >= self.reset_timeout_s:
-            self._transition(self.HALF_OPEN, now)
-        if self.state == self.CLOSED:
-            return True
-        if self.state == self.OPEN:
+        with self._lock:
+            if self.state == self.OPEN and now - self.opened_at >= self.reset_timeout_s:
+                self._transition(self.HALF_OPEN, now)
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                return False
+            if self._probes < self.half_open_probes:
+                self._probes += 1
+                return True
             return False
-        if self._probes < self.half_open_probes:
-            self._probes += 1
-            return True
-        return False
 
     def record_success(self, now: float) -> None:
-        if self.state == self.HALF_OPEN:
-            self._transition(self.CLOSED, now)
-        self.failures = 0
+        with self._lock:
+            if self.state == self.HALF_OPEN:
+                self._transition(self.CLOSED, now)
+            self.failures = 0
 
     def record_failure(self, now: float) -> None:
-        if self.state == self.HALF_OPEN:
-            self._transition(self.OPEN, now)
-            return
-        self.failures += 1
-        if self.state == self.CLOSED and self.failures >= self.failure_threshold:
-            self._transition(self.OPEN, now)
+        with self._lock:
+            if self.state == self.HALF_OPEN:
+                self._transition(self.OPEN, now)
+                return
+            self.failures += 1
+            if self.state == self.CLOSED and self.failures >= self.failure_threshold:
+                self._transition(self.OPEN, now)
 
     def open_count(self) -> int:
         """How many times the breaker has opened (for the chaos report)."""
@@ -187,23 +198,28 @@ class StaleStore:
             raise ValueError("max_keys must be positive")
         self.max_keys = max_keys
         self._entries: "OrderedDict[str, tuple]" = OrderedDict()
+        self._lock = threading.Lock()
         self.served = 0
 
     def put(self, key: str, entries: Sequence) -> None:
-        self._entries[key] = tuple(entries)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_keys:
-            self._entries.popitem(last=False)
+        frozen = tuple(entries)
+        with self._lock:
+            self._entries[key] = frozen
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_keys:
+                self._entries.popitem(last=False)
 
     def get(self, key: str) -> Optional[tuple]:
-        entries = self._entries.get(key)
-        if entries is not None:
-            self._entries.move_to_end(key)
-            self.served += 1
-        return entries
+        with self._lock:
+            entries = self._entries.get(key)
+            if entries is not None:
+                self._entries.move_to_end(key)
+                self.served += 1
+            return entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         return "StaleStore(%d keys, served=%d)" % (len(self._entries), self.served)

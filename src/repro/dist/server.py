@@ -8,6 +8,7 @@ delegated entries.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional
 
 from ..engine.engine import QueryEngine
@@ -38,6 +39,7 @@ class DirectoryServer:
         self.contexts = list(contexts)
         self._staging = DirectoryInstance(schema)
         self._engine: Optional[QueryEngine] = None
+        self._engine_lock = threading.Lock()
         self._page_size = page_size
         self._buffer_pages = buffer_pages
         #: This server's own tracer; remote calls carrying a trace context
@@ -65,14 +67,19 @@ class DirectoryServer:
 
     @property
     def engine(self) -> QueryEngine:
-        """The local query engine (built lazily from the staged entries)."""
+        """The local query engine (built lazily from the staged entries).
+        The build is locked: parallel scatter workers may race here on a
+        server's first query, and a double build would strand half the
+        loaded pages."""
         if self._engine is None:
-            self._engine = QueryEngine.from_instance(
-                self._staging,
-                page_size=self._page_size,
-                buffer_pages=self._buffer_pages,
-                tracer=self.tracer,
-            )
+            with self._engine_lock:
+                if self._engine is None:
+                    self._engine = QueryEngine.from_instance(
+                        self._staging,
+                        page_size=self._page_size,
+                        buffer_pages=self._buffer_pages,
+                        tracer=self.tracer,
+                    )
         return self._engine
 
     def evaluate_atomic(self, query: AtomicQuery, trace_context=None) -> Run:

@@ -57,12 +57,19 @@ class QueryResult:
         elapsed: float,
         cached: bool = False,
         saved_io: int = 0,
+        eval_errors: int = 0,
     ):
         self.entries = entries
         self.io = io
         self.elapsed = elapsed
         self.cached = cached
         self.saved_io = saved_io
+        #: Records skipped by operators because a value could not be
+        #: evaluated (e.g. an embedded reference failing dn coercion).
+        #: Zero for a clean answer; non-zero means the result silently
+        #: excludes that many source records -- surfaced here and in
+        #: EXPLAIN ``--analyze`` instead of being swallowed.
+        self.eval_errors = eval_errors
 
     def dns(self) -> List[str]:
         """The result dn strings, in order (convenience for tests/examples)."""
@@ -87,6 +94,7 @@ class QueryEngine:
         use_indices: bool = True,
         memory_pages: int = 4,
         tracer=None,
+        pool=None,
     ):
         self.store = store
         self.pager = store.pager
@@ -100,6 +108,16 @@ class QueryEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled and "io" not in self.tracer.probes:
             self.tracer.add_probe("io", self.pager.stats)
+        #: Optional :class:`~repro.exec.WorkerPool`: when it can run
+        #: concurrently, the two operands of a boolean node are evaluated
+        #: in parallel (they are independent subtrees; the merge is the
+        #: barrier).  None or a single-worker pool keeps evaluation
+        #: strictly sequential -- the default.
+        self.pool = pool
+        #: Per-operator skip counts collected during one run (list of
+        #: ints: appends are atomic under the GIL, so parallel subtrees
+        #: may report concurrently).
+        self._eval_error_counts: List[int] = []
 
     @classmethod
     def from_instance(
@@ -127,6 +145,7 @@ class QueryEngine:
         if isinstance(query, str):
             with self.tracer.span("parse"):
                 query = parse_query(query)
+        self._eval_error_counts = []
         before = self.pager.stats.snapshot()
         started = time.perf_counter()
         with self.tracer.span("execute") as span:
@@ -134,9 +153,12 @@ class QueryEngine:
             entries = result_run.to_list()
             result_run.free()
             span.set(rows=len(entries))
+            eval_errors = sum(self._eval_error_counts)
+            if eval_errors:
+                span.set(eval_errors=eval_errors)
         elapsed = time.perf_counter() - started
         io = self.pager.stats.since(before)
-        return QueryResult(entries, io, elapsed)
+        return QueryResult(entries, io, elapsed, eval_errors=eval_errors)
 
     # -- recursive evaluation ---------------------------------------------
 
@@ -154,11 +176,49 @@ class QueryEngine:
         mirrors the query tree exactly, which is what EXPLAIN
         ``--analyze`` walks for per-operator actuals."""
         if not self.tracer.enabled:
-            return self._evaluate_node(query)
+            result = self._evaluate_node(query)
+            if result.eval_errors:
+                self._eval_error_counts.append(result.eval_errors)
+            return result
         with self.tracer.span(_span_name(query)) as span:
             result = self._evaluate_node(query)
             span.set(rows=len(result))
+            if result.eval_errors:
+                self._eval_error_counts.append(result.eval_errors)
+                span.set(eval_errors=result.eval_errors)
             return result
+
+    def _evaluate_operands(self, children) -> List[Run]:
+        """Evaluate independent sibling subtrees, in parallel when the
+        engine has a concurrent pool (the caller's merge is the barrier).
+        Results come back in child order; on any failure every sibling's
+        run is freed before the first error re-raises."""
+        pool = self.pool
+        if pool is None or not pool.parallel or len(children) <= 1:
+            return [self.evaluate_to_run(child) for child in children]
+        context = self.tracer.context()
+
+        def evaluate(child):
+            token = self.tracer.adopt(context)
+            try:
+                return ("ok", self.evaluate_to_run(child))
+            except Exception as exc:
+                return ("err", exc)
+            finally:
+                self.tracer.release(token)
+
+        runs: List[Run] = []
+        first_error = None
+        for status, value in pool.map_ordered(evaluate, list(children)):
+            if status == "ok":
+                runs.append(value)
+            elif first_error is None:
+                first_error = value
+        if first_error is not None:
+            for run in runs:
+                run.free()
+            raise first_error
+        return runs
 
     def _evaluate_node(self, query: Query) -> Run:
         if isinstance(query, AtomicQuery):
@@ -166,8 +226,7 @@ class QueryEngine:
 
         if isinstance(query, (And, Or, Diff)):
             op = {And: "and", Or: "or", Diff: "diff"}[type(query)]
-            left = self.evaluate_to_run(query.left)
-            right = self.evaluate_to_run(query.right)
+            left, right = self._evaluate_operands((query.left, query.right))
             try:
                 return boolean_merge(self.pager, op, left, right)
             finally:

@@ -22,9 +22,9 @@ of the matched pairs.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
-from ..model.dn import DN
+from ..model.dn import DN, DNSyntaxError
 from ..query.aggregates import AggSelFilter
 from ..storage.extsort import external_sort
 from ..storage.pager import Pager
@@ -48,33 +48,51 @@ def embedded_ref_select(
     if op not in ("vd", "dv"):
         raise ValueError("unknown embedded-reference operator %r" % op)
     terms = witness_terms_of(agg_filter)
+    skipped: List[int] = [0]
     if op == "dv":
-        annotated = _annotate_dv(pager, first, second, attribute, terms, memory_pages)
+        annotated = _annotate_dv(
+            pager, first, second, attribute, terms, memory_pages, skipped
+        )
     else:
-        annotated = _annotate_vd(pager, first, second, attribute, terms, memory_pages)
+        annotated = _annotate_vd(
+            pager, first, second, attribute, terms, memory_pages, skipped
+        )
     try:
-        return select_annotated(pager, annotated, terms, agg_filter)
+        result = select_annotated(pager, annotated, terms, agg_filter)
     finally:
         annotated.free()
+    # Surface unparseable embedded references instead of dropping them
+    # silently: the count rides on the result run, up to QueryResult /
+    # EXPLAIN --analyze.
+    result.eval_errors += skipped[0]
+    return result
 
 
-def _dn_values(entry, attribute: str) -> Iterator[DN]:
-    """The dn-valued occurrences of ``attribute`` on an entry."""
+def _dn_values(entry, attribute: str, skipped: List[int]) -> Iterator[DN]:
+    """The dn-valued occurrences of ``attribute`` on an entry.
+
+    A string value that is not a parseable dn cannot be an embedded
+    reference; it is skipped and counted in ``skipped[0]`` (the paper's
+    model types the attribute as dn-valued, but real data lies).  Any
+    other error propagates -- only the expected coercion failure is
+    caught."""
     for value in entry.values(attribute):
         if isinstance(value, DN):
             yield value
         elif isinstance(value, str):
             try:
                 yield DN.parse(value)
-            except Exception:
+            except DNSyntaxError:
+                skipped[0] += 1
                 continue
 
 
-def _annotate_dv(pager, first, second, attribute, terms, memory_pages) -> Run:
+def _annotate_dv(pager, first, second, attribute, terms, memory_pages,
+                 skipped) -> Run:
     # Phase 1: explode L2 into (embedded dn key, witness) pairs.
     pairs = RunWriter(pager)
     for witness in second:
-        for target in _dn_values(witness, attribute):
+        for target in _dn_values(witness, attribute, skipped):
             pairs.append((target.key(), witness))
     pair_run = pairs.close()
     # Sort LP by the embedded dn key (same order L1 is already in).
@@ -87,12 +105,13 @@ def _annotate_dv(pager, first, second, attribute, terms, memory_pages) -> Run:
     return annotated
 
 
-def _annotate_vd(pager, first, second, attribute, terms, memory_pages) -> Run:
+def _annotate_vd(pager, first, second, attribute, terms, memory_pages,
+                 skipped) -> Run:
     # Phase 1: explode L1 into (embedded dn key, owner) pairs and sort by
     # the embedded key so they line up with L2.
     pairs = RunWriter(pager)
     for owner in first:
-        for target in _dn_values(owner, attribute):
+        for target in _dn_values(owner, attribute, skipped):
             pairs.append((target.key(), owner))
     pair_run = pairs.close()
     sorted_pairs = external_sort(

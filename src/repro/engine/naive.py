@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..model.dn import DN
+from ..model.dn import DN, DNSyntaxError
 from ..query.aggregates import AggSelFilter
 from ..query.semantics import witness_set
 from ..storage.pager import Pager
@@ -88,6 +88,8 @@ def _key_of(value):
     if isinstance(value, str):
         try:
             return DN.parse(value).key()
-        except Exception:
+        except DNSyntaxError:
+            # Only a value that genuinely is not a dn is "no reference";
+            # anything else propagates instead of vanishing.
             return None
     return None

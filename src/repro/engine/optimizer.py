@@ -239,7 +239,8 @@ class ExplainNode:
                  actual: Optional[int] = None,
                  actual_io: Optional[int] = None,
                  actual_logical_io: Optional[int] = None,
-                 elapsed: Optional[float] = None):
+                 elapsed: Optional[float] = None,
+                 eval_errors: int = 0):
         self.label = label
         self.estimate = estimate
         self.children = children
@@ -247,6 +248,9 @@ class ExplainNode:
         self.actual_io = actual_io
         self.actual_logical_io = actual_logical_io
         self.elapsed = elapsed
+        #: Source records this operator skipped because a value failed to
+        #: evaluate (see :attr:`repro.engine.engine.QueryResult.eval_errors`).
+        self.eval_errors = eval_errors
 
     def total_io(self) -> int:
         """Sum of per-operator physical transfers over the subtree."""
@@ -262,6 +266,8 @@ class ExplainNode:
         actual = "" if self.actual is None else "  actual=%d" % self.actual
         if self.actual_io is not None:
             actual += " io=%d lio=%d" % (self.actual_io, self.actual_logical_io or 0)
+        if self.eval_errors:
+            actual += " eval_errors=%d" % self.eval_errors
         line = "%s%s  (est=%.1f%s)" % ("  " * indent, self.label, self.estimate, actual)
         return "\n".join([line] + [child.render(indent + 1) for child in self.children])
 
@@ -275,6 +281,8 @@ class ExplainNode:
             node["actual_logical_io"] = self.actual_logical_io
         if self.elapsed is not None:
             node["elapsed_s"] = self.elapsed
+        if self.eval_errors:
+            node["eval_errors"] = self.eval_errors
         node["children"] = [child.as_dict() for child in self.children]
         return node
 
@@ -346,11 +354,13 @@ def explain(
                 text = "embedded %s(%s)%s" % (
                     node.op, node.attribute, " +agg" if node.agg else "")
         actual = actual_io = actual_logical = elapsed = None
+        eval_errors = 0
         if span is not None:
             actual = span.attrs.get("rows")
             actual_io = span.exclusive("io", "total")
             actual_logical = span.exclusive("io", "logical_total")
             elapsed = span.elapsed
+            eval_errors = span.attrs.get("eval_errors", 0)
         return ExplainNode(
             text,
             node_estimate,
@@ -359,6 +369,7 @@ def explain(
             actual_io=actual_io,
             actual_logical_io=actual_logical,
             elapsed=elapsed,
+            eval_errors=eval_errors,
         )
 
     root = build(query, root_span)

@@ -21,9 +21,10 @@ from __future__ import annotations
 import re
 from typing import Any, List, Optional, Sequence
 
-from ..model.dn import DN
+from ..model.dn import DN, DNSyntaxError
 from ..model.entry import Entry
 from ..model.schema import DirectorySchema
+from ..obs.metrics import get_registry
 
 __all__ = [
     "Filter",
@@ -268,18 +269,38 @@ class FilterNot(Filter):
         return "(!%s)" % _grouped(self.operand)
 
 
+def _count_eval_error(kind: str) -> None:
+    """Count one silently-absorbed evaluation failure.  The registry is
+    looked up per call (errors are rare) so a :func:`set_registry` swap
+    is always observed."""
+    get_registry().counter(
+        "repro_filter_eval_errors_total",
+        "Filter evaluations that failed to coerce a value and matched false",
+        labelnames=("kind",),
+    ).inc(kind=kind)
+
+
 def _values_equal(value: Any, target: Any) -> bool:
-    """Typed equality across the three built-in domains."""
+    """Typed equality across the three built-in domains.
+
+    A value that cannot be coerced to the comparison domain compares
+    unequal -- but only the *expected* coercion failure is absorbed
+    (``DNSyntaxError`` here, ``TypeError``/``ValueError`` for ints
+    below), and each absorption is counted in
+    ``repro_filter_eval_errors_total``; a bare ``except`` used to hide
+    genuine bugs as empty results."""
     if isinstance(value, DN) or isinstance(target, DN):
         try:
             left = value if isinstance(value, DN) else DN.parse(str(value))
             right = target if isinstance(target, DN) else DN.parse(str(target))
-        except Exception:
+        except DNSyntaxError:
+            _count_eval_error("dn-coerce")
             return False
         return left == right
     if isinstance(value, int) and not isinstance(value, bool):
         try:
             return value == int(target)
         except (TypeError, ValueError):
+            _count_eval_error("int-coerce")
             return False
     return str(value) == str(target)

@@ -18,12 +18,29 @@ it needs without coordination.
 
 :func:`get_registry` returns the process-wide default registry; services
 accept an explicit registry for isolation (tests, multi-tenant).
+
+Thread safety: registration (get-or-create) and every observation
+(``inc``/``set``/``observe``) are guarded by locks -- one per registry
+for the instrument table, one per instrument for its series -- so
+concurrent workers (the federation's scatter-gather pool) never lose
+increments or race two creations of the same instrument.  Exposition
+reads under the same locks and therefore sees consistent totals.
+
+Swapping the default registry (:func:`set_registry`) *adopts* the
+previous registry's instruments by default: handles created before the
+swap stay registered -- same objects, same totals -- in the new default,
+so long-lived layers that cached a counter keep being scraped instead of
+silently writing into a stranded registry.  Pass ``adopt=False`` for a
+hermetic swap (tests that want fresh counts); :func:`use_registry` is
+the context-manager form that restores the previous default on exit.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import threading
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -33,6 +50,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "use_registry",
 ]
 
 #: Default latency buckets, in seconds (tuned for an in-process engine).
@@ -89,6 +107,8 @@ class _Instrument:
         self.name = name
         self.help_text = help_text
         self.labelnames = tuple(labelnames)
+        #: Guards this instrument's series maps (updates and exposition).
+        self._lock = threading.Lock()
 
     def _key(self, labels: Dict[str, Any]) -> LabelKey:
         return _label_key(self.labelnames, labels)
@@ -119,29 +139,36 @@ class Counter(_Instrument):
         if amount < 0:
             raise ValueError("counters only go up (amount=%r)" % amount)
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(self._key(labels), 0)
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
 
     def expose(self) -> List[str]:
         lines = self._header()
-        for key in sorted(self._values):
+        with self._lock:
+            values = dict(self._values)
+        for key in sorted(values):
             lines.append(
                 "%s%s %s"
-                % (self.name, _render_labels(key), _format_value(self._values[key]))
+                % (self.name, _render_labels(key), _format_value(values[key]))
             )
-        if not self._values and not self.labelnames:
+        if not values and not self.labelnames:
             lines.append("%s 0" % self.name)
         return lines
 
     def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            values = dict(self._values)
         return {
             "kind": self.kind,
             "help": self.help_text,
             "values": [
                 {"labels": dict(key), "value": value}
-                for key, value in sorted(self._values.items())
+                for key, value in sorted(values.items())
             ],
         }
 
@@ -156,33 +183,42 @@ class Gauge(_Instrument):
         self._values: Dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[self._key(labels)] = value
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = value
 
     def inc(self, amount: float = 1, **labels: Any) -> None:
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(self._key(labels), 0)
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
 
     def expose(self) -> List[str]:
         lines = self._header()
-        for key in sorted(self._values):
+        with self._lock:
+            values = dict(self._values)
+        for key in sorted(values):
             lines.append(
                 "%s%s %s"
-                % (self.name, _render_labels(key), _format_value(self._values[key]))
+                % (self.name, _render_labels(key), _format_value(values[key]))
             )
-        if not self._values and not self.labelnames:
+        if not values and not self.labelnames:
             lines.append("%s 0" % self.name)
         return lines
 
     def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            values = dict(self._values)
         return {
             "kind": self.kind,
             "help": self.help_text,
             "values": [
                 {"labels": dict(key), "value": value}
-                for key, value in sorted(self._values.items())
+                for key, value in sorted(values.items())
             ],
         }
 
@@ -212,26 +248,35 @@ class Histogram(_Instrument):
 
     def observe(self, value: float, **labels: Any) -> None:
         key = self._key(labels)
-        counts = self._counts.setdefault(key, [0] * (len(self.bounds) + 1))
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                counts[i] += 1
-                break
-        else:
-            counts[-1] += 1
-        self._sums[key] = self._sums.get(key, 0.0) + value
-        self._totals[key] = self._totals.get(key, 0) + 1
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * (len(self.bounds) + 1))
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
 
     def count(self, **labels: Any) -> int:
-        return self._totals.get(self._key(labels), 0)
+        key = self._key(labels)
+        with self._lock:
+            return self._totals.get(key, 0)
 
     def sum(self, **labels: Any) -> float:
-        return self._sums.get(self._key(labels), 0.0)
+        key = self._key(labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
 
     def expose(self) -> List[str]:
         lines = self._header()
-        for key in sorted(self._counts):
-            counts = self._counts[key]
+        with self._lock:
+            series = {key: list(self._counts[key]) for key in self._counts}
+            sums = dict(self._sums)
+            totals = dict(self._totals)
+        for key in sorted(series):
+            counts = series[key]
             cumulative = 0
             for bound, count in zip(self.bounds, counts):
                 cumulative += count
@@ -250,14 +295,18 @@ class Histogram(_Instrument):
             )
             lines.append(
                 "%s_sum%s %s"
-                % (self.name, _render_labels(key), _format_value(self._sums[key]))
+                % (self.name, _render_labels(key), _format_value(sums[key]))
             )
             lines.append(
-                "%s_count%s %d" % (self.name, _render_labels(key), self._totals[key])
+                "%s_count%s %d" % (self.name, _render_labels(key), totals[key])
             )
         return lines
 
     def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            series = {key: list(self._counts[key]) for key in self._counts}
+            sums = dict(self._sums)
+            totals = dict(self._totals)
         return {
             "kind": self.kind,
             "help": self.help_text,
@@ -265,34 +314,56 @@ class Histogram(_Instrument):
             "values": [
                 {
                     "labels": dict(key),
-                    "counts": list(self._counts[key]),
-                    "sum": self._sums[key],
-                    "count": self._totals[key],
+                    "counts": series[key],
+                    "sum": sums[key],
+                    "count": totals[key],
                 }
-                for key in sorted(self._counts)
+                for key in sorted(series)
             ],
         }
 
 
 class MetricsRegistry:
-    """A named collection of instruments with unified exposition."""
+    """A named collection of instruments with unified exposition.
+
+    Get-or-create (:meth:`counter`/:meth:`gauge`/:meth:`histogram`) is
+    atomic: two threads asking for the same name always receive the same
+    instrument, never two instruments racing for the slot.
+    """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.RLock()
 
     def _register(self, instrument: _Instrument) -> _Instrument:
-        existing = self._instruments.get(instrument.name)
-        if existing is not None:
-            if type(existing) is not type(instrument) or (
-                existing.labelnames != instrument.labelnames
-            ):
-                raise ValueError(
-                    "metric %r already registered as %s%s"
-                    % (instrument.name, existing.kind, list(existing.labelnames))
-                )
-            return existing
-        self._instruments[instrument.name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is not None:
+                if type(existing) is not type(instrument) or (
+                    existing.labelnames != instrument.labelnames
+                ):
+                    raise ValueError(
+                        "metric %r already registered as %s%s"
+                        % (instrument.name, existing.kind, list(existing.labelnames))
+                    )
+                return existing
+            self._instruments[instrument.name] = instrument
+            return instrument
+
+    def adopt(self, other: "MetricsRegistry") -> int:
+        """Register every instrument of ``other`` not already present here
+        (same objects, totals preserved).  Returns how many were adopted.
+        This is what keeps live handles visible across a default-registry
+        swap."""
+        adopted = 0
+        with other._lock:
+            instruments = dict(other._instruments)
+        with self._lock:
+            for name, instrument in instruments.items():
+                if name not in self._instruments:
+                    self._instruments[name] = instrument
+                    adopted += 1
+        return adopted
 
     def counter(
         self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
@@ -316,26 +387,34 @@ class MetricsRegistry:
         )
 
     def get(self, name: str) -> Optional[_Instrument]:
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     def to_prometheus(self) -> str:
         """The whole registry in the Prometheus text exposition format."""
+        with self._lock:
+            instruments = dict(self._instruments)
         lines: List[str] = []
-        for name in self.names():
-            lines.extend(self._instruments[name].expose())
+        for name in sorted(instruments):
+            lines.extend(instruments[name].expose())
         return "\n".join(lines) + ("\n" if lines else "")
 
     def as_dict(self) -> Dict[str, Any]:
-        return {name: self._instruments[name].as_dict() for name in self.names()}
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instruments[name].as_dict() for name in sorted(instruments)}
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
@@ -346,6 +425,7 @@ class MetricsRegistry:
 
 #: The process-wide default registry.
 _REGISTRY = MetricsRegistry()
+_REGISTRY_LOCK = threading.Lock()
 
 
 def get_registry() -> MetricsRegistry:
@@ -353,9 +433,33 @@ def get_registry() -> MetricsRegistry:
     return _REGISTRY
 
 
-def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
-    """Swap the process-wide registry (tests); returns the previous one."""
+def set_registry(registry: MetricsRegistry, adopt: bool = True) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    By default the new registry adopts the previous registry's
+    instruments (same objects, totals preserved), so handles cached by
+    long-lived layers are not stranded: they keep being exposed by the
+    new default.  Pass ``adopt=False`` for a hermetic swap where the new
+    registry starts empty (old handles then write into the previous
+    registry only -- deliberate test isolation)."""
     global _REGISTRY
-    previous = _REGISTRY
-    _REGISTRY = registry
-    return previous
+    with _REGISTRY_LOCK:
+        previous = _REGISTRY
+        if adopt and registry is not previous:
+            registry.adopt(previous)
+        _REGISTRY = registry
+        return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry] = None, adopt: bool = False):
+    """Temporarily make ``registry`` (default: a fresh, empty one) the
+    process-wide default; restores the previous default on exit.  The
+    hermetic ``adopt=False`` is the default here because the scoped form
+    exists for isolation."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry, adopt=adopt)
+    try:
+        yield registry
+    finally:
+        set_registry(previous, adopt=False)

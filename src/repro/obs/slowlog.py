@@ -10,6 +10,7 @@ disposition -- enough to re-run the offender under EXPLAIN ``--analyze``.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
@@ -71,12 +72,18 @@ class SlowQueryRecord:
 
 
 class SlowQueryLog:
-    """Record searches slower than ``threshold_seconds`` (None disables)."""
+    """Record searches slower than ``threshold_seconds`` (None disables).
+
+    Safe under concurrent recording: the ring append and the ``total``
+    increment happen atomically, so the invariant ``total >= len(log)``
+    (with equality until the ring wraps) holds under any interleaving.
+    """
 
     def __init__(self, threshold_seconds: Optional[float] = None, capacity: int = 64):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.threshold_seconds = threshold_seconds
+        self._lock = threading.Lock()
         self._records: Deque[SlowQueryRecord] = deque(maxlen=capacity)
         #: Total over-threshold searches ever seen (the ring may have
         #: dropped some).
@@ -104,25 +111,29 @@ class SlowQueryLog:
             query_text, elapsed, io_total, cached, result_size,
             retries=retries, warnings=warnings,
         )
-        self._records.append(record)
-        self.total += 1
+        with self._lock:
+            self._records.append(record)
+            self.total += 1
         return record
 
     def records(self) -> List[SlowQueryRecord]:
         """The retained records, oldest first."""
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     def as_dicts(self) -> List[Dict[str, Any]]:
-        return [record.as_dict() for record in self._records]
+        return [record.as_dict() for record in self.records()]
 
     def clear(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __iter__(self):
-        return iter(self._records)
+        return iter(self.records())
 
     def __repr__(self) -> str:
         return "SlowQueryLog(threshold=%s, %d retained, %d total)" % (

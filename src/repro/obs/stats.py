@@ -17,6 +17,15 @@ free:
 Subclasses declare their counters via ``__slots__`` and accept them as
 keyword arguments in ``__init__`` (zero defaults), which is all the base
 needs to reconstruct instances generically.
+
+Concurrency: a live block that is mutated by more than one thread (the
+pager's ``IOStats`` under the federation worker pool, a shared cache's
+``CacheStats``) can have its owner's lock attached via
+:meth:`StatCounters.attach_lock`; :meth:`snapshot` and :meth:`since` then
+read all fields under that lock, so a bracketed snapshot is always a
+*consistent* point on the counter timeline -- never a torn view with one
+field from before an operation and another from after it.  Snapshots
+themselves are plain copies without the lock (immutable by convention).
 """
 
 from __future__ import annotations
@@ -29,15 +38,25 @@ __all__ = ["StatCounters"]
 class StatCounters:
     """Base class for counter blocks with snapshot/delta semantics."""
 
-    __slots__ = ()
+    __slots__ = ("_lock",)
 
     @classmethod
     def field_names(cls) -> Tuple[str, ...]:
-        """The counter names, in declaration order across the hierarchy."""
+        """The counter names, in declaration order across the hierarchy
+        (private slots such as the attached lock are not counters)."""
         names = []
         for klass in reversed(cls.__mro__):
-            names.extend(getattr(klass, "__slots__", ()))
+            names.extend(
+                name
+                for name in getattr(klass, "__slots__", ())
+                if not name.startswith("_")
+            )
         return tuple(names)
+
+    def attach_lock(self, lock) -> None:
+        """Guard :meth:`snapshot`/:meth:`since` with the owner's lock (the
+        same lock the owner holds while incrementing the counters)."""
+        self._lock = lock
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain ``{name: value}`` dict."""
@@ -46,7 +65,11 @@ class StatCounters:
     def snapshot(self) -> "StatCounters":
         """A point-in-time copy (use with :meth:`since` to bracket a
         phase)."""
-        return type(self)(**self.as_dict())
+        lock = getattr(self, "_lock", None)
+        if lock is None:
+            return type(self)(**self.as_dict())
+        with lock:
+            return type(self)(**self.as_dict())
 
     def since(self, earlier: "StatCounters") -> "StatCounters":
         """The counter-wise delta from an earlier snapshot."""
@@ -55,6 +78,13 @@ class StatCounters:
                 "cannot diff %s against %s"
                 % (type(self).__name__, type(earlier).__name__)
             )
+        lock = getattr(self, "_lock", None)
+        if lock is None:
+            return self._since(earlier)
+        with lock:
+            return self._since(earlier)
+
+    def _since(self, earlier: "StatCounters") -> "StatCounters":
         return type(self)(
             **{
                 name: getattr(self, name) - getattr(earlier, name)

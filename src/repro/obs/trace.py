@@ -21,11 +21,21 @@ Distribution: a span's identity is ``(trace_id, span_id)``.
 can ride along a remote call; the remote side passes it to
 :meth:`Tracer.span` as ``context=`` and its spans join the caller's trace
 (same ``trace_id``, parented under the caller's span id).
+
+Concurrency: the span stack is **per thread** (a worker pool's threads
+each nest their own spans), and a parallel worker inherits the
+scattering span's identity via :meth:`Tracer.adopt`.  When a span closes
+on a thread whose stack is empty, it is grafted onto its parent by id if
+the parent is still open on another thread -- so a scatter-gather keeps
+producing one connected span tree; attachment order among concurrent
+siblings follows completion order.  Root and children lists are guarded
+by one tracer lock.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from typing import Any, Dict, List, Optional
 
@@ -144,33 +154,52 @@ class _ActiveSpan:
 
     def __enter__(self) -> Span:
         span = self.span
+        tracer = self.tracer
         span._before = {
-            name: live.snapshot() for name, live in self.tracer.probes.items()
+            name: live.snapshot() for name, live in tracer.probes.items()
         }
         span._started = time.perf_counter()
-        self.tracer._stack.append(span)
+        tracer._thread_stack().append(span)
+        with tracer._lock:
+            tracer._open[span.span_id] = span
         return span
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
         span = self.span
+        tracer = self.tracer
         span.elapsed = time.perf_counter() - span._started
         # Diff only probes that existed when the span opened (a probe
         # registered mid-span has no baseline to diff against).
         for name, before in span._before.items():
-            live = self.tracer.probes.get(name)
+            live = tracer.probes.get(name)
             if live is not None:
                 span.stats[name] = live.since(before)
         span._before = {}
         if exc_type is not None:
             span.attrs["error"] = "%s: %s" % (exc_type.__name__, exc)
-        stack = self.tracer._stack
+        stack = tracer._thread_stack()
         stack.pop()
         if stack:
+            # Same-thread nesting: the parent owns its children list here.
             stack[-1].children.append(span)
-        else:
-            self.tracer.root_spans.append(span)
-            if self.tracer.keep_roots is not None:
-                del self.tracer.root_spans[: -self.tracer.keep_roots]
+            with tracer._lock:
+                tracer._open.pop(span.span_id, None)
+            return False
+        with tracer._lock:
+            tracer._open.pop(span.span_id, None)
+            parent = (
+                tracer._open.get(span.parent_id)
+                if span.parent_id is not None
+                else None
+            )
+            if parent is not None:
+                # A worker-thread span closing under a scatter span that is
+                # still open elsewhere: graft by id.
+                parent.children.append(span)
+            else:
+                tracer.root_spans.append(span)
+                if tracer.keep_roots is not None:
+                    del tracer.root_spans[: -tracer.keep_roots]
         return False
 
 
@@ -186,19 +215,44 @@ class Tracer:
         #: Completed top-level spans, oldest first (bounded by keep_roots).
         self.root_spans: List[Span] = []
         self.keep_roots = keep_roots
-        self._stack: List[Span] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        #: span_id -> Span for every span currently open on any thread.
+        self._open: Dict[str, Span] = {}
         self._ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
+
+    def _thread_stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     def add_probe(self, name: str, live: Any) -> None:
         """Register a counter block to bracket around future spans."""
         self.probes[name] = live
 
+    def adopt(self, context: Optional[Dict[str, str]]):
+        """Make ``context`` the calling thread's inherited parent: spans
+        opened on this thread with an empty stack nest under it.  Worker
+        pools call this around each task with the scattering span's
+        :meth:`context`.  Returns a token for :meth:`release`."""
+        previous = getattr(self._tls, "inherited", None)
+        self._tls.inherited = context
+        return previous
+
+    def release(self, token) -> None:
+        """Restore the inherited context replaced by :meth:`adopt`."""
+        self._tls.inherited = token
+
     def span(self, name: str, context: Optional[Dict[str, str]] = None, **attrs: Any):
         """Open a span.  ``context`` (a :meth:`context` dict from a remote
         caller) grafts this span into the caller's trace."""
-        if self._stack:
-            parent = self._stack[-1]
+        stack = self._thread_stack()
+        if not stack and context is None:
+            context = getattr(self._tls, "inherited", None)
+        if stack:
+            parent = stack[-1]
             trace_id = parent.trace_id
             parent_id = parent.span_id
         elif context is not None:
@@ -212,14 +266,16 @@ class Tracer:
 
     @property
     def current(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._thread_stack()
+        return stack[-1] if stack else None
 
     def context(self) -> Optional[Dict[str, str]]:
         """The current span's identity, as a dict that can cross a
-        process/network boundary (None outside any span)."""
+        process/network boundary (the thread's adopted context when no
+        span is open on it; None outside any span)."""
         span = self.current
         if span is None:
-            return None
+            return getattr(self._tls, "inherited", None)
         return {"trace_id": span.trace_id, "span_id": span.span_id}
 
     def last_root(self) -> Optional[Span]:
@@ -231,7 +287,7 @@ class Tracer:
     def __repr__(self) -> str:
         return "Tracer(%d roots, %d open, probes=%s)" % (
             len(self.root_spans),
-            len(self._stack),
+            len(self._open),
             sorted(self.probes),
         )
 
@@ -258,6 +314,12 @@ class NullTracer:
         return self
 
     def add_probe(self, name: str, live: Any) -> None:
+        pass
+
+    def adopt(self, context: Optional[Dict[str, str]]) -> None:
+        return None
+
+    def release(self, token) -> None:
         pass
 
     @property

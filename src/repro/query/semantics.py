@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..model.dn import DN
+from ..model.dn import DN, DNSyntaxError
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
 from .aggregates import AggSelFilter
@@ -235,7 +235,9 @@ def _as_dn(value) -> Optional[DN]:
     if isinstance(value, str):
         try:
             return DN.parse(value)
-        except Exception:
+        except DNSyntaxError:
+            # Only a value that genuinely is not a dn is "no reference";
+            # anything else propagates instead of vanishing.
             return None
     return None
 

@@ -20,6 +20,7 @@ transfers*, not bytes, which is what the theorems are about.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List
 
@@ -92,6 +93,13 @@ class Pager:
 
     :param page_size: records per page (the blocking factor ``B``).
     :param buffer_pages: buffer pool capacity in pages (main memory).
+
+    Thread safety: all page operations (and the stats increments they
+    make) run under one reentrant :attr:`lock`, and the lock is attached
+    to :attr:`stats` so bracketed snapshots are consistent.  A single
+    pager therefore survives the federation's worker pool; the external-
+    memory *model* is unchanged -- costs are counted identically, only
+    the interleaving of concurrent operations is serialised.
     """
 
     def __init__(self, page_size: int = 16, buffer_pages: int = 8):
@@ -101,7 +109,9 @@ class Pager:
             raise PagerError("buffer_pages must be >= 1")
         self.page_size = page_size
         self.buffer_pages = buffer_pages
+        self.lock = threading.RLock()
         self.stats = IOStats()
+        self.stats.attach_lock(self.lock)
         self._disk: Dict[int, List[Any]] = {}
         # page id -> (records, dirty); OrderedDict as LRU (front = oldest).
         self._pool: "OrderedDict[int, List[Any]]" = OrderedDict()
@@ -116,20 +126,22 @@ class Pager:
 
         Allocation itself transfers nothing; the page materialises on first
         write-back."""
-        page_id = self._next_page
-        self._next_page += 1
-        self.stats.allocated += 1
-        self._install(page_id, [], dirty=True)
-        return page_id
+        with self.lock:
+            page_id = self._next_page
+            self._next_page += 1
+            self.stats.allocated += 1
+            self._install(page_id, [], dirty=True)
+            return page_id
 
     def free(self, page_id: int) -> None:
         """Release a page.  Freeing discards buffered state without a
         write-back (the data is dead)."""
-        self._check_id(page_id)
-        self._pool.pop(page_id, None)
-        self._dirty.pop(page_id, None)
-        self._disk.pop(page_id, None)
-        self._freed.add(page_id)
+        with self.lock:
+            self._check_id(page_id)
+            self._pool.pop(page_id, None)
+            self._dirty.pop(page_id, None)
+            self._disk.pop(page_id, None)
+            self._freed.add(page_id)
 
     # -- page access ----------------------------------------------------------
 
@@ -138,42 +150,46 @@ class Pager:
 
         The returned list must be treated as read-only; use :meth:`write`
         to change a page."""
-        self._check_id(page_id)
-        self.stats.logical_reads += 1
-        if page_id in self._pool:
-            self._pool.move_to_end(page_id)
-            return self._pool[page_id]
-        if page_id not in self._disk:
-            raise PagerError("page %d was never written" % page_id)
-        self.stats.reads += 1
-        records = list(self._disk[page_id])
-        self._install(page_id, records, dirty=False)
-        return records
+        with self.lock:
+            self._check_id(page_id)
+            self.stats.logical_reads += 1
+            if page_id in self._pool:
+                self._pool.move_to_end(page_id)
+                return self._pool[page_id]
+            if page_id not in self._disk:
+                raise PagerError("page %d was never written" % page_id)
+            self.stats.reads += 1
+            records = list(self._disk[page_id])
+            self._install(page_id, records, dirty=False)
+            return records
 
     def write(self, page_id: int, records: List[Any]) -> None:
         """Replace a page's records (write-back is deferred to eviction or
         flush)."""
-        self._check_id(page_id)
-        if len(records) > self.page_size:
-            raise PagerError(
-                "page overflow: %d records > page_size %d"
-                % (len(records), self.page_size)
-            )
-        self.stats.logical_writes += 1
-        self._install(page_id, list(records), dirty=True)
+        with self.lock:
+            self._check_id(page_id)
+            if len(records) > self.page_size:
+                raise PagerError(
+                    "page overflow: %d records > page_size %d"
+                    % (len(records), self.page_size)
+                )
+            self.stats.logical_writes += 1
+            self._install(page_id, list(records), dirty=True)
 
     def append_page(self, records: List[Any]) -> int:
         """Allocate a page and fill it in one step (the common bulk path)."""
-        page_id = self.allocate()
-        self.write(page_id, records)
-        return page_id
+        with self.lock:
+            page_id = self.allocate()
+            self.write(page_id, records)
+            return page_id
 
     def flush(self) -> None:
         """Write back every dirty buffered page."""
-        for page_id in list(self._pool):
-            if self._dirty.get(page_id):
-                self._write_back(page_id)
-                self._dirty[page_id] = False
+        with self.lock:
+            for page_id in list(self._pool):
+                if self._dirty.get(page_id):
+                    self._write_back(page_id)
+                    self._dirty[page_id] = False
 
     # -- internals ---------------------------------------------------------
 

@@ -17,14 +17,29 @@ __all__ = ["Run", "RunWriter", "RunReader", "run_from_iterable"]
 
 
 class Run:
-    """An immutable on-"disk" sequence of records."""
+    """An immutable on-"disk" sequence of records.
 
-    __slots__ = ("pager", "page_ids", "length")
+    ``eval_errors`` counts records the producing operator *could not*
+    evaluate and had to skip (e.g. an embedded-reference value that
+    failed dn coercion).  It is 0 for every clean run; operators that
+    can skip surface their count here so callers -- the engine's
+    :class:`~repro.engine.engine.QueryResult`, EXPLAIN ``--analyze`` --
+    can report it instead of silently losing data.
+    """
 
-    def __init__(self, pager: Pager, page_ids: Sequence[int], length: int):
+    __slots__ = ("pager", "page_ids", "length", "eval_errors")
+
+    def __init__(
+        self,
+        pager: Pager,
+        page_ids: Sequence[int],
+        length: int,
+        eval_errors: int = 0,
+    ):
         self.pager = pager
         self.page_ids = tuple(page_ids)
         self.length = length
+        self.eval_errors = eval_errors
 
     def reader(self) -> "RunReader":
         return RunReader(self)
@@ -60,6 +75,8 @@ class RunWriter:
 
     def __init__(self, pager: Pager):
         self.pager = pager
+        #: Skipped-record count carried onto the produced :class:`Run`.
+        self.eval_errors = 0
         self._page_ids: List[int] = []
         self._buffer: List[Any] = []
         self._length = 0
@@ -87,7 +104,10 @@ class RunWriter:
         if self._buffer:
             self._spill()
         self._closed = True
-        return Run(self.pager, self._page_ids, self._length)
+        return Run(
+            self.pager, self._page_ids, self._length,
+            eval_errors=self.eval_errors,
+        )
 
 
 class RunReader:

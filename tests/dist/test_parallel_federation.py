@@ -1,0 +1,165 @@
+"""Parallel scatter-gather (the worker-pool execution layer): a parallel
+federation must be indistinguishable from the sequential one in
+everything but wall time -- same entries in the same order, same network
+accounting, same coordinator page I/O for atomic scatters -- and the
+resilience ladder and tracer must keep working across worker threads."""
+
+import pytest
+
+from repro.dist import FederatedDirectory
+from repro.dist.faults import FaultInjector, FaultPlan
+from repro.engine import QueryEngine
+from repro.obs.trace import Tracer
+from repro.workload import balanced_instance
+
+ATOMIC_SPANNING = "( ? sub ? kind=alpha)"
+TREE_SPANNING = "(c ( ? sub ? kind=alpha) ( ? sub ? weight>=40))"
+
+
+def _build(max_workers=1, network=None, tracer=None, leaf_cache_bytes=0):
+    instance = balanced_instance(600, fanout=4, seed=22)
+    root = next(iter(instance.roots())).dn
+    subnets = [e.dn for e in instance if e.dn.depth() == 2][:4]
+    assignments = {"hq": [root]}
+    for index, subnet in enumerate(subnets):
+        assignments["subnet%d" % index] = [subnet]
+    federation = FederatedDirectory.partition(
+        instance,
+        assignments,
+        page_size=16,
+        network=network,
+        leaf_cache_bytes=leaf_cache_bytes,
+        tracer=tracer,
+        max_workers=max_workers,
+    )
+    return instance, federation, root, subnets
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    instance, _fed, _root, _subnets = _build()
+    engine = QueryEngine.from_instance(instance, page_size=16)
+    return {
+        query: engine.run(query).dns()
+        for query in (ATOMIC_SPANNING, TREE_SPANNING)
+    }
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("query", [ATOMIC_SPANNING, TREE_SPANNING])
+    def test_parallel_matches_sequential_and_centralised(self, oracle, query):
+        _, sequential, _, _ = _build(max_workers=1)
+        _, parallel, _, _ = _build(max_workers=4)
+        try:
+            seq = sequential.query("hq", query)
+            par = parallel.query("hq", query)
+            assert par.dns() == seq.dns() == oracle[query]
+            assert par.messages == seq.messages
+            assert par.entries_shipped == seq.entries_shipped
+            assert not par.partial and not par.warnings
+        finally:
+            parallel.close()
+
+    def test_atomic_scatter_coordinator_io_is_identical(self):
+        # Remote tasks only touch remote pagers; every coordinator page
+        # operation happens at the gather barrier in owner order, so the
+        # coordinator's I/O breakdown is bit-identical at any worker count.
+        _, sequential, _, _ = _build(max_workers=1)
+        _, parallel, _, _ = _build(max_workers=4)
+        try:
+            seq = sequential.query("hq", ATOMIC_SPANNING)
+            par = parallel.query("hq", ATOMIC_SPANNING)
+            assert par.io.as_dict() == seq.io.as_dict()
+        finally:
+            parallel.close()
+
+    def test_enable_parallelism_round_trip(self, oracle):
+        _, fed, _, _ = _build(max_workers=1)
+        baseline = fed.query("hq", ATOMIC_SPANNING)
+        fed.enable_parallelism(4)
+        try:
+            assert fed.pool.parallel
+            assert fed.query("hq", ATOMIC_SPANNING).dns() == baseline.dns()
+        finally:
+            fed.enable_parallelism(1)
+        assert not fed.pool.parallel
+        assert fed.query("hq", ATOMIC_SPANNING).dns() == oracle[ATOMIC_SPANNING]
+
+
+class TestZeroOverhead:
+    def test_default_federation_never_starts_threads(self):
+        _, fed, _, _ = _build()  # max_workers defaults to 1
+        fed.query("hq", ATOMIC_SPANNING)
+        fed.query("hq", TREE_SPANNING)
+        assert fed.pool.parallel_batches == 0
+        assert fed.pool._executor is None
+
+
+class TestResilienceUnderParallelism:
+    def _crashed_fed(self, max_workers):
+        plan = FaultPlan(seed=7).crash("subnet1")
+        network = FaultInjector(plan)
+        _, fed, _, _ = _build(max_workers=max_workers, network=network)
+        fed.enable_resilience(mode="partial")
+        return fed
+
+    def test_partial_answer_matches_sequential(self):
+        sequential = self._crashed_fed(1)
+        parallel = self._crashed_fed(4)
+        try:
+            seq = sequential.query("hq", ATOMIC_SPANNING)
+            par = parallel.query("hq", ATOMIC_SPANNING)
+            assert seq.partial and par.partial
+            assert par.missing_servers == seq.missing_servers == ["subnet1"]
+            # Gathering in owner order keeps the degradation notes
+            # deterministic however the workers interleaved.
+            assert par.warnings == seq.warnings
+            assert par.dns() == seq.dns()
+            assert par.retries == seq.retries
+        finally:
+            parallel.close()
+
+    def test_breakers_are_shared_not_duplicated(self):
+        fed = self._crashed_fed(4)
+        try:
+            fed.query("hq", ATOMIC_SPANNING)
+            breaker = fed.breakers["subnet1"]
+            failures_after_first = breaker.failures
+            assert failures_after_first > 0
+            fed.query("hq", ATOMIC_SPANNING)
+            # Racing workers must get the same breaker object, so its
+            # failure history accumulates across queries.
+            assert fed.breakers["subnet1"] is breaker
+            assert breaker.failures > failures_after_first
+        finally:
+            fed.close()
+
+
+class TestTraceGrafting:
+    def test_worker_spans_join_the_coordinator_trace(self):
+        tracer = Tracer()
+        _, fed, _, subnets = _build(max_workers=4, tracer=tracer)
+        try:
+            fed.query("hq", ATOMIC_SPANNING)
+        finally:
+            fed.close()
+        root = tracer.last_root()
+        assert root is not None and root.name == "fed-query"
+        spans = list(root.walk())
+        # One connected tree: every span shares the root's trace id.
+        assert all(span.trace_id == root.trace_id for span in spans)
+        remote = [span for span in spans if span.name == "remote-atomic"]
+        assert sorted(span.attrs["server"] for span in remote) == sorted(
+            "subnet%d" % i for i in range(len(subnets))
+        )
+        # Each remote server's own tracer recorded a serve-atomic span
+        # that joined the coordinator's trace (propagated trace id,
+        # parented under that worker's remote-atomic span).
+        remote_ids = {span.span_id for span in remote}
+        for index in range(len(subnets)):
+            server = fed.servers["subnet%d" % index]
+            served = server.tracer.last_root()
+            assert served is not None and served.name == "serve-atomic"
+            assert served.trace_id == root.trace_id
+            assert served.parent_id in remote_ids
+        assert len(tracer._open) == 0

@@ -1,0 +1,118 @@
+"""The worker pool's contract: ordered gather, inline fallbacks, error
+barrier (see :mod:`repro.exec.pool`)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exec import WorkerPool
+
+
+class TestConstruction:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_default_is_sequential(self):
+        pool = WorkerPool()
+        assert not pool.parallel
+        assert pool.max_workers == 1
+
+    def test_context_manager_closes(self):
+        with WorkerPool(4) as pool:
+            pool.map_ordered(lambda x: x, [1, 2, 3])
+            assert pool._executor is not None
+        assert pool._executor is None
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+
+
+class TestInline:
+    def test_single_worker_never_spawns_threads(self):
+        pool = WorkerPool(1)
+        main = threading.current_thread()
+        seen = []
+        result = pool.map_ordered(
+            lambda x: seen.append(threading.current_thread()) or x * 2,
+            range(5),
+        )
+        assert result == [0, 2, 4, 6, 8]
+        assert all(t is main for t in seen)
+        assert pool._executor is None
+        assert pool.parallel_batches == 0
+
+    def test_single_item_runs_inline_even_when_parallel(self):
+        with WorkerPool(4) as pool:
+            main = threading.current_thread()
+            seen = []
+            pool.map_ordered(lambda x: seen.append(threading.current_thread()), [1])
+            assert seen == [main]
+            assert pool.parallel_batches == 0
+
+    def test_nested_batch_runs_inline_on_its_worker(self):
+        # A task that fans out again must not block waiting for a slot in
+        # the pool it is itself occupying.
+        with WorkerPool(2) as pool:
+
+            def inner(x):
+                assert pool.in_task
+                return x + 1
+
+            def outer(x):
+                return pool.map_ordered(inner, [x, x * 10])
+
+            result = pool.map_ordered(outer, [1, 2, 3])
+            assert result == [[2, 11], [3, 21], [4, 31]]
+            # Only the outer batch fanned out.
+            assert pool.parallel_batches == 1
+
+
+class TestParallel:
+    def test_gather_order_is_item_order(self):
+        # Later items finish first; the gather must still be in item order.
+        with WorkerPool(4) as pool:
+            delays = [0.08, 0.04, 0.02, 0.01]
+
+            def task(i):
+                time.sleep(delays[i])
+                return i
+
+            assert pool.map_ordered(task, range(4)) == [0, 1, 2, 3]
+            assert pool.parallel_batches == 1
+
+    def test_actually_concurrent(self):
+        with WorkerPool(4) as pool:
+            barrier = threading.Barrier(4, timeout=5)
+            # Four tasks can only pass a 4-party barrier if they overlap.
+            pool.map_ordered(lambda _: barrier.wait(), range(4))
+
+    def test_error_gather_waits_for_all_tasks(self):
+        with WorkerPool(4) as pool:
+            finished = []
+
+            def task(i):
+                if i == 0:
+                    raise RuntimeError("boom-%d" % i)
+                time.sleep(0.03)
+                finished.append(i)
+                return i
+
+            with pytest.raises(RuntimeError, match="boom-0"):
+                pool.map_ordered(task, range(4))
+            # No task was abandoned mid-flight behind the barrier.
+            assert sorted(finished) == [1, 2, 3]
+
+    def test_first_error_in_item_order_wins(self):
+        with WorkerPool(4) as pool:
+
+            def task(i):
+                if i >= 2:
+                    raise RuntimeError("boom-%d" % i)
+                return i
+
+            with pytest.raises(RuntimeError, match="boom-2"):
+                pool.map_ordered(task, range(4))
