@@ -90,10 +90,18 @@ class QueryCache:
     for a removed key.
     """
 
-    def __init__(self, byte_budget: int = 512 * 1024, stats: Optional[CacheStats] = None):
+    def __init__(
+        self,
+        byte_budget: int = 512 * 1024,
+        stats: Optional[CacheStats] = None,
+        log=None,
+    ):
         if byte_budget < 1:
             raise ValueError("byte_budget must be positive")
         self.byte_budget = byte_budget
+        #: Structured event logger (``cache.evict`` / ``cache.invalidate``
+        #: at debug level); None/no-op by default.
+        self.log = log
         self._lock = threading.RLock()
         self.stats = stats or CacheStats()
         self.stats.attach_lock(self._lock)
@@ -185,6 +193,11 @@ class QueryCache:
             for key in doomed:
                 self._remove(key)
             self.stats.invalidations += len(doomed)
+            if doomed and self.log is not None and self.log.enabled_for("debug"):
+                self.log.debug(
+                    "cache.invalidate", dn=str(dn), subtree=subtree,
+                    dropped=len(doomed),
+                )
             return len(doomed)
 
     def invalidate_tag(self, tag: str) -> int:
@@ -194,6 +207,8 @@ class QueryCache:
             for key in doomed:
                 self._remove(key)
             self.stats.invalidations += len(doomed)
+            if doomed and self.log is not None and self.log.enabled_for("debug"):
+                self.log.debug("cache.invalidate", tag=tag, dropped=len(doomed))
             return len(doomed)
 
     def clear(self) -> int:
@@ -220,6 +235,11 @@ class QueryCache:
             self._remove(key)
             self._floor = priority
             self.stats.evictions += 1
+            if self.log is not None and self.log.enabled_for("debug"):
+                self.log.debug(
+                    "cache.evict", query=entry.query_text,
+                    priority=round(priority, 6), bytes=entry.size_bytes,
+                )
             return
         raise RuntimeError("eviction requested from an empty cache")
 

@@ -62,14 +62,36 @@ def _engine_for(instance, args):
     )
 
 
+def _budget_from(args):
+    """A QueryBudget from the ``--max-*`` flags (None when unbounded)."""
+    max_pages = getattr(args, "max_pages", None)
+    max_wall_ms = getattr(args, "max_wall_ms", None)
+    max_entries = getattr(args, "max_entries", None)
+    if max_pages is None and max_wall_ms is None and max_entries is None:
+        return None
+    from .obs.budget import QueryBudget
+
+    return QueryBudget(
+        max_pages=max_pages,
+        max_wall_s=max_wall_ms / 1e3 if max_wall_ms is not None else None,
+        max_entries=max_entries,
+    )
+
+
 def _cmd_query(args) -> int:
+    from .obs.budget import BudgetExceeded
+
     instance = _load(args.file, args.schema)
     engine = _engine_for(instance, args)
     if args.trace:
         from .obs.trace import Tracer
 
         engine.tracer = Tracer(probes={"io": engine.pager.stats})
-    result = engine.run(args.query)
+    try:
+        result = engine.run(args.query, budget=_budget_from(args))
+    except BudgetExceeded as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     for dn in result.dns():
         print(dn)
     if args.trace:
@@ -115,6 +137,23 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _depth_quantiles(depth_counts):
+    """p50/p95/p99 of the entry-depth distribution, interpolated through
+    a fixed-bucket histogram (the same estimator the latency metrics
+    use)."""
+    if not depth_counts:
+        return None
+    from .obs.metrics import Histogram
+
+    histogram = Histogram(
+        "depth", "entry depth", buckets=sorted(depth_counts)
+    )
+    for depth, count in depth_counts.items():
+        for _ in range(count):
+            histogram.observe(depth)
+    return histogram.quantiles()
+
+
 def _cmd_stats(args) -> int:
     from .engine.stats import DirectoryStatistics
     from .storage.store import DirectoryStore
@@ -128,6 +167,7 @@ def _cmd_stats(args) -> int:
             "pages": store.page_count,
             "page_size": store.pager.page_size,
             "depths": {str(d): c for d, c in sorted(stats.depth_counts.items())},
+            "depth_quantiles": _depth_quantiles(stats.depth_counts),
             "io": store.pager.stats.as_dict(),
             "attributes": {
                 name: {
@@ -183,22 +223,56 @@ def _cmd_metrics(args) -> int:
         print(registry.to_json(indent=2))
     else:
         sys.stdout.write(registry.to_prometheus())
-    if args.slow_ms is not None and len(service.slow_queries):
-        print("-- %d slow queries (>= %gms):" % (
-            len(service.slow_queries), args.slow_ms), file=sys.stderr)
-        for record in service.slow_queries:
-            print("--   %.2fms io=%d %s" % (
-                record.elapsed * 1e3, record.io_total, record.query_text),
-                file=sys.stderr)
+    if args.slow_ms is not None:
+        summary = service.slow_query_summary()
+        quantiles = summary["latency_quantiles"]
+        if quantiles:
+            print("-- search latency: %s" % "  ".join(
+                "%s=%.2fms" % (name, value * 1e3)
+                for name, value in sorted(quantiles.items())
+            ), file=sys.stderr)
+        if len(service.slow_queries):
+            print("-- %d slow queries (>= %gms):" % (
+                len(service.slow_queries), args.slow_ms), file=sys.stderr)
+            for record in service.slow_queries:
+                trace = (
+                    " trace=%s" % record.trace_id
+                    if record.trace_id is not None else ""
+                )
+                print("--   %.2fms io=%d%s %s" % (
+                    record.elapsed * 1e3, record.io_total, trace,
+                    record.query_text),
+                    file=sys.stderr)
     return 0
 
 
+def _expand_bench_paths(paths) -> List[str]:
+    """Expand directories to the BENCH_*.json files inside them (a
+    directory with none is an error -- an empty artifact set must not
+    pass CI silently)."""
+    import glob
+    import os
+
+    expanded: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            found = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+            if not found:
+                raise SystemExit("%s: no BENCH_*.json artifacts inside" % path)
+            expanded.extend(found)
+        else:
+            expanded.append(path)
+    return expanded
+
+
 def _cmd_bench_check(args) -> int:
-    """Validate BENCH_*.json telemetry artifacts (CI's benchmark-smoke)."""
+    """Validate BENCH_*.json telemetry artifacts (CI's benchmark-smoke).
+    Accepts files or directories; every invalid artifact is listed and
+    any failure exits non-zero."""
     from .obs.telemetry import load_bench, validate_bench
 
     failures = 0
-    for path in args.files:
+    for path in _expand_bench_paths(args.files):
         try:
             payload = load_bench(path)
         except (OSError, ValueError) as exc:
@@ -216,6 +290,126 @@ def _cmd_bench_check(args) -> int:
             rows = sum(len(r) for r in tables.values())
             print("%s: ok (%d tables, %d rows)" % (path, len(tables), rows))
     return 1 if failures else 0
+
+
+def _cmd_bench_diff(args) -> int:
+    """Compare fresh benchmark artifacts against committed baselines (the
+    CI perf-gate).  Exits 1 when anything regressed beyond tolerance."""
+    import os
+
+    from .obs.telemetry import compare_bench, diff_bench_dirs, load_bench
+
+    if os.path.isdir(args.old) != os.path.isdir(args.new) and not os.path.isdir(
+        args.old
+    ):
+        raise SystemExit("old and new must both be files or both directories")
+    if os.path.isdir(args.old):
+        report = diff_bench_dirs(
+            args.old, args.new,
+            tolerance=args.tolerance,
+            timing_tolerance=args.timing_tolerance,
+        )
+        artifacts = report["artifacts"]
+    else:
+        single = compare_bench(
+            load_bench(args.old), load_bench(args.new),
+            tolerance=args.tolerance,
+            timing_tolerance=args.timing_tolerance,
+        )
+        single["artifact"] = os.path.basename(args.new)
+        artifacts = [single]
+        report = {
+            "old_dir": args.old,
+            "new_dir": args.new,
+            "tolerance": args.tolerance,
+            "timing_tolerance": args.timing_tolerance,
+            "artifacts": artifacts,
+            "regressions_total": len(single["regressions"]),
+        }
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+    for artifact in artifacts:
+        name = artifact.get("artifact", artifact.get("experiment", "?"))
+        regressions = artifact.get("regressions", [])
+        improvements = artifact.get("improvements", [])
+        if regressions:
+            print("%s: %d REGRESSION(S)" % (name, len(regressions)))
+            for entry in regressions:
+                print("  - %s" % _render_diff_entry(entry))
+        else:
+            print("%s: ok (%d fields compared, %d timing skipped%s)" % (
+                name,
+                artifact.get("compared_fields", 0),
+                artifact.get("skipped_timing_fields", 0),
+                ", %d improved" % len(improvements) if improvements else "",
+            ))
+    total = report["regressions_total"]
+    if total:
+        print("bench-diff: %d regression(s) beyond tolerance %g" % (
+            total, args.tolerance))
+        return 1
+    return 0
+
+
+def _render_diff_entry(entry) -> str:
+    where = entry.get("table", "")
+    if "row" in entry:
+        where += "[%d]" % entry["row"]
+    if "field" in entry:
+        where += ".%s" % entry["field"]
+    if "problem" in entry and "old" not in entry:
+        return "%s: %s" % (where or "artifact", entry["problem"])
+    if "change" in entry:
+        return "%s: %s -> %s (%+g%%)" % (
+            where, entry.get("old"), entry.get("new"),
+            entry["change"] * 100 if entry["change"] != "inf" else float("inf"),
+        )
+    return "%s: %s (%r -> %r)" % (
+        where, entry.get("problem", "changed"), entry.get("old"), entry.get("new"),
+    )
+
+
+def _cmd_serve_admin(args) -> int:
+    """Run a directory service with its HTTP admin endpoint up."""
+    import time as _time
+
+    from .obs.log import EventLogger
+    from .obs.trace import TraceSampler, Tracer
+    from .server.service import DirectoryService
+
+    instance = _load(args.file, args.schema)
+    log = EventLogger(min_level=args.log_level) if args.log else None
+    service = DirectoryService(
+        instance,
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+        tracer=Tracer(),
+        slow_query_seconds=(
+            args.slow_ms / 1e3 if args.slow_ms is not None else None
+        ),
+        log=log,
+        budget=_budget_from(args),
+        trace_sampler=TraceSampler(sample_rate=args.sample_rate),
+    )
+    service.bind_anonymous()
+    for query in args.query or ():
+        service.search(query)
+    server = service.serve_admin(host=args.host, port=args.port)
+    print("admin endpoint at %s (/metrics /healthz /slowlog /traces)"
+          % server.url, file=sys.stderr)
+    try:
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
 
 
 def _parse_window(text: str, what: str, parts: int):
@@ -421,12 +615,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--string-index", action="append", metavar="ATTR",
                        help="build a string index on this attribute")
 
+    def budget_flags(p):
+        p.add_argument("--max-pages", type=int, default=None, metavar="N",
+                       help="budget: cancel past N logical page transfers")
+        p.add_argument("--max-wall-ms", type=float, default=None, metavar="MS",
+                       help="budget: cancel past MS of wall clock")
+        p.add_argument("--max-entries", type=int, default=None, metavar="N",
+                       help="budget: cancel when an intermediate result "
+                            "exceeds N entries")
+
     query = sub.add_parser("query", help="run a query against an LDIF file")
     query.add_argument("file")
     query.add_argument("query", help="query in the paper's syntax")
     query.add_argument("--io", action="store_true", help="print cost to stderr")
     query.add_argument("--trace", action="store_true",
                        help="print the span trace (per-operator time and I/O) to stderr")
+    budget_flags(query)
     common(query)
     query.set_defaults(handler=_cmd_query)
 
@@ -505,9 +709,58 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_cmd.set_defaults(handler=_cmd_chaos)
 
     bench_cmd = sub.add_parser(
-        "bench-check", help="validate BENCH_*.json benchmark telemetry files")
-    bench_cmd.add_argument("files", nargs="+")
+        "bench-check",
+        help="validate BENCH_*.json benchmark telemetry files or directories")
+    bench_cmd.add_argument("files", nargs="+",
+                           help="BENCH_*.json files and/or directories of them")
     bench_cmd.set_defaults(handler=_cmd_bench_check)
+
+    diff_cmd = sub.add_parser(
+        "bench-diff",
+        help="compare benchmark artifacts against baselines and fail on "
+             "regressions (the CI perf-gate)")
+    diff_cmd.add_argument("old", help="baseline BENCH_*.json file or directory")
+    diff_cmd.add_argument("new", help="fresh BENCH_*.json file or directory")
+    diff_cmd.add_argument("--tolerance", type=float, default=0.1,
+                          help="allowed relative drift for deterministic "
+                               "fields (default 0.1)")
+    diff_cmd.add_argument("--timing-tolerance", type=float, default=None,
+                          metavar="T",
+                          help="also gate wall-clock fields, at this relative "
+                               "tolerance (skipped by default: timings are "
+                               "noisy on shared runners)")
+    diff_cmd.add_argument("--report", metavar="PATH",
+                          help="write the full diff report as JSON")
+    diff_cmd.set_defaults(handler=_cmd_bench_diff)
+
+    admin_cmd = sub.add_parser(
+        "serve-admin",
+        help="run a directory service with its HTTP admin endpoint "
+             "(/metrics /healthz /slowlog /traces)")
+    admin_cmd.add_argument("file")
+    admin_cmd.add_argument("--host", default="127.0.0.1")
+    admin_cmd.add_argument("--port", type=int, default=8389,
+                           help="port to bind (0 picks a free one)")
+    admin_cmd.add_argument("--duration", type=float, default=None,
+                           metavar="SECONDS",
+                           help="serve for this long then exit (default: "
+                                "until interrupted)")
+    admin_cmd.add_argument("--query", action="append", metavar="QUERY",
+                           help="search to run at startup so the endpoint "
+                                "has data (repeatable)")
+    admin_cmd.add_argument("--slow-ms", type=float, default=100.0, metavar="MS",
+                           help="slow-query log threshold (default 100ms)")
+    admin_cmd.add_argument("--sample-rate", type=float, default=0.0,
+                           help="tail-sample this fraction of clean queries "
+                                "into /traces (slow/degraded/budget-breached "
+                                "ones are always kept)")
+    admin_cmd.add_argument("--log", action="store_true",
+                           help="emit JSON-lines events to stderr")
+    admin_cmd.add_argument("--log-level", default="info",
+                           choices=("debug", "info", "warning", "error"))
+    budget_flags(admin_cmd)
+    common(admin_cmd)
+    admin_cmd.set_defaults(handler=_cmd_serve_admin)
 
     dump = sub.add_parser("dump-example", help="write a sample directory as LDIF")
     dump.add_argument("which", choices=("qos", "tops", "whitepages"))

@@ -122,9 +122,12 @@ class FaultInjector(SimulatedNetwork):
     """
 
     def __init__(self, plan: Optional[FaultPlan] = None, keep_log: bool = False,
-                 metrics=None, wire_latency_s: float = 0.0):
+                 metrics=None, wire_latency_s: float = 0.0, log=None):
         super().__init__(keep_log=keep_log, wire_latency_s=wire_latency_s)
         self.plan = plan or FaultPlan()
+        #: Structured event logger; each injected fault is logged as a
+        #: ``fault.injected`` event (None/no-op by default).
+        self.log = log
         self._rng = random.Random(self.plan.seed)
         #: Simulated clock, in seconds.
         self.now = 0.0
@@ -150,6 +153,10 @@ class FaultInjector(SimulatedNetwork):
         # Called with self._lock held (from send); raising releases it.
         self.faults[code] = self.faults.get(code, 0) + 1
         self._m_faults.inc(code=code)
+        if self.log is not None and self.log.enabled:
+            self.log.info(
+                "fault.injected", code=code, server=server, at=round(self.now, 6)
+            )
         raise NetworkError(message, code=code, server=server)
 
     def send(

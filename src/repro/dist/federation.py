@@ -43,6 +43,7 @@ from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
 from ..model.schema import DirectorySchema
+from ..obs.log import NULL_LOGGER
 from ..obs.metrics import get_registry
 from ..obs.trace import NULL_TRACER
 from ..query.ast import AtomicQuery, Query
@@ -110,11 +111,15 @@ class FederatedDirectory:
         tracer=None,
         metrics=None,
         max_workers: int = 1,
+        log=None,
     ):
         self.schema = schema
         self.network = network or SimulatedNetwork()
         self.locator = ServerLocator()
         self.servers: Dict[str, DirectoryServer] = {}
+        #: Structured event logger shared by the resilience ladder (see
+        #: :mod:`repro.obs.log`); no-op by default.
+        self.log = log if log is not None else NULL_LOGGER
         #: Scatter pool for remote atomic leaves.  The default single
         #: worker runs everything inline -- the historical sequential
         #: path, bit for bit (see :meth:`enable_parallelism`).
@@ -201,6 +206,7 @@ class FederatedDirectory:
         tracer=None,
         metrics=None,
         max_workers: int = 1,
+        log=None,
     ) -> "FederatedDirectory":
         """Split one logical instance across servers.
 
@@ -215,6 +221,7 @@ class FederatedDirectory:
             tracer=tracer,
             metrics=metrics,
             max_workers=max_workers,
+            log=log,
         )
         for name, contexts in assignments.items():
             dn_contexts = [
@@ -292,7 +299,7 @@ class FederatedDirectory:
             breaker = self._breakers.get(server_name)
             if breaker is None:
                 breaker = self.resilience.make_breaker(
-                    server_name, metrics=self.metrics
+                    server_name, metrics=self.metrics, log=self.log
                 )
                 self._breakers[server_name] = breaker
             return breaker
@@ -314,8 +321,15 @@ class FederatedDirectory:
 
     # -- querying ----------------------------------------------------------
 
-    def query(self, at: str, query: Union[Query, str]) -> FederatedResult:
-        """Issue ``query`` at server ``at`` and evaluate it distributedly."""
+    def query(
+        self, at: str, query: Union[Query, str], budget=None
+    ) -> FederatedResult:
+        """Issue ``query`` at server ``at`` and evaluate it distributedly.
+
+        ``budget`` caps the coordinator-side evaluation (the pages
+        materialised and merged on the queried server's pager, wall
+        clock, intermediate sizes); a breach frees every partial run and
+        raises :class:`~repro.obs.budget.BudgetExceeded`."""
         if isinstance(query, str):
             query = parse_query(query)
         coordinator = self.servers[at]
@@ -323,7 +337,7 @@ class FederatedDirectory:
         messages_before = self.network.messages
         shipped_before = self.network.entries_shipped
         with self.tracer.span("fed-query", at=at):
-            result = engine.run(query)
+            result = engine.run(query, budget=budget)
         return FederatedResult(
             result.entries,
             result.io,
@@ -427,6 +441,7 @@ class _CoordinatorEngine(QueryEngine):
             coordinator.engine.store,
             tracer=federation.tracer,
             pool=federation.pool,
+            log=federation.log,
         )
         if federation.tracer.enabled:
             # Rebind the I/O probe to *this* coordinator's pager (queries
@@ -627,6 +642,13 @@ class _CoordinatorEngine(QueryEngine):
                         break
                     outcome.retries += 1
                     fed._m_retries.inc(server=owner)
+                    if fed.log.enabled:
+                        fed.log.warning(
+                            "fed.retry",
+                            server=owner,
+                            attempt=attempts,
+                            code=exc.code,
+                        )
                     fed._sleep(policy.retry.backoff(attempts))
         self._degrade(outcome, query, last_error)
 
@@ -644,6 +666,10 @@ class _CoordinatorEngine(QueryEngine):
             stale = fed._stale.get(outcome.key)
             if stale is not None:
                 fed._m_degraded.inc(mode="stale")
+                if fed.log.enabled:
+                    fed.log.warning(
+                        "fed.degraded", server=owner, mode="stale", cause=cause
+                    )
                 outcome.warnings.append(
                     "%s unreachable (%s); served last known good sublist"
                     % (owner, cause)
@@ -661,6 +687,10 @@ class _CoordinatorEngine(QueryEngine):
                 )
             else:
                 fed._m_degraded.inc(mode="replica")
+                if fed.log.enabled:
+                    fed.log.warning(
+                        "fed.degraded", server=owner, mode="replica", cause=cause
+                    )
                 outcome.warnings.append(
                     "%s unreachable (%s); served by replica %s"
                     % (owner, cause, router.served_by[-1])
@@ -672,6 +702,10 @@ class _CoordinatorEngine(QueryEngine):
                 "%s unreachable" % owner, code=NetworkError.OTHER, server=owner
             )
         fed._m_degraded.inc(mode="partial")
+        if fed.log.enabled:
+            fed.log.warning(
+                "fed.degraded", server=owner, mode="partial", cause=cause
+            )
         outcome.missing = True
         outcome.warnings.append(
             "%s unreachable (%s); result is partial without it" % (owner, cause)

@@ -103,9 +103,11 @@ class CircuitBreaker:
         half_open_probes: int = 1,
         name: str = "",
         metrics=None,
+        log=None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be positive")
+        self._log = log
         self.failure_threshold = failure_threshold
         self.reset_timeout_s = reset_timeout_s
         self.half_open_probes = half_open_probes
@@ -134,9 +136,17 @@ class CircuitBreaker:
         if to == self.state:
             return
         self.transitions.append((now, self.state, to))
-        self.state = to
+        previous, self.state = self.state, to
         if self._m_transitions is not None:
             self._m_transitions.inc(server=self.name, to=to)
+        if self._log is not None and self._log.enabled:
+            self._log.warning(
+                "breaker.transition",
+                server=self.name,
+                at=now,
+                to=to,
+                previous=previous,
+            )
         if to == self.CLOSED:
             self.failures = 0
         elif to == self.OPEN:
@@ -258,13 +268,14 @@ class ResiliencePolicy:
         self.serve_stale = serve_stale
         self.stale_keys = stale_keys
 
-    def make_breaker(self, name: str, metrics=None) -> CircuitBreaker:
+    def make_breaker(self, name: str, metrics=None, log=None) -> CircuitBreaker:
         return CircuitBreaker(
             failure_threshold=self.breaker_failure_threshold,
             reset_timeout_s=self.breaker_reset_s,
             half_open_probes=self.breaker_half_open_probes,
             name=name,
             metrics=metrics,
+            log=log,
         )
 
     def __repr__(self) -> str:

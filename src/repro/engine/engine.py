@@ -28,6 +28,8 @@ from ..query.ast import (
     QueryError,
     SimpleAggSelect,
 )
+from ..obs.budget import BudgetExceeded
+from ..obs.log import NULL_LOGGER
 from ..obs.trace import NULL_TRACER
 from ..query.parser import parse_query
 from ..storage.pager import IOStats
@@ -95,12 +97,23 @@ class QueryEngine:
         memory_pages: int = 4,
         tracer=None,
         pool=None,
+        budget=None,
+        log=None,
     ):
         self.store = store
         self.pager = store.pager
         self.use_indices = use_indices
         #: Workspace bound for the sorts inside vd/dv (Figure 3).
         self.memory_pages = memory_pages
+        #: Engine-level default :class:`~repro.obs.budget.QueryBudget`
+        #: applied to every run (a per-call budget overrides it).  None
+        #: means unlimited -- the default, and free: no tracker is
+        #: created and the per-operator charge check is one attribute
+        #: load.
+        self.budget = budget
+        #: Structured event logger (see :mod:`repro.obs.log`); the no-op
+        #: default keeps the hot path free of formatting work.
+        self.log = log if log is not None else NULL_LOGGER
         #: Span tracer (see :mod:`repro.obs.trace`).  The default no-op
         #: tracer keeps the hot path allocation-free; pass a live
         #: :class:`~repro.obs.trace.Tracer` to record one span per
@@ -118,6 +131,10 @@ class QueryEngine:
         #: ints: appends are atomic under the GIL, so parallel subtrees
         #: may report concurrently).
         self._eval_error_counts: List[int] = []
+        #: Live :class:`~repro.obs.budget.BudgetTracker` while a budgeted
+        #: run is in flight (charged after every operator, also from
+        #: pool workers -- reads are lock-protected inside the stats).
+        self._budget_tracker = None
 
     @classmethod
     def from_instance(
@@ -139,25 +156,46 @@ class QueryEngine:
 
     # -- public API ---------------------------------------------------------
 
-    def run(self, query: Union[Query, str]) -> QueryResult:
+    def run(self, query: Union[Query, str], budget=None) -> QueryResult:
         """Evaluate a query (AST or concrete syntax); return entries plus
-        the I/O incurred."""
+        the I/O incurred.
+
+        ``budget`` (or the engine-level default) caps the evaluation; on
+        breach every intermediate run is freed and the structured
+        :class:`~repro.obs.budget.BudgetExceeded` propagates to the
+        caller -- the pager's :attr:`~repro.storage.pager.Pager.live_pages`
+        is back at its pre-query value when it does."""
         if isinstance(query, str):
             with self.tracer.span("parse"):
                 query = parse_query(query)
         self._eval_error_counts = []
+        active = budget if budget is not None else self.budget
+        self._budget_tracker = (
+            active.start(self.pager.stats) if active is not None else None
+        )
         before = self.pager.stats.snapshot()
         started = time.perf_counter()
-        with self.tracer.span("execute") as span:
-            result_run = self.evaluate_to_run(query)
-            entries = result_run.to_list()
-            result_run.free()
-            span.set(rows=len(entries))
-            eval_errors = sum(self._eval_error_counts)
-            if eval_errors:
-                span.set(eval_errors=eval_errors)
+        try:
+            with self.tracer.span("execute") as span:
+                result_run = self.evaluate_to_run(query)
+                entries = result_run.to_list()
+                result_run.free()
+                span.set(rows=len(entries))
+                eval_errors = sum(self._eval_error_counts)
+                if eval_errors:
+                    span.set(eval_errors=eval_errors)
+        finally:
+            self._budget_tracker = None
         elapsed = time.perf_counter() - started
         io = self.pager.stats.since(before)
+        if self.log.enabled_for("debug"):
+            self.log.debug(
+                "engine.run",
+                rows=len(entries),
+                pages=io.logical_total,
+                elapsed_s=round(elapsed, 6),
+                eval_errors=eval_errors or None,
+            )
         return QueryResult(entries, io, elapsed, eval_errors=eval_errors)
 
     # -- recursive evaluation ---------------------------------------------
@@ -179,6 +217,7 @@ class QueryEngine:
             result = self._evaluate_node(query)
             if result.eval_errors:
                 self._eval_error_counts.append(result.eval_errors)
+            self._charge(result)
             return result
         with self.tracer.span(_span_name(query)) as span:
             result = self._evaluate_node(query)
@@ -186,7 +225,23 @@ class QueryEngine:
             if result.eval_errors:
                 self._eval_error_counts.append(result.eval_errors)
                 span.set(eval_errors=result.eval_errors)
+            self._charge(result)
             return result
+
+    def _charge(self, result: Run) -> None:
+        """Check the run's budget after one operator; on breach free the
+        operator's own result before the error propagates (the operand
+        runs are already freed by :meth:`_evaluate_node`'s ``finally``
+        blocks, and in-flight sibling runs by :meth:`_evaluate_operands`),
+        keeping the cancellation leak-free end to end."""
+        tracker = self._budget_tracker
+        if tracker is None:
+            return
+        try:
+            tracker.charge(result_entries=len(result))
+        except BudgetExceeded:
+            result.free()
+            raise
 
     def _evaluate_operands(self, children) -> List[Run]:
         """Evaluate independent sibling subtrees, in parallel when the
@@ -195,7 +250,15 @@ class QueryEngine:
         run is freed before the first error re-raises."""
         pool = self.pool
         if pool is None or not pool.parallel or len(children) <= 1:
-            return [self.evaluate_to_run(child) for child in children]
+            sequential: List[Run] = []
+            try:
+                for child in children:
+                    sequential.append(self.evaluate_to_run(child))
+            except BaseException:
+                for run in sequential:
+                    run.free()
+                raise
+            return sequential
         context = self.tracer.context()
 
         def evaluate(child):
@@ -234,11 +297,12 @@ class QueryEngine:
                 right.free()
 
         if isinstance(query, HierarchySelect):
-            first = self.evaluate_to_run(query.first)
-            second = self.evaluate_to_run(query.second)
-            third = (
-                self.evaluate_to_run(query.third) if query.third is not None else None
-            )
+            operands = [query.first, query.second]
+            if query.third is not None:
+                operands.append(query.third)
+            runs = self._evaluate_operands(operands)
+            first, second = runs[0], runs[1]
+            third = runs[2] if query.third is not None else None
             try:
                 return hierarchical_select(
                     self.pager, query.op, first, second, third, query.agg
@@ -257,8 +321,7 @@ class QueryEngine:
                 operand.free()
 
         if isinstance(query, EmbeddedRef):
-            first = self.evaluate_to_run(query.first)
-            second = self.evaluate_to_run(query.second)
+            first, second = self._evaluate_operands((query.first, query.second))
             try:
                 return embedded_ref_select(
                     self.pager,

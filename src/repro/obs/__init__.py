@@ -14,9 +14,19 @@ The paper proves per-operator I/O bounds; this package makes them
   exposition;
 - :mod:`repro.obs.slowlog` -- the bounded slow-query log;
 - :mod:`repro.obs.telemetry` -- the ``BENCH_<experiment>.json`` emitter
-  behind the benchmark suite.
+  behind the benchmark suite, plus the bench-regression gate
+  (:func:`~repro.obs.telemetry.compare_bench`);
+- :mod:`repro.obs.log` -- JSON-lines structured event logging with
+  trace/span correlation (no-op by default, like the tracer);
+- :mod:`repro.obs.budget` -- per-query resource budgets enforced at
+  operator boundaries;
+- :mod:`repro.obs.httpd` -- the stdlib HTTP admin endpoint
+  (``/metrics``, ``/healthz``, ``/slowlog``, ``/traces``).
 """
 
+from .budget import BudgetExceeded, BudgetTracker, QueryBudget
+from .httpd import AdminServer
+from .log import CapturingLogger, EventLogger, NULL_LOGGER, NullLogger
 from .metrics import (
     Counter,
     Gauge,
@@ -27,22 +37,39 @@ from .metrics import (
 )
 from .slowlog import SlowQueryLog, SlowQueryRecord
 from .stats import StatCounters
-from .telemetry import BenchEmitter, load_bench, validate_bench
-from .trace import NULL_TRACER, NullTracer, Span, Tracer
+from .telemetry import (
+    BenchEmitter,
+    compare_bench,
+    diff_bench_dirs,
+    load_bench,
+    validate_bench,
+)
+from .trace import NULL_TRACER, NullTracer, Span, TraceSampler, Tracer
 
 __all__ = [
+    "AdminServer",
     "BenchEmitter",
+    "BudgetExceeded",
+    "BudgetTracker",
+    "CapturingLogger",
     "Counter",
+    "EventLogger",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_LOGGER",
     "NULL_TRACER",
+    "NullLogger",
     "NullTracer",
+    "QueryBudget",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",
     "StatCounters",
+    "TraceSampler",
     "Tracer",
+    "compare_bench",
+    "diff_bench_dirs",
     "get_registry",
     "load_bench",
     "set_registry",

@@ -1,0 +1,195 @@
+"""Per-query resource budgets: cancel runaway queries at operator
+boundaries.
+
+The evaluation-complexity literature (nesting depth of operators) is
+blunt about directory queries: most are a handful of page transfers, a
+few -- deep ``dc``/``eragg`` towers over big subtrees -- are explosive.
+A service that must stay responsive for everyone cannot let one of the
+explosive ones monopolise the pager, so a :class:`QueryBudget` puts hard
+ceilings on what a single evaluation may consume:
+
+- ``max_pages`` -- logical page I/O (the paper's cost unit, via the
+  pager's :class:`~repro.storage.pager.IOStats` bracketing);
+- ``max_wall_s`` -- wall-clock seconds;
+- ``max_entries`` -- the size of any materialised intermediate result.
+
+Enforcement piggybacks on the engine's existing operator bracketing:
+after every query-tree node the engine charges the live
+:class:`BudgetTracker`, which raises a structured :class:`BudgetExceeded`
+on breach.  The engine guarantees the cancellation is *leak-free* --
+every intermediate :class:`~repro.storage.runs.Run` materialised so far
+is freed before the error propagates, so
+:attr:`~repro.storage.pager.Pager.live_pages` returns to its pre-query
+value.  Budgets are enforced between operators, not inside one, so a
+breach is detected within one operator's worth of work of the ceiling.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["BudgetExceeded", "QueryBudget", "BudgetTracker"]
+
+
+class BudgetExceeded(RuntimeError):
+    """A query crossed its resource budget and was cancelled.
+
+    Structured: ``resource`` names the breached ceiling (one of
+    :attr:`PAGES`/:attr:`WALL_CLOCK`/:attr:`ENTRIES`), ``limit`` the
+    configured bound and ``used`` the observed consumption at the breach.
+    ``query_text`` and ``trace_id`` are filled in by the layer that knows
+    them (the service), so the error joins the slow-query log and the
+    trace export.
+    """
+
+    PAGES = "pages"
+    WALL_CLOCK = "wall_clock"
+    ENTRIES = "entries"
+
+    def __init__(
+        self,
+        resource: str,
+        limit: float,
+        used: float,
+        query_text: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ):
+        super().__init__(
+            "query budget exceeded: %s used %s of at most %s"
+            % (resource, _short(used), _short(limit))
+        )
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.query_text = query_text
+        self.trace_id = trace_id
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "resource": self.resource,
+            "limit": self.limit,
+            "used": self.used,
+        }
+        if self.query_text is not None:
+            payload["query"] = self.query_text
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        return payload
+
+    def __repr__(self) -> str:
+        return "BudgetExceeded(%s, used=%s, limit=%s)" % (
+            self.resource, _short(self.used), _short(self.limit),
+        )
+
+
+def _short(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return "%d" % int(value)
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+class QueryBudget:
+    """Immutable ceilings for one query's evaluation (None = unlimited).
+
+    A budget object is reusable and thread-safe (it holds no mutable
+    state); :meth:`start` creates the per-run :class:`BudgetTracker`.
+    """
+
+    __slots__ = ("max_pages", "max_wall_s", "max_entries")
+
+    def __init__(
+        self,
+        max_pages: Optional[int] = None,
+        max_wall_s: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ):
+        for name, value in (
+            ("max_pages", max_pages),
+            ("max_wall_s", max_wall_s),
+            ("max_entries", max_entries),
+        ):
+            if value is not None and value < 0:
+                raise ValueError("%s must be non-negative" % name)
+        if max_pages is None and max_wall_s is None and max_entries is None:
+            raise ValueError("a budget needs at least one ceiling")
+        self.max_pages = max_pages
+        self.max_wall_s = max_wall_s
+        self.max_entries = max_entries
+
+    def start(self, stats, clock=time.perf_counter) -> "BudgetTracker":
+        """Begin tracking one evaluation against ``stats`` (a live
+        :class:`~repro.storage.pager.IOStats`-like counter block)."""
+        return BudgetTracker(self, stats, clock=clock)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if getattr(self, name) is not None
+        }
+
+    def __repr__(self) -> str:
+        limits = ", ".join(
+            "%s=%s" % (k, v) for k, v in sorted(self.as_dict().items())
+        )
+        return "QueryBudget(%s)" % limits
+
+
+class BudgetTracker:
+    """One evaluation's consumption against a :class:`QueryBudget`.
+
+    Created by :meth:`QueryBudget.start`; the engine calls
+    :meth:`charge` after each operator.  The tracker never mutates the
+    counters it watches -- it brackets them with the shared
+    snapshot/since protocol.
+    """
+
+    __slots__ = ("budget", "_stats", "_clock", "_before", "_started")
+
+    def __init__(self, budget: QueryBudget, stats, clock=time.perf_counter):
+        self.budget = budget
+        self._stats = stats
+        self._clock = clock
+        self._before = stats.snapshot() if stats is not None else None
+        self._started = clock()
+
+    def pages_used(self) -> int:
+        if self._stats is None or self._before is None:
+            return 0
+        return self._stats.since(self._before).logical_total
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def charge(self, result_entries: int = 0) -> None:
+        """Check every ceiling; raises :class:`BudgetExceeded` on the
+        first breach.  ``result_entries`` is the size of the operator
+        result just materialised."""
+        budget = self.budget
+        if budget.max_pages is not None:
+            used = self.pages_used()
+            if used > budget.max_pages:
+                raise BudgetExceeded(BudgetExceeded.PAGES, budget.max_pages, used)
+        if budget.max_wall_s is not None:
+            elapsed = self.elapsed()
+            if elapsed > budget.max_wall_s:
+                raise BudgetExceeded(
+                    BudgetExceeded.WALL_CLOCK, budget.max_wall_s, elapsed
+                )
+        if budget.max_entries is not None and result_entries > budget.max_entries:
+            raise BudgetExceeded(
+                BudgetExceeded.ENTRIES, budget.max_entries, result_entries
+            )
+
+    def usage(self) -> Dict[str, Any]:
+        """Point-in-time consumption (for logs and error reports)."""
+        return {
+            "pages": self.pages_used(),
+            "wall_s": round(self.elapsed(), 6),
+        }
+
+    def __repr__(self) -> str:
+        return "BudgetTracker(%r, %s)" % (self.budget, self.usage())

@@ -1,0 +1,239 @@
+"""The HTTP admin endpoint: scrape the operations plane from outside.
+
+Everything PR 2 made measurable in-process becomes reachable over HTTP,
+with no dependency beyond the stdlib (``http.server`` on a daemon
+thread):
+
+==========  ============================================================
+path        payload
+==========  ============================================================
+/metrics    the metrics registry in Prometheus text exposition format --
+            byte-identical to ``MetricsRegistry.to_prometheus()`` (the
+            same function ``python -m repro metrics`` prints through)
+/healthz    liveness JSON: status, uptime, plus whatever the owner's
+            ``health`` callable reports (entry counts, compactions, ...)
+/slowlog    the slow-query ring as JSON, newest last, with a latency
+            summary (p50/p95/p99 interpolated from the search-latency
+            histogram when one is registered)
+/traces     the :class:`~repro.obs.trace.TraceSampler`'s retained tail
+            samples (slow / degraded / budget-breached queries) as JSON
+==========  ============================================================
+
+:class:`AdminServer` serves a *snapshot view*: handlers only read the
+registry, ring and sampler under their own locks, so scrapes never block
+query traffic.  ``port=0`` binds an ephemeral port (tests);
+:attr:`AdminServer.url` is the resolved base URL.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from .log import NULL_LOGGER
+from .metrics import Histogram, MetricsRegistry, get_registry
+
+__all__ = ["AdminServer"]
+
+#: The histogram ``/slowlog`` summarises (the service's latency metric).
+SEARCH_LATENCY_METRIC = "repro_search_seconds"
+
+
+class AdminServer:
+    """The operations-plane HTTP endpoint, on a daemon thread.
+
+    :param registry: metrics registry to expose (process default when
+        omitted).
+    :param slow_queries: a :class:`~repro.obs.slowlog.SlowQueryLog`
+        (``/slowlog`` serves an empty ring without one).
+    :param sampler: a :class:`~repro.obs.trace.TraceSampler`
+        (``/traces`` serves an empty list without one).
+    :param health: zero-argument callable returning extra ``/healthz``
+        fields.
+    :param log: an :class:`~repro.obs.log.EventLogger`; requests are
+        logged at debug level.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        slow_queries=None,
+        sampler=None,
+        health: Optional[Callable[[], Dict[str, Any]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        log=None,
+    ):
+        self.registry = registry if registry is not None else get_registry()
+        self.slow_queries = slow_queries
+        self.sampler = sampler
+        self.health = health
+        self.log = log if log is not None else NULL_LOGGER
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "AdminServer":
+        """Bind and serve on a daemon thread; returns self (the bound
+        address is in :attr:`address`/:attr:`url`)."""
+        if self._httpd is not None:
+            raise RuntimeError("admin server already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
+        self._httpd.daemon_threads = True
+        self._started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-admin",
+            daemon=True,
+        )
+        self._thread.start()
+        if self.log.enabled:
+            self.log.info("admin.start", url=self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+        if self.log.enabled:
+            self.log.info("admin.stop")
+
+    close = stop
+
+    def __enter__(self) -> "AdminServer":
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` (None before :meth:`start`)."""
+        if self._httpd is None:
+            return None
+        host, port = self._httpd.server_address[:2]
+        return (host, port)
+
+    @property
+    def url(self) -> Optional[str]:
+        address = self.address
+        if address is None:
+            return None
+        return "http://%s:%d" % address
+
+    # -- payloads ----------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        return self.registry.to_prometheus()
+
+    def healthz(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started_at, 3),
+        }
+        if self.health is not None:
+            payload.update(self.health())
+        return payload
+
+    def slowlog(self) -> Dict[str, Any]:
+        log = self.slow_queries
+        payload: Dict[str, Any] = {
+            "threshold_s": getattr(log, "threshold_seconds", None),
+            "total": getattr(log, "total", 0),
+            "records": log.as_dicts() if log is not None else [],
+        }
+        histogram = self.registry.get(SEARCH_LATENCY_METRIC)
+        if isinstance(histogram, Histogram):
+            payload["latency_quantiles"] = histogram.quantiles()
+        return payload
+
+    def traces(self) -> Dict[str, Any]:
+        sampler = self.sampler
+        return {
+            "offered": getattr(sampler, "offered", 0),
+            "kept": getattr(sampler, "kept", 0),
+            "traces": sampler.traces() if sampler is not None else [],
+        }
+
+    def __repr__(self) -> str:
+        return "AdminServer(%s)" % (self.url or "stopped")
+
+
+def _make_handler(server: AdminServer):
+    """The request handler class bound to one :class:`AdminServer`."""
+
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server naming
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path == "/metrics":
+                    body = server.metrics_text().encode("utf-8")
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/healthz":
+                    body = _json_body(server.healthz())
+                    content_type = "application/json"
+                elif path == "/slowlog":
+                    body = _json_body(server.slowlog())
+                    content_type = "application/json"
+                elif path == "/traces":
+                    body = _json_body(server.traces())
+                    content_type = "application/json"
+                else:
+                    self._reply(
+                        404,
+                        _json_body({"error": "no such endpoint", "path": path}),
+                        "application/json",
+                    )
+                    return
+            except Exception as exc:  # defensive: a scrape must not kill serving
+                self._reply(
+                    500,
+                    _json_body({"error": "%s: %s" % (type(exc).__name__, exc)}),
+                    "application/json",
+                )
+                return
+            self._reply(200, body, content_type)
+
+        def _reply(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            if server.log.enabled:
+                server.log.debug(
+                    "admin.request", path=self.path, status=status,
+                    bytes=len(body),
+                )
+
+        def log_message(self, format: str, *args: Any) -> None:
+            # http.server's stderr chatter is replaced by the event log.
+            pass
+
+    return _Handler
+
+
+def _json_body(payload: Dict[str, Any]) -> bytes:
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")

@@ -264,6 +264,44 @@ class Histogram(_Instrument):
         with self._lock:
             return self._totals.get(key, 0)
 
+    #: The quantiles :meth:`quantiles` and :meth:`as_dict` report.
+    REPORTED_QUANTILES = (0.5, 0.95, 0.99)
+
+    def quantile(self, q: float, **labels: Any) -> Optional[float]:
+        """The estimated ``q``-quantile, linearly interpolated inside the
+        fixed buckets (the ``histogram_quantile`` estimator).  Values in
+        the overflow (+Inf) bucket clamp to the top bound; returns None
+        with no observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            total = self._totals.get(key, 0)
+            if counts is None or total == 0:
+                return None
+            counts = list(counts)
+        rank = q * total
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            in_bucket = counts[i]
+            if cumulative + in_bucket >= rank and in_bucket > 0:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                fraction = (rank - cumulative) / in_bucket
+                return lower + (bound - lower) * fraction
+            cumulative += in_bucket
+        return float(self.bounds[-1])
+
+    def quantiles(self, **labels: Any) -> Optional[Dict[str, float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` or None when empty."""
+        estimates = {}
+        for q in self.REPORTED_QUANTILES:
+            value = self.quantile(q, **labels)
+            if value is None:
+                return None
+            estimates["p%g" % (q * 100)] = value
+        return estimates
+
     def sum(self, **labels: Any) -> float:
         key = self._key(labels)
         with self._lock:
@@ -317,6 +355,7 @@ class Histogram(_Instrument):
                     "counts": series[key],
                     "sum": sums[key],
                     "count": totals[key],
+                    "quantiles": self.quantiles(**dict(key)),
                 }
                 for key in sorted(series)
             ],

@@ -24,11 +24,14 @@ class SlowQueryRecord:
     (remote attempts beyond the first; stale/replica/partial notes) --
     zero/empty for ordinary local searches, and omitted from
     :meth:`as_dict` in that case so existing consumers see no change.
+    ``trace_id`` (set when the service runs under a live tracer) joins a
+    slow-log hit to its sampled span tree in the ``/traces`` export; it
+    is likewise omitted when absent.
     """
 
     __slots__ = (
         "query_text", "elapsed", "io_total", "cached", "result_size",
-        "retries", "warnings",
+        "retries", "warnings", "trace_id",
     )
 
     def __init__(
@@ -40,6 +43,7 @@ class SlowQueryRecord:
         result_size: int,
         retries: int = 0,
         warnings: Tuple[str, ...] = (),
+        trace_id: Optional[str] = None,
     ):
         self.query_text = query_text
         self.elapsed = elapsed
@@ -48,6 +52,7 @@ class SlowQueryRecord:
         self.result_size = result_size
         self.retries = retries
         self.warnings = tuple(warnings)
+        self.trace_id = trace_id
 
     def as_dict(self) -> Dict[str, Any]:
         payload = {
@@ -61,6 +66,8 @@ class SlowQueryRecord:
             payload["retries"] = self.retries
         if self.warnings:
             payload["warnings"] = list(self.warnings)
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         return payload
 
     def __repr__(self) -> str:
@@ -102,6 +109,7 @@ class SlowQueryLog:
         result_size: int = 0,
         retries: int = 0,
         warnings: Tuple[str, ...] = (),
+        trace_id: Optional[str] = None,
     ) -> Optional[SlowQueryRecord]:
         """Log the search if it crossed the threshold; returns the record
         (or None when under threshold / disabled)."""
@@ -109,7 +117,7 @@ class SlowQueryLog:
             return None
         record = SlowQueryRecord(
             query_text, elapsed, io_total, cached, result_size,
-            retries=retries, warnings=warnings,
+            retries=retries, warnings=warnings, trace_id=trace_id,
         )
         with self._lock:
             self._records.append(record)

@@ -35,11 +35,13 @@ by one tracer lock.
 from __future__ import annotations
 
 import itertools
+import random
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "Tracer", "TraceSampler", "NullTracer", "NULL_TRACER"]
 
 
 class Span:
@@ -337,6 +339,90 @@ class NullTracer:
 
     def __repr__(self) -> str:
         return "NullTracer()"
+
+
+class TraceSampler:
+    """A bounded tail-sampler of *interesting* query traces.
+
+    Head sampling (decide before running) cannot know which queries will
+    matter; this sampler decides at the **tail**, once the outcome is
+    known: a query that was slow, degraded or budget-breached is always
+    kept (its ``reasons`` say why), and clean queries are kept with
+    probability ``sample_rate`` (seeded -- deterministic per process).
+    ``sample_rate=0`` keeps only the interesting tail, which is the
+    production default: the sampler then does no RNG draw at all on the
+    clean path.
+
+    Retention is a ring of ``capacity`` sampled traces (newest wins);
+    each sample carries the query text, latency, reasons and -- when the
+    service traces -- the full span tree, so ``/traces`` exports
+    joinable evidence for every slow-log line.
+    """
+
+    def __init__(self, capacity: int = 64, sample_rate: float = 0.0, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.capacity = capacity
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        #: Queries offered / retained since construction.
+        self.offered = 0
+        self.kept = 0
+
+    def offer(
+        self,
+        root: Optional["Span"],
+        elapsed: float,
+        query_text: str = "",
+        trace_id: Optional[str] = None,
+        reasons: Sequence[str] = (),
+    ) -> bool:
+        """Tail-decide one finished query; returns whether it was kept.
+
+        ``root`` is the query's root span (None when tracing is off --
+        the sample then carries metadata only); ``reasons`` is the
+        outcome evidence ("slow", "degraded", "budget", ...)."""
+        keep_reasons = list(reasons)
+        with self._lock:
+            self.offered += 1
+            if not keep_reasons:
+                if self.sample_rate <= 0.0:
+                    return False
+                if self._rng.random() >= self.sample_rate:
+                    return False
+                keep_reasons = ["sampled"]
+            sample: Dict[str, Any] = {
+                "trace_id": trace_id or (root.trace_id if root is not None else None),
+                "query": query_text,
+                "elapsed_s": elapsed,
+                "reasons": keep_reasons,
+                "spans": root.as_dict() if root is not None else None,
+            }
+            self._ring.append(sample)
+            self.kept += 1
+            return True
+
+    def traces(self) -> List[Dict[str, Any]]:
+        """The retained samples, oldest first."""
+        with self._lock:
+            return [dict(sample) for sample in self._ring]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        return "TraceSampler(%d/%d retained, offered=%d, rate=%g)" % (
+            len(self), self.capacity, self.offered, self.sample_rate,
+        )
 
 
 #: The process-wide disabled tracer (the default everywhere).

@@ -29,6 +29,9 @@ from ..engine.engine import QueryEngine
 from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
+from ..obs.budget import BudgetExceeded
+from ..obs.httpd import AdminServer
+from ..obs.log import NULL_LOGGER
 from ..obs.metrics import get_registry
 from ..obs.slowlog import SlowQueryLog
 from ..obs.trace import NULL_TRACER
@@ -54,6 +57,9 @@ class ResultCode:
     COMPARE_TRUE = "compareTrue"
     COMPARE_FALSE = "compareFalse"
     PROTOCOL_ERROR = "protocolError"
+    #: A query cancelled by its resource budget (LDAP's code for a
+    #: server-imposed administrative limit).
+    ADMIN_LIMIT_EXCEEDED = "adminLimitExceeded"
 
 
 class ServiceError(RuntimeError):
@@ -71,6 +77,9 @@ class SearchResult:
     logical page I/O that avoided.  ``warnings`` carries degradation
     notes when the service fronts a federation (stale sublists, replica
     failovers, missing servers); an empty list is a clean answer.
+    ``budget_error`` holds the structured
+    :class:`~repro.obs.budget.BudgetExceeded` when the search was
+    cancelled by its resource budget (code ``adminLimitExceeded``).
     """
 
     def __init__(
@@ -81,6 +90,7 @@ class SearchResult:
         cached: bool = False,
         saved_io: int = 0,
         warnings: Optional[List[str]] = None,
+        budget_error: Optional[BudgetExceeded] = None,
     ):
         self.code = code
         self.entries = entries
@@ -88,6 +98,7 @@ class SearchResult:
         self.cached = cached
         self.saved_io = saved_io
         self.warnings = list(warnings or [])
+        self.budget_error = budget_error
 
     def dns(self) -> List[str]:
         return [str(entry.dn) for entry in self.entries]
@@ -114,6 +125,9 @@ class DirectoryService:
         metrics=None,
         slow_query_seconds: Optional[float] = None,
         slow_log_capacity: int = 64,
+        log=None,
+        budget=None,
+        trace_sampler=None,
     ):
         #: Span tracer for per-search phase timing and I/O attribution
         #: (disabled -- and free -- by default).
@@ -121,6 +135,17 @@ class DirectoryService:
         #: The metrics registry this service reports into (the process-wide
         #: default unless an isolated one is supplied).
         self.metrics = metrics if metrics is not None else get_registry()
+        #: Structured event logger (see :mod:`repro.obs.log`); the no-op
+        #: default writes nothing and costs one attribute read per guard.
+        self.log = log if log is not None else NULL_LOGGER
+        #: Service-wide default :class:`~repro.obs.budget.QueryBudget`
+        #: applied to every search (per-call budgets override it); None
+        #: means unlimited.
+        self.budget = budget
+        #: Optional :class:`~repro.obs.trace.TraceSampler` retaining the
+        #: interesting tail (slow / degraded / budget-breached searches)
+        #: for the admin endpoint's ``/traces``.
+        self.sampler = trace_sampler
         #: Searches slower than ``slow_query_seconds`` land here (None
         #: disables the log).
         self.slow_queries = SlowQueryLog(slow_query_seconds, slow_log_capacity)
@@ -162,6 +187,11 @@ class DirectoryService:
             "repro_degraded_searches_total",
             "Searches answered with degradation warnings",
         )
+        self._m_budget_exceeded = self.metrics.counter(
+            "repro_budget_exceeded_total",
+            "Searches cancelled by a resource budget",
+            labelnames=("resource",),
+        )
         #: Default-open when no ACL is supplied.
         self.acl = acl or AccessControlList(default_allow=True)
         self.credential_attribute = credential_attribute
@@ -172,7 +202,7 @@ class DirectoryService:
         #: re-filtered per bound subject on every hit.  ``cache_bytes=0``
         #: disables caching.
         self.cache: Optional[QueryCache] = (
-            QueryCache(byte_budget=cache_bytes) if cache_bytes else None
+            QueryCache(byte_budget=cache_bytes, log=self.log) if cache_bytes else None
         )
         self._invalidator: Optional[UpdateLogInvalidator] = (
             UpdateLogInvalidator(self.directory, self.cache)
@@ -233,7 +263,9 @@ class DirectoryService:
                 self.directory.compact()
             generation = self.directory.compactions
         if self._engine is None or generation != self._engine_generation:
-            self._engine = QueryEngine(self.directory.store, tracer=self.tracer)
+            self._engine = QueryEngine(
+                self.directory.store, tracer=self.tracer, log=self.log
+            )
             self._engine_generation = generation
         return self._engine
 
@@ -254,18 +286,22 @@ class DirectoryService:
             query = parse_query(query)
         return query
 
-    def _result_entries(self, query: Query) -> Tuple[List[Entry], bool, int, List[str], int]:
+    def _result_entries(
+        self, query: Query, budget=None
+    ) -> Tuple[List[Entry], bool, int, List[str], int]:
         """The query's full pre-ACL result, served from the semantic cache
         when possible.  Returns (entries, was a cache hit, logical page
         I/O the evaluation cost / a hit saved, degradation warnings,
-        remote retries)."""
+        remote retries).  ``budget`` caps the evaluation; a breach
+        propagates as :class:`~repro.obs.budget.BudgetExceeded` (cache
+        hits are never charged -- a served result costs no page I/O)."""
         if self._federation is not None:
             # Federation frontend: the distributed evaluation brings its
             # own leaf cache, retries and degradation ladder; the local
             # semantic cache is bypassed (its invalidation only sees local
             # updates, not remote ones).
             federation, at = self._federation
-            fed_result = federation.query(at, query)
+            fed_result = federation.query(at, query, budget=budget)
             cost = fed_result.io.logical_reads + fed_result.io.logical_writes
             self._m_search_io.observe(cost)
             return (
@@ -286,7 +322,7 @@ class DirectoryService:
                 return list(hit.entries), True, hit.cost_io, [], 0
             self._m_cache_lookups.inc(outcome="miss")
         engine = self._engine_now()
-        result = engine.run(query)
+        result = engine.run(query, budget=budget)
         cost = result.io.logical_reads + result.io.logical_writes
         self._m_search_io.observe(cost)
         if self.cache is not None:
@@ -301,6 +337,7 @@ class DirectoryService:
         size_limit: Optional[int] = None,
         attributes: Optional[List[str]] = None,
         strict: bool = False,
+        budget=None,
     ) -> SearchResult:
         """Evaluate a query; results filtered by the bound subject's
         visibility, optionally size-limited and projected to the named
@@ -309,9 +346,15 @@ class DirectoryService:
 
         ``total_size`` and the size-limit condition both use the *visible*
         (post-ACL) result: the limit truncates what the subject could see,
-        and a denied entry never counts toward the total."""
+        and a denied entry never counts toward the total.
+
+        ``budget`` (or the service-wide default) caps the evaluation's
+        resources; a breached search comes back empty with code
+        ``adminLimitExceeded`` and the structured error on
+        :attr:`SearchResult.budget_error` -- it never raises."""
         if size_limit is not None and size_limit < 1:
             raise ValueError("size_limit must be positive")
+        active_budget = budget if budget is not None else self.budget
         started = time.perf_counter()
         io_before = self.directory.store.pager.stats.snapshot()
         with self.tracer.span("search") as search_span:
@@ -324,9 +367,29 @@ class DirectoryService:
                     problems = validate_query(query, self.directory.schema)
                 if problems:
                     result = SearchResult(ResultCode.PROTOCOL_ERROR, [], total_size=0)
-                    self._observe_search(query, result, started, io_before)
+                    self._observe_search(
+                        query, result, started, io_before, search_span=search_span
+                    )
                     return result
-            entries, cached, cost, warnings, retries = self._result_entries(query)
+            try:
+                entries, cached, cost, warnings, retries = self._result_entries(
+                    query, budget=active_budget
+                )
+            except BudgetExceeded as exc:
+                exc.query_text = str(query)
+                exc.trace_id = getattr(search_span, "trace_id", None)
+                search_span.set(code=ResultCode.ADMIN_LIMIT_EXCEEDED)
+                result = SearchResult(
+                    ResultCode.ADMIN_LIMIT_EXCEEDED,
+                    [],
+                    total_size=0,
+                    budget_error=exc,
+                    warnings=["query cancelled: %s" % exc],
+                )
+                self._observe_search(
+                    query, result, started, io_before, search_span=search_span
+                )
+                return result
             with self.tracer.span("acl-filter"):
                 visible = self._visible(entries)
             total = len(visible)
@@ -348,20 +411,29 @@ class DirectoryService:
                 saved_io=cost if cached else 0,
                 warnings=warnings,
             )
-        self._observe_search(query, result, started, io_before, retries=retries)
+        self._observe_search(
+            query, result, started, io_before, retries=retries,
+            search_span=search_span,
+        )
         return result
 
     def _observe_search(self, query, result: SearchResult, started: float,
-                        io_before, retries: int = 0) -> None:
-        """Fold one finished search into metrics and the slow-query log."""
+                        io_before, retries: int = 0, search_span=None) -> None:
+        """Fold one finished search into metrics, the slow-query log, the
+        event log and the tail sampler.  ``search_span`` (when tracing)
+        supplies the trace id that joins all four."""
         elapsed = time.perf_counter() - started
         pager_stats = self.directory.store.pager.stats
         io_delta = pager_stats.since(io_before)
+        trace_id = getattr(search_span, "trace_id", None)
+        budget_breach = result.budget_error is not None
         self._m_search_seconds.observe(elapsed)
         self._m_result_entries.observe(result.total_size)
         self._m_searches.inc(code=result.code)
-        if result.warnings:
+        if result.warnings and not budget_breach:
             self._m_degraded.inc()
+        if budget_breach:
+            self._m_budget_exceeded.inc(resource=result.budget_error.resource)
         self._m_buffer_hit_rate.set(pager_stats.buffer_hit_rate)
         slow = self.slow_queries.record(
             str(query),
@@ -371,9 +443,92 @@ class DirectoryService:
             result_size=result.total_size,
             retries=retries,
             warnings=tuple(result.warnings),
+            trace_id=trace_id,
         )
         if slow is not None:
             self._m_slow.inc()
+        if self.log.enabled:
+            self.log.info(
+                "search",
+                code=result.code,
+                rows=result.total_size,
+                elapsed_s=round(elapsed, 6),
+                pages=io_delta.logical_total,
+                cached=result.cached or None,
+                retries=retries or None,
+                warnings=len(result.warnings) or None,
+                trace_id=trace_id,
+            )
+            if slow is not None:
+                self.log.warning(
+                    "slow_query",
+                    query=str(query),
+                    elapsed_s=round(elapsed, 6),
+                    pages=io_delta.logical_total,
+                    trace_id=trace_id,
+                )
+            if budget_breach:
+                error = result.budget_error
+                self.log.warning(
+                    "budget_exceeded",
+                    query=str(query),
+                    trace_id=trace_id,
+                    resource=error.resource,
+                    limit=error.limit,
+                    used=error.used,
+                )
+        if self.sampler is not None:
+            reasons = []
+            if slow is not None:
+                reasons.append("slow")
+            if result.warnings and not budget_breach:
+                reasons.append("degraded")
+            if budget_breach:
+                reasons.append("budget")
+            root = search_span if getattr(search_span, "trace_id", None) else None
+            self.sampler.offer(
+                root,
+                elapsed,
+                query_text=str(query),
+                trace_id=trace_id,
+                reasons=reasons,
+            )
+
+    def slow_query_summary(self) -> dict:
+        """The slow-query log plus the latency quantiles that contextualise
+        it (p50/p95/p99 interpolated from ``repro_search_seconds``) --
+        what the CLI's ``metrics --slow-ms`` and ``/slowlog`` both show."""
+        return {
+            "threshold_s": self.slow_queries.threshold_seconds,
+            "total": self.slow_queries.total,
+            "retained": len(self.slow_queries),
+            "latency_quantiles": self._m_search_seconds.quantiles(),
+            "records": self.slow_queries.as_dicts(),
+        }
+
+    def serve_admin(self, host: str = "127.0.0.1", port: int = 0) -> AdminServer:
+        """Start the HTTP admin endpoint for this service (daemon thread;
+        ``port=0`` picks a free port).  Returns the started
+        :class:`~repro.obs.httpd.AdminServer`; the caller stops it."""
+
+        def health() -> dict:
+            return {
+                "entries": len(self.directory.store),
+                "compactions": self.directory.compactions,
+                "pending_updates": self.directory.pending(),
+                "federated": self._federation is not None,
+            }
+
+        server = AdminServer(
+            registry=self.metrics,
+            slow_queries=self.slow_queries,
+            sampler=self.sampler,
+            health=health,
+            host=host,
+            port=port,
+            log=self.log,
+        )
+        return server.start()
 
     def search_paged(
         self, query: Union[str, Query, QueryBuilder], page_entries: int

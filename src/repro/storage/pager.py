@@ -227,6 +227,15 @@ class Pager:
     def pages_on_disk(self) -> int:
         return len(self._disk)
 
+    @property
+    def live_pages(self) -> int:
+        """Pages allocated and not yet freed.  The leak check: after any
+        query -- including one cancelled mid-evaluation by a
+        :class:`~repro.obs.budget.BudgetExceeded` -- this must return to
+        its pre-query value."""
+        with self.lock:
+            return self._next_page - len(self._freed)
+
     def __repr__(self) -> str:
         return "Pager(B=%d, pool=%d/%d, %r)" % (
             self.page_size,

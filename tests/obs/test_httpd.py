@@ -1,0 +1,176 @@
+"""The HTTP admin endpoint: every route, the byte-identical /metrics
+guarantee, and lifecycle behaviour on an ephemeral port."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.httpd import AdminServer
+from repro.obs.log import CapturingLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer, TraceSampler
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+@pytest.fixture
+def stack():
+    registry = MetricsRegistry()
+    registry.counter("repro_searches_total", "Searches", labelnames=("code",)).inc(
+        3, code="success"
+    )
+    latency = registry.histogram(
+        "repro_search_seconds", "Latency", buckets=(0.001, 0.01, 0.1, 1.0)
+    )
+    for value in (0.002, 0.003, 0.004, 0.02):
+        latency.observe(value)
+    slowlog = SlowQueryLog(threshold_seconds=0.0)
+    slowlog.record("(slow)", elapsed=0.02, io_total=40, trace_id="t1")
+    tracer = Tracer()
+    with tracer.span("search") as span:
+        span.set(code="success")
+    sampler = TraceSampler(capacity=8)
+    sampler.offer(tracer.last_root(), elapsed=0.02, query_text="(slow)",
+                  trace_id="t1", reasons=("slow",))
+    server = AdminServer(
+        registry=registry,
+        slow_queries=slowlog,
+        sampler=sampler,
+        health=lambda: {"entries": 20},
+    ).start()
+    yield server, registry
+    server.stop()
+
+
+class TestEndpoints:
+    def test_metrics_is_byte_identical_to_the_registry_export(self, stack):
+        server, registry = stack
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert body == registry.to_prometheus().encode("utf-8")
+        assert b'repro_searches_total{code="success"} 3' in body
+
+    def test_healthz_reports_status_uptime_and_owner_fields(self, stack):
+        server, _ = stack
+        status, headers, body = _get(server.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+        assert payload["entries"] == 20
+
+    def test_slowlog_serves_the_ring_with_latency_quantiles(self, stack):
+        server, _ = stack
+        _, _, body = _get(server.url + "/slowlog")
+        payload = json.loads(body)
+        assert payload["threshold_s"] == 0.0
+        assert payload["total"] == 1
+        record = payload["records"][0]
+        assert record["query"] == "(slow)" and record["trace_id"] == "t1"
+        quantiles = payload["latency_quantiles"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+
+    def test_traces_serves_the_sampler_tail(self, stack):
+        server, _ = stack
+        _, _, body = _get(server.url + "/traces")
+        payload = json.loads(body)
+        assert payload["offered"] == 1 and payload["kept"] == 1
+        sample = payload["traces"][0]
+        assert sample["trace_id"] == "t1"
+        assert sample["reasons"] == ["slow"]
+        assert sample["spans"]["name"] == "search"
+
+    def test_trailing_slash_and_query_string_are_normalised(self, stack):
+        server, registry = stack
+        _, _, plain = _get(server.url + "/metrics")
+        _, _, slashed = _get(server.url + "/metrics/")
+        _, _, queried = _get(server.url + "/metrics?scrape=1")
+        assert plain == slashed == queried
+
+    def test_unknown_path_is_a_json_404(self, stack):
+        server, _ = stack
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/nope")
+        assert err.value.code == 404
+        assert json.loads(err.value.read())["path"] == "/nope"
+
+    def test_scrapes_are_logged_at_debug(self):
+        log = CapturingLogger(min_level="debug")
+        with AdminServer(registry=MetricsRegistry(), log=log) as server:
+            _get(server.url + "/healthz")
+        events = [e["event"] for e in log.events()]
+        assert events[0] == "admin.start"
+        assert "admin.request" in events
+        assert events[-1] == "admin.stop"
+
+
+class TestLifecycle:
+    def test_port_zero_binds_ephemerally(self):
+        server = AdminServer(registry=MetricsRegistry())
+        assert server.url is None and not server.running
+        server.start()
+        try:
+            host, port = server.address
+            assert host == "127.0.0.1" and port > 0
+            assert server.url == "http://127.0.0.1:%d" % port
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_restart_rejected_while_running(self):
+        server = AdminServer(registry=MetricsRegistry()).start()
+        with pytest.raises(RuntimeError):
+            server.start()
+        server.stop()
+        server.stop()  # no-op
+        assert not server.running
+
+    def test_empty_collaborators_serve_empty_payloads(self):
+        with AdminServer(registry=MetricsRegistry()) as server:
+            _, _, slow = _get(server.url + "/slowlog")
+            _, _, traces = _get(server.url + "/traces")
+        assert json.loads(slow)["records"] == []
+        assert json.loads(traces) == {"offered": 0, "kept": 0, "traces": []}
+
+
+class TestServiceIntegration:
+    def test_serve_admin_exposes_the_service_registry(self):
+        from tests.obs.test_budget import QUERY, make_instance
+        from repro.obs.budget import QueryBudget
+        from repro.server import DirectoryService
+
+        registry = MetricsRegistry()
+        service = DirectoryService(
+            make_instance(), page_size=4, metrics=registry,
+            tracer=Tracer(), slow_query_seconds=0.0,
+            trace_sampler=TraceSampler(capacity=8),
+        )
+        service.bind_anonymous()
+        service.search(QUERY)
+        # A different query: the first one is now cached, and cache hits
+        # are never budget-charged.
+        service.search("(dc=com ? sub ? grade=4)", budget=QueryBudget(max_pages=0))
+        server = service.serve_admin()
+        try:
+            _, _, body = _get(server.url + "/metrics")
+            # The acceptance bar: the scrape is byte-identical to what
+            # ``python -m repro metrics`` prints for the same registry.
+            assert body == registry.to_prometheus().encode("utf-8")
+            assert b"repro_budget_exceeded_total" in body
+            payload = json.loads(_get(server.url + "/healthz")[2])
+            assert payload["entries"] == 13
+            slow = json.loads(_get(server.url + "/slowlog")[2])
+            assert slow["total"] == 2
+            traces = json.loads(_get(server.url + "/traces")[2])
+            kept_reasons = {r for t in traces["traces"] for r in t["reasons"]}
+            assert "budget" in kept_reasons
+        finally:
+            server.stop()

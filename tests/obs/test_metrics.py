@@ -131,3 +131,53 @@ class TestRegistry:
         finally:
             set_registry(previous)
         assert get_registry() is previous
+
+
+class TestHistogramQuantiles:
+    def test_interpolates_inside_the_bucket(self):
+        h = Histogram("latency", "Latency", buckets=(10.0, 20.0, 40.0))
+        for v in (5, 5, 15, 15, 15, 15, 25, 25, 25, 35):
+            h.observe(v)
+        # rank(p50) = 5 lands in the (10, 20] bucket, which holds the
+        # 3rd..6th observations: 10 + 10 * (5 - 2) / 4 = 17.5.
+        assert h.quantile(0.5) == pytest.approx(17.5)
+        assert h.quantile(0.0) == 0.0
+
+    def test_overflow_clamps_to_the_top_bound(self):
+        h = Histogram("latency", "Latency", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        h.observe(60.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("latency", "Latency", buckets=(1.0,))
+        assert h.quantile(0.5) is None
+        assert h.quantiles() is None
+
+    def test_quantiles_summary_is_ordered(self):
+        h = Histogram("latency", "Latency", buckets=(0.01, 0.1, 1.0, 10.0))
+        for v in (0.005, 0.02, 0.03, 0.2, 0.4, 2.0):
+            h.observe(v)
+        summary = h.quantiles()
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_out_of_range_quantile_rejected(self):
+        h = Histogram("latency", "Latency", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_labelled_series_have_independent_quantiles(self):
+        h = Histogram("io", "IO", buckets=(10.0, 100.0), labelnames=("op",))
+        h.observe(5, op="point")
+        h.observe(90, op="scan")
+        assert h.quantile(0.5, op="point") < h.quantile(0.5, op="scan")
+
+    def test_as_dict_carries_quantiles(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("io", "IO", buckets=(10.0, 100.0))
+        h.observe(5)
+        payload = registry.as_dict()
+        assert payload["io"]["values"][0]["quantiles"]["p50"] == pytest.approx(
+            h.quantile(0.5)
+        )

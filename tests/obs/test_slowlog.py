@@ -45,3 +45,18 @@ class TestSlowQueryLog:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             SlowQueryLog(threshold_seconds=0.0, capacity=0)
+
+
+class TestTraceCorrelation:
+    def test_trace_id_joins_the_record_to_its_trace(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record("(q)", elapsed=0.2, io_total=3, trace_id="t42")
+        record = log.records()[0]
+        assert record.trace_id == "t42"
+        assert record.as_dict()["trace_id"] == "t42"
+
+    def test_trace_id_omitted_when_tracing_is_off(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record("(q)", elapsed=0.2, io_total=3)
+        assert log.records()[0].trace_id is None
+        assert "trace_id" not in log.as_dicts()[0]

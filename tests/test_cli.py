@@ -240,3 +240,107 @@ class TestLdapUrl:
 
     def test_bad_url(self, capsys):
         assert main(["ldapurl", "http://nope"]) == 1
+
+
+class TestQueryBudget:
+    def test_breach_exits_2_with_a_structured_error(self, qos_ldif, capsys):
+        code = main([
+            "query", qos_ldif, "--schema", "qos", "--max-pages", "0",
+            "( ? sub ? objectClass=*)",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "query budget exceeded" in err
+        assert "pages" in err
+
+    def test_generous_budget_does_not_interfere(self, qos_ldif, capsys):
+        code = main([
+            "query", qos_ldif, "--schema", "qos", "--max-pages", "100000",
+            "--max-wall-ms", "60000", "--max-entries", "100000",
+            "(dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)",
+        ])
+        assert code == 0
+        assert "SLAPolicyName=dso" in capsys.readouterr().out
+
+
+class TestMetricsLatencySummary:
+    def test_slow_section_reports_quantiles(self, qos_ldif, capsys):
+        code = main([
+            "metrics", qos_ldif, "--schema", "qos", "--slow-ms", "0",
+            "--query", "( ? sub ? objectClass=*)",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "-- search latency:" in err
+        assert "p50=" in err and "p95=" in err and "p99=" in err
+
+
+class TestStatsDepthQuantiles:
+    def test_json_payload_includes_depth_quantiles(self, qos_ldif, capsys):
+        assert main(["stats", qos_ldif, "--schema", "qos", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        quantiles = payload["depth_quantiles"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+
+
+class TestBenchCheckDirectories:
+    def test_directory_of_valid_artifacts_passes(self, capsys):
+        assert main(["bench-check", "benchmarks/baselines"]) == 0
+        out = capsys.readouterr().out
+        assert out.count(": ok") == 3
+
+    def test_directory_with_an_invalid_artifact_lists_it(self, tmp_path, capsys):
+        good = json.dumps({
+            "schema_version": 1, "experiment": "e1",
+            "tables": {"T": [{"a": 1}]},
+            "timings_s": {"count": 1, "total": 0.5, "max": 0.5},
+            "meta": {},
+        })
+        (tmp_path / "BENCH_good.json").write_text(good)
+        (tmp_path / "BENCH_bad.json").write_text('{"schema_version": 99}')
+        code = main(["bench-check", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "BENCH_bad.json: INVALID" in out
+        assert "BENCH_good.json: ok" in out
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench-check", str(tmp_path)])
+
+
+class TestServeAdmin:
+    def test_serves_and_exits_after_duration(self, qos_ldif, capsys):
+        import threading
+        import time as _time
+        import urllib.request
+
+        captured = {}
+
+        # Scrape from a listener thread while the command sleeps out its
+        # --duration on the main thread.
+
+        def scrape():
+            deadline = _time.time() + 5
+            while _time.time() < deadline and "body" not in captured:
+                err_text = capsys.readouterr().err
+                captured["err"] = captured.get("err", "") + err_text
+                for line in captured["err"].splitlines():
+                    if line.startswith("admin endpoint at "):
+                        url = line.split()[3]
+                        with urllib.request.urlopen(url + "/metrics", timeout=5) as r:
+                            captured["body"] = r.read()
+                        return
+                _time.sleep(0.02)
+
+        thread = threading.Thread(target=scrape)
+        thread.start()
+        code = main([
+            "serve-admin", qos_ldif, "--schema", "qos", "--port", "0",
+            "--duration", "1.5", "--slow-ms", "0",
+            "--query", "( ? sub ? objectClass=*)",
+        ])
+        thread.join()
+        assert code == 0
+        assert b"repro_searches_total" in captured.get("body", b"")
