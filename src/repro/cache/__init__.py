@@ -16,14 +16,16 @@ external-memory pipeline.  This package adds the missing layer:
   so expensive aggregates outlive cheap lookups);
 - :mod:`~repro.cache.invalidation` -- subscribes a cache to an
   :class:`~repro.storage.maintenance.UpdatableDirectory`'s update log:
-  each add/delete/modify evicts exactly the entries whose footprint
-  intersects the updated dn's range; everything else survives compaction;
+  the baseline invalidator evicts exactly the entries whose footprint
+  intersects the updated dn's range, the incremental maintainer patches
+  locally-decidable results in place; everything else survives
+  compaction;
 - :mod:`~repro.cache.stats` -- hit/miss/eviction/invalidation counters
   and saved-I/O accounting.
 """
 
 from .footprint import Footprint, query_footprint
-from .invalidation import UpdateLogInvalidator
+from .invalidation import IncrementalCacheMaintainer, UpdateLogInvalidator
 from .keys import atomic_fingerprint, canonical_text, fingerprint
 from .stats import CacheStats
 from .store import CachedResult, QueryCache
@@ -32,6 +34,7 @@ __all__ = [
     "CacheStats",
     "CachedResult",
     "Footprint",
+    "IncrementalCacheMaintainer",
     "QueryCache",
     "UpdateLogInvalidator",
     "atomic_fingerprint",

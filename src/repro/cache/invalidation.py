@@ -1,14 +1,26 @@
-"""Precise invalidation from the update log.
+"""Cache maintenance from the update log: evict precisely, or patch.
 
 The :class:`~repro.storage.maintenance.UpdatableDirectory` publishes every
 validated mutation to its update listeners as ``(kind, dn, subtree)``:
 ``kind`` is ``"add"``/``"delete"``/``"modify"``, and ``subtree`` is True
 only for recursive deletes (the updated region is the dn's whole
-subtree).  :class:`UpdateLogInvalidator` forwards each event to a
-:class:`~repro.cache.store.QueryCache`, which evicts exactly the cached
-results whose footprint touches the updated region.
+subtree).  Two maintenance policies consume that stream:
 
-Because invalidation happens at *log-append* time -- not at compaction --
+- :class:`UpdateLogInvalidator` (the baseline) forwards each event to a
+  :class:`~repro.cache.store.QueryCache`, which evicts exactly the cached
+  results whose footprint touches the updated region;
+- :class:`IncrementalCacheMaintainer` subscribes to the richer
+  change-record stream and *patches* touched results in place whenever
+  membership is locally decidable: an L0 query (atomic + boolean) admits
+  or rejects one entry by re-evaluating ``scope_admits`` and the filter
+  against the record's post-image, so an add inserts one row (at its
+  reverse-dn position, preserving run order), a delete removes rows, and
+  a modify replaces one -- no re-evaluation, no eviction.  Results whose
+  query is unknown or not locally decidable (hierarchy, aggregates,
+  embedded references) fall back to precise eviction; so does a patched
+  result that outgrows the byte budget.
+
+Because maintenance happens at *log-append* time -- not at compaction --
 a cached result that survives a burst of updates is still valid after the
 log folds into a fresh master run: compaction changes the physical image,
 never the logical content the log already described.  Nothing is flushed
@@ -17,13 +29,18 @@ wholesale.
 
 from __future__ import annotations
 
-from typing import Union
+from bisect import bisect_left
+from typing import List, Optional, Tuple, Union
 
 from ..model.dn import DN
+from ..model.entry import Entry
+from ..obs.metrics import get_registry
+from ..query.ast import And, AtomicQuery, Diff, Or, Query
 from ..storage.maintenance import UpdatableDirectory
-from .store import QueryCache
+from ..txn.records import ChangeRecord
+from .store import CachedResult, QueryCache
 
-__all__ = ["UpdateLogInvalidator"]
+__all__ = ["IncrementalCacheMaintainer", "UpdateLogInvalidator"]
 
 
 class UpdateLogInvalidator:
@@ -43,3 +60,115 @@ class UpdateLogInvalidator:
 
     def __repr__(self) -> str:
         return "UpdateLogInvalidator(%r -> %r)" % (self.directory, self.cache)
+
+
+class IncrementalCacheMaintainer:
+    """Applies change records to cached sublists as row-level deltas.
+
+    The decision rule, per touched resident:
+
+    1. no parsed query attached, or the query is not L0 -> **evict**
+       (membership cannot be re-decided from one entry);
+    2. the delta provably leaves the result unchanged (an add/modify the
+       query rejects and no resident row removed) -> **keep** untouched;
+    3. otherwise -> **patch**: apply the one-row delta in place
+       (falling back to eviction if the patched result no longer fits).
+    """
+
+    def __init__(
+        self,
+        directory: UpdatableDirectory,
+        cache: QueryCache,
+        metrics=None,
+    ):
+        self.directory = directory
+        self.cache = cache
+        self.schema = directory.schema
+        registry = metrics if metrics is not None else get_registry()
+        self._m_actions = registry.counter(
+            "repro_cache_maintenance_total",
+            "Incremental cache maintenance outcomes per touched resident",
+            labelnames=("action",),
+        )
+        directory.add_record_listener(self._on_record)
+
+    def detach(self) -> None:
+        """Stop receiving records (idempotent)."""
+        self.directory.remove_record_listener(self._on_record)
+
+    # -- record application --------------------------------------------------
+
+    def _on_record(self, record: ChangeRecord) -> None:
+        for cached in self.cache:  # iteration snapshots under the lock
+            if not cached.footprint.touches(record.dn, subtree=record.subtree):
+                continue
+            action, rows = self._delta(cached, record)
+            if action == "evict":
+                self.cache.drop(cached.key)
+                self._m_actions.inc(action="evicted")
+            elif action == "keep":
+                self._m_actions.inc(action="kept")
+            else:
+                if self.cache.patch(cached.key, rows) is not None:
+                    self._m_actions.inc(action="patched")
+                else:
+                    self._m_actions.inc(action="evicted")
+
+    def _delta(
+        self, cached: CachedResult, record: ChangeRecord
+    ) -> Tuple[str, Optional[List[Entry]]]:
+        query = cached.query
+        if query is None or not _locally_decidable(query):
+            return ("evict", None)
+        rows = list(cached.entries)
+        if record.kind == "delete":
+            if record.subtree:
+                kept = [e for e in rows if not record.dn.is_prefix_of(e.dn)]
+            else:
+                kept = [e for e in rows if e.dn != record.dn]
+            if len(kept) == len(rows):
+                return ("keep", None)
+            return ("patch", kept)
+        # add / modify: the record carries the post-image.
+        admitted = _admits(query, record.entry, self.schema)
+        kept = [e for e in rows if e.dn != record.dn]
+        if admitted:
+            keys = [e.dn.key() for e in kept]
+            kept.insert(bisect_left(keys, record.entry.dn.key()), record.entry)
+        elif len(kept) == len(rows):
+            return ("keep", None)  # rejected and was not resident: no-op
+        return ("patch", kept)
+
+    def __repr__(self) -> str:
+        return "IncrementalCacheMaintainer(%r -> %r)" % (
+            self.directory,
+            self.cache,
+        )
+
+
+def _locally_decidable(query: Query) -> bool:
+    """True when per-entry membership is decidable without touching the
+    store: every node is atomic or boolean (the L0 fragment)."""
+    return all(
+        isinstance(node, (AtomicQuery, And, Or, Diff)) for node in query.walk()
+    )
+
+
+def _admits(query: Query, entry: Entry, schema) -> bool:
+    """Whether ``entry`` belongs to the result of an L0 ``query``
+    (membership distributes over the boolean operators)."""
+    from ..engine.atomic import scope_admits
+
+    if isinstance(query, AtomicQuery):
+        return scope_admits(query.base, query.scope, entry.dn) and query.filter.matches(
+            entry, schema
+        )
+    if isinstance(query, And):
+        return _admits(query.left, entry, schema) and _admits(query.right, entry, schema)
+    if isinstance(query, Or):
+        return _admits(query.left, entry, schema) or _admits(query.right, entry, schema)
+    if isinstance(query, Diff):
+        return _admits(query.left, entry, schema) and not _admits(
+            query.right, entry, schema
+        )
+    raise TypeError("not an L0 query node: %r" % (query,))

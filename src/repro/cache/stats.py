@@ -28,6 +28,7 @@ class CacheStats(StatCounters):
         "insertions",
         "evictions",
         "invalidations",
+        "patched",
         "rejected",
         "saved_logical_io",
     )
@@ -39,6 +40,7 @@ class CacheStats(StatCounters):
         insertions: int = 0,
         evictions: int = 0,
         invalidations: int = 0,
+        patched: int = 0,
         rejected: int = 0,
         saved_logical_io: int = 0,
     ):
@@ -47,6 +49,9 @@ class CacheStats(StatCounters):
         self.insertions = insertions
         self.evictions = evictions
         self.invalidations = invalidations
+        #: Residents updated in place by incremental maintenance (the
+        #: evictions that did not happen).
+        self.patched = patched
         #: Results too large for the byte budget (never admitted).
         self.rejected = rejected
         self.saved_logical_io = saved_logical_io

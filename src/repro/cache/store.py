@@ -45,6 +45,7 @@ class CachedResult:
         "cost_io",
         "size_bytes",
         "tag",
+        "query",
         "hits",
         "priority",
     )
@@ -57,6 +58,7 @@ class CachedResult:
         footprint: Footprint,
         cost_io: int,
         tag: Optional[str] = None,
+        query=None,
     ):
         self.key = key
         self.query_text = query_text
@@ -66,6 +68,9 @@ class CachedResult:
         self.cost_io = cost_io
         self.size_bytes = _approx_bytes(self.entries)
         self.tag = tag
+        #: The parsed query AST, when the producer supplies it -- the
+        #: incremental maintainer re-evaluates membership against it.
+        self.query = query
         self.hits = 0
         self.priority = 0.0
 
@@ -160,10 +165,15 @@ class QueryCache:
         footprint: Footprint,
         cost_io: int,
         tag: Optional[str] = None,
+        query=None,
     ) -> Optional[CachedResult]:
         """Admit a result; evicts minimum-priority residents to make room.
-        Results larger than the whole budget are rejected (returns None)."""
-        entry = CachedResult(key, query_text, entries, footprint, cost_io, tag)
+        Results larger than the whole budget are rejected (returns None).
+        Passing the parsed ``query`` AST makes the entry eligible for
+        in-place patching by the incremental maintainer."""
+        entry = CachedResult(
+            key, query_text, entries, footprint, cost_io, tag, query=query
+        )
         with self._lock:
             if entry.size_bytes > self.byte_budget:
                 self.stats.rejected += 1
@@ -177,6 +187,48 @@ class QueryCache:
             self._reprioritise(entry)
             self.stats.insertions += 1
             return entry
+
+    # -- incremental maintenance --------------------------------------------
+
+    def patch(self, key: str, entries: Sequence[Entry]) -> Optional[CachedResult]:
+        """Replace a resident result's entry list in place (the delta was
+        applied by the caller), re-account its bytes and keep it resident
+        if it still fits; returns the patched result, or None if ``key``
+        was not resident or the patched result no longer fits."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            new_entries: Tuple[Entry, ...] = tuple(entries)
+            new_bytes = _approx_bytes(new_entries)
+            if self._bytes - entry.size_bytes + new_bytes > self.byte_budget:
+                # Patching must not trigger an eviction storm against
+                # innocent residents; a grown result that no longer fits
+                # falls back to invalidation.
+                self._remove(key)
+                self.stats.invalidations += 1
+                return None
+            self._bytes += new_bytes - entry.size_bytes
+            entry.entries = new_entries
+            entry.size_bytes = new_bytes
+            self._reprioritise(entry)
+            self.stats.patched += 1
+            if self.log is not None and self.log.enabled_for("debug"):
+                self.log.debug(
+                    "cache.patch", query=entry.query_text,
+                    rows=len(new_entries), bytes=new_bytes,
+                )
+            return entry
+
+    def drop(self, key: str) -> bool:
+        """Invalidate one resident by key (the maintainer's precise
+        fallback); returns whether it was resident."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._remove(key)
+            self.stats.invalidations += 1
+            return True
 
     # -- invalidation --------------------------------------------------------
 

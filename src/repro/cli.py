@@ -581,6 +581,31 @@ def _cmd_dump_example(args) -> int:
     return 0
 
 
+def _cmd_wal_dump(args) -> int:
+    import os
+
+    from .txn.wal import scan_wal
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, "wal.log")
+    if not os.path.exists(path):
+        print("wal-dump: no such log: %s" % path, file=sys.stderr)
+        return 1
+    records, valid_bytes, torn = scan_wal(path)
+    print("%-6s %-8s %-8s %s" % ("LSN", "KIND", "SUBTREE", "DN"))
+    for record in records:
+        print(
+            "%-6s %-8s %-8s %s"
+            % (record.lsn, record.kind, "yes" if record.subtree else "-", record.dn)
+        )
+    print(
+        "-- %d record(s), %d valid byte(s)%s"
+        % (len(records), valid_bytes, ", TORN TAIL after last record" if torn else "")
+    )
+    return 0
+
+
 def _cmd_ldapurl(args) -> int:
     from .ldapx.url import parse_ldap_url
 
@@ -769,6 +794,13 @@ def build_parser() -> argparse.ArgumentParser:
     url = sub.add_parser("ldapurl", help="parse an RFC 2255 LDAP URL")
     url.add_argument("url")
     url.set_defaults(handler=_cmd_ldapurl)
+
+    wal = sub.add_parser(
+        "wal-dump",
+        help="print the records of a write-ahead log (file or data dir)",
+    )
+    wal.add_argument("path", help="wal.log file, or a durable data directory")
+    wal.set_defaults(handler=_cmd_wal_dump)
 
     return parser
 

@@ -22,9 +22,16 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional, Tuple, Union
 
+import threading
 import time
 
-from ..cache import QueryCache, UpdateLogInvalidator, fingerprint, query_footprint
+from ..cache import (
+    IncrementalCacheMaintainer,
+    QueryCache,
+    UpdateLogInvalidator,
+    fingerprint,
+    query_footprint,
+)
 from ..engine.engine import QueryEngine
 from ..model.dn import DN
 from ..model.entry import Entry
@@ -39,7 +46,9 @@ from ..query.ast import Query
 from ..query.builder import QueryBuilder
 from ..query.parser import parse_query
 from ..security import AccessControlList
-from ..storage.maintenance import UpdatableDirectory, UpdateError
+from ..storage.maintenance import StoreView, UpdatableDirectory, UpdateError
+from ..txn.agent import MaintenanceAgent
+from ..txn.durable import DurableDirectory
 
 __all__ = ["DirectoryService", "ResultCode", "SearchResult", "ServiceError"]
 
@@ -115,7 +124,7 @@ class DirectoryService:
 
     def __init__(
         self,
-        instance: DirectoryInstance,
+        instance: Optional[DirectoryInstance],
         acl: Optional[AccessControlList] = None,
         credential_attribute: str = "userPassword",
         page_size: int = 16,
@@ -128,6 +137,9 @@ class DirectoryService:
         log=None,
         budget=None,
         trace_sampler=None,
+        durable_dir: Optional[str] = None,
+        cache_maintenance: str = "evict",
+        wal_fsync: bool = False,
     ):
         #: Span tracer for per-search phase timing and I/O attribution
         #: (disabled -- and free -- by default).
@@ -149,12 +161,28 @@ class DirectoryService:
         #: Searches slower than ``slow_query_seconds`` land here (None
         #: disables the log).
         self.slow_queries = SlowQueryLog(slow_query_seconds, slow_log_capacity)
-        self.directory = UpdatableDirectory.from_instance(
-            instance,
-            page_size=page_size,
-            buffer_pages=buffer_pages,
-            metrics=self.metrics,
-        )
+        if durable_dir is not None:
+            #: Checkpoint + WAL on disk: every acknowledged mutation
+            #: survives a crash; recovery replays on open.
+            self.directory: UpdatableDirectory = DurableDirectory.open(
+                durable_dir,
+                instance,
+                page_size=page_size,
+                buffer_pages=buffer_pages,
+                fsync=wal_fsync,
+                metrics=self.metrics,
+                log=self.log,
+            )
+        else:
+            if instance is None:
+                raise ValueError("instance is required without a durable_dir")
+            self.directory = UpdatableDirectory.from_instance(
+                instance,
+                page_size=page_size,
+                buffer_pages=buffer_pages,
+                metrics=self.metrics,
+                log=self.log,
+            )
         self._m_search_seconds = self.metrics.histogram(
             "repro_search_seconds", "Search latency, end to end"
         )
@@ -197,18 +225,30 @@ class DirectoryService:
         self.credential_attribute = credential_attribute
         self._bound_subject: Optional[str] = None
         self._engine: Optional[QueryEngine] = None
-        self._engine_generation = -1
+        #: The pinned (store, snapshot) view the current engine reads --
+        #: compaction cannot free its master run from under it.
+        self._engine_view: Optional[StoreView] = None
+        self._engine_lock = threading.Lock()
+        self._maintenance: Optional[MaintenanceAgent] = None
         #: Semantic query cache over *pre-ACL* results; visibility is
         #: re-filtered per bound subject on every hit.  ``cache_bytes=0``
         #: disables caching.
         self.cache: Optional[QueryCache] = (
             QueryCache(byte_budget=cache_bytes, log=self.log) if cache_bytes else None
         )
-        self._invalidator: Optional[UpdateLogInvalidator] = (
-            UpdateLogInvalidator(self.directory, self.cache)
-            if self.cache is not None
-            else None
-        )
+        if cache_maintenance not in ("evict", "incremental"):
+            raise ValueError(
+                "cache_maintenance must be 'evict' or 'incremental'"
+            )
+        self.cache_maintenance = cache_maintenance
+        self._invalidator = None
+        if self.cache is not None:
+            if cache_maintenance == "incremental":
+                self._invalidator = IncrementalCacheMaintainer(
+                    self.directory, self.cache, metrics=self.metrics
+                )
+            else:
+                self._invalidator = UpdateLogInvalidator(self.directory, self.cache)
         #: (federation, coordinator name) once :meth:`attach_federation`
         #: makes this service a federation frontend.
         self._federation: Optional[Tuple[Any, str]] = None
@@ -257,17 +297,27 @@ class DirectoryService:
     # -- read operations -----------------------------------------------------
 
     def _engine_now(self) -> QueryEngine:
-        generation = self.directory.compactions
-        if self.directory.pending():
-            with self.tracer.span("compact", pending=self.directory.pending()):
+        pending = self.directory.pending()
+        if pending:
+            with self.tracer.span("compact", pending=pending):
                 self.directory.compact()
-            generation = self.directory.compactions
-        if self._engine is None or generation != self._engine_generation:
-            self._engine = QueryEngine(
-                self.directory.store, tracer=self.tracer, log=self.log
-            )
-            self._engine_generation = generation
-        return self._engine
+        with self._engine_lock:
+            view = self.directory.acquire_view()
+            if (
+                self._engine is not None
+                and self._engine_view is not None
+                and self._engine_view.store is view.store
+            ):
+                view.close()
+            else:
+                stale = self._engine_view
+                self._engine_view = view
+                self._engine = QueryEngine(
+                    view.store, tracer=self.tracer, log=self.log
+                )
+                if stale is not None:
+                    stale.close()
+            return self._engine
 
     @property
     def cache_stats(self):
@@ -327,7 +377,8 @@ class DirectoryService:
         self._m_search_io.observe(cost)
         if self.cache is not None:
             self.cache.put(
-                key, str(query), result.entries, query_footprint(query), cost
+                key, str(query), result.entries, query_footprint(query), cost,
+                query=query,
             )
         return result.entries, False, cost, [], 0
 
@@ -512,12 +563,19 @@ class DirectoryService:
         :class:`~repro.obs.httpd.AdminServer`; the caller stops it."""
 
         def health() -> dict:
-            return {
+            status = {
                 "entries": len(self.directory.store),
                 "compactions": self.directory.compactions,
                 "pending_updates": self.directory.pending(),
+                "head_lsn": self.directory.head_lsn,
                 "federated": self._federation is not None,
+                "maintenance_agent": (
+                    self._maintenance is not None and self._maintenance.running
+                ),
             }
+            if isinstance(self.directory, DurableDirectory):
+                status["durability"] = self.directory.durability_status()
+            return status
 
         server = AdminServer(
             registry=self.metrics,
@@ -592,6 +650,47 @@ class DirectoryService:
         except UpdateError as exc:
             return self._UPDATE_CODES.get(exc.code, ResultCode.UNWILLING_TO_PERFORM)
         return ResultCode.SUCCESS
+
+    # -- maintenance and lifecycle --------------------------------------------
+
+    def start_maintenance(self) -> MaintenanceAgent:
+        """Move compaction off the write path: start (or return) the
+        background maintenance agent and route the directory's
+        auto-compaction through it."""
+        if self._maintenance is None:
+            self._maintenance = MaintenanceAgent(
+                metrics=self.metrics, log=self.log
+            ).start()
+            self.directory.attach_maintenance(self._maintenance)
+        return self._maintenance
+
+    def stop_maintenance(self, drain: bool = True) -> None:
+        """Detach and stop the maintenance agent (compaction reverts to
+        the synchronous fallback)."""
+        if self._maintenance is not None:
+            self.directory.detach_maintenance()
+            self._maintenance.stop(drain=drain)
+            self._maintenance = None
+
+    def checkpoint(self) -> Optional[int]:
+        """Checkpoint a durable directory (fold + LDIF dump + WAL
+        truncation); returns the checkpoint lsn, or None when the service
+        is not durable."""
+        if isinstance(self.directory, DurableDirectory):
+            return self.directory.checkpoint()
+        return None
+
+    def close(self) -> None:
+        """Release the engine's pinned view, stop maintenance, and close
+        the WAL (for a durable directory)."""
+        self.stop_maintenance()
+        with self._engine_lock:
+            if self._engine_view is not None:
+                self._engine_view.close()
+                self._engine_view = None
+            self._engine = None
+        if isinstance(self.directory, DurableDirectory):
+            self.directory.close()
 
     def __repr__(self) -> str:
         return "DirectoryService(%r, bound=%r)" % (

@@ -2,12 +2,29 @@
 
 Directories are read-mostly (the paper's engine is built around a
 clustered, sorted master run), so updates follow the classic differential
-scheme of that era: mutations accumulate in a validated, in-memory *update
-log*; :meth:`UpdatableDirectory.compact` merges the log into a fresh
-master run in one co-scan -- ``O((N + |log|)/B)`` page transfers plus the
-log sort -- and rebuilds the secondary indices.  Queries always run
-against a compacted image (:meth:`UpdatableDirectory.engine` compacts on
-demand), so every complexity bound of the query engine is preserved.
+scheme of that era: mutations accumulate in a validated overlay ahead of
+the master; :meth:`UpdatableDirectory.compact` merges the overlay into a
+fresh master run in one co-scan -- ``O((N + |log|)/B)`` page transfers
+plus the log sort -- and rebuilds the secondary indices.  Queries always
+run against a compacted image (:meth:`UpdatableDirectory.engine` compacts
+on demand), so every complexity bound of the query engine is preserved.
+
+The overlay itself is a :class:`~repro.txn.mvcc.VersionChain`: every
+validated mutation becomes one :class:`~repro.txn.records.ChangeRecord`,
+commits one immutable :class:`~repro.txn.mvcc.Version` and is assigned
+the version's lsn.  Readers take a :class:`StoreView` -- a (master run,
+overlay snapshot) pair captured atomically -- and keep answering as of
+that lsn no matter what writers or compactions do next:
+
+- the snapshot's version list is immutable (see :mod:`repro.txn.mvcc`);
+- the master run a view pins is *deferred-freed*: compaction installs the
+  merged run immediately but the superseded run's pages are only
+  returned to the pager when the last pinning view closes.
+
+Compaction may run synchronously (the seed behaviour, still the default)
+or on a :class:`~repro.txn.agent.MaintenanceAgent` attached via
+:meth:`UpdatableDirectory.attach_maintenance` -- then writers only
+*request* compaction and never pay the merge themselves.
 
 Supported mutations:
 
@@ -22,18 +39,29 @@ Supported mutations:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Union
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance, InstanceError
 from ..model.schema import OBJECT_CLASS, DirectorySchema
+from ..obs.log import NULL_LOGGER
 from ..obs.metrics import get_registry
+from ..txn.mvcc import Snapshot, VersionChain
+from ..txn.records import ChangeRecord
 
 from .runs import RunWriter
 from .store import DirectoryStore
 
-__all__ = ["UpdatableDirectory", "UpdateError", "UpdateListener"]
+__all__ = [
+    "StoreView",
+    "UpdatableDirectory",
+    "UpdateError",
+    "UpdateListener",
+    "RecordListener",
+]
 
 
 class UpdateError(InstanceError):
@@ -62,27 +90,119 @@ class UpdateError(InstanceError):
 #: True only for recursive deletes).
 UpdateListener = Callable[[str, DN, bool], None]
 
+#: A change-record observer: called with the committed
+#: :class:`~repro.txn.records.ChangeRecord` (lsn assigned).  The
+#: incremental cache maintainer hooks in here.
+RecordListener = Callable[[ChangeRecord], None]
+
+
+class StoreView:
+    """A pinned, immutable read view: one master run + one overlay
+    snapshot, captured atomically.  Close it (or use it as a context
+    manager) to release the pin so superseded runs can be freed."""
+
+    __slots__ = ("store", "snapshot", "_directory", "_closed")
+
+    def __init__(
+        self, directory: "UpdatableDirectory", store: DirectoryStore, snapshot: Snapshot
+    ):
+        self.store = store
+        self.snapshot = snapshot
+        self._directory = directory
+        self._closed = False
+
+    @property
+    def lsn(self) -> int:
+        return self.snapshot.lsn
+
+    def lookup(self, dn: DN) -> Optional[Entry]:
+        verdict = self.snapshot.overlay_lookup(dn)
+        if verdict is not None:
+            return verdict[1]  # entry for adds/modifies, None for deletes
+        for entry in self.store.scan_subtree(dn):
+            if entry.dn == dn:
+                return entry
+            break
+        return None
+
+    def children(self, dn: DN):
+        """Dns of the entry's current children (adds first, then stored
+        entries that the overlay has not deleted)."""
+        adds, _deletes, _subtrees = self.snapshot.folded()
+        for child_dn in adds:
+            if dn.is_parent_of(child_dn):
+                yield child_dn
+        for entry in self.store.scan_subtree(dn):
+            if dn.is_parent_of(entry.dn) and not self.snapshot.is_deleted(entry.dn):
+                yield entry.dn
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._directory._release_store(self.store)
+
+    def __enter__(self) -> "StoreView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "StoreView(lsn=%d, %d stored)" % (self.lsn, len(self.store))
+
 
 class UpdatableDirectory:
-    """A directory store plus a pending update log."""
+    """A directory store plus a versioned pending-update overlay."""
 
-    def __init__(self, store: DirectoryStore, auto_compact_at: int = 1024, metrics=None):
+    def __init__(
+        self,
+        store: DirectoryStore,
+        auto_compact_at: int = 1024,
+        metrics=None,
+        log=None,
+    ):
         self.store = store
         self.schema = store.schema
         #: Compact automatically once this many mutations are pending.
         self.auto_compact_at = auto_compact_at
-        self._adds: Dict[DN, Entry] = {}
-        self._deletes: Set[DN] = set()
-        self._delete_subtrees: Set[DN] = set()
+        self._chain = VersionChain()
+        #: Serialises validate+commit so concurrent writers cannot both
+        #: pass the same uniqueness check.
+        self._write_lock = threading.RLock()
+        #: Guards the (store pointer, pins, retired) triple.
+        self._state_lock = threading.Lock()
+        #: Only one compaction materialises at a time.
+        self._compact_lock = threading.Lock()
+        self._pins: Dict[int, int] = {}
+        self._retired: Dict[int, DirectoryStore] = {}
+        self._agent = None
         self.compactions = 0
+        #: Superseded master runs whose free was deferred behind a pin.
+        self.deferred_frees = 0
         self._listeners: List[UpdateListener] = []
+        self._record_listeners: List[RecordListener] = []
         #: Count of listener callbacks that raised (dispatch continues
         #: past failures; see :meth:`_notify`).
         self.listener_errors = 0
+        self.log = log if log is not None else NULL_LOGGER
         self.metrics = metrics if metrics is not None else get_registry()
         self._compactions_metric = self.metrics.counter(
             "repro_compactions_total",
             "Update-log compactions merged into the master run",
+        )
+        self._compaction_seconds = self.metrics.histogram(
+            "repro_compaction_seconds",
+            "Wall time of one overlay compaction (merge + index rebuild)",
+        )
+        self._updates_metric = self.metrics.counter(
+            "repro_updates_total",
+            "Committed directory updates by kind",
+            labelnames=("kind",),
+        )
+        self._update_errors_metric = self.metrics.counter(
+            "repro_update_errors_total",
+            "Rejected directory updates by structured error code",
+            labelnames=("code",),
         )
         self._listener_errors_metric = self.metrics.counter(
             "repro_update_listener_errors_total",
@@ -101,15 +221,30 @@ class UpdatableDirectory:
         if listener in self._listeners:
             self._listeners.remove(listener)
 
-    def _notify(self, kind: str, dn: DN, subtree: bool = False) -> None:
-        # A broken listener must not abort the (already validated) update
+    def add_record_listener(self, listener: RecordListener) -> None:
+        """Subscribe to committed change records (lsn included) -- the
+        richer form of :meth:`add_update_listener`."""
+        self._record_listeners.append(listener)
+
+    def remove_record_listener(self, listener: RecordListener) -> None:
+        if listener in self._record_listeners:
+            self._record_listeners.remove(listener)
+
+    def _notify(self, record: ChangeRecord) -> None:
+        # A broken listener must not abort the (already committed) update
         # or starve the listeners after it: record the failure and move on.
         for listener in list(self._listeners):
             try:
-                listener(kind, dn, subtree)
+                listener(record.kind, record.dn, record.subtree)
             except Exception:
                 self.listener_errors += 1
-                self._listener_errors_metric.inc(kind=kind)
+                self._listener_errors_metric.inc(kind=record.kind)
+        for listener in list(self._record_listeners):
+            try:
+                listener(record)
+            except Exception:
+                self.listener_errors += 1
+                self._listener_errors_metric.inc(kind=record.kind)
 
     # -- building ------------------------------------------------------------
 
@@ -126,37 +261,67 @@ class UpdatableDirectory:
         )
         return cls(store, **options)
 
+    # -- snapshot views -------------------------------------------------------
+
+    def acquire_view(self) -> StoreView:
+        """Pin a consistent (master run, overlay snapshot) pair.  The view
+        answers as of its lsn until closed; close promptly -- a pinned
+        superseded run keeps its pages allocated."""
+        with self._state_lock:
+            store = self.store
+            self._pins[id(store)] = self._pins.get(id(store), 0) + 1
+            snapshot = self._chain.snapshot()
+        return StoreView(self, store, snapshot)
+
+    def snapshot(self) -> Snapshot:
+        """The overlay snapshot alone (no store pin)."""
+        return self._chain.snapshot()
+
+    def _release_store(self, store: DirectoryStore) -> None:
+        doomed = None
+        with self._state_lock:
+            key = id(store)
+            count = self._pins.get(key, 0) - 1
+            if count > 0:
+                self._pins[key] = count
+            else:
+                self._pins.pop(key, None)
+                doomed = self._retired.pop(key, None)
+        if doomed is not None:
+            doomed.master.free()
+
+    @property
+    def head_lsn(self) -> int:
+        """The lsn of the newest committed update."""
+        return self._chain.head_lsn
+
+    @property
+    def floor_lsn(self) -> int:
+        """The lsn already folded into the master run."""
+        return self._chain.floor_lsn
+
     # -- current-state lookups -------------------------------------------------
 
     def lookup(self, dn: Union[DN, str]) -> Optional[Entry]:
-        """The entry at ``dn`` as of all pending updates."""
+        """The entry at ``dn`` as of all committed updates."""
         if isinstance(dn, str):
             dn = DN.parse(dn)
-        if dn in self._adds:
-            return self._adds[dn]
-        if self._is_deleted(dn):
-            return None
-        for entry in self.store.scan_subtree(dn):
-            if entry.dn == dn:
-                return entry
-            break
-        return None
-
-    def _is_deleted(self, dn: DN) -> bool:
-        if dn in self._deletes:
-            return True
-        return any(root.is_prefix_of(dn) for root in self._delete_subtrees)
+        with self.acquire_view() as view:
+            return view.lookup(dn)
 
     def pending(self) -> int:
-        return len(self._adds) + len(self._deletes) + len(self._delete_subtrees)
+        return self._chain.snapshot().pending()
 
     def __len__(self) -> int:
         """Exact only right after compaction; otherwise an O(pending)
         adjustment over the stored count (subtree deletes force compaction
         first)."""
-        if self._delete_subtrees:
-            self.compact()
-        return len(self.store) + len(self._adds) - len(self._deletes)
+        with self.acquire_view() as view:
+            adds, deletes, subtrees = view.snapshot.folded()
+            if not subtrees:
+                return len(view.store) + len(adds) - len(deletes)
+        self.compact()
+        return len(self.store)
 
     # -- mutations ----------------------------------------------------------
 
@@ -170,37 +335,33 @@ class UpdatableDirectory:
         """Insert a new entry (schema-validated)."""
         if isinstance(dn, str):
             dn = DN.parse(dn)
-        if self.lookup(dn) is not None:
-            raise UpdateError(
-                "dn is a key: %s already present" % dn, UpdateError.ALREADY_EXISTS
+        with self._write_lock:
+            if self.lookup(dn) is not None:
+                self._fail(
+                    "dn is a key: %s already present" % dn, UpdateError.ALREADY_EXISTS
+                )
+            entry = _validated_entry(
+                self.schema, dn, classes, attributes, kw_attributes
             )
-        entry = _validated_entry(self.schema, dn, classes, attributes, kw_attributes)
-        self._deletes.discard(dn)
-        self._adds[dn] = entry
-        self._notify("add", dn)
-        self._maybe_compact()
+            record = self._commit(ChangeRecord("add", dn, entry=entry))
+        self._finish(record)
         return entry
 
     def delete(self, dn: Union[DN, str], recursive: bool = False) -> None:
         """Remove the entry at ``dn``; with ``recursive`` its subtree too."""
         if isinstance(dn, str):
             dn = DN.parse(dn)
-        if self.lookup(dn) is None:
-            raise UpdateError("no entry at %s" % dn, UpdateError.NO_SUCH_ENTRY)
-        if recursive:
-            self._delete_subtrees.add(dn)
-            for pending_dn in [d for d in self._adds if dn.is_prefix_of(d)]:
-                del self._adds[pending_dn]
-        else:
-            if any(True for _ in self._children_now(dn)):
-                raise UpdateError(
-                    "%s has children; pass recursive=True" % dn,
-                    UpdateError.HAS_CHILDREN,
-                )
-            self._adds.pop(dn, None)
-            self._deletes.add(dn)
-        self._notify("delete", dn, subtree=recursive)
-        self._maybe_compact()
+        with self._write_lock:
+            with self.acquire_view() as view:
+                if view.lookup(dn) is None:
+                    self._fail("no entry at %s" % dn, UpdateError.NO_SUCH_ENTRY)
+                if not recursive and any(True for _ in view.children(dn)):
+                    self._fail(
+                        "%s has children; pass recursive=True" % dn,
+                        UpdateError.HAS_CHILDREN,
+                    )
+            record = self._commit(ChangeRecord("delete", dn, subtree=recursive))
+        self._finish(record)
 
     def modify(
         self,
@@ -217,99 +378,172 @@ class UpdatableDirectory:
         ``objectClass`` cannot be touched."""
         if isinstance(dn, str):
             dn = DN.parse(dn)
-        current = self.lookup(dn)
-        if current is None:
-            raise UpdateError("no entry at %s" % dn, UpdateError.NO_SUCH_ENTRY)
-        protected = set(dn.rdn.attributes()) | {OBJECT_CLASS}
-        values: Dict[str, List[Any]] = {
-            attr: list(current.values(attr))
-            for attr in current.attributes()
-            if attr != OBJECT_CLASS
-        }
-        for attr, vals in (replace or {}).items():
-            if attr in protected:
-                raise UpdateError(
-                    "cannot modify protected attribute %r" % attr,
-                    UpdateError.PROTECTED_ATTRIBUTE,
-                )
-            vals = list(vals)
-            if vals:
-                values[attr] = vals
-            else:
-                values.pop(attr, None)
-        for attr, vals in (add_values or {}).items():
-            if attr in protected:
-                raise UpdateError(
-                    "cannot modify protected attribute %r" % attr,
-                    UpdateError.PROTECTED_ATTRIBUTE,
-                )
-            values.setdefault(attr, []).extend(vals)
-        for attr, vals in (remove_values or {}).items():
-            if attr in protected:
-                raise UpdateError(
-                    "cannot modify protected attribute %r" % attr,
-                    UpdateError.PROTECTED_ATTRIBUTE,
-                )
-            doomed = {str(v) for v in vals}
-            values[attr] = [v for v in values.get(attr, []) if str(v) not in doomed]
-            if not values[attr]:
-                del values[attr]
-        entry = _validated_entry(self.schema, dn, current.classes, values, {})
-        self._adds[dn] = entry
-        self._deletes.discard(dn)
-        self._notify("modify", dn)
-        self._maybe_compact()
+        with self._write_lock:
+            current = self.lookup(dn)
+            if current is None:
+                self._fail("no entry at %s" % dn, UpdateError.NO_SUCH_ENTRY)
+            protected = set(dn.rdn.attributes()) | {OBJECT_CLASS}
+            values: Dict[str, List[Any]] = {
+                attr: list(current.values(attr))
+                for attr in current.attributes()
+                if attr != OBJECT_CLASS
+            }
+            for attr, vals in (replace or {}).items():
+                self._check_unprotected(attr, protected)
+                vals = list(vals)
+                if vals:
+                    values[attr] = vals
+                else:
+                    values.pop(attr, None)
+            for attr, vals in (add_values or {}).items():
+                self._check_unprotected(attr, protected)
+                values.setdefault(attr, []).extend(vals)
+            for attr, vals in (remove_values or {}).items():
+                self._check_unprotected(attr, protected)
+                doomed = {str(v) for v in vals}
+                values[attr] = [
+                    v for v in values.get(attr, []) if str(v) not in doomed
+                ]
+                if not values[attr]:
+                    del values[attr]
+            entry = _validated_entry(self.schema, dn, current.classes, values, {})
+            record = self._commit(ChangeRecord("modify", dn, entry=entry))
+        self._finish(record)
         return entry
 
-    def _children_now(self, dn: DN):
-        for child_dn in self._adds:
-            if dn.is_parent_of(child_dn):
-                yield child_dn
-        for entry in self.store.scan_subtree(dn):
-            if dn.is_parent_of(entry.dn) and not self._is_deleted(entry.dn):
-                yield entry.dn
+    def _check_unprotected(self, attr: str, protected) -> None:
+        if attr in protected:
+            self._fail(
+                "cannot modify protected attribute %r" % attr,
+                UpdateError.PROTECTED_ATTRIBUTE,
+            )
+
+    def _fail(self, message: str, code: str) -> None:
+        self._update_errors_metric.inc(code=code)
+        raise UpdateError(message, code)
+
+    # -- the commit pipeline -------------------------------------------------
+
+    def _commit(self, record: ChangeRecord) -> ChangeRecord:
+        """Advance the version chain with the record's delta and assign its
+        lsn; runs under the write lock so lsn order equals commit order."""
+        if record.kind == "delete":
+            if record.subtree:
+                version = self._chain.advance(delete_subtrees=(record.dn,))
+            else:
+                version = self._chain.advance(deletes=(record.dn,))
+        else:
+            version = self._chain.advance(adds={record.dn: record.entry})
+        record.lsn = version.lsn
+        self._log_record(record)
+        return record
+
+    def _log_record(self, record: ChangeRecord) -> None:
+        """Durability hook, called under the write lock right after the
+        chain advanced (a WAL buffers the record here)."""
+
+    def _after_commit(self, record: ChangeRecord) -> None:
+        """Durability hook, called *outside* the write lock -- a WAL
+        group-commits here, so concurrent committers share fsyncs."""
+
+    def _finish(self, record: ChangeRecord) -> None:
+        self._after_commit(record)
+        self._updates_metric.inc(kind=record.kind)
+        self._notify(record)
+        self._maybe_compact()
 
     # -- compaction ----------------------------------------------------------
 
+    def attach_maintenance(self, agent) -> None:
+        """Route auto-compaction through a
+        :class:`~repro.txn.agent.MaintenanceAgent` instead of running it
+        inside the writer that crossed the threshold."""
+        self._agent = agent
+
+    def detach_maintenance(self) -> None:
+        self._agent = None
+
     def _maybe_compact(self) -> None:
-        if self.pending() >= self.auto_compact_at:
-            self.compact()
+        if self.pending() < self.auto_compact_at:
+            return
+        agent = self._agent
+        if agent is not None:
+            if agent.submit("compact", self.compact, dedupe=True):
+                return
+            if agent.running:
+                return  # an equal request is already queued or running
+        self.compact()
 
     def compact(self) -> DirectoryStore:
-        """Merge the update log into a fresh master run (one co-scan)."""
-        if not self.pending():
-            return self.store
-        pager = self.store.pager
-        adds = sorted(self._adds.values(), key=lambda e: e.dn.key())
-        writer = RunWriter(pager)
-        add_index = 0
-        for entry in self.store.scan_all():
-            while add_index < len(adds) and adds[add_index].dn.key() < entry.dn.key():
-                writer.append(adds[add_index])
-                add_index += 1
-            if add_index < len(adds) and adds[add_index].dn == entry.dn:
-                writer.append(adds[add_index])  # modify: new version wins
-                add_index += 1
-                continue
-            if not self._is_deleted(entry.dn):
-                writer.append(entry)
-        while add_index < len(adds):
-            writer.append(adds[add_index])
-            add_index += 1
-        new_master = writer.close()
+        """Merge the committed overlay into a fresh master run (one
+        co-scan).  Readers are never blocked: they keep the view they
+        pinned; the superseded run is freed when its last pin drops."""
+        with self._compact_lock:
+            view = self.acquire_view()
+            try:
+                adds_map, deletes, subtrees = view.snapshot.folded()
+                if not (adds_map or deletes or subtrees):
+                    return view.store
+                started = time.perf_counter()
+                folded = len(adds_map) + len(deletes) + len(subtrees)
 
-        int_attrs = tuple(self.store.int_indices)
-        str_attrs = tuple(self.store.string_indices)
-        self.store.master.free()
-        self.store = DirectoryStore(pager, self.schema, new_master)
-        if int_attrs or str_attrs:
-            self.store.build_indices(int_attrs, str_attrs)
-        self._adds.clear()
-        self._deletes.clear()
-        self._delete_subtrees.clear()
-        self.compactions += 1
-        self._compactions_metric.inc()
-        return self.store
+                def is_deleted(dn: DN) -> bool:
+                    if dn in deletes:
+                        return True
+                    return any(root.is_prefix_of(dn) for root in subtrees)
+
+                pager = view.store.pager
+                adds = sorted(adds_map.values(), key=lambda e: e.dn.key())
+                writer = RunWriter(pager)
+                add_index = 0
+                for entry in view.store.scan_all():
+                    while (
+                        add_index < len(adds)
+                        and adds[add_index].dn.key() < entry.dn.key()
+                    ):
+                        writer.append(adds[add_index])
+                        add_index += 1
+                    if add_index < len(adds) and adds[add_index].dn == entry.dn:
+                        writer.append(adds[add_index])  # modify: new version wins
+                        add_index += 1
+                        continue
+                    if not is_deleted(entry.dn):
+                        writer.append(entry)
+                while add_index < len(adds):
+                    writer.append(adds[add_index])
+                    add_index += 1
+                new_master = writer.close()
+
+                int_attrs = tuple(view.store.int_indices)
+                str_attrs = tuple(view.store.string_indices)
+                new_store = DirectoryStore(pager, self.schema, new_master)
+                if int_attrs or str_attrs:
+                    new_store.build_indices(int_attrs, str_attrs)
+
+                fold_lsn = view.snapshot.lsn
+                with self._state_lock:
+                    old_store = self.store
+                    self.store = new_store
+                    self._chain.truncate(fold_lsn)
+                    # The old run is pinned at least by our own view;
+                    # defer its free to the last release.
+                    self._retired[id(old_store)] = old_store
+                    if self._pins.get(id(old_store), 0) > 1:
+                        self.deferred_frees += 1
+                elapsed = time.perf_counter() - started
+                self.compactions += 1
+                self._compactions_metric.inc()
+                self._compaction_seconds.observe(elapsed)
+                self.log.info(
+                    "maintenance.compact",
+                    seconds=round(elapsed, 6),
+                    folded=folded,
+                    lsn=fold_lsn,
+                    entries=len(new_store),
+                )
+                return new_store
+            finally:
+                view.close()
 
     def engine(self, **options):
         """A query engine over the current state (compacts if needed)."""

@@ -1,0 +1,48 @@
+"""The transaction/durability subsystem: WAL, MVCC overlay, maintenance.
+
+Three cooperating layers behind the directory's write path:
+
+- :mod:`repro.txn.wal` -- an append-only, checksummed change log with
+  group commit and seeded crash points; recovery replays it
+  deterministically;
+- :mod:`repro.txn.mvcc` -- copy-on-write versioning of the pending-update
+  overlay, so readers hold immutable snapshots at their start lsn while
+  writers land new versions;
+- :mod:`repro.txn.agent` -- the background maintenance agent that retires
+  superseded versions (compaction) off the writers' critical path.
+
+:class:`~repro.txn.durable.DurableDirectory` ties them together:
+checkpoint + WAL on disk, version chain in memory, every acknowledged
+commit recoverable after a crash.
+"""
+
+from .agent import MaintenanceAgent
+from .mvcc import Snapshot, Version, VersionChain
+from .records import ChangeRecord, RecordError
+from .wal import CrashPlan, SimulatedCrash, WalError, WriteAheadLog, scan_wal
+
+
+def __getattr__(name):
+    # DurableDirectory sits above storage.maintenance, which itself builds
+    # on txn.mvcc/txn.records -- resolve it lazily so importing either
+    # package first works.
+    if name == "DurableDirectory":
+        from .durable import DurableDirectory
+
+        return DurableDirectory
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+__all__ = [
+    "ChangeRecord",
+    "CrashPlan",
+    "DurableDirectory",
+    "MaintenanceAgent",
+    "RecordError",
+    "SimulatedCrash",
+    "Snapshot",
+    "Version",
+    "VersionChain",
+    "WalError",
+    "WriteAheadLog",
+    "scan_wal",
+]

@@ -1,0 +1,230 @@
+"""MVCC for the pending-update overlay: a copy-on-write version chain.
+
+The differential update scheme keeps mutations in an overlay ahead of the
+read-optimised master run.  The seed kept that overlay in three mutable
+structures, so a reader racing a writer could observe half an update.
+Here the overlay is an immutable chain instead:
+
+- every committed mutation appends one :class:`Version` holding only its
+  *delta* (one added/modified entry, one deleted dn, or one deleted
+  subtree root) and a parent pointer -- copy-on-write at the granularity
+  of whole versions, so committing is O(1) and never disturbs a reader;
+- a :class:`Snapshot` captures the list of versions above the floor *at
+  creation* (under the chain lock), so it answers exactly as of its lsn
+  forever -- neither later commits nor later truncations can reach into
+  it;
+- compaction *promotes* a prefix of the chain into a fresh master run and
+  raises the floor; :meth:`VersionChain.truncate` then cuts the parent
+  link at the new floor, so retired versions become garbage as soon as
+  the last snapshot holding them dies.  Retirement is driven by the
+  maintenance agent (or the synchronous compaction fallback), never by a
+  reader.
+
+Chain lookups cost O(pending); :meth:`Snapshot.folded` materialises the
+cumulative overlay (memoised per head version per floor) for compaction
+and scans.  Folding applies deltas oldest-to-newest with the same
+precedence the seed's mutable overlay had: a later add resurrects a dn
+deleted earlier, a later subtree delete clears earlier adds beneath it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..model.dn import DN
+from ..model.entry import Entry
+
+__all__ = ["Snapshot", "Version", "VersionChain"]
+
+#: The cumulative overlay: (adds, point deletes, subtree-delete roots).
+FoldedState = Tuple[Dict[DN, Entry], Set[DN], Set[DN]]
+
+
+class Version:
+    """One committed mutation's delta, linked to its predecessor."""
+
+    __slots__ = ("lsn", "parent", "adds", "deletes", "delete_subtrees", "_folded")
+
+    def __init__(
+        self,
+        lsn: int,
+        parent: Optional["Version"],
+        adds: Optional[Dict[DN, Entry]] = None,
+        deletes: Iterable[DN] = (),
+        delete_subtrees: Iterable[DN] = (),
+    ):
+        self.lsn = lsn
+        self.parent = parent
+        self.adds = dict(adds or {})
+        self.deletes = frozenset(deletes)
+        self.delete_subtrees = frozenset(delete_subtrees)
+        #: Memoised cumulative state: (floor_lsn, FoldedState).
+        self._folded: Optional[Tuple[int, FoldedState]] = None
+
+    def __repr__(self) -> str:
+        return "Version(lsn=%d, +%d, -%d, -%d subtrees)" % (
+            self.lsn,
+            len(self.adds),
+            len(self.deletes),
+            len(self.delete_subtrees),
+        )
+
+
+class Snapshot:
+    """An immutable view of the overlay at one lsn.
+
+    ``versions`` is the newest-first list of deltas above the floor,
+    captured when the snapshot was taken; ``floor_lsn`` is the lsn the
+    paired master run already contains.  Because the list is captured
+    eagerly, a snapshot keeps answering correctly after any number of
+    commits, compactions and chain truncations.
+    """
+
+    __slots__ = ("versions", "floor_lsn")
+
+    def __init__(self, versions: Tuple[Version, ...], floor_lsn: int):
+        self.versions = versions
+        self.floor_lsn = floor_lsn
+
+    @property
+    def lsn(self) -> int:
+        """The snapshot's position in the commit order."""
+        return self.versions[0].lsn if self.versions else self.floor_lsn
+
+    def overlay_lookup(self, dn: DN) -> Optional[Tuple[str, Optional[Entry]]]:
+        """The overlay's verdict on ``dn``: ``("add", entry)`` if an
+        add/modify supplies its current image, ``("delete", None)`` if a
+        delete removed it, None if the overlay is silent (fall through to
+        the master run)."""
+        for version in self.versions:
+            entry = version.adds.get(dn)
+            if entry is not None:
+                return ("add", entry)
+            if dn in version.deletes:
+                return ("delete", None)
+            for root in version.delete_subtrees:
+                if root.is_prefix_of(dn):
+                    return ("delete", None)
+        return None
+
+    def is_deleted(self, dn: DN) -> bool:
+        verdict = self.overlay_lookup(dn)
+        return verdict is not None and verdict[0] == "delete"
+
+    def folded(self) -> FoldedState:
+        """The cumulative overlay at this snapshot (memoised on the head
+        version; safe to race -- the computation is deterministic and the
+        memo is only ever replaced by an identical value)."""
+        if not self.versions:
+            return ({}, set(), set())
+        head = self.versions[0]
+        memo = head._folded
+        if memo is not None and memo[0] == self.floor_lsn:
+            adds, deletes, subtrees = memo[1]
+            return (dict(adds), set(deletes), set(subtrees))
+        adds: Dict[DN, Entry] = {}
+        deletes: Set[DN] = set()
+        subtrees: Set[DN] = set()
+        for delta in reversed(self.versions):  # oldest first
+            for dn, entry in delta.adds.items():
+                adds[dn] = entry
+                deletes.discard(dn)
+            for dn in delta.deletes:
+                deletes.add(dn)
+                adds.pop(dn, None)
+            for root in delta.delete_subtrees:
+                subtrees.add(root)
+                for dn in [d for d in adds if root.is_prefix_of(d)]:
+                    del adds[dn]
+        head._folded = (self.floor_lsn, (dict(adds), set(deletes), set(subtrees)))
+        return (adds, deletes, subtrees)
+
+    def pending(self) -> int:
+        """How many distinct overlay actions the snapshot carries."""
+        if not self.versions:
+            return 0
+        adds, deletes, subtrees = self.folded()
+        return len(adds) + len(deletes) + len(subtrees)
+
+    def __repr__(self) -> str:
+        return "Snapshot(lsn=%d, floor=%d, versions=%d)" % (
+            self.lsn,
+            self.floor_lsn,
+            len(self.versions),
+        )
+
+
+class VersionChain:
+    """The writer-side chain: head pointer, floor, lsn allocation.
+
+    ``advance`` is the only mutation and runs under the chain lock, so
+    lsns are allocated densely in commit order; snapshots taken at any
+    moment see a consistent (head, floor) pair.
+    """
+
+    def __init__(self, start_lsn: int = 0):
+        self._lock = threading.Lock()
+        self._head: Optional[Version] = None
+        self._floor_lsn = start_lsn
+        self._next_lsn = start_lsn + 1
+
+    @property
+    def head_lsn(self) -> int:
+        with self._lock:
+            return self._head.lsn if self._head is not None else self._floor_lsn
+
+    @property
+    def floor_lsn(self) -> int:
+        with self._lock:
+            return self._floor_lsn
+
+    def advance(
+        self,
+        adds: Optional[Dict[DN, Entry]] = None,
+        deletes: Iterable[DN] = (),
+        delete_subtrees: Iterable[DN] = (),
+    ) -> Version:
+        """Commit one delta; returns the new head version (its ``lsn`` is
+        the commit's sequence number)."""
+        with self._lock:
+            version = Version(
+                self._next_lsn, self._head, adds, deletes, delete_subtrees
+            )
+            self._next_lsn += 1
+            self._head = version
+            return version
+
+    def snapshot(self) -> Snapshot:
+        with self._lock:
+            versions: List[Version] = []
+            version = self._head
+            while version is not None and version.lsn > self._floor_lsn:
+                versions.append(version)
+                version = version.parent
+            return Snapshot(tuple(versions), self._floor_lsn)
+
+    def truncate(self, upto_lsn: int) -> int:
+        """Raise the floor to ``upto_lsn`` (a compaction folded everything
+        at or below it into the master) and cut the parent link there so
+        retired versions can be collected.  Existing snapshots are
+        unaffected: they captured their version lists eagerly.  Returns
+        the new floor."""
+        with self._lock:
+            if upto_lsn <= self._floor_lsn:
+                return self._floor_lsn
+            self._floor_lsn = upto_lsn
+            version = self._head
+            while version is not None:
+                if version.parent is not None and version.parent.lsn <= upto_lsn:
+                    version.parent = None
+                    break
+                version = version.parent
+            if self._head is not None and self._head.lsn <= upto_lsn:
+                self._head = None
+            return self._floor_lsn
+
+    def __repr__(self) -> str:
+        with self._lock:
+            head = self._head.lsn if self._head is not None else None
+            return "VersionChain(head=%s, floor=%d)" % (head, self._floor_lsn)

@@ -242,6 +242,37 @@ class TestLdapUrl:
         assert main(["ldapurl", "http://nope"]) == 1
 
 
+class TestWalDump:
+    @pytest.fixture
+    def data_dir(self, tmp_path):
+        from repro.txn.durable import DurableDirectory
+        from repro.workload import random_instance
+
+        instance = random_instance(3, size=10)
+        directory = DurableDirectory.open(
+            str(tmp_path / "data"), instance, page_size=8
+        )
+        root = next(iter(instance.roots())).dn
+        directory.add(root.child("name=w1"), ["node"], name="w1")
+        directory.delete(root.child("name=w1"))
+        directory.close()
+        return str(tmp_path / "data")
+
+    def test_dumps_records_from_data_dir(self, data_dir, capsys):
+        assert main(["wal-dump", data_dir]) == 0
+        out = capsys.readouterr().out
+        assert "add" in out and "delete" in out
+        assert "2 record(s)" in out
+        assert "TORN" not in out
+
+    def test_accepts_log_file_path(self, data_dir, capsys):
+        assert main(["wal-dump", data_dir + "/wal.log"]) == 0
+        assert "2 record(s)" in capsys.readouterr().out
+
+    def test_missing_log_fails(self, tmp_path, capsys):
+        assert main(["wal-dump", str(tmp_path / "nope")]) == 1
+
+
 class TestQueryBudget:
     def test_breach_exits_2_with_a_structured_error(self, qos_ldif, capsys):
         code = main([
@@ -288,7 +319,7 @@ class TestBenchCheckDirectories:
     def test_directory_of_valid_artifacts_passes(self, capsys):
         assert main(["bench-check", "benchmarks/baselines"]) == 0
         out = capsys.readouterr().out
-        assert out.count(": ok") == 3
+        assert out.count(": ok") == 4
 
     def test_directory_with_an_invalid_artifact_lists_it(self, tmp_path, capsys):
         good = json.dumps({

@@ -1,0 +1,248 @@
+"""The write-ahead log: frame format, group commit, crash points.
+
+The recovery contract under test (Acceptance: crash-recovery property):
+for every seeded crash point, recovery replays deterministically, every
+acknowledged (synced) record is present, and no partial record is ever
+applied.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.model.dn import DN
+from repro.model.entry import Entry
+from repro.txn.records import ChangeRecord
+from repro.txn.wal import (
+    CrashPlan,
+    SimulatedCrash,
+    WalError,
+    WriteAheadLog,
+    encode_record,
+    scan_wal,
+)
+
+
+def _record(lsn, name="x", kind="add"):
+    dn = DN.parse("name=%s, dc=com" % name)
+    entry = None
+    if kind in ("add", "modify"):
+        entry = Entry(dn, ["node"], {"name": [name]})
+    return ChangeRecord(kind, dn, entry=entry, lsn=lsn)
+
+
+class TestFrameFormat:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        for lsn in range(1, 6):
+            wal.commit(_record(lsn, "n%d" % lsn))
+        wal.close()
+        records, valid_bytes, torn = scan_wal(path)
+        assert [r.lsn for r in records] == [1, 2, 3, 4, 5]
+        assert not torn
+        assert valid_bytes == os.path.getsize(path)
+        assert records[2].entry.values("name") == ("n3",)
+
+    def test_delete_subtree_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.commit(ChangeRecord("delete", DN.parse("o=a, dc=com"), subtree=True, lsn=1))
+        wal.close()
+        records, _, _ = scan_wal(path)
+        assert records[0].kind == "delete"
+        assert records[0].subtree is True
+
+    def test_torn_tail_detected_and_prefix_kept(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.commit(_record(1, "keep"))
+        wal.close()
+        whole = os.path.getsize(path)
+        frame = encode_record(_record(2, "cut"))
+        with open(path, "ab") as stream:
+            stream.write(frame[: len(frame) // 2])
+        records, valid_bytes, torn = scan_wal(path)
+        assert torn
+        assert valid_bytes == whole
+        assert [r.lsn for r in records] == [1]
+
+    def test_corrupt_checksum_stops_scan(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.commit(_record(1))
+        wal.commit(_record(2))
+        wal.close()
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF  # flip one payload byte of the last record
+        with open(path, "wb") as stream:
+            stream.write(data)
+        records, _, torn = scan_wal(path)
+        assert torn
+        assert [r.lsn for r in records] == [1]
+
+    def test_open_existing_truncates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.commit(_record(1))
+        wal.close()
+        with open(path, "ab") as stream:
+            stream.write(b"\x00\x01garbage")
+        wal2, records, torn = WriteAheadLog.open_existing(path, fsync=False)
+        assert torn
+        assert [r.lsn for r in records] == [1]
+        # The tail was physically removed: appending cannot splice onto
+        # garbage, and a second scan is clean.
+        wal2.commit(_record(2))
+        wal2.close()
+        records, _, torn = scan_wal(path)
+        assert [r.lsn for r in records] == [1, 2]
+        assert not torn
+
+
+class TestAppendDiscipline:
+    def test_lsn_must_be_assigned(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w"), fsync=False)
+        with pytest.raises(WalError):
+            wal.append(ChangeRecord("delete", DN.parse("dc=com")))
+
+    def test_non_monotone_lsn_rejected(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w"), fsync=False)
+        wal.append(_record(2))
+        with pytest.raises(WalError):
+            wal.append(_record(2))
+
+    def test_sync_past_buffered_fails_loudly(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w"), fsync=False)
+        with pytest.raises(WalError):
+            wal.sync(7)
+
+    def test_truncate_restarts_empty(self, tmp_path):
+        path = str(tmp_path / "w")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.commit(_record(1))
+        wal.commit(_record(2))
+        wal.truncate(2)
+        assert os.path.getsize(path) == 0
+        assert wal.durable_lsn == 2
+        wal.commit(_record(3))
+        records, _, _ = scan_wal(path)
+        assert [r.lsn for r in records] == [3]
+
+
+class TestGroupCommit:
+    def test_concurrent_committers_share_flushes(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w"), fsync=False, flush_delay_s=0.003)
+        threads = 8
+        per_thread = 4
+        lock = threading.Lock()
+        next_lsn = [1]
+        barrier = threading.Barrier(threads)
+
+        def worker(_index):
+            barrier.wait()
+            for _ in range(per_thread):
+                with lock:
+                    lsn = next_lsn[0]
+                    next_lsn[0] += 1
+                    wal.append(_record(lsn, "n%d" % lsn))
+                wal.sync(lsn)
+
+        workers = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        total = threads * per_thread
+        assert wal.appends == total
+        assert wal.durable_lsn == total
+        # The whole point: far fewer fsync batches than records.
+        assert wal.flushes < total
+        records, _, torn = scan_wal(wal.path)
+        assert not torn
+        assert [r.lsn for r in records] == list(range(1, total + 1))
+        wal.close()
+
+    def test_crash_poisons_every_waiter(self, tmp_path):
+        wal = WriteAheadLog(
+            str(tmp_path / "w"),
+            fsync=False,
+            flush_delay_s=0.005,
+            crash_plan=CrashPlan(crash_at_flush=0, torn_bytes=3),
+        )
+        outcomes = []
+        barrier = threading.Barrier(4)
+
+        def worker(index):
+            barrier.wait()
+            try:
+                wal.append(_record(index + 1, "n%d" % index))
+                wal.sync(index + 1)
+                outcomes.append("acked")
+            except SimulatedCrash:
+                outcomes.append("crashed")
+            except WalError:
+                outcomes.append("dead")
+
+        workers = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        # Nobody got an ack: the crashed flush acknowledged nothing.
+        assert "acked" not in outcomes
+        # Recovery sees at most a torn fragment, never a whole record.
+        records, _, _ = scan_wal(wal.path)
+        assert records == []
+
+
+class TestCrashMatrix:
+    def test_recovery_is_deterministic_and_acked_complete(self, tmp_path):
+        """Sweep the crash point across flushes and the tear across byte
+        offsets; after every crash, recovery holds exactly the acked
+        prefix (frames are ~100 bytes; tears land before, inside and
+        beyond one frame's header and payload)."""
+        for crash_at in (0, 1, 2, 3):
+            for torn_bytes in (0, 3, 11, 60, 150):
+                data_dir = tmp_path / ("case_%d_%d" % (crash_at, torn_bytes))
+                data_dir.mkdir()
+                path = str(data_dir / "wal.log")
+                wal = WriteAheadLog(
+                    path,
+                    fsync=False,
+                    crash_plan=CrashPlan(crash_at, torn_bytes),
+                )
+                acked = []
+                for lsn in range(1, 7):
+                    try:
+                        wal.commit(_record(lsn, "n%d" % lsn))
+                        acked.append(lsn)
+                    except SimulatedCrash:
+                        break
+                assert len(acked) == crash_at, "crash fired at the wrong flush"
+                first = scan_wal(path)
+                # Physical truncation then rescan: same records (determinism).
+                _wal2, records, _torn = WriteAheadLog.open_existing(path, fsync=False)
+                _wal2.close()
+                second = scan_wal(path)
+                assert [r.lsn for r in first[0]] == [r.lsn for r in records]
+                assert [r.lsn for r in second[0]] == [r.lsn for r in records]
+                assert second[2] is False  # tail gone after truncation
+                recovered = [r.lsn for r in records]
+                # Every acked commit is present, in order, as a prefix.
+                assert recovered[: len(acked)] == acked
+                # No invented or reordered records: recovery is a prefix
+                # of what was submitted.  A tear wide enough to cover a
+                # whole frame may persist the next record even though its
+                # ack was lost -- that is legitimate; a *partial* frame
+                # never surfaces (checksum + length gate).
+                assert recovered == list(range(1, len(recovered) + 1))
+                assert len(recovered) <= len(acked) + 1
+                for record in records:
+                    assert record.entry is not None
+                    assert record.entry.values("name") == ("n%d" % record.lsn,)
