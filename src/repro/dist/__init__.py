@@ -3,6 +3,7 @@
 retry/backoff, circuit breakers and graceful partial-result degradation
 (footnote 4's availability story, made testable)."""
 
+from .consistency import ConsistencyHarness, ConsistencyReport, run_matrix
 from .errors import (
     DistError,
     LocatorError,
@@ -15,13 +16,15 @@ from .federation import FederatedDirectory, FederatedResult
 from .locator import ServerLocator
 from .network import SimulatedNetwork
 from .referral import Referral, ReferralClient
-from .replication import AvailabilityRouter, ReplicatedContext
+from .replication import AvailabilityRouter, ReplicaNode, ReplicatedContext
 from .resilience import CircuitBreaker, ResiliencePolicy, RetryPolicy, StaleStore
 from .server import DirectoryServer
 
 __all__ = [
     "AvailabilityRouter",
     "CircuitBreaker",
+    "ConsistencyHarness",
+    "ConsistencyReport",
     "DirectoryServer",
     "DistError",
     "FaultInjector",
@@ -33,6 +36,7 @@ __all__ = [
     "Referral",
     "ReferralClient",
     "ReferralError",
+    "ReplicaNode",
     "ReplicatedContext",
     "ReplicationError",
     "ResiliencePolicy",
@@ -40,4 +44,5 @@ __all__ = [
     "ServerLocator",
     "SimulatedNetwork",
     "StaleStore",
+    "run_matrix",
 ]

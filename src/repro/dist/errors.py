@@ -62,10 +62,20 @@ class NetworkError(DistError):
 
 
 class ReplicationError(DistError):
-    """No replica of a context could (acceptably) serve a request."""
+    """A replication-group request was refused (no acceptable replica,
+    a fenced write, or an unreachable acknowledgment level)."""
 
     #: Every candidate was down or lagged past the staleness bound.
     NO_REPLICA = "noLiveReplica"
+    #: A deposed primary (stale epoch) tried to write or ship.
+    FENCED = "fenced"
+    #: A write reached the primary but not its acknowledgment level
+    #: (quorum/all); it is NOT acknowledged and may be lost on failover.
+    ACK_FAILED = "ackFailed"
+    #: A client write was sent to a node that never was the primary.
+    NOT_PRIMARY = "notPrimary"
+    #: Promotion found no live candidate to take over the context.
+    NO_CANDIDATE = "noCandidate"
 
 
 class ReferralError(DistError):

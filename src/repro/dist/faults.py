@@ -126,8 +126,10 @@ class FaultInjector(SimulatedNetwork):
         super().__init__(keep_log=keep_log, wire_latency_s=wire_latency_s)
         self.plan = plan or FaultPlan()
         #: Structured event logger; each injected fault is logged as a
-        #: ``fault.injected`` event (None/no-op by default).
-        self.log = log
+        #: ``fault.injected`` event (None/no-op by default).  Named apart
+        #: from the inherited ``log`` *message list* -- shadowing it broke
+        #: ``keep_log`` accounting.
+        self.event_log = log
         self._rng = random.Random(self.plan.seed)
         #: Simulated clock, in seconds.
         self.now = 0.0
@@ -153,8 +155,8 @@ class FaultInjector(SimulatedNetwork):
         # Called with self._lock held (from send); raising releases it.
         self.faults[code] = self.faults.get(code, 0) + 1
         self._m_faults.inc(code=code)
-        if self.log is not None and self.log.enabled:
-            self.log.info(
+        if self.event_log is not None and self.event_log.enabled:
+            self.event_log.info(
                 "fault.injected", code=code, server=server, at=round(self.now, 6)
             )
         raise NetworkError(message, code=code, server=server)

@@ -1,40 +1,227 @@
-"""Primary/secondary replication and failover.
+"""Log-shipped replication with epoch-fenced failover.
 
 Footnote 4 of the paper: "Secondary directory servers ensure that one
 unreachable network will not necessarily cut off network directory
-service."  This module supplies that availability story for the simulated
-federation:
+service."  This module is that availability story, rebuilt on the durable
+write path of :mod:`repro.txn`:
 
-- :class:`ReplicatedContext` pairs a primary :class:`DirectoryServer` with
-  secondaries for one naming context and keeps them in sync by shipping a
-  changelog (counted on the network like any other traffic);
-- :class:`AvailabilityRouter` answers atomic queries for the context,
-  preferring the primary and failing over to a live secondary when the
-  primary is marked down.
+- every mutation of the replication group commits through an
+  :class:`~repro.storage.maintenance.UpdatableDirectory` (optionally a
+  :class:`~repro.txn.durable.DurableDirectory` with a real WAL), producing
+  a typed, lsn-stamped :class:`~repro.txn.records.ChangeRecord`;
+- :meth:`ReplicatedContext.sync` ships the outstanding changelog suffix to
+  each secondary, which applies it through
+  :meth:`~repro.storage.maintenance.UpdatableDirectory.apply_records` --
+  the *same* replay path crash recovery uses, so replication and recovery
+  cannot drift apart;
+- writes honour an acknowledgment level (``ack="primary"|"quorum"|"all"``)
+  with per-replica acked-lsn tracking; a replica that fell behind the
+  truncated changelog prefix catches up by *resync*: a checkpoint image
+  plus the log suffix (for a durable primary, literally ``base.ldif`` +
+  :meth:`~repro.txn.wal.WriteAheadLog.records_since`);
+- failover is **epoch-fenced**: a monotone epoch stamps every shipped
+  batch and write acknowledgment.  :meth:`ReplicatedContext.promote` picks
+  the most-caught-up live replica and bumps the epoch; a deposed primary's
+  writes and ships are rejected with ``ReplicationError(code="fenced")``
+  -- split-brain is impossible by construction, and
+  :mod:`repro.dist.consistency` proves it over seeded schedules.
+
+:class:`AvailabilityRouter` is unchanged in spirit: it answers atomic
+queries for the context, preferring the current primary and failing over
+to a live secondary within the staleness bound.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+import os
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
 from ..model.schema import DirectorySchema
+from ..obs.log import NULL_LOGGER
+from ..obs.metrics import get_registry
 from ..query.ast import AtomicQuery
-from .errors import ReplicationError
+from ..storage.maintenance import UpdatableDirectory
+from ..storage.store import DirectoryStore
+from ..txn.durable import BASE_FILE, DurableDirectory
+from ..txn.records import ChangeRecord
+from .errors import NetworkError, ReplicationError
 from .network import SimulatedNetwork
 from .server import DirectoryServer
 
-__all__ = ["ReplicatedContext", "AvailabilityRouter", "ReplicationError"]
+__all__ = [
+    "AvailabilityRouter",
+    "ReplicaNode",
+    "ReplicatedContext",
+    "ReplicationError",
+]
+
+ACK_LEVELS = ("primary", "quorum", "all")
+
+
+class ReplicaNode:
+    """One member of a replication group.
+
+    Each node owns a full :class:`UpdatableDirectory` (the primary's may
+    be durable), the epoch it last heard, and the suffix of change records
+    it has applied since its last snapshot install -- the material a
+    promotion needs to seed the new lineage's changelog.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: DirectorySchema,
+        directory: Optional[UpdatableDirectory] = None,
+        page_size: int = 16,
+        buffer_pages: int = 8,
+        metrics=None,
+        log=None,
+    ):
+        self.name = name
+        self.schema = schema
+        self._page_size = page_size
+        self._buffer_pages = buffer_pages
+        self._metrics = metrics
+        self._log = log if log is not None else NULL_LOGGER
+        if directory is None:
+            directory = UpdatableDirectory.from_instance(
+                DirectoryInstance(schema),
+                page_size=page_size,
+                buffer_pages=buffer_pages,
+                metrics=metrics,
+                log=self._log,
+            )
+        self.directory = directory
+        #: Highest epoch this node has heard (writes/batches below it are
+        #: fenced).
+        self.epoch = 1
+        #: ``"primary"`` / ``"secondary"`` / ``"deposed"`` (a primary that
+        #: learned of a higher epoch the hard way).
+        self.role = "secondary"
+        #: Records applied since the last snapshot install, in lsn order.
+        self.applied: List[ChangeRecord] = []
+        #: The lsn the applied suffix starts after (snapshot lsn).
+        self.applied_floor = directory.head_lsn
+        #: Set by promotion when this node's log diverged from the new
+        #: lineage (an unacknowledged tail); only a resync clears it.
+        self.needs_resync = False
+        self._server: Optional[DirectoryServer] = None
+        self._server_lsn = -1
+        self.directory.add_record_listener(self._track)
+
+    def _track(self, record: ChangeRecord) -> None:
+        # Local commits (this node acting as primary) join the suffix the
+        # same way shipped records do.
+        self.applied.append(record)
+
+    @property
+    def applied_lsn(self) -> int:
+        """The lsn of the newest change this node holds."""
+        return self.directory.head_lsn
+
+    # -- the receive side ----------------------------------------------------
+
+    def receive(self, epoch: int, records: List[ChangeRecord]) -> List[ChangeRecord]:
+        """Apply one shipped batch.  A batch from a *lower* epoch than this
+        node has heard is the fence: the shipper was deposed."""
+        if epoch < self.epoch:
+            raise ReplicationError(
+                "%s at epoch %d rejects batch from epoch %d"
+                % (self.name, self.epoch, epoch),
+                code=ReplicationError.FENCED,
+            )
+        self.epoch = epoch
+        if self.role == "deposed":
+            self.role = "secondary"  # following the new lineage again
+        applied = self.directory.apply_records(records)
+        self.applied.extend(applied)
+        return applied
+
+    def install_snapshot(
+        self, epoch: int, entries: List[Entry], snapshot_lsn: int
+    ) -> None:
+        """Replace this node's whole state with a checkpoint image taken
+        at ``snapshot_lsn`` (the resync path; a log suffix may follow
+        through :meth:`receive`)."""
+        if epoch < self.epoch:
+            raise ReplicationError(
+                "%s at epoch %d rejects snapshot from epoch %d"
+                % (self.name, self.epoch, epoch),
+                code=ReplicationError.FENCED,
+            )
+        instance = DirectoryInstance(self.schema)
+        for entry in entries:
+            instance.add_entry(entry)
+        store = DirectoryStore.from_instance(
+            instance, page_size=self._page_size, buffer_pages=self._buffer_pages
+        )
+        self.directory = UpdatableDirectory(
+            store,
+            start_lsn=snapshot_lsn,
+            metrics=self._metrics,
+            log=self._log,
+        )
+        self.directory.add_record_listener(self._track)
+        self.epoch = epoch
+        if self.role == "deposed":
+            self.role = "secondary"
+        self.applied = []
+        self.applied_floor = snapshot_lsn
+        self.needs_resync = False
+        self._server = None
+        self._server_lsn = -1
+
+    def adopt_directory(self, directory: UpdatableDirectory,
+                        applied: List[ChangeRecord], applied_floor: int) -> None:
+        """Swap in a recovered directory (a durable primary reopened after
+        a crash) with its surviving record suffix."""
+        self.directory = directory
+        self.directory.add_record_listener(self._track)
+        self.applied = list(applied)
+        self.applied_floor = applied_floor
+        self._server = None
+        self._server_lsn = -1
+
+    # -- serving -------------------------------------------------------------
+
+    def server(self, context: DN) -> DirectoryServer:
+        """A query server over this node's current state (rebuilt only
+        when the state advanced since the last build)."""
+        lsn = self.directory.head_lsn
+        if self._server is None or self._server_lsn != lsn:
+            self.directory.compact()
+            server = DirectoryServer(
+                self.name,
+                self.schema,
+                [context],
+                page_size=self._page_size,
+                buffer_pages=self._buffer_pages,
+            )
+            server.load(self.directory.store.scan_all())
+            self._server = server
+            self._server_lsn = lsn
+        return self._server
+
+    def __repr__(self) -> str:
+        return "ReplicaNode(%r, %s, epoch=%d, lsn=%d)" % (
+            self.name, self.role, self.epoch, self.applied_lsn,
+        )
 
 
 class ReplicatedContext:
     """One naming context served by a primary and N secondaries.
 
-    Mutations go to the primary's staging instance and are recorded in a
-    changelog; :meth:`sync` ships outstanding changelog records to each
-    secondary (one message per batch, entry count = records shipped).
+    Mutations go through the current primary's directory and are recorded
+    -- typed, lsn-stamped -- in the shipping changelog; :meth:`sync` ships
+    the outstanding suffix to each secondary.  ``ack`` sets the write
+    acknowledgment level: ``"primary"`` acknowledges after the local
+    commit, ``"quorum"``/``"all"`` ship synchronously and raise
+    ``ReplicationError(code="ackFailed")`` when not enough replicas
+    acknowledged (the write is then *not* acknowledged and may be lost on
+    failover -- exactly what the consistency harness checks).
     """
 
     def __init__(
@@ -44,97 +231,530 @@ class ReplicatedContext:
         secondaries: int = 1,
         network: Optional[SimulatedNetwork] = None,
         page_size: int = 16,
+        buffer_pages: int = 8,
+        ack: str = "primary",
+        durable_dir: Optional[str] = None,
+        wal_fsync: bool = False,
+        metrics=None,
+        log=None,
     ):
+        if ack not in ACK_LEVELS:
+            raise ValueError("ack must be one of %s" % (ACK_LEVELS,))
         if isinstance(context, str):
             context = DN.parse(context)
         self.context = context
         self.schema = schema
         self.network = network or SimulatedNetwork()
-        self.primary = DirectoryServer("primary", schema, [context], page_size=page_size)
-        self.secondaries = [
-            DirectoryServer("secondary%d" % index, schema, [context], page_size=page_size)
-            for index in range(secondaries)
-        ]
-        self._changelog: List[Tuple[str, Entry]] = []
-        self._synced_upto: Dict[str, int] = {s.name: 0 for s in self.secondaries}
-        self._primary_instance = DirectoryInstance(schema)
-        self._replica_instances = {
-            s.name: DirectoryInstance(schema) for s in self.secondaries
-        }
-        self._built = False
+        self.ack = ack
+        self.log = log if log is not None else NULL_LOGGER
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._page_size = page_size
+        self._buffer_pages = buffer_pages
 
-    # -- mutation (primary only) ---------------------------------------------
+        primary_directory = None
+        if durable_dir is not None:
+            primary_directory = DurableDirectory.open(
+                durable_dir,
+                instance=DirectoryInstance(schema),
+                page_size=page_size,
+                buffer_pages=buffer_pages,
+                fsync=wal_fsync,
+                metrics=metrics,
+                log=self.log,
+            )
+        self.nodes: Dict[str, ReplicaNode] = {}
+        primary = ReplicaNode(
+            "primary", schema, directory=primary_directory,
+            page_size=page_size, buffer_pages=buffer_pages,
+            metrics=metrics, log=self.log,
+        )
+        primary.role = "primary"
+        self.nodes[primary.name] = primary
+        for index in range(secondaries):
+            node = ReplicaNode(
+                "secondary%d" % index, schema,
+                page_size=page_size, buffer_pages=buffer_pages,
+                metrics=metrics, log=self.log,
+            )
+            self.nodes[node.name] = node
+
+        #: The group's monotone epoch; bumped by every promotion.
+        self.epoch = 1
+        self.primary_name = "primary"
+        #: Outstanding (not yet truncated) change records, lsn order.
+        self._changelog: List[ChangeRecord] = []
+        #: Records at or below this lsn were truncated from the changelog
+        #: (a replica behind it catches up by resync).
+        self.changelog_floor = 0
+        #: Per-node highest acknowledged lsn, from the primary's view.
+        self._acked: Dict[str, int] = {name: 0 for name in self.nodes}
+        #: Every ship/resync/promote event:
+        #: ``(kind, epoch, node, from_lsn, to_lsn)`` -- the consistency
+        #: harness checks per-epoch lsn monotonicity on this.
+        self.ship_log: List[Tuple[str, int, str, int, int]] = []
+        #: Last ship failure per replica (cleared by a successful ship).
+        self.last_ship_errors: Dict[str, NetworkError] = {}
+        self.resyncs = 0
+        self.failovers = 0
+
+        primary.directory.add_record_listener(self._on_primary_record)
+
+        self._m_shipped = self.metrics.counter(
+            "repro_replication_shipped_records_total",
+            "Change records shipped to and applied by secondaries",
+        )
+        self._m_changelog = self.metrics.gauge(
+            "repro_replication_changelog_records",
+            "Outstanding (untruncated) replication changelog records",
+        )
+        self._m_epoch = self.metrics.gauge(
+            "repro_replication_epoch", "Current replication epoch"
+        )
+        self._m_lag = self.metrics.gauge(
+            "repro_replication_lag_records",
+            "Records a replica is behind the primary",
+            labelnames=("replica",),
+        )
+        self._m_acked = self.metrics.gauge(
+            "repro_replication_acked_lsn",
+            "Highest lsn a replica has acknowledged",
+            labelnames=("replica",),
+        )
+        self._m_fenced = self.metrics.counter(
+            "repro_replication_fenced_total",
+            "Writes/ships rejected because the issuer's epoch was stale",
+        )
+        self._m_failovers = self.metrics.counter(
+            "repro_replication_failovers_total",
+            "Promotions of a secondary to primary",
+        )
+        self._m_resyncs = self.metrics.counter(
+            "repro_replication_resyncs_total",
+            "Replica catch-ups via checkpoint snapshot + log suffix",
+        )
+        self._m_ack_failures = self.metrics.counter(
+            "repro_replication_ack_failures_total",
+            "Writes that missed their acknowledgment level",
+        )
+        self._update_gauges()
+
+    # -- group plumbing ------------------------------------------------------
+
+    def _on_primary_record(self, record: ChangeRecord) -> None:
+        self._changelog.append(record)
+
+    def node(self, name: str) -> ReplicaNode:
+        return self.nodes[name]
+
+    @property
+    def primary(self) -> ReplicaNode:
+        return self.nodes[self.primary_name]
+
+    @property
+    def secondaries(self) -> List[ReplicaNode]:
+        """Every non-primary member, in creation order."""
+        return [n for n in self.nodes.values() if n.name != self.primary_name]
+
+    def quorum(self) -> int:
+        """Majority of the whole group (primary included)."""
+        return len(self.nodes) // 2 + 1
+
+    def _required_acks(self) -> int:
+        if self.ack == "primary":
+            return 1
+        if self.ack == "quorum":
+            return self.quorum()
+        return len(self.nodes)
+
+    def _fence(self, node: ReplicaNode, action: str) -> None:
+        """Reject an action by a node that is not the current primary.
+        A node that *was* primary (stale epoch) is fenced; anything else
+        simply is not the primary."""
+        if node.name == self.primary_name and node.epoch == self.epoch:
+            return
+        if node.role in ("primary", "deposed"):
+            node.role = "deposed"
+            self._m_fenced.inc()
+            self.log.warning(
+                "replication.fenced",
+                node=node.name, action=action,
+                node_epoch=node.epoch, group_epoch=self.epoch,
+            )
+            raise ReplicationError(
+                "%s fenced at epoch %d (group epoch %d): %s rejected"
+                % (node.name, node.epoch, self.epoch, action),
+                code=ReplicationError.FENCED,
+            )
+        raise ReplicationError(
+            "%s is not the primary (%s is)" % (node.name, self.primary_name),
+            code=ReplicationError.NOT_PRIMARY,
+        )
+
+    # -- mutation (through the current primary) ------------------------------
 
     def add(self, dn, classes, attributes=None, **kw) -> Entry:
-        entry = self._primary_instance.add(dn, classes, attributes, **kw)
-        self._changelog.append(("add", entry))
-        self._built = False
-        return entry
+        return self.write_via(
+            self.primary_name, "add", dn, classes, attributes, **kw
+        )
 
     def add_entry(self, entry: Entry) -> Entry:
         """Record an already-built entry (mirroring an existing server's
         holdings into this replicated context)."""
-        self._primary_instance.add_entry(entry)
-        self._changelog.append(("add", entry))
-        self._built = False
-        return entry
+        attributes = {
+            attr: list(entry.values(attr)) for attr in entry.attributes()
+        }
+        return self.add(entry.dn, entry.classes, attributes)
+
+    def delete(self, dn, recursive: bool = False) -> None:
+        self.write_via(self.primary_name, "delete", dn, recursive=recursive)
+
+    def modify(self, dn, replace=None, add_values=None, remove_values=None) -> Entry:
+        return self.write_via(
+            self.primary_name, "modify", dn,
+            replace=replace, add_values=add_values, remove_values=remove_values,
+        )
+
+    def write_via(self, *args, **kw):
+        """``write_via(node_name, op, ...)``: one client write issued
+        *through a specific node's handle* -- the current primary in
+        normal operation; a deposed primary here is exactly the
+        split-brain attempt the epoch fence rejects.  (The leading
+        arguments are positional-only so they can never collide with
+        ``add``'s keyword attributes.)"""
+        node_name, kind = args[0], args[1]
+        args = args[2:]
+        node = self.nodes[node_name]
+        self._fence(node, "write")
+        method = getattr(node.directory, kind)
+        result = method(*args, **kw)
+        lsn = node.directory.head_lsn
+        self._acked[node.name] = lsn
+        self._enforce_ack(lsn)
+        self._update_gauges()
+        return result
+
+    def _enforce_ack(self, lsn: int) -> None:
+        required = self._required_acks()
+        if required <= 1:
+            return
+        self.sync()
+        acked = 1 + sum(
+            1
+            for node in self.secondaries
+            if self._acked.get(node.name, 0) >= lsn
+        )
+        if acked < required:
+            self._m_ack_failures.inc()
+            self.log.warning(
+                "replication.ack_failed",
+                lsn=lsn, acked=acked, required=required, ack=self.ack,
+            )
+            raise ReplicationError(
+                "write at lsn %d reached %d of %d required replicas"
+                % (lsn, acked, required),
+                code=ReplicationError.ACK_FAILED,
+            )
+
+    # -- shipping ------------------------------------------------------------
 
     def changelog_length(self) -> int:
         return len(self._changelog)
 
+    def acked_lsn(self, name: str) -> int:
+        return self._acked.get(name, 0)
+
+    def lag(self, name: str) -> int:
+        """Records the node is behind the current primary (0 for the
+        primary itself)."""
+        if name == self.primary_name:
+            return 0
+        head = self.primary.applied_lsn
+        return max(0, head - min(self._acked.get(name, 0), head))
+
     def sync(self) -> Dict[str, int]:
-        """Ship outstanding changelog records to every secondary; returns
-        records shipped per secondary."""
+        """Ship the outstanding changelog suffix from the current primary
+        to every secondary; returns records caught up per secondary (an
+        unreachable replica scores 0 and is retried next round)."""
+        return self.ship_via(self.primary_name)
+
+    def ship_via(self, node_name: str) -> Dict[str, int]:
+        """The shipping pass, issued through a specific node's handle
+        (fenced exactly like writes)."""
+        node = self.nodes[node_name]
+        self._fence(node, "ship")
         shipped: Dict[str, int] = {}
-        for secondary in self.secondaries:
-            start = self._synced_upto[secondary.name]
-            batch = self._changelog[start:]
-            if batch:
-                self.network.send(
-                    self.primary.name, secondary.name, "changelog", len(batch)
-                )
-                replica = self._replica_instances[secondary.name]
-                for _op, entry in batch:
-                    replica.add_entry(entry)
-                self._synced_upto[secondary.name] = len(self._changelog)
-            shipped[secondary.name] = len(batch)
+        for replica in self.secondaries:
+            shipped[replica.name] = self._ship_to(node, replica)
+        self._truncate_changelog()
+        self._update_gauges()
         return shipped
 
-    def lag(self, secondary_name: str) -> int:
-        """Changelog records the secondary has not yet received."""
-        return len(self._changelog) - self._synced_upto[secondary_name]
+    def _ship_to(self, primary: ReplicaNode, replica: ReplicaNode) -> int:
+        before = self._acked.get(replica.name, 0)
+        try:
+            if replica.needs_resync or before < self.changelog_floor:
+                return self._resync(primary, replica)
+            batch = [r for r in self._changelog if r.lsn > before]
+            if not batch:
+                return 0
+            self.network.send(
+                primary.name, replica.name, "changelog", len(batch)
+            )
+            applied = replica.receive(self.epoch, batch)
+            self._acked[replica.name] = replica.applied_lsn
+            self.last_ship_errors.pop(replica.name, None)
+            self.ship_log.append(
+                ("ship", self.epoch, replica.name, batch[0].lsn, batch[-1].lsn)
+            )
+            self._m_shipped.inc(len(applied))
+            if self.log.enabled_for("debug"):
+                self.log.debug(
+                    "replication.ship",
+                    replica=replica.name, records=len(batch),
+                    epoch=self.epoch, upto_lsn=batch[-1].lsn,
+                )
+            return replica.applied_lsn - before
+        except NetworkError as exc:
+            self.last_ship_errors[replica.name] = exc
+            if self.log.enabled_for("debug"):
+                self.log.debug(
+                    "replication.ship_failed",
+                    replica=replica.name, code=exc.code,
+                )
+            return 0
+
+    def _resync(self, primary: ReplicaNode, replica: ReplicaNode) -> int:
+        """Catch a replica up from a checkpoint image plus the log suffix.
+        For a durable primary that is literally ``base.ldif`` + the WAL
+        suffix; otherwise the primary folds its overlay and snapshots the
+        store."""
+        before = self._acked.get(replica.name, 0)
+        directory = primary.directory
+        suffix: List[ChangeRecord] = []
+        if isinstance(directory, DurableDirectory) and directory.data_dir:
+            snapshot_lsn = directory.checkpoint_lsn
+            entries = self._load_checkpoint(directory)
+            suffix = directory.wal.records_since(snapshot_lsn)
+        else:
+            directory.compact()
+            entries = list(directory.store.scan_all())
+            snapshot_lsn = directory.floor_lsn
+        self.network.send(primary.name, replica.name, "snapshot", len(entries))
+        replica.install_snapshot(self.epoch, entries, snapshot_lsn)
+        if suffix:
+            self.network.send(
+                primary.name, replica.name, "changelog", len(suffix)
+            )
+            replica.receive(self.epoch, suffix)
+        self._acked[replica.name] = replica.applied_lsn
+        self.last_ship_errors.pop(replica.name, None)
+        self.resyncs += 1
+        self._m_resyncs.inc()
+        self.ship_log.append(
+            ("resync", self.epoch, replica.name, snapshot_lsn,
+             replica.applied_lsn)
+        )
+        self.log.info(
+            "replication.resync",
+            replica=replica.name, snapshot_lsn=snapshot_lsn,
+            suffix_records=len(suffix), entries=len(entries),
+            epoch=self.epoch,
+        )
+        return replica.applied_lsn - before
+
+    def _load_checkpoint(self, directory: DurableDirectory) -> List[Entry]:
+        from ..model.ldif import loads_ldif
+
+        path = os.path.join(directory.data_dir, BASE_FILE)
+        with open(path, "r", encoding="utf-8") as stream:
+            return list(loads_ldif(stream.read(), self.schema))
+
+    def _truncate_changelog(self) -> None:
+        """Drop the changelog prefix every required acknowledger has seen
+        (all secondaries at ack="primary"/"all", the quorum otherwise); a
+        replica behind the truncated floor resyncs from a checkpoint."""
+        if not self._changelog:
+            return
+        acked = sorted(
+            (self._acked.get(name, 0) for name in self.nodes), reverse=True
+        )
+        if self.ack == "quorum":
+            floor = acked[self.quorum() - 1]
+        else:
+            floor = min(acked)
+        if floor <= self.changelog_floor:
+            return
+        kept = [r for r in self._changelog if r.lsn > floor]
+        if len(kept) != len(self._changelog):
+            self._changelog = kept
+            self.changelog_floor = max(self.changelog_floor, floor)
+
+    # -- failover ------------------------------------------------------------
+
+    def promote(self, name: Optional[str] = None, exclude=()) -> str:
+        """Fail over: bump the epoch and install a new primary -- the
+        most-caught-up candidate outside ``exclude`` (pass the unreachable
+        nodes), or ``name`` explicitly.  The deposed primary keeps its
+        stale epoch, so its next write or ship attempt is fenced.  Returns
+        the new primary's name."""
+        excluded = set(exclude) | {self.primary_name}
+        # A diverged node (needs_resync) holds a forked log; promoting it
+        # would resurrect records the group already disowned.
+        candidates = [
+            node
+            for node in self.nodes.values()
+            if node.name not in excluded and not node.needs_resync
+        ]
+        if not candidates:
+            raise ReplicationError(
+                "no promotion candidate for %s (excluded: %s)"
+                % (self.context, sorted(excluded)),
+                code=ReplicationError.NO_CANDIDATE,
+            )
+        if name is None:
+            pick = max(candidates, key=lambda n: (n.applied_lsn, n.name))
+        else:
+            pick = self.nodes[name]
+            if pick.name in excluded or pick.needs_resync:
+                raise ReplicationError(
+                    "cannot promote %s (excluded or diverged)" % name,
+                    code=ReplicationError.NO_CANDIDATE,
+                )
+        old = self.primary
+        fork_lsn = pick.applied_lsn
+        self.epoch += 1
+        old.role = "deposed"
+        old.directory.remove_record_listener(self._on_primary_record)
+        self.primary_name = pick.name
+        pick.role = "primary"
+        pick.epoch = self.epoch
+        pick.directory.add_record_listener(self._on_primary_record)
+        # Rebase shipping bookkeeping onto the new lineage: its changelog
+        # is the new primary's applied suffix.
+        self._changelog = list(pick.applied)
+        self.changelog_floor = pick.applied_floor
+        self._acked[pick.name] = fork_lsn
+        for node in self.nodes.values():
+            if node is pick:
+                continue
+            if node.applied_lsn > fork_lsn:
+                # The node holds records the new lineage never had -- the
+                # old primary's unacknowledged tail.  It must resync.
+                node.needs_resync = True
+            self._acked[node.name] = min(
+                self._acked.get(node.name, 0), fork_lsn
+            )
+        self.failovers += 1
+        self._m_failovers.inc()
+        self.ship_log.append(
+            ("promote", self.epoch, pick.name, fork_lsn, fork_lsn)
+        )
+        self.log.info(
+            "replication.promoted",
+            new_primary=pick.name, deposed=old.name,
+            epoch=self.epoch, fork_lsn=fork_lsn,
+        )
+        self._update_gauges()
+        return pick.name
+
+    def reopen_primary(self) -> ReplicaNode:
+        """Recover the current primary's durable state after a (simulated)
+        process crash: reopen checkpoint + WAL, rebase the node's suffix
+        on what survived, and rebuild the changelog.  Acknowledged writes
+        are durable before they are acknowledged, so none is lost here."""
+        node = self.primary
+        directory = node.directory
+        if not isinstance(directory, DurableDirectory) or not directory.data_dir:
+            raise ReplicationError(
+                "primary %s has no durable data dir to recover from"
+                % node.name,
+                code=ReplicationError.OTHER,
+            )
+        data_dir = directory.data_dir
+        directory.close()
+        reopened = DurableDirectory.open(
+            data_dir,
+            page_size=self._page_size,
+            buffer_pages=self._buffer_pages,
+            fsync=directory.wal.fsync,
+            metrics=self.metrics,
+            log=self.log,
+        )
+        survived = reopened.wal.records_since(reopened.checkpoint_lsn)
+        node.adopt_directory(reopened, survived, reopened.checkpoint_lsn)
+        reopened.add_record_listener(self._on_primary_record)
+        self._changelog = [
+            r for r in survived if r.lsn > self.changelog_floor
+        ]
+        self._acked[node.name] = node.applied_lsn
+        self.log.info(
+            "replication.primary_recovered",
+            node=node.name, head_lsn=node.applied_lsn,
+            recovered_records=len(survived),
+            torn_tail=reopened.recovered_torn,
+        )
+        self._update_gauges()
+        return node
 
     # -- serving ----------------------------------------------------------------
 
-    def _ensure_built(self) -> None:
-        if self._built:
-            return
-        self.primary.reload(list(self._primary_instance))
-        for secondary in self.secondaries:
-            secondary.reload(list(self._replica_instances[secondary.name]))
-        self._built = True
-
     def server(self, name: str) -> DirectoryServer:
-        self._ensure_built()
-        if name == "primary":
-            return self.primary
-        for secondary in self.secondaries:
-            if secondary.name == name:
-                return secondary
-        raise KeyError(name)
+        return self.nodes[name].server(self.context)
+
+    # -- status ------------------------------------------------------------------
+
+    def replication_status(self) -> Dict[str, Any]:
+        """The admin-endpoint view of the replication group."""
+        head = self.primary.applied_lsn
+        replicas = {}
+        for node in self.nodes.values():
+            replicas[node.name] = {
+                "role": "primary" if node.name == self.primary_name else node.role,
+                "epoch": node.epoch,
+                "acked_lsn": self._acked.get(node.name, 0),
+                "applied_lsn": node.applied_lsn,
+                "lag": self.lag(node.name),
+                "needs_resync": node.needs_resync,
+            }
+        return {
+            "context": str(self.context),
+            "epoch": self.epoch,
+            "primary": self.primary_name,
+            "ack": self.ack,
+            "head_lsn": head,
+            "changelog_records": len(self._changelog),
+            "changelog_floor_lsn": self.changelog_floor,
+            "resyncs": self.resyncs,
+            "failovers": self.failovers,
+            "replicas": replicas,
+        }
+
+    def _update_gauges(self) -> None:
+        self._m_epoch.set(self.epoch)
+        self._m_changelog.set(len(self._changelog))
+        for node in self.nodes.values():
+            self._m_lag.set(self.lag(node.name), replica=node.name)
+            self._m_acked.set(
+                self._acked.get(node.name, 0), replica=node.name
+            )
+
+    def __repr__(self) -> str:
+        return "ReplicatedContext(%s, epoch=%d, primary=%s, %d nodes)" % (
+            self.context, self.epoch, self.primary_name, len(self.nodes),
+        )
 
 
 class AvailabilityRouter:
-    """Routes atomic queries to the context's primary, failing over to the
-    first live secondary within the staleness bound when the primary is
-    down.
+    """Routes atomic queries to the context's current primary, failing
+    over to a live secondary within the staleness bound when the primary
+    is marked down.
 
-    ``max_lag`` bounds how many unsynced changelog records a serving
-    secondary may be behind; the default 0 keeps the strict in-sync-only
-    behaviour.  Every evaluation appends its routing trail -- one
-    ``(replica, decision)`` pair per candidate considered, decisions being
-    ``"down"``, ``"lag=N"`` or ``"served"`` -- to :attr:`decisions`, so
-    tests and the chaos report can assert *why* a replica was skipped.
+    ``max_lag`` bounds how many unacknowledged records a serving secondary
+    may be behind; the default 0 keeps the strict in-sync-only behaviour.
+    Every evaluation appends its routing trail -- one ``(replica,
+    decision)`` pair per candidate considered, decisions being ``"down"``,
+    ``"lag=N"`` or ``"served"`` -- to :attr:`decisions`, so tests and the
+    consistency harness can assert *why* a replica was skipped.
     """
 
     def __init__(self, replicated: ReplicatedContext, max_lag: int = 0):
@@ -153,6 +773,14 @@ class AvailabilityRouter:
     def mark_up(self, name: str) -> None:
         self._down.discard(name)
 
+    def candidates(self) -> List[str]:
+        """The current primary first, then the secondaries in creation
+        order -- failover prefers the freshest authority."""
+        replicated = self.replicated
+        return [replicated.primary_name] + [
+            node.name for node in replicated.secondaries
+        ]
+
     def evaluate(self, query: AtomicQuery, max_lag: Optional[int] = None) -> List[Entry]:
         """Serve one atomic query from the best acceptable replica;
         ``max_lag`` overrides the router's staleness bound per call."""
@@ -160,12 +788,11 @@ class AvailabilityRouter:
         replicated = self.replicated
         trail: List[Tuple[str, str]] = []
         self.decisions.append(trail)
-        candidates = ["primary"] + [s.name for s in replicated.secondaries]
-        for name in candidates:
+        for name in self.candidates():
             if name in self._down:
                 trail.append((name, "down"))
                 continue
-            lag = 0 if name == "primary" else replicated.lag(name)
+            lag = replicated.lag(name)
             if lag > limit:
                 # Stale past the bound: skip rather than serve old data.
                 trail.append((name, "lag=%d" % lag))

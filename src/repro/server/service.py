@@ -252,6 +252,10 @@ class DirectoryService:
         #: (federation, coordinator name) once :meth:`attach_federation`
         #: makes this service a federation frontend.
         self._federation: Optional[Tuple[Any, str]] = None
+        #: (replicated context, lag alert threshold) once
+        #: :meth:`attach_replication` puts this service in front of a
+        #: replication group.
+        self._replication: Optional[Tuple[Any, int]] = None
 
     # -- federation frontend ------------------------------------------------
 
@@ -268,6 +272,16 @@ class DirectoryService:
         if at not in federation.servers:
             raise KeyError(at)
         self._federation = (federation, at)
+
+    def attach_replication(self, replicated, lag_alert: int = 8) -> None:
+        """Surface a :class:`~repro.dist.replication.ReplicatedContext`
+        through this service's admin plane: ``/healthz`` carries the
+        group's epoch and per-replica acked lsn / lag, and the service
+        reports ``status: degraded`` while any replica lags more than
+        ``lag_alert`` records behind the primary (or needs a resync)."""
+        if lag_alert < 0:
+            raise ValueError("lag_alert must be non-negative")
+        self._replication = (replicated, lag_alert)
 
     # -- connection state --------------------------------------------------
 
@@ -564,6 +578,7 @@ class DirectoryService:
 
         def health() -> dict:
             status = {
+                "status": "ok",
                 "entries": len(self.directory.store),
                 "compactions": self.directory.compactions,
                 "pending_updates": self.directory.pending(),
@@ -575,6 +590,16 @@ class DirectoryService:
             }
             if isinstance(self.directory, DurableDirectory):
                 status["durability"] = self.directory.durability_status()
+            if self._replication is not None:
+                replicated, lag_alert = self._replication
+                replication = replicated.replication_status()
+                replication["lag_alert"] = lag_alert
+                status["replication"] = replication
+                if any(
+                    r["lag"] > lag_alert or r["needs_resync"]
+                    for r in replication["replicas"].values()
+                ):
+                    status["status"] = "degraded"
             return status
 
         server = AdminServer(

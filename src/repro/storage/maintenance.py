@@ -56,6 +56,7 @@ from .runs import RunWriter
 from .store import DirectoryStore
 
 __all__ = [
+    "ReplayError",
     "StoreView",
     "UpdatableDirectory",
     "UpdateError",
@@ -83,6 +84,15 @@ class UpdateError(InstanceError):
     def __init__(self, message: str, code: str = OTHER):
         super().__init__(message)
         self.code = code
+
+
+class ReplayError(RuntimeError):
+    """Raised when replaying committed change records fails structurally
+    (a record without an lsn, or an lsn gap against the version chain).
+    Both crash recovery (:class:`~repro.txn.durable.DurableDirectory`) and
+    replication (:class:`~repro.dist.replication.ReplicatedContext`) apply
+    records through :meth:`UpdatableDirectory.apply_records`, so both
+    surface the same failure shape."""
 
 
 #: An update-log observer: called as ``listener(kind, dn, subtree)`` for
@@ -158,6 +168,7 @@ class UpdatableDirectory:
         self,
         store: DirectoryStore,
         auto_compact_at: int = 1024,
+        start_lsn: int = 0,
         metrics=None,
         log=None,
     ):
@@ -165,7 +176,10 @@ class UpdatableDirectory:
         self.schema = store.schema
         #: Compact automatically once this many mutations are pending.
         self.auto_compact_at = auto_compact_at
-        self._chain = VersionChain()
+        #: ``start_lsn`` anchors the version chain when the store already
+        #: represents the fold of every update up to that lsn (a durable
+        #: checkpoint, or a replication snapshot installed by resync).
+        self._chain = VersionChain(start_lsn=start_lsn)
         #: Serialises validate+commit so concurrent writers cannot both
         #: pass the same uniqueness check.
         self._write_lock = threading.RLock()
@@ -437,6 +451,57 @@ class UpdatableDirectory:
         record.lsn = version.lsn
         self._log_record(record)
         return record
+
+    # -- the replay path (crash recovery and replication) --------------------
+
+    def apply_record(self, record: ChangeRecord, notify: bool = False) -> bool:
+        """Apply one *committed* post-image record without re-validation.
+
+        This is the replay path shared by crash recovery and replication:
+        the record was validated when it first committed, so it is applied
+        verbatim.  Records at or below the current head lsn are skipped
+        (idempotent re-delivery: a checkpoint already folded them, or a
+        replica saw the batch twice); an lsn *gap* raises
+        :class:`ReplayError` -- the log the records came from is missing a
+        prefix and applying more would corrupt the replica.
+
+        Returns True when the record advanced the chain, False when it was
+        a duplicate.  ``notify`` forwards applied records to the update
+        listeners (replicas keep their caches fresh through the same hook
+        the online path uses); recovery leaves it off because listeners
+        attach after open.
+        """
+        if record.lsn is None:
+            raise ReplayError("cannot replay a record without an lsn: %r" % record)
+        with self._write_lock:
+            if record.lsn <= self.head_lsn:
+                return False
+            if record.kind == "delete":
+                if record.subtree:
+                    version = self._chain.advance(delete_subtrees=(record.dn,))
+                else:
+                    version = self._chain.advance(deletes=(record.dn,))
+            else:
+                version = self._chain.advance(adds={record.dn: record.entry})
+            if version.lsn != record.lsn:
+                raise ReplayError(
+                    "lsn gap in replay: log says %d, chain says %d"
+                    % (record.lsn, version.lsn)
+                )
+        if notify:
+            self._updates_metric.inc(kind=record.kind)
+            self._notify(record)
+        return True
+
+    def apply_records(
+        self, records: Iterable[ChangeRecord], notify: bool = False
+    ) -> List[ChangeRecord]:
+        """Apply a batch through :meth:`apply_record`; returns the records
+        actually applied (duplicates skipped)."""
+        applied = [r for r in records if self.apply_record(r, notify=notify)]
+        if applied:
+            self._maybe_compact()
+        return applied
 
     def _log_record(self, record: ChangeRecord) -> None:
         """Durability hook, called under the write lock right after the

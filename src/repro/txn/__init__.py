@@ -19,7 +19,15 @@ commit recoverable after a crash.
 from .agent import MaintenanceAgent
 from .mvcc import Snapshot, Version, VersionChain
 from .records import ChangeRecord, RecordError
-from .wal import CrashPlan, SimulatedCrash, WalError, WriteAheadLog, scan_wal
+from .wal import (
+    CrashPlan,
+    SimulatedCrash,
+    WalError,
+    WalScanReport,
+    WriteAheadLog,
+    scan_wal,
+    scan_wal_report,
+)
 
 
 def __getattr__(name):
@@ -43,6 +51,8 @@ __all__ = [
     "Version",
     "VersionChain",
     "WalError",
+    "WalScanReport",
     "WriteAheadLog",
     "scan_wal",
+    "scan_wal_report",
 ]

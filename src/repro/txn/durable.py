@@ -40,7 +40,6 @@ from ..model.ldif import dumps_ldif, loads_ldif
 from ..model.schema import DirectorySchema
 from ..storage.maintenance import UpdatableDirectory
 from ..storage.store import DirectoryStore
-from .mvcc import VersionChain
 from .records import ChangeRecord
 from .wal import WalError, WriteAheadLog
 
@@ -98,13 +97,12 @@ class DurableDirectory(UpdatableDirectory):
         checkpoint_lsn: int = 0,
         **options,
     ):
-        super().__init__(store, **options)
+        # The chain is anchored at the checkpoint lsn: the master run *is*
+        # the fold of everything up to checkpoint_lsn.
+        super().__init__(store, start_lsn=checkpoint_lsn, **options)
         self.wal = wal
         self.data_dir = data_dir
         self.checkpoint_lsn = checkpoint_lsn
-        # Re-anchor the chain so lsns continue from the checkpoint: the
-        # master run *is* the fold of everything up to checkpoint_lsn.
-        self._chain = VersionChain(start_lsn=checkpoint_lsn)
         #: Records replayed (and torn tail seen) by the last open().
         self.recovered_records = 0
         self.recovered_torn = False
@@ -222,29 +220,16 @@ class DurableDirectory(UpdatableDirectory):
         return directory
 
     def _replay(self, records: List[ChangeRecord]) -> None:
-        """Apply recovered records through the online delta path, without
-        re-validation or re-logging (they are committed post-images)."""
-        for record in records:
-            if record.lsn is None:
-                raise WalError("recovered record without an lsn: %r" % record)
-            if record.lsn <= self.checkpoint_lsn:
-                # Already folded into the checkpoint (crash landed between
-                # the manifest rename and the WAL truncate).
-                continue
-            if record.kind == "delete":
-                if record.subtree:
-                    version = self._chain.advance(delete_subtrees=(record.dn,))
-                else:
-                    version = self._chain.advance(deletes=(record.dn,))
-            else:
-                version = self._chain.advance(adds={record.dn: record.entry})
-            if version.lsn != record.lsn:
-                raise WalError(
-                    "lsn discontinuity in recovery: log says %d, chain says %d"
-                    % (record.lsn, version.lsn)
-                )
-            self.recovered_records += 1
-            self._m_recovered.inc()
+        """Apply recovered records through :meth:`~repro.storage.
+        maintenance.UpdatableDirectory.apply_records` -- the same replay
+        path replication uses -- without re-validation or re-logging (they
+        are committed post-images).  Records at or below the checkpoint
+        lsn are skipped as duplicates (the chain is anchored there), which
+        covers a crash between the manifest rename and the WAL truncate."""
+        applied = self.apply_records(records)
+        self.recovered_records += len(applied)
+        if applied:
+            self._m_recovered.inc(len(applied))
 
     # -- checkpointing -------------------------------------------------------
 
@@ -291,6 +276,8 @@ class DurableDirectory(UpdatableDirectory):
             "wal_flushes": self.wal.flushes,
             "recovered_records": self.recovered_records,
             "recovered_torn_tail": self.recovered_torn,
+            "torn_truncations": self.wal.torn_truncations,
+            "torn_bytes_truncated": self.wal.torn_bytes_truncated,
         }
 
     def close(self) -> None:

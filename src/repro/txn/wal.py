@@ -50,11 +50,48 @@ __all__ = [
     "CrashPlan",
     "SimulatedCrash",
     "WalError",
+    "WalScanReport",
     "WriteAheadLog",
     "scan_wal",
+    "scan_wal_report",
 ]
 
 _HEADER = struct.Struct(">II")
+
+
+class WalScanReport:
+    """What a full scan of one log file found.
+
+    ``records`` are the intact, CRC-checked records before the first bad
+    frame; ``valid_bytes`` is where the intact prefix ends.  When ``torn``
+    is True, ``garbage_bytes`` counts the bytes past the prefix and
+    ``lost_records`` is a structural estimate of the whole frames among
+    them (walking the length headers without trusting their payloads) --
+    a torn *tail* loses at most the crashed batch, while mid-file
+    corruption can orphan every record behind the bad frame.
+    """
+
+    __slots__ = ("records", "valid_bytes", "torn", "garbage_bytes", "lost_records")
+
+    def __init__(self, records, valid_bytes, torn, garbage_bytes, lost_records):
+        self.records = records
+        self.valid_bytes = valid_bytes
+        self.torn = torn
+        self.garbage_bytes = garbage_bytes
+        self.lost_records = lost_records
+
+    def __repr__(self) -> str:
+        return (
+            "WalScanReport(records=%d, valid_bytes=%d, torn=%r, "
+            "garbage_bytes=%d, lost_records=%d)"
+            % (
+                len(self.records),
+                self.valid_bytes,
+                self.torn,
+                self.garbage_bytes,
+                self.lost_records,
+            )
+        )
 
 
 class WalError(RuntimeError):
@@ -102,19 +139,23 @@ def encode_record(record: ChangeRecord) -> bytes:
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def scan_wal(path: str) -> Tuple[List[ChangeRecord], int, bool]:
+def scan_wal_report(path: str) -> WalScanReport:
     """Read every intact record of the log at ``path``.
 
-    Returns ``(records, valid_bytes, torn)``: the decoded records in log
-    order, the byte offset of the last intact frame's end, and whether a
-    torn/corrupt tail was found after it (anything past ``valid_bytes``
-    is garbage a crashed flush left behind).
+    The scan stops at the *first* bad frame -- a cut header, a cut
+    payload, a CRC mismatch or an undecodable record -- whether that frame
+    is the torn tail of a crashed flush or corruption in the middle of the
+    file.  Everything before it is trustworthy (CRC-checked); everything
+    after it is reported, not replayed: ``garbage_bytes`` and the
+    structurally-estimated ``lost_records`` quantify what recovery gave
+    up, so operators can tell a routine torn tail (0-1 lost frames) from
+    media damage that orphaned a suffix.
     """
     records: List[ChangeRecord] = []
     valid_bytes = 0
     torn = False
     if not os.path.exists(path):
-        return records, valid_bytes, torn
+        return WalScanReport(records, valid_bytes, torn, 0, 0)
     with open(path, "rb") as stream:
         data = stream.read()
     offset = 0
@@ -141,7 +182,34 @@ def scan_wal(path: str) -> Tuple[List[ChangeRecord], int, bool]:
         records.append(record)
         valid_bytes = end
         offset = end
-    return records, valid_bytes, torn
+    garbage_bytes = total - valid_bytes
+    lost_records = 0
+    if torn:
+        # Structural walk past the bad frame: skip it, then count whole
+        # frames by their length headers alone.  The payloads are not
+        # trusted (never replayed) -- this only sizes the damage.
+        cursor = offset
+        if cursor + _HEADER.size <= total:
+            length, _crc = _HEADER.unpack_from(data, cursor)
+            bad_end = cursor + _HEADER.size + length
+            if bad_end <= total:
+                lost_records += 1  # the bad frame itself was whole-sized
+                cursor = bad_end
+                while cursor + _HEADER.size <= total:
+                    length, _crc = _HEADER.unpack_from(data, cursor)
+                    next_end = cursor + _HEADER.size + length
+                    if next_end > total:
+                        break
+                    lost_records += 1
+                    cursor = next_end
+    return WalScanReport(records, valid_bytes, torn, garbage_bytes, lost_records)
+
+
+def scan_wal(path: str) -> Tuple[List[ChangeRecord], int, bool]:
+    """The classic scan result: ``(records, valid_bytes, torn)`` (see
+    :func:`scan_wal_report` for the damage accounting)."""
+    report = scan_wal_report(path)
+    return report.records, report.valid_bytes, report.torn
 
 
 class WriteAheadLog:
@@ -182,6 +250,10 @@ class WriteAheadLog:
         self.flushes = 0
         #: Records appended over the log's lifetime.
         self.appends = 0
+        #: Torn/corrupt tails physically truncated by :meth:`open_existing`
+        #: over this object's lifetime, and the bytes the last one cut.
+        self.torn_truncations = 0
+        self.torn_bytes_truncated = 0
         registry = metrics if metrics is not None else get_registry()
         self._m_appends = registry.counter(
             "repro_wal_appends_total", "Records appended to the WAL"
@@ -199,6 +271,10 @@ class WriteAheadLog:
         )
         self._m_fsync = registry.histogram(
             "repro_wal_fsync_seconds", "Wall time of one WAL flush+fsync"
+        )
+        self._m_torn = registry.counter(
+            "repro_wal_torn_truncations_total",
+            "Torn/corrupt WAL tails physically truncated on reopen",
         )
 
     # -- the write path ------------------------------------------------------
@@ -308,19 +384,52 @@ class WriteAheadLog:
     def open_existing(cls, path: str, **options) -> Tuple["WriteAheadLog", List[ChangeRecord], bool]:
         """Open (or create) the log at ``path`` for appending.
 
-        Scans the existing records, *physically truncates* any torn tail
-        a crash left behind, and returns ``(wal, records, torn)`` with
-        ``wal.durable_lsn`` set to the last recovered record's lsn."""
-        records, valid_bytes, torn = scan_wal(path)
+        Scans the existing records and *physically truncates* any torn
+        tail a crash left behind -- observably: the truncation counts in
+        ``repro_wal_torn_truncations_total``, logs a structured warning
+        with the byte and estimated record loss, and is reported on the
+        returned log (:attr:`torn_truncations`,
+        :attr:`torn_bytes_truncated`).  Returns ``(wal, records, torn)``
+        with ``wal.durable_lsn`` set to the last recovered record's lsn."""
+        report = scan_wal_report(path)
+        records, torn = report.records, report.torn
         if torn:
             with open(path, "r+b") as stream:
-                stream.truncate(valid_bytes)
+                stream.truncate(report.valid_bytes)
         wal = cls(path, **options)
         if records:
             with wal._cond:
                 wal.durable_lsn = records[-1].lsn
                 wal._buffered_lsn = records[-1].lsn
+        if torn:
+            wal.torn_truncations += 1
+            wal.torn_bytes_truncated = report.garbage_bytes
+            wal._m_torn.inc()
+            if wal.log is not None and wal.log.enabled:
+                wal.log.warning(
+                    "wal.torn_truncated",
+                    path=path,
+                    truncated_bytes=report.garbage_bytes,
+                    lost_records=report.lost_records,
+                    recovered_records=len(records),
+                    durable_lsn=wal.durable_lsn,
+                )
         return wal, records, torn
+
+    def records_since(self, lsn: int) -> List[ChangeRecord]:
+        """The durable log suffix: every record with ``record.lsn > lsn``,
+        in lsn order.  This is the shipping/catch-up read -- replication
+        resyncs a lagging replica from a checkpoint plus exactly this
+        suffix.  Only *flushed* records are visible (the group-commit
+        buffer holds unacknowledged commits, which owe nobody anything);
+        asking below the checkpoint a :meth:`truncate` folded away returns
+        only what the log still holds.
+        """
+        with self._cond:
+            if self._crashed:
+                raise SimulatedCrash("WAL crashed; reopen to recover")
+        records, _valid, _torn = scan_wal(self.path)
+        return [record for record in records if record.lsn > lsn]
 
     def truncate(self, next_durable_lsn: int) -> None:
         """Drop every logged record (they are folded into a checkpoint

@@ -4,6 +4,7 @@ import pytest
 
 from repro.dist.network import SimulatedNetwork
 from repro.dist.replication import AvailabilityRouter, ReplicatedContext, ReplicationError
+from repro.obs.metrics import MetricsRegistry
 from repro.query.parser import parse_query
 from repro.workload import synthetic_schema
 
@@ -12,7 +13,8 @@ from repro.workload import synthetic_schema
 def context():
     network = SimulatedNetwork()
     replicated = ReplicatedContext(
-        "name=r", synthetic_schema(), secondaries=2, network=network
+        "name=r", synthetic_schema(), secondaries=2, network=network,
+        metrics=MetricsRegistry(),
     )
     replicated.add("name=r", ["node"], name="r", kind="alpha")
     for index in range(6):
@@ -158,3 +160,325 @@ class TestDecisionTrail:
         assert router.decisions == [
             [("primary", "down"), ("secondary0", "served")]
         ]
+
+
+def _fill(replicated, count=5):
+    replicated.add("name=r", ["node"], name="r", kind="alpha")
+    for index in range(count):
+        replicated.add("name=e%d, name=r" % index, ["node"], name="e%d" % index)
+
+
+class TestTypedShipping:
+    def test_changelog_holds_lsn_stamped_change_records(self, context):
+        _network, replicated = context
+        records = replicated._changelog
+        assert [r.lsn for r in records] == list(range(1, 8))
+        assert all(r.kind == "add" for r in records)
+
+    def test_replicas_apply_through_the_recovery_replay_path(self, context):
+        _network, replicated = context
+        replicated.sync()
+        secondary = replicated.node("secondary0")
+        assert secondary.applied_lsn == 7
+        assert [r.lsn for r in secondary.applied] == list(range(1, 8))
+        # Re-shipping the same records is an idempotent no-op (dup lsns
+        # are skipped by apply_records, exactly like crash recovery).
+        assert secondary.receive(replicated.epoch, replicated.primary.applied) == []
+
+    def test_deletes_and_modifies_ship_as_post_images(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.modify("name=e0, name=r", replace={"kind": ["gamma"]})
+        replicated.delete("name=e1, name=r")
+        replicated.sync()
+        secondary = replicated.node("secondary0").directory
+        assert secondary.lookup("name=e0, name=r").first("kind") == "gamma"
+        assert secondary.lookup("name=e1, name=r") is None
+
+
+class TestChangelogTruncation:
+    def test_fully_acked_prefix_is_truncated(self, context):
+        _network, replicated = context
+        assert replicated.changelog_length() == 7
+        replicated.sync()
+        assert replicated.changelog_length() == 0
+        assert replicated.changelog_floor == 7
+
+    def test_lagging_replica_pins_the_changelog(self):
+        from repro.dist import FaultInjector, FaultPlan
+        from repro.obs.metrics import MetricsRegistry
+
+        plan = FaultPlan().partition("primary", "secondary1", 0.0, 1e9)
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=2,
+            network=FaultInjector(plan, metrics=MetricsRegistry()),
+            metrics=MetricsRegistry(),
+        )
+        _fill(replicated)
+        replicated.sync()
+        # secondary0 acked everything, secondary1 is unreachable: with
+        # ack="primary" the floor is the *minimum* acked lsn.
+        assert replicated.changelog_length() == 6
+        assert replicated.lag("secondary1") == 6
+        assert replicated.metrics.get(
+            "repro_replication_changelog_records").value() == 6
+
+    def test_quorum_ack_truncates_at_the_quorum_floor(self):
+        from repro.dist import FaultInjector, FaultPlan
+        from repro.obs.metrics import MetricsRegistry
+
+        plan = FaultPlan().partition("primary", "secondary1", 0.0, 1e9)
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=2, ack="quorum",
+            network=FaultInjector(plan, metrics=MetricsRegistry()),
+            metrics=MetricsRegistry(),
+        )
+        _fill(replicated)
+        # Quorum = 2 of 3 = primary + secondary0; the unreachable replica
+        # does not pin the changelog.
+        assert replicated.changelog_length() == 0
+        assert replicated.changelog_floor == 6
+
+    def test_replica_behind_the_floor_catches_up_by_resync(self):
+        from repro.dist import FaultInjector, FaultPlan
+        from repro.obs.metrics import MetricsRegistry
+
+        plan = FaultPlan().partition("primary", "secondary1", 0.0, 5.0)
+        network = FaultInjector(plan, metrics=MetricsRegistry())
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=2, ack="quorum",
+            network=network, metrics=MetricsRegistry(),
+        )
+        _fill(replicated)
+        assert replicated.changelog_floor == 6  # secondary1's records are gone
+        network.sleep(10.0)  # heal the partition
+        shipped = replicated.sync()
+        assert shipped["secondary1"] == 6
+        assert replicated.resyncs == 1
+        assert replicated.node("secondary1").applied_lsn == 6
+        assert replicated.lag("secondary1") == 0
+
+
+class TestAckLevels:
+    def test_quorum_write_ships_synchronously(self):
+        from repro.dist import SimulatedNetwork
+        from repro.obs.metrics import MetricsRegistry
+
+        network = SimulatedNetwork()
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=2, ack="quorum",
+            network=network, metrics=MetricsRegistry(),
+        )
+        replicated.add("name=r", ["node"], name="r")
+        assert replicated.lag("secondary0") == 0 or replicated.lag("secondary1") == 0
+        assert network.messages >= 1  # the write itself shipped
+
+    def test_unreachable_quorum_raises_ack_failed(self):
+        from repro.dist import FaultInjector, FaultPlan
+        from repro.obs.metrics import MetricsRegistry
+
+        plan = (FaultPlan()
+                .partition("primary", "secondary0", 0.0, 1e9)
+                .partition("primary", "secondary1", 0.0, 1e9))
+        metrics = MetricsRegistry()
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=2, ack="quorum",
+            network=FaultInjector(plan, metrics=metrics), metrics=metrics,
+        )
+        with pytest.raises(ReplicationError) as caught:
+            replicated.add("name=r", ["node"], name="r")
+        assert caught.value.code == ReplicationError.ACK_FAILED
+        # The write committed locally -- it is just not acknowledged.
+        assert replicated.primary.applied_lsn == 1
+        assert metrics.get("repro_replication_ack_failures_total").value() == 1
+
+    def test_ack_level_is_validated(self):
+        with pytest.raises(ValueError):
+            ReplicatedContext("name=r", synthetic_schema(), ack="eventual")
+
+
+class TestEpochFencing:
+    def test_promotion_bumps_the_epoch_and_deposes_the_primary(self, context):
+        _network, replicated = context
+        replicated.sync()
+        new_primary = replicated.promote()
+        assert new_primary == "secondary1"  # most caught-up, name tiebreak
+        assert replicated.epoch == 2
+        assert replicated.primary_name == new_primary
+        assert replicated.node("primary").role == "deposed"
+
+    def test_deposed_primary_writes_are_fenced(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.promote()
+        with pytest.raises(ReplicationError) as caught:
+            replicated.write_via("primary", "add", "name=x, name=r", ["node"],
+                                 {"name": ["x"]})
+        assert caught.value.code == ReplicationError.FENCED
+        assert replicated.metrics.get(
+            "repro_replication_fenced_total").value() == 1
+
+    def test_deposed_primary_ships_are_fenced(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.promote()
+        with pytest.raises(ReplicationError) as caught:
+            replicated.ship_via("primary")
+        assert caught.value.code == ReplicationError.FENCED
+
+    def test_receive_side_fence_rejects_lower_epochs(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.promote()
+        replicated.add("name=x, name=r", ["node"], name="x")
+        replicated.sync()  # replicas now know epoch 2
+        stale_batch = replicated.primary.applied[-1:]
+        with pytest.raises(ReplicationError) as caught:
+            replicated.node("secondary0").receive(1, stale_batch)
+        assert caught.value.code == ReplicationError.FENCED
+
+    def test_plain_secondary_write_is_not_primary(self, context):
+        _network, replicated = context
+        with pytest.raises(ReplicationError) as caught:
+            replicated.write_via("secondary0", "add", "name=x, name=r",
+                                 ["node"], {"name": ["x"]})
+        assert caught.value.code == ReplicationError.NOT_PRIMARY
+
+    def test_writes_on_the_new_lineage_keep_flowing(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.promote()
+        replicated.add("name=x, name=r", ["node"], name="x")
+        replicated.sync()
+        for name in ("primary", "secondary0"):
+            node = replicated.node(name)
+            assert node.directory.lookup("name=x, name=r") is not None
+            assert node.epoch == 2
+            assert node.role == "secondary"  # deposed rejoined on receive
+
+
+class TestPromotion:
+    def test_picks_the_most_caught_up_live_replica(self):
+        from repro.dist import FaultInjector, FaultPlan
+        from repro.obs.metrics import MetricsRegistry
+
+        plan = FaultPlan().partition("primary", "secondary1", 0.0, 1e9)
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=2,
+            network=FaultInjector(plan, metrics=MetricsRegistry()),
+            metrics=MetricsRegistry(),
+        )
+        _fill(replicated)
+        replicated.sync()  # secondary0 at lsn 6, secondary1 unreachable at 0
+        assert replicated.promote(exclude=()) == "secondary0"
+
+    def test_excluded_and_diverged_nodes_are_not_candidates(self, context):
+        _network, replicated = context
+        # Nothing shipped: promoting loses the whole unshipped tail, and
+        # the old primary (lsn 7 > fork 0) is flagged diverged.
+        replicated.promote()
+        old = replicated.node("primary")
+        assert old.needs_resync
+        with pytest.raises(ReplicationError) as caught:
+            replicated.promote(name="primary")
+        assert caught.value.code == ReplicationError.NO_CANDIDATE
+
+    def test_no_candidate_when_everything_is_excluded(self, context):
+        _network, replicated = context
+        with pytest.raises(ReplicationError) as caught:
+            replicated.promote(exclude={"secondary0", "secondary1"})
+        assert caught.value.code == ReplicationError.NO_CANDIDATE
+
+    def test_diverged_old_primary_resyncs_onto_the_new_lineage(self, context):
+        _network, replicated = context
+        replicated.sync()
+        replicated.add("name=tail, name=r", ["node"], name="tail")  # unshipped
+        replicated.promote()  # fork at lsn 7: the tail write is disowned
+        assert replicated.node("primary").needs_resync
+        replicated.add("name=x, name=r", ["node"], name="x")
+        replicated.sync()
+        old = replicated.node("primary")
+        assert not old.needs_resync
+        assert old.directory.lookup("name=tail, name=r") is None  # disowned
+        assert old.directory.lookup("name=x, name=r") is not None
+        assert replicated.resyncs == 1
+
+
+class TestReplicationStatus:
+    def test_status_dict_shape(self, context):
+        _network, replicated = context
+        replicated.sync()
+        status = replicated.replication_status()
+        assert status["epoch"] == 1
+        assert status["primary"] == "primary"
+        assert status["head_lsn"] == 7
+        assert set(status["replicas"]) == {"primary", "secondary0", "secondary1"}
+        replica = status["replicas"]["secondary0"]
+        assert replica["acked_lsn"] == 7 and replica["lag"] == 0
+
+    def test_gauges_track_epoch_and_lag(self, context):
+        _network, replicated = context
+        registry = replicated.metrics
+        assert registry.get("repro_replication_epoch").value() == 1
+        assert registry.get("repro_replication_lag_records").value(
+            replica="secondary0") == 7
+        replicated.sync()
+        assert registry.get("repro_replication_lag_records").value(
+            replica="secondary0") == 0
+        assert registry.get("repro_replication_shipped_records_total").value() == 14
+
+
+class TestDurablePrimary:
+    def test_resync_uses_checkpoint_plus_wal_suffix(self, tmp_path):
+        from repro.dist import FaultInjector, FaultPlan
+        from repro.obs.metrics import MetricsRegistry
+
+        plan = FaultPlan().partition("primary", "secondary0", 0.0, 5.0)
+        network = FaultInjector(plan, metrics=MetricsRegistry())
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=1, network=network,
+            durable_dir=str(tmp_path / "primary"), metrics=MetricsRegistry(),
+        )
+        replicated.add("name=r", ["node"], name="r")
+        replicated.primary.directory.checkpoint()  # checkpoint at lsn 1
+        for index in range(3):
+            replicated.add("name=e%d, name=r" % index, ["node"],
+                           name="e%d" % index)
+        replicated.sync()  # unreachable: nothing ships
+        # Force the replica behind the floor so the next round resyncs.
+        replicated.changelog_floor = 4
+        replicated._changelog = []
+        network.sleep(10.0)
+        replicated.sync()
+        assert replicated.resyncs == 1
+        secondary = replicated.node("secondary0")
+        assert secondary.applied_lsn == 4
+        # The suffix really came from the WAL (snapshot at the checkpoint,
+        # 3 records shipped on top).
+        assert [r.lsn for r in secondary.applied] == [2, 3, 4]
+
+    def test_primary_crash_recovery_rejoins_the_group(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.txn.wal import CrashPlan, SimulatedCrash
+
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=1,
+            network=SimulatedNetwork(),
+            durable_dir=str(tmp_path / "primary"), metrics=MetricsRegistry(),
+        )
+        replicated.add("name=r", ["node"], name="r")
+        replicated.sync()
+        wal = replicated.primary.directory.wal
+        wal.crash_plan = CrashPlan(crash_at_flush=wal.flushes, torn_bytes=7)
+        with pytest.raises(SimulatedCrash):
+            replicated.add("name=lost, name=r", ["node"], name="lost")
+        node = replicated.reopen_primary()
+        # The torn write was never acknowledged; the acked one survived.
+        assert node.applied_lsn == 1
+        assert node.directory.lookup("name=r") is not None
+        assert node.directory.lookup("name=lost, name=r") is None
+        # The group keeps working on the recovered lineage.
+        replicated.add("name=next, name=r", ["node"], name="next")
+        replicated.sync()
+        assert replicated.node("secondary0").directory.lookup(
+            "name=next, name=r") is not None

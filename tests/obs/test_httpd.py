@@ -174,3 +174,60 @@ class TestServiceIntegration:
             assert "budget" in kept_reasons
         finally:
             server.stop()
+
+
+class TestReplicationHealth:
+    def _service(self):
+        from tests.obs.test_budget import make_instance
+        from repro.server import DirectoryService
+
+        registry = MetricsRegistry()
+        return DirectoryService(make_instance(), page_size=4, metrics=registry)
+
+    def _replicated(self):
+        from repro.dist import ReplicatedContext, SimulatedNetwork
+        from repro.workload import synthetic_schema
+
+        replicated = ReplicatedContext(
+            "name=r", synthetic_schema(), secondaries=2,
+            network=SimulatedNetwork(), metrics=MetricsRegistry(),
+        )
+        replicated.add("name=r", ["node"], name="r")
+        for index in range(4):
+            replicated.add("name=e%d, name=r" % index, ["node"],
+                           name="e%d" % index)
+        return replicated
+
+    def test_healthz_reports_replication_status(self):
+        service = self._service()
+        replicated = self._replicated()
+        replicated.sync()
+        service.attach_replication(replicated, lag_alert=3)
+        server = service.serve_admin()
+        try:
+            payload = json.loads(_get(server.url + "/healthz")[2])
+            assert payload["status"] == "ok"
+            replication = payload["replication"]
+            assert replication["epoch"] == 1
+            assert replication["primary"] == "primary"
+            assert replication["lag_alert"] == 3
+            assert replication["replicas"]["secondary0"]["lag"] == 0
+        finally:
+            server.stop()
+
+    def test_healthz_degrades_on_replication_lag(self):
+        service = self._service()
+        replicated = self._replicated()  # never synced: lag 5 > alert 3
+        service.attach_replication(replicated, lag_alert=3)
+        server = service.serve_admin()
+        try:
+            payload = json.loads(_get(server.url + "/healthz")[2])
+            assert payload["status"] == "degraded"
+            assert payload["replication"]["replicas"]["secondary1"]["lag"] == 5
+        finally:
+            server.stop()
+
+    def test_lag_alert_must_be_non_negative(self):
+        service = self._service()
+        with pytest.raises(ValueError):
+            service.attach_replication(self._replicated(), lag_alert=-1)

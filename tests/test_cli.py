@@ -319,7 +319,7 @@ class TestBenchCheckDirectories:
     def test_directory_of_valid_artifacts_passes(self, capsys):
         assert main(["bench-check", "benchmarks/baselines"]) == 0
         out = capsys.readouterr().out
-        assert out.count(": ok") == 4
+        assert out.count(": ok") == 5
 
     def test_directory_with_an_invalid_artifact_lists_it(self, tmp_path, capsys):
         good = json.dumps({
@@ -375,3 +375,63 @@ class TestServeAdmin:
         thread.join()
         assert code == 0
         assert b"repro_searches_total" in captured.get("body", b"")
+
+
+@pytest.fixture
+def wp_ldif(tmp_path, capsys):
+    assert main(["dump-example", "whitepages"]) == 0
+    text = capsys.readouterr().out
+    path = tmp_path / "wp.ldif"
+    path.write_text(text)
+    return str(path)
+
+
+class TestReplicationStatus:
+    def test_table(self, wp_ldif, capsys):
+        code = main(["replication-status", wp_ldif])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "REPLICA" in out and "primary" in out and "secondary0" in out
+
+    def test_json_caught_up(self, wp_ldif, capsys):
+        code = main(["replication-status", wp_ldif, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["epoch"] == 1
+        assert payload["primary"] == "primary"
+        assert all(r["lag"] == 0 for r in payload["replicas"].values())
+
+    def test_failover_bumps_the_epoch(self, wp_ldif, capsys):
+        code = main(["replication-status", wp_ldif, "--failover", "--json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["epoch"] == 2
+        roles = {name: r["role"] for name, r in payload["replicas"].items()}
+        assert roles["primary"] == "deposed"
+        assert payload["primary"] != "primary"
+
+
+class TestConsistencyCommand:
+    def test_matrix_table(self, capsys):
+        code = main(["consistency", "--seeds", "2", "--steps", "24"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SEED" in out
+        assert "held every invariant" in out
+
+    def test_matrix_json(self, capsys):
+        code = main(["consistency", "--seeds", "2", "--steps", "24",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        assert all(report["ok"] for report in payload)
+        assert all(report["writes_lost_acked"] == 0 for report in payload)
+
+    def test_durable_matrix(self, capsys):
+        code = main(["consistency", "--seeds", "1", "--steps", "24",
+                     "--durable", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["durable"] is True

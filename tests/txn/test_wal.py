@@ -246,3 +246,160 @@ class TestCrashMatrix:
                 for record in records:
                     assert record.entry is not None
                     assert record.entry.values("name") == ("n%d" % record.lsn,)
+
+
+class TestScanReport:
+    """Mid-file corruption observability: the structured scan report
+    quantifies what recovery gave up -- recovered vs lost counts."""
+
+    def _write(self, path, count):
+        wal = WriteAheadLog(path, fsync=False)
+        frames = []
+        for lsn in range(1, count + 1):
+            frames.append(encode_record(_record(lsn, "n%d" % lsn)))
+            wal.commit(_record(lsn, "n%d" % lsn))
+        wal.close()
+        return frames
+
+    def test_clean_log_reports_nothing_lost(self, tmp_path):
+        from repro.txn.wal import scan_wal_report
+
+        path = str(tmp_path / "wal.log")
+        self._write(path, 4)
+        report = scan_wal_report(path)
+        assert [r.lsn for r in report.records] == [1, 2, 3, 4]
+        assert not report.torn
+        assert report.garbage_bytes == 0
+        assert report.lost_records == 0
+        assert report.valid_bytes == os.path.getsize(path)
+
+    def test_mid_file_corruption_stops_the_scan_at_the_first_bad_frame(
+            self, tmp_path):
+        from repro.txn.wal import scan_wal_report
+
+        path = str(tmp_path / "wal.log")
+        frames = self._write(path, 5)
+        # Flip a payload byte in the *third* frame: everything after it
+        # is unreachable even though frames 4-5 are intact on disk.
+        offset = len(frames[0]) + len(frames[1]) + len(frames[2]) - 1
+        data = bytearray(open(path, "rb").read())
+        data[offset] ^= 0xFF
+        with open(path, "wb") as stream:
+            stream.write(data)
+        report = scan_wal_report(path)
+        assert [r.lsn for r in report.records] == [1, 2]
+        assert report.torn
+        assert report.valid_bytes == len(frames[0]) + len(frames[1])
+        assert report.garbage_bytes == len(frames[2]) + len(frames[3]) + len(frames[4])
+        # The bad frame itself plus the two stranded good frames.
+        assert report.lost_records == 3
+
+    def test_torn_half_frame_counts_no_whole_records(self, tmp_path):
+        from repro.txn.wal import scan_wal_report
+
+        path = str(tmp_path / "wal.log")
+        self._write(path, 2)
+        whole = os.path.getsize(path)
+        fragment = encode_record(_record(3, "cut"))
+        with open(path, "ab") as stream:
+            stream.write(fragment[: len(fragment) // 3])
+        report = scan_wal_report(path)
+        assert [r.lsn for r in report.records] == [1, 2]
+        assert report.torn
+        assert report.garbage_bytes == os.path.getsize(path) - whole
+        assert report.lost_records == 0  # a fragment is not a record
+
+    def test_recovery_from_mid_file_corruption_is_consistent(self, tmp_path):
+        """DurableDirectory reopens to exactly the surviving prefix and
+        keeps appending cleanly past the truncation point."""
+        from repro.model.instance import DirectoryInstance
+        from repro.txn.durable import DurableDirectory
+        from repro.workload import synthetic_schema
+
+        data_dir = str(tmp_path / "dir")
+        durable = DurableDirectory.open(
+            data_dir, DirectoryInstance(synthetic_schema()), fsync=False)
+        durable.add("name=r", ["node"], name="r")
+        for index in range(4):
+            durable.add("name=e%d, name=r" % index, ["node"],
+                        name="e%d" % index)
+        durable.close()
+        wal_path = os.path.join(data_dir, "wal.log")
+        frames_len = os.path.getsize(wal_path)
+        # Corrupt a byte ~60% in: the scan stops mid-file.
+        data = bytearray(open(wal_path, "rb").read())
+        data[int(frames_len * 0.6)] ^= 0xFF
+        with open(wal_path, "wb") as stream:
+            stream.write(data)
+        reopened = DurableDirectory.open(data_dir, fsync=False)
+        status = reopened.durability_status()
+        assert status["torn_truncations"] == 1
+        assert status["torn_bytes_truncated"] > 0
+        # The scan stopped mid-file: only a strict prefix replayed.
+        head = reopened.head_lsn
+        assert 1 <= head < 5
+        assert reopened.lookup("name=r") is not None
+        for index in range(4):
+            dn = "name=e%d, name=r" % index
+            found = reopened.lookup(dn) is not None
+            assert found == (index + 2 <= head)  # e{i} was lsn i+2
+        # Appending continues from the recovered head; a clean reopen
+        # then sees the surviving prefix plus the new write.
+        reopened.add("name=after, name=r", ["node"], name="after")
+        after_lsn = reopened.head_lsn
+        reopened.close()
+        final = DurableDirectory.open(data_dir, fsync=False)
+        assert final.head_lsn == after_lsn
+        assert final.lookup("name=after, name=r") is not None
+        final.close()
+
+
+class TestTornTruncationObservability:
+    def test_metric_warning_and_status_flag(self, tmp_path):
+        from repro.obs.log import CapturingLogger
+        from repro.obs.metrics import MetricsRegistry
+        from repro.txn.wal import scan_wal_report
+
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.commit(_record(1, "keep"))
+        wal.commit(_record(2, "keep2"))
+        wal.close()
+        fragment = encode_record(_record(3, "cut"))
+        with open(path, "ab") as stream:
+            stream.write(fragment[:-4])
+        expected_garbage = scan_wal_report(path).garbage_bytes
+
+        metrics = MetricsRegistry()
+        log = CapturingLogger()
+        wal2, records, torn = WriteAheadLog.open_existing(
+            path, fsync=False, metrics=metrics, log=log)
+        wal2.close()
+        assert torn
+        assert [r.lsn for r in records] == [1, 2]
+        assert wal2.torn_truncations == 1
+        assert wal2.torn_bytes_truncated == expected_garbage
+        assert metrics.get("repro_wal_torn_truncations_total").value() == 1
+        events = log.events("wal.torn_truncated")
+        assert len(events) == 1
+        assert events[0]["truncated_bytes"] == expected_garbage
+        assert events[0]["recovered_records"] == 2
+        assert events[0]["durable_lsn"] == 2
+
+    def test_clean_open_reports_no_truncation(self, tmp_path):
+        from repro.obs.log import CapturingLogger
+        from repro.obs.metrics import MetricsRegistry
+
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=False)
+        wal.commit(_record(1))
+        wal.close()
+        metrics = MetricsRegistry()
+        log = CapturingLogger()
+        wal2, _records, torn = WriteAheadLog.open_existing(
+            path, fsync=False, metrics=metrics, log=log)
+        wal2.close()
+        assert not torn
+        assert wal2.torn_truncations == 0
+        assert metrics.get("repro_wal_torn_truncations_total").value() == 0
+        assert log.events("wal.torn_truncated") == []
