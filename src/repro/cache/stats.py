@@ -30,6 +30,7 @@ class CacheStats(StatCounters):
         "invalidations",
         "patched",
         "rejected",
+        "superset_hits",
         "saved_logical_io",
     )
 
@@ -42,6 +43,7 @@ class CacheStats(StatCounters):
         invalidations: int = 0,
         patched: int = 0,
         rejected: int = 0,
+        superset_hits: int = 0,
         saved_logical_io: int = 0,
     ):
         self.hits = hits
@@ -54,6 +56,9 @@ class CacheStats(StatCounters):
         self.patched = patched
         #: Results too large for the byte budget (never admitted).
         self.rejected = rejected
+        #: Hits served by *containment*: the exact fingerprint missed but a
+        #: resident covering subtree answered (counted in ``hits`` too).
+        self.superset_hits = superset_hits
         self.saved_logical_io = saved_logical_io
 
     @property

@@ -28,6 +28,7 @@ import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..model.entry import Entry
+from ..query.ast import AtomicQuery, Scope
 from .footprint import Footprint
 from .stats import CacheStats
 
@@ -112,6 +113,13 @@ class QueryCache:
         self.stats.attach_lock(self._lock)
         self._entries: Dict[str, CachedResult] = {}
         self._bytes = 0
+        #: Bumped by every write-driven mutation (invalidate / patch /
+        #: drop / clear).  A reader captures it before evaluating and
+        #: passes it to :meth:`put` as ``if_epoch``: if any invalidation
+        #: ran in between, the result may predate the write and is not
+        #: admitted (the stale result is in flight, not resident, so the
+        #: invalidation itself cannot evict it).
+        self._invalidation_epoch = 0
         # GreedyDual-Size state: the inflating floor and a lazy min-heap of
         # (priority, key) candidates (stale heap items are skipped).
         self._floor = 0.0
@@ -132,6 +140,38 @@ class QueryCache:
             entry.hits += 1
             self._reprioritise(entry)
             return entry
+
+    def find_superset(self, base, filter_text: str) -> Optional[CachedResult]:
+        """A resident whose query provably *contains* ``(base ? sub ?
+        filter)``: same filter, sub scope, base a proper ancestor of
+        ``base``.  Subtree semantics make containment syntactic -- the
+        wider subtree's matches restricted to ``subtree(base)`` are
+        exactly the narrower query's result -- so the planner can serve
+        the narrow query by filtering the resident's entries, no page I/O
+        at all.  Picks the deepest (smallest) covering resident and
+        accounts it as a hit."""
+        with self._lock:
+            best: Optional[CachedResult] = None
+            for entry in self._entries.values():
+                query = entry.query
+                if not (
+                    isinstance(query, AtomicQuery)
+                    and query.scope == Scope.SUB
+                    and str(query.filter) == filter_text
+                    and query.base.is_prefix_of(base)
+                    and query.base != base
+                ):
+                    continue
+                if best is None or best.query.base.is_prefix_of(query.base):
+                    best = entry
+            if best is None:
+                return None
+            self.stats.hits += 1
+            self.stats.superset_hits += 1
+            self.stats.saved_logical_io += best.cost_io
+            best.hits += 1
+            self._reprioritise(best)
+            return best
 
     def peek(self, key: str) -> Optional[CachedResult]:
         """Like :meth:`get` but without touching any accounting."""
@@ -155,6 +195,12 @@ class QueryCache:
         with self._lock:
             return self._bytes
 
+    @property
+    def invalidation_epoch(self) -> int:
+        """Capture before evaluating; pass to :meth:`put` as ``if_epoch``."""
+        with self._lock:
+            return self._invalidation_epoch
+
     # -- admission ----------------------------------------------------------
 
     def put(
@@ -166,15 +212,23 @@ class QueryCache:
         cost_io: int,
         tag: Optional[str] = None,
         query=None,
+        if_epoch: Optional[int] = None,
     ) -> Optional[CachedResult]:
         """Admit a result; evicts minimum-priority residents to make room.
         Results larger than the whole budget are rejected (returns None).
         Passing the parsed ``query`` AST makes the entry eligible for
-        in-place patching by the incremental maintainer."""
+        in-place patching by the incremental maintainer.  ``if_epoch``
+        (the :attr:`invalidation_epoch` captured before the evaluation)
+        rejects the admission when any invalidation ran in between -- the
+        result may predate a concurrent write and serving it would be a
+        silent staleness hole."""
         entry = CachedResult(
             key, query_text, entries, footprint, cost_io, tag, query=query
         )
         with self._lock:
+            if if_epoch is not None and if_epoch != self._invalidation_epoch:
+                self.stats.rejected += 1
+                return None
             if entry.size_bytes > self.byte_budget:
                 self.stats.rejected += 1
                 return None
@@ -196,6 +250,9 @@ class QueryCache:
         if it still fits; returns the patched result, or None if ``key``
         was not resident or the patched result no longer fits."""
         with self._lock:
+            # A patch reflects a write: in-flight pre-write evaluations
+            # must not overwrite the patched (newer) entry.
+            self._invalidation_epoch += 1
             entry = self._entries.get(key)
             if entry is None:
                 return None
@@ -224,6 +281,7 @@ class QueryCache:
         """Invalidate one resident by key (the maintainer's precise
         fallback); returns whether it was resident."""
         with self._lock:
+            self._invalidation_epoch += 1
             if key not in self._entries:
                 return False
             self._remove(key)
@@ -237,6 +295,7 @@ class QueryCache:
         region (one dn, or its whole subtree for recursive deletes).
         Returns how many were evicted."""
         with self._lock:
+            self._invalidation_epoch += 1
             doomed = [
                 entry.key
                 for entry in self._entries.values()
@@ -255,6 +314,7 @@ class QueryCache:
     def invalidate_tag(self, tag: str) -> int:
         """Evict every entry carrying ``tag`` (e.g. one origin server)."""
         with self._lock:
+            self._invalidation_epoch += 1
             doomed = [e.key for e in self._entries.values() if e.tag == tag]
             for key in doomed:
                 self._remove(key)
@@ -265,6 +325,7 @@ class QueryCache:
 
     def clear(self) -> int:
         with self._lock:
+            self._invalidation_epoch += 1
             count = len(self._entries)
             self._entries.clear()
             self._heap = []

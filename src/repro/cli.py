@@ -137,6 +137,41 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from .engine.optimizer import AccessPlanner, explain, reorder_operands, rewrite
+    from .query.parser import parse_query
+    from .storage.store import DirectoryStore
+
+    instance = _load(args.file, args.schema)
+    store = DirectoryStore.from_instance(
+        instance, page_size=args.page_size, buffer_pages=args.buffer_pages
+    )
+    if args.int_index or args.string_index:
+        store.build_indices(
+            tuple(args.int_index or ()), tuple(args.string_index or ())
+        )
+    planner = AccessPlanner(store)
+    planned, rules = rewrite(parse_query(args.query))
+    planned = reorder_operands(planned, planner.estimator, rules)
+    # The same (deterministic) pipeline explain applies -- the rendered
+    # tree is exactly the plan a PlannedEngine would execute.
+    node = explain(store, parse_query(args.query), planner=planner)
+    if args.json:
+        payload = {
+            "query": args.query,
+            "planned": str(planned),
+            "rules": rules,
+            "plan": node.as_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("planned: %s" % planned)
+        for rule in rules:
+            print("  - %s" % rule)
+        print(node.render())
+    return 0
+
+
 def _depth_quantiles(depth_counts):
     """p50/p95/p99 of the entry-depth distribution, interpolated through
     a fixed-bucket histogram (the same estimator the latency metrics
@@ -771,6 +806,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="emit the plan as JSON")
     common(explain_cmd)
     explain_cmd.set_defaults(handler=_cmd_explain)
+
+    plan_cmd = sub.add_parser(
+        "plan",
+        help="print the chosen plan (rewrites, operand order, access paths, "
+             "estimates) without running the query",
+    )
+    plan_cmd.add_argument("file")
+    plan_cmd.add_argument("query")
+    plan_cmd.add_argument("--json", action="store_true",
+                          help="emit the plan as JSON (greppable in CI)")
+    common(plan_cmd)
+    plan_cmd.set_defaults(handler=_cmd_plan)
 
     stats_cmd = sub.add_parser("stats", help="print directory statistics")
     stats_cmd.add_argument("file")

@@ -1,6 +1,6 @@
 """Query optimisation: algebraic rewrites, access-path choice, EXPLAIN.
 
-Three pieces, all grounded in the paper:
+Four pieces, all grounded in the paper:
 
 1. **Rewrites** (:func:`rewrite`):
 
@@ -10,27 +10,58 @@ Three pieces, all grounded in the paper:
      written".  The optimiser recognises an ``ac``/``dc`` node whose third
      operand is the whole instance and replaces it with the cheap ``p``/
      ``c`` -- turning the paper's design argument into an optimisation.
+     The whole-instance test accepts both spellings the parser produces
+     for the paper-literal string: ``MatchAll`` and the schema-guaranteed
+     always-true ``Presence("objectClass")`` (Definition 3.2 (c2) puts
+     ``objectClass`` on every entry).
    - *R2, boolean idempotence*: ``(& Q Q) -> Q`` and ``(| Q Q) -> Q``.
    - *R3, scope tightening*: in ``(& A B)`` with sub-scoped atomic
      operands whose bases are nested, the outer base can be narrowed to
      the inner one (the intersection lives inside the smaller subtree),
      shrinking the leaf's scan range.
+   - *R4, boolean absorption*: when one operand of ``&``/``|`` is an
+     always-true sub-scoped atomic whose subtree provably contains the
+     other operand's read footprint, the intersection is the other
+     operand and the union is the covering operand -- one whole
+     evaluation disappears.
+   - *R5, difference tightening*: in ``(- A B)`` only the part of ``B``
+     inside ``A``'s footprint can cancel anything, so a wider sub-scoped
+     ``B`` narrows to ``A``'s range.
+   - *R6, hierarchical scope push-down*: the descendant-directed
+     operators (``c``/``d``/``dc``) find witnesses and separators only
+     *inside* the subtree of a selected entry, so wider sub-scoped
+     second/third operands narrow to the first operand's base.  (Not
+     sound for ``p``/``a``/``ac``: ancestors escape the subtree.)
 
-2. **Access-path choice** (:class:`AccessPlanner`): per atomic leaf,
+2. **Cost-based operand ordering** (*R7*, :func:`reorder_operands`):
+   ``&`` and ``|`` are commutative, so the planner puts the operand with
+   the smaller estimated cardinality first -- cheapest-first for ``&``
+   (an empty first operand short-circuits the whole node, see
+   :class:`PlannedEngine`), and short-circuit-aware for ``|`` (the
+   cheaper operand runs while R4 absorption handles the provably
+   covering case).  ``-`` is never reordered.
+
+3. **Access-path choice** (:class:`AccessPlanner`): per atomic leaf,
    compare the estimated cost of the clustered subtree scan against each
    applicable secondary index (B+tree for comparisons, string index for
    equality/wildcard/presence) using the
    :class:`~repro.engine.stats.CardinalityEstimator`, and remember the
    decision.
 
-3. **EXPLAIN** (:func:`explain`): a physical-plan rendering with
-   estimated cardinalities and chosen access paths, and --- when run with
-   ``analyze=True`` through a :class:`PlannedEngine` --- actual sizes next
-   to the estimates.
+4. **EXPLAIN and the Q-error loop** (:func:`explain`): a physical-plan
+   rendering with estimated cardinalities and chosen access paths; with
+   ``analyze=True`` each operator also carries its actual size, its exact
+   (exclusive) page I/O, and its **Q-error** ``max(est/actual,
+   actual/est)`` -- observed into the ``repro_planner_qerror`` histogram
+   -- and nodes whose Q-error crosses :data:`QERROR_ALERT` get a
+   replan/rewrite hint from the symptom routing table
+   (:data:`QERROR_ROUTES`).
 
 :class:`PlannedEngine` is a drop-in :class:`~repro.engine.engine.QueryEngine`
-that applies the rewrites once per query and follows the planner's
-per-leaf decisions.
+that applies the rewrites and the cost-based ordering once per query
+(:meth:`PlannedEngine.plan`), follows the planner's per-leaf decisions,
+short-circuits ``&``/``-`` on an empty first operand, and reports the
+run-level Q-error of every query it executes.
 """
 
 from __future__ import annotations
@@ -38,6 +69,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..filters.ast import Comparison, Equality, MatchAll, Presence, Substring
+from ..model.schema import OBJECT_CLASS
 
 from ..query.ast import (
     And,
@@ -54,9 +86,23 @@ from ..storage.runs import Run
 from ..storage.store import DirectoryStore
 from .atomic import evaluate_atomic
 from .engine import QueryEngine
+from .merge import boolean_merge
 from .stats import CardinalityEstimator, DirectoryStatistics
 
-__all__ = ["rewrite", "AccessPlanner", "PlannedEngine", "explain", "ExplainNode"]
+__all__ = [
+    "rewrite",
+    "reorder_operands",
+    "estimate_cardinality",
+    "qerror",
+    "qerror_histogram",
+    "route_hints",
+    "QERROR_ALERT",
+    "QERROR_ROUTES",
+    "AccessPlanner",
+    "PlannedEngine",
+    "explain",
+    "ExplainNode",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -64,13 +110,56 @@ __all__ = ["rewrite", "AccessPlanner", "PlannedEngine", "explain", "ExplainNode"
 # ---------------------------------------------------------------------------
 
 
+def _always_true_filter(filter_) -> bool:
+    """Filters the schema guarantees every entry satisfies: ``MatchAll``
+    and the exact-case presence of ``objectClass`` (Definition 3.2 (c2)
+    puts it on every entry; presence tests are case-sensitive, so the
+    lowercase spelling names a different -- generally absent --
+    attribute and must not be treated as always-true)."""
+    if isinstance(filter_, MatchAll):
+        return True
+    return isinstance(filter_, Presence) and filter_.attribute == OBJECT_CLASS
+
+
 def _is_whole_instance(query: Query) -> bool:
     return (
         isinstance(query, AtomicQuery)
         and query.base.is_null()
         and query.scope == Scope.SUB
-        and isinstance(query.filter, MatchAll)
+        and _always_true_filter(query.filter)
     )
+
+
+def _footprint_within(base, query: Query) -> bool:
+    """Is ``query``'s read footprint provably inside ``subtree(base)``?
+    Every operator's result is contained in its footprint (see
+    :mod:`repro.cache.footprint`), so this also bounds the result set."""
+    from ..cache.footprint import query_footprint
+
+    return all(
+        base.is_prefix_of(root) for root, _subtree in query_footprint(query).ranges
+    )
+
+
+def _absorb(node: Query, left: Query, right: Query, applied: List[str]):
+    """R4: ``(& cover Q) -> Q`` and ``(| cover Q) -> cover`` when
+    ``cover`` is an always-true sub-scoped atomic whose subtree contains
+    ``Q``'s footprint (so ``cover``'s result provably contains ``Q``'s)."""
+    for kept, cover in ((right, left), (left, right)):
+        if not (
+            isinstance(cover, AtomicQuery)
+            and cover.scope == Scope.SUB
+            and _always_true_filter(cover.filter)
+        ):
+            continue
+        if not _footprint_within(cover.base, kept):
+            continue
+        if isinstance(node, And):
+            applied.append("R4: & operand absorbed (always-true cover)")
+            return kept
+        applied.append("R4: | collapsed to its always-true cover")
+        return cover
+    return None
 
 
 def rewrite(query: Query) -> Tuple[Query, List[str]]:
@@ -96,22 +185,36 @@ def rewrite(query: Query) -> Tuple[Query, List[str]]:
             if isinstance(node, (And, Or)) and left == right:
                 applied.append("R2: idempotent %s collapsed" % type(node).__name__)
                 return left
+            if isinstance(node, (And, Or)):
+                absorbed = _absorb(node, left, right, applied)
+                if absorbed is not None:
+                    return absorbed
             if isinstance(node, And):
                 tightened = _tighten_scopes(left, right, applied)
                 if tightened is not None:
                     left, right = tightened
+            if isinstance(node, Diff):
+                right = _tighten_diff(left, right, applied)
             return type(node)(left, right)
         if isinstance(node, HierarchySelect):
+            op = node.op
             first = walk(node.first)
             second = walk(node.second)
             third = walk(node.third) if node.third is not None else None
-            if node.op in ("ac", "dc") and third is not None and _is_whole_instance(third):
-                cheap_op = "p" if node.op == "ac" else "c"
+            if op in ("ac", "dc") and third is not None and _is_whole_instance(third):
+                cheap_op = "p" if op == "ac" else "c"
                 applied.append(
-                    "R1: (%s Q1 Q2 whole-instance) -> (%s Q1 Q2)" % (node.op, cheap_op)
+                    "R1: (%s Q1 Q2 whole-instance) -> (%s Q1 Q2)" % (op, cheap_op)
                 )
-                return HierarchySelect(cheap_op, first, second, None, node.agg)
-            return HierarchySelect(node.op, first, second, third, node.agg)
+                op, third = cheap_op, None
+            if op in ("c", "d", "dc") and isinstance(first, AtomicQuery):
+                # Witnesses (and dc separators) of a selected entry are its
+                # descendants, so they live inside the first operand's
+                # subtree; wider sub-scoped operands narrow to its base.
+                second = _push_scope(second, first.base, op, "second", applied)
+                if third is not None:
+                    third = _push_scope(third, first.base, op, "third", applied)
+            return HierarchySelect(op, first, second, third, node.agg)
         if isinstance(node, SimpleAggSelect):
             return SimpleAggSelect(walk(node.operand), node.agg)
         if isinstance(node, EmbeddedRef):
@@ -140,6 +243,230 @@ def _tighten_scopes(left: Query, right: Query, applied: List[str]):
         applied.append("R3: scope of right operand tightened to %s" % left.base)
         return left, AtomicQuery(left.base, Scope.SUB, right.filter)
     return None
+
+
+def _tighten_diff(left: Query, right: Query, applied: List[str]) -> Query:
+    """R5: in ``(- A B)``, entries of ``B`` outside ``A``'s read region
+    can never cancel anything, so a wider sub-scoped atomic ``B`` narrows
+    to ``A``'s range.  ``A``'s side is never touched (``-`` is not
+    commutative and the result must stay within ``A``)."""
+    if not (isinstance(right, AtomicQuery) and right.scope == Scope.SUB):
+        return right
+    from ..cache.footprint import query_footprint
+
+    roots = list(query_footprint(left).ranges)
+    if len(roots) != 1:
+        return right
+    base = roots[0][0]
+    if right.base.is_prefix_of(base) and right.base != base:
+        applied.append("R5: right operand of - tightened to %s" % base)
+        return AtomicQuery(base, Scope.SUB, right.filter)
+    return right
+
+
+def _push_scope(
+    operand: Query, base, op: str, which: str, applied: List[str]
+) -> Query:
+    """R6 helper: narrow one wider sub-scoped atomic operand to ``base``."""
+    if not (isinstance(operand, AtomicQuery) and operand.scope == Scope.SUB):
+        return operand
+    if operand.base.is_prefix_of(base) and operand.base != base:
+        applied.append(
+            "R6: %s operand of %s pushed into scope %s" % (which, op, base)
+        )
+        return AtomicQuery(base, Scope.SUB, operand.filter)
+    return operand
+
+
+# ---------------------------------------------------------------------------
+# Cardinality estimation over whole trees, Q-error and its routing table
+# ---------------------------------------------------------------------------
+
+
+def estimate_cardinality(node: Query, estimator: CardinalityEstimator) -> float:
+    """Estimated result size of a whole query tree (the cost spine the
+    reorderer, EXPLAIN and the run-level Q-error all share)."""
+    if isinstance(node, AtomicQuery):
+        return estimator.atomic_cardinality(node)
+    child_estimates = [
+        estimate_cardinality(child, estimator) for child in node.children()
+    ]
+    if isinstance(node, And):
+        return min(child_estimates)
+    if isinstance(node, Or):
+        return min(sum(child_estimates), estimator.stats.total_entries)
+    if isinstance(node, Diff):
+        return child_estimates[0]
+    if isinstance(node, (HierarchySelect, EmbeddedRef)):
+        return child_estimates[0] * 0.5
+    if isinstance(node, SimpleAggSelect):
+        return child_estimates[0] * 0.5
+    return child_estimates[0] if child_estimates else 0.0
+
+
+def qerror(estimate: float, actual: float) -> float:
+    """The Q-error ``max(est/actual, actual/est)``, floored at one entry
+    on both sides so empty results stay finite.  1.0 is a perfect
+    estimate; the factor is symmetric in over- and under-estimation."""
+    est = max(float(estimate), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+#: Histogram buckets for Q-error (1 = perfect; each bucket doubles).
+QERROR_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Q-error at or above which EXPLAIN flags a node and routes a hint.
+QERROR_ALERT = 4.0
+
+
+def qerror_histogram(registry):
+    """The shared ``repro_planner_qerror`` histogram (idempotent)."""
+    return registry.histogram(
+        "repro_planner_qerror",
+        "Planner Q-error max(est/actual, actual/est), per planned run and "
+        "per analyzed operator",
+        buckets=QERROR_BUCKETS,
+    )
+
+
+#: The symptom -> rewrite/replan routing table: a persistently
+#: mis-estimated node shape maps to the action that usually repairs it
+#: (the DuckDB/PostgreSQL playbook: find the cost spine, measure
+#: per-operator Q-error, route the symptom to a fix).
+QERROR_ROUTES = {
+    "leaf-substring": (
+        "substring selectivity is a default guess; build a string index on "
+        "the attribute or rebuild statistics"
+    ),
+    "leaf-equality": (
+        "value frequency missed by the tracked common values; rebuild "
+        "statistics (stale after updates?) or add an index on the attribute"
+    ),
+    "leaf-range": (
+        "int histogram no longer matches the data; rebuild statistics"
+    ),
+    "leaf-presence": (
+        "attribute carry-rate drifted; rebuild statistics"
+    ),
+    "leaf": (
+        "leaf estimate off; rebuild statistics"
+    ),
+    "boolean-and": (
+        "operands look correlated (independence assumption misfires); "
+        "tighten scopes (R3/R6) or check the operand order with `repro plan`"
+    ),
+    "boolean-or": (
+        "union overlap differs from the disjointness assumption; consider "
+        "the absorbing form (R4) if one operand covers the other"
+    ),
+    "boolean-diff": (
+        "difference cancels more/less than assumed; tighten the right "
+        "operand's scope (R5)"
+    ),
+    "hierarchy": (
+        "witness fanout differs from the 0.5 default; prefer the cheap "
+        "p/c form (R1) and push scopes into the operands (R6)"
+    ),
+    "aggregate": (
+        "aggregate selectivity defaulted; no statistics exist for "
+        "aggregate filters yet"
+    ),
+    "embedded": (
+        "embedded-reference fanout is unknowable from local statistics; "
+        "consider materialising the reference closure"
+    ),
+}
+
+
+def _symptom(node: Query) -> str:
+    """The routing-table key for one query-tree node."""
+    if isinstance(node, AtomicQuery):
+        if isinstance(node.filter, Substring):
+            return "leaf-substring"
+        if isinstance(node.filter, Equality):
+            return "leaf-equality"
+        if isinstance(node.filter, Comparison):
+            return "leaf-range"
+        if isinstance(node.filter, Presence):
+            return "leaf-presence"
+        return "leaf"
+    if isinstance(node, And):
+        return "boolean-and"
+    if isinstance(node, Or):
+        return "boolean-or"
+    if isinstance(node, Diff):
+        return "boolean-diff"
+    if isinstance(node, HierarchySelect):
+        return "hierarchy"
+    if isinstance(node, EmbeddedRef):
+        return "embedded"
+    return "aggregate"
+
+
+def route_hints(node: Query, estimate: float, actual: Optional[int]) -> List[str]:
+    """Replan/rewrite hints for one analyzed node: empty while the
+    estimate holds, the routed symptom fix once Q-error crosses
+    :data:`QERROR_ALERT`."""
+    if actual is None:
+        return []
+    factor = qerror(estimate, actual)
+    if factor < QERROR_ALERT:
+        return []
+    hint = QERROR_ROUTES.get(_symptom(node))
+    return [hint] if hint else []
+
+
+# ---------------------------------------------------------------------------
+# Cost-based operand ordering (R7)
+# ---------------------------------------------------------------------------
+
+
+def reorder_operands(
+    query: Query, estimator: CardinalityEstimator, applied: Optional[List[str]] = None
+) -> Query:
+    """R7: order the operands of every ``&``/``|`` cheapest (most
+    selective) first, by estimated cardinality.  Both operators are
+    commutative so results are bit-identical; the payoff is the planned
+    engine's empty-first-operand short-circuit for ``&`` and smaller
+    intermediate runs held live.  ``-`` is left alone (not commutative)."""
+    notes = applied if applied is not None else []
+
+    def walk(node: Query) -> Query:
+        if isinstance(node, AtomicQuery):
+            return node
+        if isinstance(node, (And, Or)):
+            left = walk(node.left)
+            right = walk(node.right)
+            left_est = estimate_cardinality(left, estimator)
+            right_est = estimate_cardinality(right, estimator)
+            if right_est < left_est:
+                notes.append(
+                    "R7: %s operands reordered (est %.1f before %.1f)"
+                    % (
+                        "&" if isinstance(node, And) else "|",
+                        right_est,
+                        left_est,
+                    )
+                )
+                left, right = right, left
+            return type(node)(left, right)
+        if isinstance(node, Diff):
+            return Diff(walk(node.left), walk(node.right))
+        if isinstance(node, HierarchySelect):
+            third = walk(node.third) if node.third is not None else None
+            return HierarchySelect(
+                node.op, walk(node.first), walk(node.second), third, node.agg
+            )
+        if isinstance(node, SimpleAggSelect):
+            return SimpleAggSelect(walk(node.operand), node.agg)
+        if isinstance(node, EmbeddedRef):
+            return EmbeddedRef(
+                node.op, walk(node.first), walk(node.second), node.attribute, node.agg
+            )
+        return node
+
+    return walk(query)
 
 
 # ---------------------------------------------------------------------------
@@ -198,30 +525,106 @@ class AccessPlanner:
 
 
 class PlannedEngine(QueryEngine):
-    """A QueryEngine with rewrites and per-leaf access-path planning."""
+    """A QueryEngine with rewrites, cost-based operand ordering, per-leaf
+    access-path planning, boolean short-circuiting and run-level Q-error.
+
+    ``stats`` may be a static :class:`~repro.engine.stats.
+    DirectoryStatistics` snapshot or a :class:`~repro.engine.stats.
+    LiveDirectoryStatistics` (estimates then track the directory).
+    ``metrics`` (a registry) enables the ``repro_planner_qerror``
+    histogram; extra keyword arguments (``pool``, ``log``, ``budget``,
+    ...) pass through to :class:`~repro.engine.engine.QueryEngine`.
+    """
 
     def __init__(
         self,
         store: DirectoryStore,
-        stats: Optional[DirectoryStatistics] = None,
+        stats=None,
         tracer=None,
+        reorder: bool = True,
+        short_circuit: bool = True,
+        metrics=None,
+        **engine_options,
     ):
-        super().__init__(store, tracer=tracer)
+        super().__init__(store, tracer=tracer, **engine_options)
         self.estimator = CardinalityEstimator(store, stats)
+        # Touch the statistics now: a lazy first collection would land its
+        # scan inside the first query's measured I/O window.
+        self.estimator.stats
         self.planner = AccessPlanner(store, self.estimator)
+        self.reorder = reorder
+        self.short_circuit = short_circuit
         self.last_rewrites: List[str] = []
+        #: Q-error of the most recent :meth:`run` (root estimate vs
+        #: actual result size); None before the first run.
+        self.last_qerror: Optional[float] = None
+        #: Boolean nodes whose second operand was skipped because the
+        #: first came back empty.
+        self.short_circuits = 0
+        self._m_qerror = qerror_histogram(metrics) if metrics is not None else None
 
-    def run(self, query):
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, query) -> Tuple[Query, List[str]]:
+        """Rewrite + cost-order ``query`` once; returns (planned query,
+        applied rules).  Idempotent: planning a planned query is a no-op."""
         if isinstance(query, str):
             from ..query.parser import parse_query
 
             query = parse_query(query)
-        query, self.last_rewrites = rewrite(query)
-        return super().run(query)
+        query, applied = rewrite(query)
+        if self.reorder:
+            query = reorder_operands(query, self.estimator, applied)
+        return query, applied
+
+    def run(self, query, budget=None):
+        query, self.last_rewrites = self.plan(query)
+        return self.run_planned(query, budget=budget)
+
+    def run_planned(self, query: Query, budget=None):
+        """Execute an already-planned query (no further rewriting) and
+        close the feedback loop: compare the root estimate against the
+        actual result size and record the run-level Q-error."""
+        estimate = estimate_cardinality(query, self.estimator)
+        result = super().run(query, budget=budget)
+        self.last_qerror = qerror(estimate, len(result.entries))
+        if self._m_qerror is not None:
+            self._m_qerror.observe(self.last_qerror)
+        return result
+
+    # -- execution ----------------------------------------------------------
 
     def atomic_run(self, query: AtomicQuery) -> Run:
         use_index, _label, _estimate = self.planner.plan_leaf(query)
         return evaluate_atomic(self.store, query, use_indices=use_index)
+
+    def _evaluate_node(self, query: Query) -> Run:
+        # Short-circuit & and -: an empty first operand decides the node,
+        # so the second operand is never evaluated.  Only on the
+        # sequential path -- a concurrent pool evaluates both operands in
+        # parallel, where skipping would serialise them (results are
+        # bit-identical either way).
+        if (
+            self.short_circuit
+            and isinstance(query, (And, Diff))
+            and (self.pool is None or not self.pool.parallel)
+        ):
+            left = self.evaluate_to_run(query.left)
+            if len(left) == 0:
+                self.short_circuits += 1
+                return left
+            try:
+                right = self.evaluate_to_run(query.right)
+            except BaseException:
+                left.free()
+                raise
+            try:
+                op = "and" if isinstance(query, And) else "diff"
+                return boolean_merge(self.pager, op, left, right)
+            finally:
+                left.free()
+                right.free()
+        return super()._evaluate_node(query)
 
 
 class ExplainNode:
@@ -231,8 +634,10 @@ class ExplainNode:
     evaluation of the whole query: the operator's result size
     (``actual``), its *own* page transfers (``actual_io`` physical /
     ``actual_logical_io`` logical -- children's costs subtracted out, so
-    the tree's values sum to the pager's global delta for the run) and its
-    inclusive wall time.
+    the tree's values sum to the pager's global delta for the run), its
+    inclusive wall time, its Q-error ``max(est/actual, actual/est)`` and
+    -- when the Q-error crosses :data:`QERROR_ALERT` -- the routed
+    replan hints.
     """
 
     def __init__(self, label: str, estimate: float, children: List["ExplainNode"],
@@ -240,7 +645,9 @@ class ExplainNode:
                  actual_io: Optional[int] = None,
                  actual_logical_io: Optional[int] = None,
                  elapsed: Optional[float] = None,
-                 eval_errors: int = 0):
+                 eval_errors: int = 0,
+                 qerror: Optional[float] = None,
+                 hints: Tuple[str, ...] = ()):
         self.label = label
         self.estimate = estimate
         self.children = children
@@ -251,6 +658,8 @@ class ExplainNode:
         #: Source records this operator skipped because a value failed to
         #: evaluate (see :attr:`repro.engine.engine.QueryResult.eval_errors`).
         self.eval_errors = eval_errors
+        self.qerror = qerror
+        self.hints = tuple(hints)
 
     def total_io(self) -> int:
         """Sum of per-operator physical transfers over the subtree."""
@@ -262,14 +671,32 @@ class ExplainNode:
         own = self.actual_logical_io or 0
         return own + sum(child.total_logical_io() for child in self.children)
 
+    def max_qerror(self) -> Optional[float]:
+        """The worst Q-error in the subtree (None without analyze)."""
+        candidates = [self.qerror] if self.qerror is not None else []
+        candidates += [
+            child_max
+            for child in self.children
+            for child_max in [child.max_qerror()]
+            if child_max is not None
+        ]
+        return max(candidates) if candidates else None
+
     def render(self, indent: int = 0) -> str:
         actual = "" if self.actual is None else "  actual=%d" % self.actual
         if self.actual_io is not None:
             actual += " io=%d lio=%d" % (self.actual_io, self.actual_logical_io or 0)
+        if self.qerror is not None:
+            actual += " qerr=%.1f" % self.qerror
         if self.eval_errors:
             actual += " eval_errors=%d" % self.eval_errors
         line = "%s%s  (est=%.1f%s)" % ("  " * indent, self.label, self.estimate, actual)
-        return "\n".join([line] + [child.render(indent + 1) for child in self.children])
+        lines = [line]
+        lines += [
+            "%s^ hint: %s" % ("  " * (indent + 1), hint) for hint in self.hints
+        ]
+        lines += [child.render(indent + 1) for child in self.children]
+        return "\n".join(lines)
 
     def as_dict(self) -> dict:
         """JSON-ready form (used by ``explain --json``)."""
@@ -283,6 +710,10 @@ class ExplainNode:
             node["elapsed_s"] = self.elapsed
         if self.eval_errors:
             node["eval_errors"] = self.eval_errors
+        if self.qerror is not None:
+            node["qerror"] = self.qerror
+        if self.hints:
+            node["hints"] = list(self.hints)
         node["children"] = [child.as_dict() for child in self.children]
         return node
 
@@ -295,17 +726,25 @@ def explain(
     query: Query,
     analyze: bool = False,
     planner: Optional[AccessPlanner] = None,
+    reorder: bool = True,
+    metrics=None,
 ) -> ExplainNode:
-    """Build the EXPLAIN tree for ``query`` (post-rewrite).  With
-    ``analyze=True`` the rewritten query is evaluated **once** through a
-    span-traced :class:`PlannedEngine`; each node then carries the actual
-    result size and its own (exclusive) page I/O, harvested from the span
-    tree -- which mirrors the query tree exactly -- so the per-operator
-    actuals sum to the pager's global delta for the run."""
+    """Build the EXPLAIN tree for ``query`` (post-rewrite, post-reorder:
+    the tree shows the plan the :class:`PlannedEngine` would execute).
+    With ``analyze=True`` the planned query is evaluated **once** through
+    a span-traced :class:`PlannedEngine`; each node then carries the
+    actual result size, its own (exclusive) page I/O and its Q-error,
+    harvested from the span tree -- which mirrors the query tree exactly
+    -- so the per-operator actuals sum to the pager's global delta for
+    the run, and every per-operator Q-error is observed into the
+    ``repro_planner_qerror`` histogram (``metrics`` overrides the
+    process-wide registry)."""
     from ..obs.trace import Tracer
 
-    query, applied = rewrite(query)
     planner = planner or AccessPlanner(store)
+    query, applied = rewrite(query)
+    if reorder:
+        query = reorder_operands(query, planner.estimator, applied)
     root_span = None
     if analyze:
         # Reuse the planner's statistics so the traced window holds the
@@ -317,22 +756,6 @@ def explain(
         result_run.free()
         root_span = tracer.last_root()
 
-    def estimate(node: Query) -> float:
-        if isinstance(node, AtomicQuery):
-            return planner.estimator.atomic_cardinality(node)
-        child_estimates = [estimate(child) for child in node.children()]
-        if isinstance(node, And):
-            return min(child_estimates)
-        if isinstance(node, Or):
-            return min(sum(child_estimates), planner.estimator.stats.total_entries)
-        if isinstance(node, Diff):
-            return child_estimates[0]
-        if isinstance(node, (HierarchySelect, EmbeddedRef)):
-            return child_estimates[0] * 0.5
-        if isinstance(node, SimpleAggSelect):
-            return child_estimates[0] * 0.5
-        return child_estimates[0] if child_estimates else 0.0
-
     def build(node: Query, span) -> ExplainNode:
         child_spans = span.children if span is not None else []
         children = [
@@ -343,7 +766,7 @@ def explain(
             _use_index, label, node_estimate = planner.plan_leaf(node)
             text = "atomic %s via %s" % (node, label)
         else:
-            node_estimate = estimate(node)
+            node_estimate = estimate_cardinality(node, planner.estimator)
             if isinstance(node, (And, Or, Diff)):
                 text = "boolean %s" % type(node).__name__.lower()
             elif isinstance(node, HierarchySelect):
@@ -361,6 +784,11 @@ def explain(
             actual_logical = span.exclusive("io", "logical_total")
             elapsed = span.elapsed
             eval_errors = span.attrs.get("eval_errors", 0)
+        node_qerror = None
+        hints: Tuple[str, ...] = ()
+        if actual is not None:
+            node_qerror = qerror(node_estimate, actual)
+            hints = tuple(route_hints(node, node_estimate, actual))
         return ExplainNode(
             text,
             node_estimate,
@@ -370,9 +798,23 @@ def explain(
             actual_logical_io=actual_logical,
             elapsed=elapsed,
             eval_errors=eval_errors,
+            qerror=node_qerror,
+            hints=hints,
         )
 
     root = build(query, root_span)
     if applied:
         root.label += "  [rewrites: %s]" % "; ".join(applied)
+    if analyze:
+        from ..obs.metrics import get_registry
+
+        histogram = qerror_histogram(metrics if metrics is not None else get_registry())
+
+        def observe(node: ExplainNode) -> None:
+            if node.qerror is not None:
+                histogram.observe(node.qerror)
+            for child in node.children:
+                observe(child)
+
+        observe(root)
     return root

@@ -14,10 +14,20 @@ choice: one-scan statistics over the master run --
 and a :class:`CardinalityEstimator` that turns a filter + base + scope
 into an estimated result size.  Estimates only steer access-path choice
 and EXPLAIN output; correctness never depends on them.
+
+Statistics do not have to stay a load-time snapshot:
+:class:`LiveDirectoryStatistics` subscribes to an
+:class:`~repro.storage.maintenance.UpdatableDirectory`'s record and
+compaction listeners and keeps the counters current -- incremental
+per-attribute deltas for adds/deletes/modifies (the write path attaches
+the pre-image it already holds), and a full rebuild folded into the next
+compaction when a delta is not locally decidable (subtree deletes,
+replayed records without pre-images).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Dict, Optional
 
@@ -36,7 +46,12 @@ from ..model.dn import DN
 from ..query.ast import AtomicQuery, Scope
 from ..storage.store import DirectoryStore
 
-__all__ = ["AttributeStats", "DirectoryStatistics", "CardinalityEstimator"]
+__all__ = [
+    "AttributeStats",
+    "DirectoryStatistics",
+    "LiveDirectoryStatistics",
+    "CardinalityEstimator",
+]
 
 _HISTOGRAM_BUCKETS = 16
 _TOP_VALUES = 32
@@ -109,6 +124,32 @@ class AttributeStats:
             return (rest / rest_distinct) / max(self.entries_with, 1)
         return 0.0
 
+    # -- incremental maintenance ---------------------------------------------
+
+    def apply_values(self, values, sign: int) -> None:
+        """Fold one entry's values in (``sign=+1``) or out (``-1``).
+
+        Deltas are approximate by design: the histogram's bucket bounds and
+        the tracked common-value set stay as collected (a value outside the
+        int range clamps to the edge bucket; a new value joins the untracked
+        mass), and ``distinct_estimate`` only grows.  The next full rebuild
+        re-tightens everything; meanwhile the counters the estimator divides
+        by (``entries_with``, ``value_count``, ``total_entries``) are exact.
+        """
+        self.entries_with = max(self.entries_with + sign, 0)
+        self.value_count = max(self.value_count + sign * len(values), 0)
+        for value in values:
+            if isinstance(value, int) and not isinstance(value, bool):
+                if self.int_min is not None:
+                    bucket = self.bucket_of(value)
+                    self.histogram[bucket] = max(self.histogram[bucket] + sign, 0)
+                elif sign > 0:
+                    self.int_min = self.int_max = value
+                    self.histogram[self.bucket_of(value)] += 1
+            text = str(value)
+            if text in self.top_values:
+                self.top_values[text] = max(self.top_values[text] + sign, 0)
+
 
 class DirectoryStatistics:
     """Whole-store statistics, collected in one master scan."""
@@ -158,17 +199,177 @@ class DirectoryStatistics:
     def attribute(self, name: str) -> Optional[AttributeStats]:
         return self.attributes.get(name)
 
+    def apply_entry(self, entry, sign: int = 1) -> None:
+        """Fold one entry into (+1) or out of (-1) the statistics."""
+        self.total_entries = max(self.total_entries + sign, 0)
+        depth = entry.dn.depth()
+        self.depth_counts[depth] = max(self.depth_counts.get(depth, 0) + sign, 0)
+        for attribute in entry.attributes():
+            stats = self.attributes.get(attribute)
+            if stats is None:
+                if sign < 0:
+                    continue
+                stats = self.attributes[attribute] = AttributeStats(attribute)
+            stats.apply_values(entry.values(attribute), sign)
+
+
+class LiveDirectoryStatistics:
+    """Statistics that track an
+    :class:`~repro.storage.maintenance.UpdatableDirectory` instead of a
+    load-time snapshot.
+
+    Attaches to the directory's record and compaction listeners:
+
+    - adds/modifies/deletes apply an incremental per-attribute delta
+      (modify and delete use the pre-image the online write path attaches
+      to the :class:`~repro.txn.records.ChangeRecord`);
+    - a mutation whose delta is not locally decidable -- a subtree delete,
+      or a replayed record without a pre-image -- marks the statistics
+      *stale*;
+    - stale statistics rebuild from the master run at the next compaction
+      (the scan piggybacks on maintenance, not on a query), or lazily at
+      the next :meth:`current` call if no compaction intervened.
+
+    The first :meth:`current` call performs the initial collection scan.
+    Estimator reads and writer deltas may interleave; counter updates are
+    individually atomic under the lock, and estimates are advisory
+    (correctness never depends on them).
+    """
+
+    def __init__(self, directory, metrics=None):
+        from ..obs.metrics import get_registry
+
+        self.directory = directory
+        self._lock = threading.Lock()
+        self._stats: Optional[DirectoryStatistics] = None
+        self._stale = True
+        self.rebuilds = 0
+        self.deltas_applied = 0
+        registry = metrics if metrics is not None else get_registry()
+        self._m_rebuilds = registry.counter(
+            "repro_stats_rebuilds_total",
+            "Full statistics rebuilds (initial collection included)",
+        )
+        self._m_deltas = registry.counter(
+            "repro_stats_deltas_total",
+            "Incremental statistics deltas applied, by mutation kind",
+            labelnames=("kind",),
+        )
+        directory.add_record_listener(self._on_record)
+        directory.add_compaction_listener(self._on_compaction)
+
+    def detach(self) -> None:
+        """Unsubscribe from the directory (idempotent)."""
+        self.directory.remove_record_listener(self._on_record)
+        self.directory.remove_compaction_listener(self._on_compaction)
+
+    @property
+    def stale(self) -> bool:
+        return self._stale
+
+    def current(self) -> DirectoryStatistics:
+        """The up-to-date statistics (rebuilding first if stale)."""
+        with self._lock:
+            if self._stats is None or self._stale:
+                self._rebuild()
+            return self._stats
+
+    # -- listeners ----------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """Collect from a pinned view: the master-run scan plus the folded
+        overlay, so a rebuild is exact even with mutations still pending."""
+        with self.directory.acquire_view() as view:
+            stats = DirectoryStatistics.collect(view.store)
+            adds, deletes, subtrees = view.snapshot.folded()
+
+            def in_deleted_subtree(dn) -> bool:
+                return any(root.is_prefix_of(dn) for root in subtrees)
+
+            for root in subtrees:
+                for entry in view.store.scan_subtree(root):
+                    stats.apply_entry(entry, -1)
+            for dn in deletes:
+                if in_deleted_subtree(dn):
+                    continue
+                pre = _stored_entry(view.store, dn)
+                if pre is not None:
+                    stats.apply_entry(pre, -1)
+            for dn, entry in adds.items():
+                pre = _stored_entry(view.store, dn)
+                if pre is not None and not in_deleted_subtree(dn):
+                    stats.apply_entry(pre, -1)  # overlay modify replaces it
+                stats.apply_entry(entry, 1)
+        self._stats = stats
+        self._stale = False
+        self.rebuilds += 1
+        self._m_rebuilds.inc()
+
+    def _on_record(self, record) -> None:
+        with self._lock:
+            if self._stats is None or self._stale:
+                return  # nothing maintained yet / rebuild already owed
+            if record.kind == "add":
+                self._stats.apply_entry(record.entry, 1)
+            elif record.kind == "modify":
+                pre = getattr(record, "pre_image", None)
+                if pre is None:
+                    self._stale = True
+                    return
+                self._stats.apply_entry(pre, -1)
+                self._stats.apply_entry(record.entry, 1)
+            else:  # delete
+                pre = getattr(record, "pre_image", None)
+                if record.subtree or pre is None:
+                    # The removed region is not known entry-by-entry.
+                    self._stale = True
+                    return
+                self._stats.apply_entry(pre, -1)
+            self.deltas_applied += 1
+            self._m_deltas.inc(kind=record.kind)
+
+    def _on_compaction(self, store) -> None:
+        with self._lock:
+            if self._stats is not None and self._stale:
+                # Fold the rebuild into maintenance: the compaction just
+                # paid one co-scan; the statistics scan rides along instead
+                # of surprising a later query.
+                self._rebuild()
+
+
+def _stored_entry(store, dn):
+    """The master-run entry at ``dn``, or None (overlay ignored)."""
+    for entry in store.scan_subtree(dn):
+        if entry.dn == dn:
+            return entry
+        break
+    return None
+
 
 class CardinalityEstimator:
-    """Selectivity and result-size estimates over collected statistics."""
+    """Selectivity and result-size estimates over collected statistics.
+
+    ``stats`` may be a :class:`DirectoryStatistics` snapshot (the seed
+    behaviour), a :class:`LiveDirectoryStatistics` -- then every estimate
+    reads the current, incrementally maintained state -- or None to
+    collect a snapshot from the store now (eagerly, so the scan never
+    lands inside a caller's measured evaluation window).
+    """
 
     #: Fallbacks when statistics cannot speak.
     DEFAULT_SUBSTRING = 0.1
     DEFAULT_EQ = 0.05
 
-    def __init__(self, store: DirectoryStore, stats: Optional[DirectoryStatistics] = None):
+    def __init__(self, store: DirectoryStore, stats=None):
         self.store = store
-        self.stats = stats or DirectoryStatistics.collect(store)
+        self._source = stats if stats is not None else DirectoryStatistics.collect(store)
+
+    @property
+    def stats(self) -> DirectoryStatistics:
+        source = self._source
+        if isinstance(source, LiveDirectoryStatistics):
+            return source.current()
+        return source
 
     # -- filters -------------------------------------------------------------
 

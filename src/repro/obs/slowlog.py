@@ -31,7 +31,7 @@ class SlowQueryRecord:
 
     __slots__ = (
         "query_text", "elapsed", "io_total", "cached", "result_size",
-        "retries", "warnings", "trace_id",
+        "retries", "warnings", "trace_id", "qerror",
     )
 
     def __init__(
@@ -44,6 +44,7 @@ class SlowQueryRecord:
         retries: int = 0,
         warnings: Tuple[str, ...] = (),
         trace_id: Optional[str] = None,
+        qerror: Optional[float] = None,
     ):
         self.query_text = query_text
         self.elapsed = elapsed
@@ -53,6 +54,12 @@ class SlowQueryRecord:
         self.retries = retries
         self.warnings = tuple(warnings)
         self.trace_id = trace_id
+        #: Planner Q-error of the run (None when the search bypassed the
+        #: planner: cache hits, federated fan-outs, planner="none").  A
+        #: slow query with a high Q-error is a *mis-planned* query --
+        #: re-run it under ``repro plan`` / EXPLAIN ``--analyze`` for the
+        #: routed rewrite hint.
+        self.qerror = qerror
 
     def as_dict(self) -> Dict[str, Any]:
         payload = {
@@ -68,6 +75,8 @@ class SlowQueryRecord:
             payload["warnings"] = list(self.warnings)
         if self.trace_id is not None:
             payload["trace_id"] = self.trace_id
+        if self.qerror is not None:
+            payload["qerror"] = self.qerror
         return payload
 
     def __repr__(self) -> str:
@@ -110,6 +119,7 @@ class SlowQueryLog:
         retries: int = 0,
         warnings: Tuple[str, ...] = (),
         trace_id: Optional[str] = None,
+        qerror: Optional[float] = None,
     ) -> Optional[SlowQueryRecord]:
         """Log the search if it crossed the threshold; returns the record
         (or None when under threshold / disabled)."""
@@ -118,6 +128,7 @@ class SlowQueryLog:
         record = SlowQueryRecord(
             query_text, elapsed, io_total, cached, result_size,
             retries=retries, warnings=warnings, trace_id=trace_id,
+            qerror=qerror,
         )
         with self._lock:
             self._records.append(record)

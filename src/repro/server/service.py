@@ -33,6 +33,8 @@ from ..cache import (
     query_footprint,
 )
 from ..engine.engine import QueryEngine
+from ..engine.optimizer import PlannedEngine
+from ..engine.stats import LiveDirectoryStatistics
 from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
@@ -140,6 +142,7 @@ class DirectoryService:
         durable_dir: Optional[str] = None,
         cache_maintenance: str = "evict",
         wal_fsync: bool = False,
+        planner: str = "cost",
     ):
         #: Span tracer for per-search phase timing and I/O attribution
         #: (disabled -- and free -- by default).
@@ -219,6 +222,21 @@ class DirectoryService:
             "repro_budget_exceeded_total",
             "Searches cancelled by a resource budget",
             labelnames=("resource",),
+        )
+        if planner not in ("cost", "none"):
+            raise ValueError("planner must be 'cost' or 'none'")
+        #: ``"cost"`` (default) serves searches through the
+        #: :class:`~repro.engine.optimizer.PlannedEngine` -- rewrites,
+        #: cost-ordered operands, live statistics, per-run Q-error --
+        #: while ``"none"`` keeps the paper-literal
+        #: :class:`~repro.engine.engine.QueryEngine`.
+        self.planner = planner
+        #: Statistics that track the directory through its record and
+        #: compaction listeners (only maintained when planning).
+        self._live_stats: Optional[LiveDirectoryStatistics] = (
+            LiveDirectoryStatistics(self.directory, metrics=self.metrics)
+            if planner == "cost"
+            else None
         )
         #: Default-open when no ACL is supplied.
         self.acl = acl or AccessControlList(default_allow=True)
@@ -311,6 +329,16 @@ class DirectoryService:
     # -- read operations -----------------------------------------------------
 
     def _engine_now(self) -> QueryEngine:
+        engine, guard = self._pinned_engine()
+        guard.close()
+        return engine
+
+    def _pinned_engine(self) -> Tuple[QueryEngine, StoreView]:
+        """The current engine plus a *caller-owned* pin on its store.
+        The shared ``self._engine_view`` pin is not enough for a reader:
+        a concurrent writer can compact, swap the engine and close that
+        view mid-evaluation, freeing the run's pages under the scan.
+        Close the returned guard when the evaluation is done."""
         pending = self.directory.pending()
         if pending:
             with self.tracer.span("compact", pending=pending):
@@ -322,16 +350,26 @@ class DirectoryService:
                 and self._engine_view is not None
                 and self._engine_view.store is view.store
             ):
-                view.close()
+                # `view` already pins the engine's store: hand it to the
+                # caller as its guard.
+                return self._engine, view
+            stale = self._engine_view
+            self._engine_view = view
+            if self.planner == "cost":
+                self._engine = PlannedEngine(
+                    view.store,
+                    stats=self._live_stats,
+                    tracer=self.tracer,
+                    log=self.log,
+                    metrics=self.metrics,
+                )
             else:
-                stale = self._engine_view
-                self._engine_view = view
                 self._engine = QueryEngine(
                     view.store, tracer=self.tracer, log=self.log
                 )
-                if stale is not None:
-                    stale.close()
-            return self._engine
+            if stale is not None:
+                stale.close()
+            return self._engine, view.clone()
 
     @property
     def cache_stats(self):
@@ -352,13 +390,15 @@ class DirectoryService:
 
     def _result_entries(
         self, query: Query, budget=None
-    ) -> Tuple[List[Entry], bool, int, List[str], int]:
+    ) -> Tuple[List[Entry], bool, int, List[str], int, Optional[float]]:
         """The query's full pre-ACL result, served from the semantic cache
         when possible.  Returns (entries, was a cache hit, logical page
         I/O the evaluation cost / a hit saved, degradation warnings,
-        remote retries).  ``budget`` caps the evaluation; a breach
-        propagates as :class:`~repro.obs.budget.BudgetExceeded` (cache
-        hits are never charged -- a served result costs no page I/O)."""
+        remote retries, planner Q-error).  The Q-error is None whenever
+        no plan executed (cache hits, federation, ``planner="none"``).
+        ``budget`` caps the evaluation; a breach propagates as
+        :class:`~repro.obs.budget.BudgetExceeded` (cache hits are never
+        charged -- a served result costs no page I/O)."""
         if self._federation is not None:
             # Federation frontend: the distributed evaluation brings its
             # own leaf cache, retries and degradation ladder; the local
@@ -374,27 +414,84 @@ class DirectoryService:
                 cost,
                 list(fed_result.warnings),
                 fed_result.retries,
+                None,
             )
         key = None
         if self.cache is not None:
+            # As-written lookup first: a hit skips compaction and planning
+            # entirely (a served result costs nothing).
             with self.tracer.span("cache-lookup") as span:
                 key = fingerprint(query)
                 hit = self.cache.get(key)
                 span.set(hit=hit is not None)
             if hit is not None:
                 self._m_cache_lookups.inc(outcome="hit")
-                return list(hit.entries), True, hit.cost_io, [], 0
+                return list(hit.entries), True, hit.cost_io, [], 0, None
             self._m_cache_lookups.inc(outcome="miss")
-        engine = self._engine_now()
-        result = engine.run(query, budget=budget)
+        # Captured before the engine's snapshot is pinned: a write that
+        # lands after this point bumps the epoch, and the put below is
+        # rejected rather than admitting a result that may predate it.
+        epoch = self.cache.invalidation_epoch if self.cache is not None else None
+        engine, guard = self._pinned_engine()
+        try:
+            if isinstance(engine, PlannedEngine):
+                with self.tracer.span("plan") as span:
+                    planned, rewrites = engine.plan(query)
+                    span.set(rewrites=len(rewrites))
+                if self.cache is not None:
+                    if rewrites:
+                        # The plan may have a different fingerprint than the
+                        # as-written form (rewrites change shape; pure
+                        # reorderings don't -- fingerprints normalise operand
+                        # order), so a second resident can answer.
+                        planned_key = fingerprint(planned)
+                        if planned_key != key:
+                            key = planned_key
+                            hit = self.cache.get(key)
+                            if hit is not None:
+                                self._m_cache_lookups.inc(outcome="hit")
+                                return list(hit.entries), True, hit.cost_io, [], 0, None
+                            self._m_cache_lookups.inc(outcome="miss")
+                    superset = self._from_superset(planned)
+                    if superset is not None:
+                        entries, saved = superset
+                        return entries, True, saved, [], 0, None
+                engine.last_rewrites = rewrites
+                result = engine.run_planned(planned, budget=budget)
+                qerror = engine.last_qerror
+                query = planned
+            else:
+                result = engine.run(query, budget=budget)
+                qerror = None
+        finally:
+            guard.close()
         cost = result.io.logical_reads + result.io.logical_writes
         self._m_search_io.observe(cost)
         if self.cache is not None:
             self.cache.put(
                 key, str(query), result.entries, query_footprint(query), cost,
-                query=query,
+                query=query, if_epoch=epoch,
             )
-        return result.entries, False, cost, [], 0
+        return result.entries, False, cost, [], 0, qerror
+
+    def _from_superset(self, planned: Query) -> Optional[Tuple[List[Entry], int]]:
+        """Cache-aware planning: serve an atomic sub-scoped plan from a
+        resident whose subtree provably contains it, by restricting the
+        resident's entries to the narrower base -- no page I/O at all.
+        Returns (entries, saved logical I/O) or None."""
+        from ..query.ast import AtomicQuery, Scope
+
+        if not (isinstance(planned, AtomicQuery) and planned.scope == Scope.SUB):
+            return None
+        superset = self.cache.find_superset(planned.base, str(planned.filter))
+        if superset is None:
+            return None
+        self._m_cache_lookups.inc(outcome="superset")
+        entries = [
+            entry for entry in superset.entries
+            if planned.base.is_prefix_of(entry.dn)
+        ]
+        return entries, superset.cost_io
 
     def search(
         self,
@@ -437,8 +534,8 @@ class DirectoryService:
                     )
                     return result
             try:
-                entries, cached, cost, warnings, retries = self._result_entries(
-                    query, budget=active_budget
+                entries, cached, cost, warnings, retries, qerror = (
+                    self._result_entries(query, budget=active_budget)
                 )
             except BudgetExceeded as exc:
                 exc.query_text = str(query)
@@ -478,12 +575,13 @@ class DirectoryService:
             )
         self._observe_search(
             query, result, started, io_before, retries=retries,
-            search_span=search_span,
+            search_span=search_span, qerror=qerror,
         )
         return result
 
     def _observe_search(self, query, result: SearchResult, started: float,
-                        io_before, retries: int = 0, search_span=None) -> None:
+                        io_before, retries: int = 0, search_span=None,
+                        qerror: Optional[float] = None) -> None:
         """Fold one finished search into metrics, the slow-query log, the
         event log and the tail sampler.  ``search_span`` (when tracing)
         supplies the trace id that joins all four."""
@@ -509,6 +607,7 @@ class DirectoryService:
             retries=retries,
             warnings=tuple(result.warnings),
             trace_id=trace_id,
+            qerror=qerror,
         )
         if slow is not None:
             self._m_slow.inc()
@@ -622,7 +721,9 @@ class DirectoryService:
         if page_entries < 1:
             raise ValueError("page_entries must be positive")
         query = self._as_query(query)
-        entries, _cached, _cost, _warnings, _retries = self._result_entries(query)
+        entries, _cached, _cost, _warnings, _retries, _qerror = self._result_entries(
+            query
+        )
         visible = self._visible(entries)
         return (
             visible[start : start + page_entries]
@@ -709,6 +810,9 @@ class DirectoryService:
         """Release the engine's pinned view, stop maintenance, and close
         the WAL (for a durable directory)."""
         self.stop_maintenance()
+        if self._live_stats is not None:
+            self._live_stats.detach()
+            self._live_stats = None
         with self._engine_lock:
             if self._engine_view is not None:
                 self._engine_view.close()

@@ -56,6 +56,7 @@ from .runs import RunWriter
 from .store import DirectoryStore
 
 __all__ = [
+    "CompactionListener",
     "ReplayError",
     "StoreView",
     "UpdatableDirectory",
@@ -102,8 +103,15 @@ UpdateListener = Callable[[str, DN, bool], None]
 
 #: A change-record observer: called with the committed
 #: :class:`~repro.txn.records.ChangeRecord` (lsn assigned).  The
-#: incremental cache maintainer hooks in here.
+#: incremental cache maintainer and the live statistics hook in here.
+#: Online mutations attach the pre-image entry for deletes/modifies
+#: (``record.pre_image``); replayed records carry None there.
 RecordListener = Callable[[ChangeRecord], None]
+
+#: A compaction observer: called with the freshly installed master
+#: :class:`~repro.storage.store.DirectoryStore` after every compaction.
+#: Statistics fold their full rebuild in here.
+CompactionListener = Callable[[DirectoryStore], None]
 
 
 class StoreView:
@@ -145,6 +153,18 @@ class StoreView:
         for entry in self.store.scan_subtree(dn):
             if dn.is_parent_of(entry.dn) and not self.snapshot.is_deleted(entry.dn):
                 yield entry.dn
+
+    def clone(self) -> "StoreView":
+        """A second, independently-closeable pin on the same (master run,
+        snapshot) pair.  Only valid while this view is still open -- the
+        extra pin keeps the run alive after the original closes."""
+        if self._closed:
+            raise RuntimeError("cannot clone a closed view")
+        with self._directory._state_lock:
+            self._directory._pins[id(self.store)] = (
+                self._directory._pins.get(id(self.store), 0) + 1
+            )
+        return StoreView(self._directory, self.store, self.snapshot)
 
     def close(self) -> None:
         if not self._closed:
@@ -195,6 +215,7 @@ class UpdatableDirectory:
         self.deferred_frees = 0
         self._listeners: List[UpdateListener] = []
         self._record_listeners: List[RecordListener] = []
+        self._compaction_listeners: List[CompactionListener] = []
         #: Count of listener callbacks that raised (dispatch continues
         #: past failures; see :meth:`_notify`).
         self.listener_errors = 0
@@ -243,6 +264,23 @@ class UpdatableDirectory:
     def remove_record_listener(self, listener: RecordListener) -> None:
         if listener in self._record_listeners:
             self._record_listeners.remove(listener)
+
+    def add_compaction_listener(self, listener: CompactionListener) -> None:
+        """Subscribe to compactions (called with the new master store once
+        it is installed).  Live statistics fold their rebuild in here."""
+        self._compaction_listeners.append(listener)
+
+    def remove_compaction_listener(self, listener: CompactionListener) -> None:
+        if listener in self._compaction_listeners:
+            self._compaction_listeners.remove(listener)
+
+    def _notify_compaction(self, store: DirectoryStore) -> None:
+        for listener in list(self._compaction_listeners):
+            try:
+                listener(store)
+            except Exception:
+                self.listener_errors += 1
+                self._listener_errors_metric.inc(kind="compact")
 
     def _notify(self, record: ChangeRecord) -> None:
         # A broken listener must not abort the (already committed) update
@@ -367,14 +405,19 @@ class UpdatableDirectory:
             dn = DN.parse(dn)
         with self._write_lock:
             with self.acquire_view() as view:
-                if view.lookup(dn) is None:
+                current = view.lookup(dn)
+                if current is None:
                     self._fail("no entry at %s" % dn, UpdateError.NO_SUCH_ENTRY)
                 if not recursive and any(True for _ in view.children(dn)):
                     self._fail(
                         "%s has children; pass recursive=True" % dn,
                         UpdateError.HAS_CHILDREN,
                     )
-            record = self._commit(ChangeRecord("delete", dn, subtree=recursive))
+            doomed = ChangeRecord("delete", dn, subtree=recursive)
+            # The validation lookup is the pre-image; listeners that keep
+            # incremental state (live statistics) consume it.
+            doomed.pre_image = current
+            record = self._commit(doomed)
         self._finish(record)
 
     def modify(
@@ -421,7 +464,9 @@ class UpdatableDirectory:
                 if not values[attr]:
                     del values[attr]
             entry = _validated_entry(self.schema, dn, current.classes, values, {})
-            record = self._commit(ChangeRecord("modify", dn, entry=entry))
+            changed = ChangeRecord("modify", dn, entry=entry)
+            changed.pre_image = current
+            record = self._commit(changed)
         self._finish(record)
         return entry
 
@@ -606,6 +651,7 @@ class UpdatableDirectory:
                     lsn=fold_lsn,
                     entries=len(new_store),
                 )
+                self._notify_compaction(new_store)
                 return new_store
             finally:
                 view.close()

@@ -40,7 +40,7 @@ class RecordError(ValueError):
 class ChangeRecord:
     """One validated mutation, replayable without re-validation."""
 
-    __slots__ = ("kind", "dn", "subtree", "entry", "lsn")
+    __slots__ = ("kind", "dn", "subtree", "entry", "lsn", "pre_image")
 
     def __init__(
         self,
@@ -61,6 +61,12 @@ class ChangeRecord:
         self.subtree = subtree
         self.entry = entry
         self.lsn = lsn
+        #: The replaced/removed entry for deletes and modifies, attached by
+        #: the online write path (which already holds it for validation).
+        #: Transient: never serialised, so replayed records carry None and
+        #: consumers needing it (incremental statistics) must fall back to
+        #: a rebuild.
+        self.pre_image: Optional[Entry] = None
 
     # -- serialisation -------------------------------------------------------
 

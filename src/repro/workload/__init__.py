@@ -7,6 +7,7 @@ from .generator import (
     ZipfQueryStream,
     balanced_instance,
     random_instance,
+    skewed_instance,
     synthetic_schema,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "ZipfQueryStream",
     "balanced_instance",
     "random_instance",
+    "skewed_instance",
     "synthetic_schema",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "RandomQueries",
     "ZipfQueryStream",
     "balanced_instance",
+    "skewed_instance",
 ]
 
 _KINDS = ("alpha", "beta", "gamma", "delta")
@@ -139,6 +140,41 @@ def balanced_instance(
         }
         if dns and rng.random() < ref_density:
             attrs["ref"] = [rng.choice(dns)]
+        instance.add(dn, ["node"], attrs)
+        dns.append(dn)
+    return instance
+
+
+def skewed_instance(
+    size: int,
+    fanout: int = 4,
+    seed: int = 23,
+    hot: float = 0.9,
+) -> DirectoryInstance:
+    """The balanced benchmark shape with heavily skewed value frequencies
+    (the plan-quality workload): a ``hot`` fraction of entries carries
+    ``kind=alpha``, the rest spread over the remaining kinds, and
+    ``weight`` concentrates near zero -- so equal-looking operands have
+    wildly different selectivities and operand order matters.  ``omega``
+    never occurs: a guaranteed-empty equality for short-circuit plans.
+    """
+    rng = random.Random(seed)
+    schema = synthetic_schema()
+    instance = DirectoryInstance(schema)
+    dns: List[DN] = []
+    cold_kinds = [kind for kind in _KINDS if kind != "alpha"]
+    for index in range(size):
+        name = "e%d" % index
+        parent = ROOT_DN if index == 0 else dns[(index - 1) // fanout]
+        dn = parent.child("name=%s" % name)
+        kind = "alpha" if rng.random() < hot else rng.choice(cold_kinds)
+        weight = rng.randint(0, 9) if rng.random() < hot else rng.randint(10, 100)
+        attrs = {
+            "name": [name],
+            "kind": [kind],
+            "level": [rng.randint(0, 9)],
+            "weight": [weight],
+        }
         instance.add(dn, ["node"], attrs)
         dns.append(dn)
     return instance

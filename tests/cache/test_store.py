@@ -116,6 +116,47 @@ class TestInvalidation:
         assert len(cache) == 0 and cache.resident_bytes == 0
 
 
+class TestInvalidationEpoch:
+    """The put-vs-invalidate fence: a result evaluated before a write can
+    reach ``put`` after the write's invalidation ran (the stale result is
+    in flight, not resident, so the invalidation cannot evict it).
+    ``if_epoch`` closes the hole."""
+
+    def test_stale_put_is_rejected(self):
+        cache = QueryCache(byte_budget=100_000)
+        epoch = cache.invalidation_epoch
+        # A concurrent write invalidates while the evaluation is in
+        # flight -- nothing is resident yet, so nothing is evicted ...
+        assert cache.invalidate(DN.parse("name=x, dc=com")) == 0
+        # ... and the pre-write result must not be admitted.
+        assert cache.put("k", "(q)", result(2), COM_SUB, cost_io=5,
+                         if_epoch=epoch) is None
+        assert "k" not in cache
+        assert cache.stats.rejected == 1
+
+    def test_current_epoch_put_is_admitted(self):
+        cache = QueryCache(byte_budget=100_000)
+        cache.invalidate(DN.parse("name=x, dc=com"))
+        epoch = cache.invalidation_epoch
+        assert cache.put("k", "(q)", result(2), COM_SUB, cost_io=5,
+                         if_epoch=epoch) is not None
+        assert "k" in cache
+
+    def test_every_write_driven_mutation_bumps(self):
+        cache = QueryCache(byte_budget=100_000)
+        before = cache.invalidation_epoch
+        cache.invalidate(DN.parse("name=x, dc=com"))
+        cache.invalidate_tag("t")
+        cache.drop("missing")
+        cache.clear()
+        assert cache.invalidation_epoch == before + 4
+
+    def test_put_without_epoch_is_unfenced(self):
+        cache = QueryCache(byte_budget=100_000)
+        cache.invalidate(DN.parse("name=x, dc=com"))
+        assert cache.put("k", "(q)", result(1), COM_SUB, cost_io=5) is not None
+
+
 class TestValidation:
     def test_budget_must_be_positive(self):
         with pytest.raises(ValueError):

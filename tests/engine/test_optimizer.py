@@ -3,8 +3,20 @@
 import pytest
 
 from repro.engine import QueryEngine
-from repro.engine.optimizer import AccessPlanner, PlannedEngine, explain, rewrite
-from repro.query.ast import And, AtomicQuery, HierarchySelect
+from repro.engine.optimizer import (
+    QERROR_ALERT,
+    AccessPlanner,
+    PlannedEngine,
+    estimate_cardinality,
+    explain,
+    qerror,
+    reorder_operands,
+    rewrite,
+    route_hints,
+)
+from repro.filters.ast import Presence
+from repro.model.dn import DN
+from repro.query.ast import And, AtomicQuery, Diff, HierarchySelect, Or, Scope
 from repro.query.parser import parse_query
 from repro.query.semantics import evaluate
 from repro.storage.store import DirectoryStore
@@ -90,6 +102,285 @@ class TestRewrites:
             assert [e.dn for e in evaluate(rewritten, instance)] == [
                 e.dn for e in evaluate(query, instance)
             ], str(query)
+
+
+class TestR1WholeInstanceRegression:
+    """ISSUE 9 bugfix: the paper-literal third operand can reach the
+    optimiser as ``Presence("objectClass")`` (builders, the LDAP
+    translation layer, any non-canonical spelling route) and pre-fix
+    ``_is_whole_instance`` only accepted ``MatchAll`` -- so the Section
+    8.1 rewrite never fired on it."""
+
+    SECTION_8_1 = (
+        "(ac ( ? sub ? kind=alpha) ( ? sub ? kind=beta) ( ? sub ? objectClass=*))"
+    )
+
+    def test_literal_section_8_1_string(self):
+        rewritten, rules = rewrite(parse_query(self.SECTION_8_1))
+        assert rewritten.op == "p" and rewritten.third is None
+        assert any("R1" in rule for rule in rules)
+
+    def test_presence_object_class_third_operand(self):
+        # The pre-fix miss: an AST-level Presence("objectClass") whole
+        # instance (always true by Definition 3.2 (c2)).
+        base = parse_query(self.SECTION_8_1)
+        query = HierarchySelect(
+            "ac",
+            base.first,
+            base.second,
+            AtomicQuery(DN.parse(""), Scope.SUB, Presence("objectClass")),
+            None,
+        )
+        rewritten, rules = rewrite(query)
+        assert rewritten.op == "p" and rewritten.third is None
+        assert any("R1" in rule for rule in rules)
+
+    def test_lowercase_presence_is_not_whole_instance(self):
+        # Presence tests are case-sensitive: objectclass=* names a
+        # different (absent) attribute and matches nothing -- rewriting
+        # it away would change results.
+        query = parse_query(
+            "(ac ( ? sub ? kind=alpha) ( ? sub ? kind=beta) ( ? sub ? objectclass=*))"
+        )
+        assert isinstance(query.third.filter, Presence)
+        rewritten, rules = rewrite(query)
+        assert rewritten.op == "ac"
+        assert not any("R1" in rule for rule in rules)
+
+    def test_presence_rewrite_preserves_semantics(self):
+        instance = random_instance(5, size=80)
+        base = parse_query(self.SECTION_8_1)
+        query = HierarchySelect(
+            "dc",
+            base.first,
+            base.second,
+            AtomicQuery(DN.parse(""), Scope.SUB, Presence("objectClass")),
+            None,
+        )
+        rewritten, _rules = rewrite(query)
+        assert rewritten.op == "c"
+        assert [e.dn for e in evaluate(rewritten, instance)] == [
+            e.dn for e in evaluate(query, instance)
+        ]
+
+
+class TestNewRewrites:
+    def test_r4_and_absorbs_whole_instance_cover(self):
+        query = parse_query(
+            "(& ( ? sub ? objectClass=*) (name=e1, name=e0 ? sub ? kind=alpha))"
+        )
+        rewritten, rules = rewrite(query)
+        assert isinstance(rewritten, AtomicQuery)
+        assert str(rewritten.base) == "name=e1, name=e0"
+        assert any("R4" in rule for rule in rules)
+
+    def test_r4_or_collapses_to_cover(self):
+        query = parse_query(
+            "(| ( ? sub ? objectClass=*) (name=e1, name=e0 ? sub ? kind=alpha))"
+        )
+        rewritten, rules = rewrite(query)
+        assert isinstance(rewritten, AtomicQuery)
+        assert rewritten.base.is_null()
+        assert any("R4" in rule for rule in rules)
+
+    def test_r4_not_applied_when_footprint_escapes(self):
+        # The cover's subtree does not contain the other operand.
+        query = parse_query(
+            "(& (name=e1, name=e0 ? sub ? objectClass=*) ( ? sub ? kind=alpha))"
+        )
+        _rewritten, rules = rewrite(query)
+        assert not any("R4" in rule for rule in rules)
+
+    def test_r5_tightens_diff_right_operand(self):
+        query = parse_query(
+            "(- (name=e1, name=e0 ? sub ? kind=alpha) ( ? sub ? kind=beta))"
+        )
+        rewritten, rules = rewrite(query)
+        assert isinstance(rewritten, Diff)
+        assert str(rewritten.right.base) == "name=e1, name=e0"
+        assert any("R5" in rule for rule in rules)
+
+    def test_r5_never_touches_left_operand(self):
+        query = parse_query(
+            "(- ( ? sub ? kind=beta) (name=e1, name=e0 ? sub ? kind=alpha))"
+        )
+        rewritten, rules = rewrite(query)
+        assert rewritten.left.base.is_null()
+        assert not any("R5" in rule for rule in rules)
+
+    @pytest.mark.parametrize("op", ["c", "d", "dc"])
+    def test_r6_pushes_scope_into_descendant_operands(self, op):
+        third = " (name=e1, name=e0 ? sub ? kind=gamma)" if op == "dc" else ""
+        query = parse_query(
+            "(%s (name=e1, name=e0 ? sub ? kind=alpha) ( ? sub ? kind=beta)%s)"
+            % (op, third)
+        )
+        rewritten, rules = rewrite(query)
+        assert str(rewritten.second.base) == "name=e1, name=e0"
+        assert any("R6" in rule for rule in rules)
+
+    @pytest.mark.parametrize("op", ["p", "a", "ac"])
+    def test_r6_not_applied_to_ancestor_operators(self, op):
+        # Witnesses of p/a/ac are ancestors -- they escape the first
+        # operand's subtree, so push-down would lose results.
+        third = " (name=e1, name=e0 ? sub ? kind=gamma)" if op == "ac" else ""
+        query = parse_query(
+            "(%s (name=e1, name=e0 ? sub ? kind=alpha) ( ? sub ? kind=beta)%s)"
+            % (op, third)
+        )
+        rewritten, rules = rewrite(query)
+        assert rewritten.second.base.is_null()
+        assert not any("R6" in rule for rule in rules)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_new_rewrites_preserve_semantics(self, seed):
+        # Deliberately shaped to hit R4/R5/R6 on random instances.
+        instance = random_instance(seed, size=70)
+        dns = [entry.dn for entry in instance]
+        deep = max(dns, key=lambda dn: len(dn))
+        shapes = [
+            "(& ( ? sub ? objectClass=*) (%s ? sub ? kind=alpha))" % deep,
+            "(| ( ? sub ? objectClass=*) (%s ? sub ? kind=beta))" % deep,
+            "(- (%s ? sub ? kind=alpha) ( ? sub ? kind=beta))" % deep,
+            "(c (%s ? sub ? kind=alpha) ( ? sub ? weight<50))" % deep,
+            "(dc (%s ? sub ? kind=alpha) ( ? sub ? kind=beta) ( ? sub ? weight<50))"
+            % deep,
+        ]
+        for text in shapes:
+            query = parse_query(text)
+            rewritten, _rules = rewrite(query)
+            assert [e.dn for e in evaluate(rewritten, instance)] == [
+                e.dn for e in evaluate(query, instance)
+            ], text
+
+
+class TestReorder:
+    def test_selective_operand_moves_first(self, store):
+        _instance, s = store
+        estimator = AccessPlanner(s).estimator
+        query = parse_query("(& ( ? sub ? kind=alpha) ( ? sub ? name=e17))")
+        notes = []
+        ordered = reorder_operands(query, estimator, notes)
+        assert str(ordered.left.filter) == "name=e17"
+        assert any("R7" in note for note in notes)
+
+    def test_already_ordered_left_alone(self, store):
+        _instance, s = store
+        estimator = AccessPlanner(s).estimator
+        query = parse_query("(& ( ? sub ? name=e17) ( ? sub ? kind=alpha))")
+        notes = []
+        ordered = reorder_operands(query, estimator, notes)
+        assert str(ordered.left.filter) == "name=e17"
+        assert notes == []
+
+    def test_diff_never_reordered(self, store):
+        _instance, s = store
+        estimator = AccessPlanner(s).estimator
+        query = parse_query("(- ( ? sub ? kind=alpha) ( ? sub ? name=e17))")
+        ordered = reorder_operands(query, estimator, [])
+        assert isinstance(ordered, Diff)
+        assert str(ordered.left.filter) == "kind=alpha"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reorder_preserves_semantics(self, store, seed):
+        instance, s = store
+        estimator = AccessPlanner(s).estimator
+        queries = RandomQueries(instance, seed=seed + 29)
+        for _ in range(6):
+            query = queries.any_level(depth=2)
+            ordered = reorder_operands(query, estimator, [])
+            assert [e.dn for e in evaluate(ordered, instance)] == [
+                e.dn for e in evaluate(query, instance)
+            ], str(query)
+
+
+class TestShortCircuit:
+    def test_empty_first_operand_skips_second(self, store):
+        _instance, s = store
+        eager = PlannedEngine(s, short_circuit=False)
+        lazy = PlannedEngine(s)
+        query = "(& ( ? sub ? name=nosuchentry) ( ? sub ? kind=alpha))"
+        eager_result = eager.run(query)
+        lazy_result = lazy.run(query)
+        assert lazy_result.dns() == eager_result.dns() == []
+        assert lazy.short_circuits >= 1
+        lazy_cost = lazy_result.io.logical_reads + lazy_result.io.logical_writes
+        eager_cost = eager_result.io.logical_reads + eager_result.io.logical_writes
+        assert lazy_cost < eager_cost
+
+    def test_diff_short_circuits_too(self, store):
+        _instance, s = store
+        engine = PlannedEngine(s)
+        before = engine.short_circuits
+        result = engine.run("(- ( ? sub ? name=nosuchentry) ( ? sub ? kind=alpha))")
+        assert result.dns() == []
+        assert engine.short_circuits > before
+
+    def test_nonempty_first_operand_merges_normally(self, store):
+        instance, s = store
+        engine = PlannedEngine(s)
+        query = parse_query("(& ( ? sub ? kind=alpha) ( ? sub ? weight<50))")
+        assert engine.run(query).dns() == [
+            str(e.dn) for e in evaluate(query, instance)
+        ]
+
+
+class TestQError:
+    def test_symmetric_and_floored(self):
+        assert qerror(10, 5) == 2.0
+        assert qerror(5, 10) == 2.0
+        assert qerror(0, 0) == 1.0
+        assert qerror(0, 7) == 7.0
+
+    def test_route_hints_quiet_under_threshold(self):
+        leaf = parse_query("( ? sub ? kind=alpha)")
+        assert route_hints(leaf, 100, 90) == []
+
+    def test_route_hints_fire_at_alert(self):
+        leaf = parse_query("( ? sub ? name=*17*)")
+        hints = route_hints(leaf, 400, int(400 / QERROR_ALERT) - 1)
+        assert hints and "string index" in hints[0]
+
+    def test_boolean_symptom_routes_to_correlation(self):
+        node = parse_query("(& ( ? sub ? kind=alpha) ( ? sub ? weight<50))")
+        hints = route_hints(node, 100, 5)
+        assert hints and "correlated" in hints[0]
+
+    def test_run_records_run_level_qerror(self, store):
+        _instance, s = store
+        engine = PlannedEngine(s)
+        assert engine.last_qerror is None
+        engine.run("( ? sub ? kind=alpha)")
+        assert engine.last_qerror is not None and engine.last_qerror >= 1.0
+
+    def test_analyze_reports_per_node_qerror(self, store):
+        _instance, s = store
+        node = explain(s, parse_query("( ? sub ? kind=alpha)"), analyze=True)
+        assert node.qerror is not None
+        assert "qerr=" in str(node)
+
+    def test_analyze_observes_histogram(self, store):
+        from repro.obs.metrics import MetricsRegistry
+
+        _instance, s = store
+        registry = MetricsRegistry()
+        explain(
+            s,
+            parse_query("(& ( ? sub ? kind=alpha) ( ? sub ? weight<50))"),
+            analyze=True,
+            metrics=registry,
+        )
+        histogram = registry.get("repro_planner_qerror")
+        assert histogram is not None
+        # One observation per analyzed operator: the And and two leaves.
+        assert histogram.count() == 3
+
+    def test_estimate_cardinality_matches_explain(self, store):
+        _instance, s = store
+        planner = AccessPlanner(s)
+        query = parse_query("(| ( ? sub ? kind=alpha) ( ? sub ? kind=beta))")
+        node = explain(s, query, planner=planner)
+        assert node.estimate == estimate_cardinality(query, planner.estimator)
 
 
 class TestAccessPlanner:

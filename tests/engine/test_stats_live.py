@@ -1,0 +1,138 @@
+"""Live statistics: incremental deltas, compaction rebuilds, and the
+stale-estimate regression the planner wiring fixes."""
+
+import pytest
+
+from repro.engine.stats import (
+    CardinalityEstimator,
+    DirectoryStatistics,
+    LiveDirectoryStatistics,
+)
+from repro.query.parser import parse_query
+from repro.storage.maintenance import UpdatableDirectory
+from repro.workload import balanced_instance
+
+
+def make_directory(size=200):
+    instance = balanced_instance(size, fanout=4, seed=9)
+    return UpdatableDirectory.from_instance(instance, page_size=8, buffer_pages=6)
+
+
+def leaf_dns(directory):
+    """DNs deepest-first, so deleting a prefix of the list never orphans
+    children."""
+    dns = [entry.dn for entry in directory.store.scan_all()]
+    return sorted(dns, key=lambda dn: -len(dn))
+
+
+class TestStaleStatisticsRegression:
+    """ISSUE 9 bugfix: an estimator built before a batch of updates kept
+    estimating from the dead snapshot (load -> delete half -> estimates
+    stay ~2x actual).  Live statistics track the directory instead."""
+
+    def test_snapshot_estimator_goes_stale(self):
+        # The pre-fix behaviour, pinned down: this is the bug.
+        directory = make_directory(200)
+        snapshot = DirectoryStatistics.collect(directory.store)
+        for dn in leaf_dns(directory)[:100]:
+            directory.delete(dn)
+        directory.compact()
+        actual = len(directory.store)
+        assert snapshot.total_entries >= 2 * actual
+
+    def test_live_estimator_tracks_deletes(self):
+        # The fix: the same scenario through LiveDirectoryStatistics.
+        directory = make_directory(200)
+        live = LiveDirectoryStatistics(directory)
+        assert live.current().total_entries == 200
+        for dn in leaf_dns(directory)[:100]:
+            directory.delete(dn)
+        directory.compact()
+        actual = len(directory.store)
+        assert live.current().total_entries == actual
+
+    def test_whole_instance_estimate_matches_after_delete_half(self):
+        directory = make_directory(200)
+        live = LiveDirectoryStatistics(directory)
+        estimator = CardinalityEstimator(directory.store, stats=live)
+        whole = parse_query("( ? sub ? objectClass=*)")
+        assert estimator.atomic_cardinality(whole) == pytest.approx(200, rel=0.1)
+        for dn in leaf_dns(directory)[:100]:
+            directory.delete(dn)
+        directory.compact()
+        estimate = estimator.atomic_cardinality(whole)
+        actual = len(directory.store)
+        assert estimate == pytest.approx(actual, rel=0.1)
+
+
+class TestIncrementalDeltas:
+    def test_add_applies_without_rebuild(self):
+        directory = make_directory(100)
+        live = LiveDirectoryStatistics(directory)
+        live.current()
+        rebuilds = live.rebuilds
+        directory.add(
+            "name=fresh, name=e0", ["node"],
+            name="fresh", kind="alpha", level=3, weight=10,
+        )
+        stats = live.current()
+        assert stats.total_entries == 101
+        assert live.rebuilds == rebuilds  # the delta sufficed
+        assert live.deltas_applied >= 1
+
+    def test_leaf_delete_applies_via_pre_image(self):
+        directory = make_directory(100)
+        live = LiveDirectoryStatistics(directory)
+        live.current()
+        rebuilds = live.rebuilds
+        victim = leaf_dns(directory)[0]
+        directory.delete(victim)
+        assert live.current().total_entries == 99
+        assert live.rebuilds == rebuilds
+
+    def test_modify_shifts_attribute_counters(self):
+        directory = make_directory(100)
+        live = LiveDirectoryStatistics(directory)
+        before = live.current().attributes["kind"].entries_with
+        victim = next(
+            entry for entry in directory.store.scan_all()
+            if entry.values("kind")
+        )
+        directory.modify(victim.dn, replace={"kind": []})
+        after = live.current().attributes["kind"].entries_with
+        assert after == before - 1
+
+    def test_subtree_delete_forces_rebuild(self):
+        directory = make_directory(100)
+        live = LiveDirectoryStatistics(directory)
+        live.current()
+        rebuilds = live.rebuilds
+        # name=e1, name=e0 roots an interior subtree of the balanced shape.
+        directory.delete("name=e1, name=e0", recursive=True)
+        assert live.stale
+        directory.compact()
+        stats = live.current()
+        assert stats.total_entries == len(directory.store)
+        assert live.rebuilds > rebuilds
+
+    def test_rebuild_folds_uncompacted_overlay(self):
+        # current() must be exact even when updates are still pending in
+        # the MVCC overlay (no compaction yet).
+        directory = make_directory(100)
+        live = LiveDirectoryStatistics(directory)
+        directory.delete("name=e1, name=e0", recursive=True)  # -> stale
+        directory.add(
+            "name=extra, name=e0", ["node"],
+            name="extra", kind="beta", level=1, weight=5,
+        )
+        assert directory.pending() > 0
+        stats = live.current()
+        assert stats.total_entries == len(directory)
+
+    def test_detach_stops_tracking(self):
+        directory = make_directory(50)
+        live = LiveDirectoryStatistics(directory)
+        assert live.current().total_entries == 50
+        live.detach()
+        directory.delete(leaf_dns(directory)[0])
+        assert live.current().total_entries == 50  # frozen at detach

@@ -319,7 +319,7 @@ class TestBenchCheckDirectories:
     def test_directory_of_valid_artifacts_passes(self, capsys):
         assert main(["bench-check", "benchmarks/baselines"]) == 0
         out = capsys.readouterr().out
-        assert out.count(": ok") == 5
+        assert out.count(": ok") == 6
 
     def test_directory_with_an_invalid_artifact_lists_it(self, tmp_path, capsys):
         good = json.dumps({
