@@ -281,6 +281,131 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    """Drive a Zipf-skewed workload through a DirectoryService and print
+    its query digest table plus the hottest subtrees -- the CLI face of
+    the workload observability plane."""
+    import json
+
+    from .obs.metrics import MetricsRegistry
+    from .server.service import DirectoryService
+    from .workload.generator import ZipfQueryStream
+
+    instance = _load(args.file, args.schema)
+    registry = MetricsRegistry()
+    service = DirectoryService(
+        instance,
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+        metrics=registry,
+        heatmap_depth=args.depth,
+    )
+    service.bind_anonymous()
+    stream = ZipfQueryStream(
+        instance, distinct=args.distinct, skew=args.skew, seed=args.seed
+    )
+    for query in stream.take(args.queries):
+        service.search(query)
+
+    digest = service.digest.snapshot(args.top, by=args.by)
+    heat = service.heatmap.snapshot(args.top)
+    if args.json:
+        print(json.dumps({"digest": digest, "heatmap": heat}, indent=2))
+        return 0
+
+    print("-- %d searches over %d distinct shapes (skew=%g seed=%d); "
+          "digest: %d rows, by=%s" % (
+              args.queries, args.distinct, args.skew, args.seed,
+              digest["rows"], digest["by"]))
+    header = "%4s %6s %6s %9s %8s %8s  %s" % (
+        "rank", "calls", "hit%", "mean ms", "pages", "qerror", "query")
+    print(header)
+    for rank, row in enumerate(digest["top"], start=1):
+        qerror = row["qerror_max"]
+        print("%4d %6d %5.1f%% %9.3f %8d %8s  %s" % (
+            rank, row["calls"], 100.0 * row["hit_rate"],
+            row["elapsed_mean_s"] * 1e3, row["pages_total"],
+            "%.2f" % qerror if qerror is not None else "-",
+            row["query"]))
+    print("-- hottest subtrees (depth %d, EWMA half-life %gs):" % (
+        heat["depth"], heat["half_life_s"]))
+    for rank, cell in enumerate(heat["hottest"], start=1):
+        print("%4d %-28s heat=%8.1f reads=%d writes=%d pages=%d" % (
+            rank, cell["subtree"], cell["heat"], cell["reads_total"],
+            cell["writes_total"], cell["pages_total"]))
+    return 0
+
+
+def _cmd_alerts(args) -> int:
+    """Deterministic alert demo: a burst phase drives the search rate over
+    a rule's threshold (firing), then an idle phase under an injected
+    clock lets it resolve.  Exercises the same history -> rule -> engine
+    path the admin endpoint serves."""
+    import json
+
+    from .obs.alerts import parse_rule
+    from .obs.metrics import MetricsRegistry
+    from .server.service import DirectoryService
+    from .workload.generator import ZipfQueryStream
+
+    instance = _load(args.file, args.schema)
+    registry = MetricsRegistry()
+    service = DirectoryService(
+        instance,
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+        metrics=registry,
+    )
+    service.bind_anonymous()
+    clock = {"now": 0.0}
+    history = service.enable_workload_history(
+        min_interval_s=0.0, clock=lambda: clock["now"]
+    )
+    texts = args.rule or [
+        "rate(repro_searches_total, %g) > %g" % (args.window, args.threshold)
+    ]
+    rules = [parse_rule(text) for text in texts]
+    engine = service.attach_alerts(rules)
+
+    # Burst: args.queries searches squeezed into args.burst seconds of
+    # injected time -- the windowed rate crosses the threshold and fires.
+    stream = ZipfQueryStream(instance, distinct=8, seed=args.seed)
+    step = args.burst / max(args.queries, 1)
+    for query in stream.take(args.queries):
+        service.search(query)
+        clock["now"] += step
+    # Idle: the clock advances with no searches; once the burst ages out
+    # of the rate window the rule resolves.
+    idle_steps = max(2, int(2 * args.window / args.burst) + 1)
+    for _ in range(idle_steps):
+        clock["now"] += args.burst
+        history.sample()
+        engine.evaluate()
+
+    status = engine.status()
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        print("-- %d rules, %d evaluations, %d firing" % (
+            len(engine.rules), status["evaluations"], len(status["firing"])))
+        for rule in engine.rules:
+            print("--   rule %s: %s [%s]" % (
+                rule.name, rule.condition(), rule.severity))
+        for event in status["transitions"]:
+            print("t=%+8.1fs  [%-8s] %-24s value=%s" % (
+                event["ts"], event["to"], event["rule"],
+                "%.2f" % event["value"] if event["value"] is not None
+                else "-"))
+    fired = {e["rule"] for e in status["transitions"] if e["to"] == "firing"}
+    resolved = {e["rule"] for e in status["transitions"]
+                if e["to"] == "resolved"}
+    if not (fired & resolved):
+        print("-- expected at least one firing->resolved cycle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _expand_bench_paths(paths) -> List[str]:
     """Expand directories to the BENCH_*.json files inside them (a
     directory with none is an error -- an empty artifact set must not
@@ -840,6 +965,56 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(log printed to stderr)")
     common(metrics_cmd)
     metrics_cmd.set_defaults(handler=_cmd_metrics)
+
+    top_cmd = sub.add_parser(
+        "top",
+        help="run a Zipf-skewed workload and print the query digest table "
+             "and hottest subtrees (pg_stat_statements for the directory)")
+    top_cmd.add_argument("file")
+    top_cmd.add_argument("--queries", type=int, default=300,
+                         help="searches to run (default 300)")
+    top_cmd.add_argument("--distinct", type=int, default=16,
+                         help="distinct query shapes in the Zipf pool")
+    top_cmd.add_argument("--skew", type=float, default=1.0,
+                         help="Zipf exponent (0 = uniform)")
+    top_cmd.add_argument("--seed", type=int, default=0,
+                         help="workload seed")
+    top_cmd.add_argument("-n", "--top", type=int, default=10,
+                         help="rows / subtrees to print")
+    top_cmd.add_argument("--by", default="calls",
+                         choices=("calls", "time", "mean_time", "pages",
+                                  "qerror"),
+                         help="digest ordering (default calls)")
+    top_cmd.add_argument("--depth", type=int, default=2,
+                         help="heat-map subtree prefix depth")
+    top_cmd.add_argument("--json", action="store_true",
+                         help="emit digest + heatmap snapshots as JSON")
+    common(top_cmd)
+    top_cmd.set_defaults(handler=_cmd_top)
+
+    alerts_cmd = sub.add_parser(
+        "alerts",
+        help="deterministic alert demo: a query burst fires a rate rule, "
+             "an idle phase resolves it (injected clock)")
+    alerts_cmd.add_argument("file")
+    alerts_cmd.add_argument("--rule", action="append", metavar="RULE",
+                            help="alert rule, e.g. "
+                                 "'rate(repro_searches_total, 30) > 5' "
+                                 "(repeatable; default: one rate rule)")
+    alerts_cmd.add_argument("--queries", type=int, default=200,
+                            help="searches in the burst phase")
+    alerts_cmd.add_argument("--burst", type=float, default=10.0,
+                            help="injected seconds the burst spans")
+    alerts_cmd.add_argument("--window", type=float, default=30.0,
+                            help="rate window for the default rule")
+    alerts_cmd.add_argument("--threshold", type=float, default=5.0,
+                            help="searches/s threshold for the default rule")
+    alerts_cmd.add_argument("--seed", type=int, default=0,
+                            help="workload seed")
+    alerts_cmd.add_argument("--json", action="store_true",
+                            help="emit the engine status as JSON")
+    common(alerts_cmd)
+    alerts_cmd.set_defaults(handler=_cmd_alerts)
 
     chaos_cmd = sub.add_parser(
         "chaos",

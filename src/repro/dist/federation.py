@@ -112,7 +112,12 @@ class FederatedDirectory:
         metrics=None,
         max_workers: int = 1,
         log=None,
+        heatmap=None,
     ):
+        #: Optional :class:`~repro.obs.heatmap.SubtreeHeatMap`; per-server
+        #: shipping records under the shipped leaf's base subtree (updated
+        #: from scatter workers -- the map is thread-safe).
+        self.heatmap = heatmap
         self.schema = schema
         self.network = network or SimulatedNetwork()
         self.locator = ServerLocator()
@@ -442,6 +447,7 @@ class _CoordinatorEngine(QueryEngine):
             tracer=federation.tracer,
             pool=federation.pool,
             log=federation.log,
+            heatmap=federation.heatmap,
         )
         if federation.tracer.enabled:
             # Rebind the I/O probe to *this* coordinator's pager (queries
@@ -590,6 +596,8 @@ class _CoordinatorEngine(QueryEngine):
             )
             fed._m_shipped_sublists.inc(server=owner)
             fed._m_shipped_entries.inc(len(entries), server=owner)
+            if fed.heatmap is not None:
+                fed.heatmap.record_shipped(query.base, len(entries))
             span.set(rows=len(entries))
         return entries
 

@@ -99,9 +99,15 @@ class QueryEngine:
         pool=None,
         budget=None,
         log=None,
+        heatmap=None,
     ):
         self.store = store
         self.pager = store.pager
+        #: Optional :class:`~repro.obs.heatmap.SubtreeHeatMap`; when set,
+        #: every atomic leaf records one read (plus its logical page cost)
+        #: under the leaf's base subtree.  None keeps the hot path at a
+        #: single attribute check.
+        self.heatmap = heatmap
         self.use_indices = use_indices
         #: Workspace bound for the sorts inside vd/dv (Figure 3).
         self.memory_pages = memory_pages
@@ -285,7 +291,15 @@ class QueryEngine:
 
     def _evaluate_node(self, query: Query) -> Run:
         if isinstance(query, AtomicQuery):
-            return self.atomic_run(query)
+            heatmap = self.heatmap
+            if heatmap is None:
+                return self.atomic_run(query)
+            before = self.pager.stats.snapshot()
+            result = self.atomic_run(query)
+            heatmap.record_read(
+                query.base, pages=self.pager.stats.since(before).logical_total
+            )
+            return result
 
         if isinstance(query, (And, Or, Diff)):
             op = {And: "and", Or: "or", Diff: "diff"}[type(query)]

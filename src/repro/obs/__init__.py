@@ -21,10 +21,33 @@ The paper proves per-operator I/O bounds; this package makes them
 - :mod:`repro.obs.budget` -- per-query resource budgets enforced at
   operator boundaries;
 - :mod:`repro.obs.httpd` -- the stdlib HTTP admin endpoint
-  (``/metrics``, ``/healthz``, ``/slowlog``, ``/traces``).
+  (``/metrics``, ``/healthz``, ``/slowlog``, ``/traces``, plus the
+  workload plane's ``/digest``, ``/heatmap``, ``/history``,
+  ``/alerts``);
+- :mod:`repro.obs.digest` -- the per-query-shape digest table
+  (pg_stat_statements style, keyed by the cache's normal-form
+  fingerprint);
+- :mod:`repro.obs.heatmap` -- EWMA-decayed load accounting over
+  reversed-DN subtree prefixes (the shard-placement signal);
+- :mod:`repro.obs.history` -- a bounded ring of registry snapshots with
+  windowed rates/deltas on an injectable clock;
+- :mod:`repro.obs.alerts` -- declarative threshold/rate/ratio alert
+  rules with firing/resolved transitions over the history.
 """
 
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    RateRule,
+    RatioRule,
+    ThresholdRule,
+    default_rules,
+    parse_rule,
+)
 from .budget import BudgetExceeded, BudgetTracker, QueryBudget
+from .digest import QueryDigest, QueryDigestTable
+from .heatmap import SubtreeHeatMap
+from .history import MetricHistory, MetricSample
 from .httpd import AdminServer
 from .log import CapturingLogger, EventLogger, NULL_LOGGER, NullLogger
 from .metrics import (
@@ -48,6 +71,8 @@ from .trace import NULL_TRACER, NullTracer, Span, TraceSampler, Tracer
 
 __all__ = [
     "AdminServer",
+    "AlertEngine",
+    "AlertRule",
     "BenchEmitter",
     "BudgetExceeded",
     "BudgetTracker",
@@ -56,22 +81,32 @@ __all__ = [
     "EventLogger",
     "Gauge",
     "Histogram",
+    "MetricHistory",
+    "MetricSample",
     "MetricsRegistry",
     "NULL_LOGGER",
     "NULL_TRACER",
     "NullLogger",
     "NullTracer",
     "QueryBudget",
+    "QueryDigest",
+    "QueryDigestTable",
+    "RateRule",
+    "RatioRule",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",
     "StatCounters",
+    "SubtreeHeatMap",
+    "ThresholdRule",
     "TraceSampler",
     "Tracer",
     "compare_bench",
+    "default_rules",
     "diff_bench_dirs",
     "get_registry",
     "load_bench",
+    "parse_rule",
     "set_registry",
     "validate_bench",
 ]

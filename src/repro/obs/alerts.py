@@ -1,0 +1,493 @@
+"""Declarative alert rules evaluated over the metric history.
+
+A rule names a measurement over :class:`~repro.obs.history.MetricHistory`
+and a breach condition; the engine runs every rule each evaluation round
+and drives a small state machine per rule::
+
+    ok --(breached for `for_samples` consecutive rounds)--> firing
+    firing --(one non-breached round)--> ok      (a "resolved" transition)
+
+Three rule shapes cover the operational questions the stack raises:
+
+- :class:`ThresholdRule` -- a level check on the newest sample, e.g.
+  ``p95(repro_planner_qerror) > 4`` (the planner is mis-estimating) or
+  ``max`` over ``repro_replication_lag_records`` (a replica fell
+  behind);
+- :class:`RateRule` -- a derivative check over a window, e.g. error
+  rates climbing;
+- :class:`RatioRule` -- one label's share of a counter, e.g. the cache
+  hit rate dropping under a floor (guarded by ``min_denominator`` so an
+  idle service never pages).
+
+Rules can also be written as text via :func:`parse_rule`:
+``"p95(repro_planner_qerror) > 4"``,
+``"rate(repro_searches_total, 60) > 100"``,
+``"repro_cache_lookups_total{outcome=hit} / total < 0.5 min 20"``, with
+an optional ``for N`` suffix for the consecutive-breach requirement.
+
+Transitions are structured-logged (``alert.firing`` at warning,
+``alert.resolved`` at info), counted in
+``repro_alert_transitions_total{rule,to}``, and the number of currently
+firing rules is the ``repro_alerts_firing`` gauge; the service folds
+:meth:`AlertEngine.firing` into ``/healthz`` as ``status: degraded``.
+Everything is deterministic under the history's injected clock -- no
+wall-clock reads happen here except through it.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from .log import NULL_LOGGER
+from .metrics import get_registry
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "RateRule",
+    "RatioRule",
+    "ThresholdRule",
+    "default_rules",
+    "parse_rule",
+]
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+class AlertRule:
+    """One named breach condition; subclasses define the measurement."""
+
+    def __init__(
+        self,
+        name: str,
+        op: str,
+        threshold: float,
+        severity: str = "warning",
+        for_samples: int = 1,
+    ):
+        if op not in _OPS:
+            raise ValueError("op must be one of %s, got %r" % (sorted(_OPS), op))
+        if for_samples < 1:
+            raise ValueError("for_samples must be positive")
+        self.name = name
+        self.op = op
+        self.threshold = float(threshold)
+        self.severity = severity
+        self.for_samples = for_samples
+
+    def measure(self, history) -> Optional[float]:
+        """The rule's current measurement, or None when the history cannot
+        answer yet (no data is never a breach)."""
+        raise NotImplementedError
+
+    def breached(self, value: Optional[float]) -> bool:
+        return value is not None and _OPS[self.op](value, self.threshold)
+
+    def condition(self) -> str:
+        return "%s %s %g" % (self._expr(), self.op, self.threshold)
+
+    def _expr(self) -> str:
+        return self.name
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "condition": self.condition(),
+            "severity": self.severity,
+            "for_samples": self.for_samples,
+        }
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, self.condition())
+
+
+def _render_labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    return "{%s}" % ",".join(
+        "%s=%s" % pair for pair in sorted(labels.items())
+    )
+
+
+class ThresholdRule(AlertRule):
+    """Level check on the newest sample: ``field(metric{labels}) OP t``."""
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        op: str,
+        threshold: float,
+        field: str = "value",
+        labels: Optional[Dict[str, str]] = None,
+        agg: str = "sum",
+        **kw: Any,
+    ):
+        super().__init__(name, op, threshold, **kw)
+        self.metric = metric
+        self.field = field
+        self.labels = dict(labels) if labels else None
+        self.agg = agg
+
+    def measure(self, history) -> Optional[float]:
+        return history.value(self.metric, self.field, self.labels, self.agg)
+
+    def _expr(self) -> str:
+        target = "%s%s" % (self.metric, _render_labels(self.labels))
+        if self.field != "value":
+            return "%s(%s)" % (self.field, target)
+        if self.agg != "sum":
+            return "%s(%s)" % (self.agg, target)
+        return target
+
+
+class RateRule(AlertRule):
+    """Windowed per-second rate: ``rate(metric{labels}, window) OP t``."""
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        op: str,
+        threshold: float,
+        window_s: float,
+        field: str = "value",
+        labels: Optional[Dict[str, str]] = None,
+        agg: str = "sum",
+        **kw: Any,
+    ):
+        super().__init__(name, op, threshold, **kw)
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.metric = metric
+        self.window_s = float(window_s)
+        self.field = field
+        self.labels = dict(labels) if labels else None
+        self.agg = agg
+
+    def measure(self, history) -> Optional[float]:
+        return history.rate(
+            self.metric, self.window_s, self.field, self.labels, self.agg
+        )
+
+    def _expr(self) -> str:
+        return "rate(%s%s, %g)" % (
+            self.metric,
+            _render_labels(self.labels),
+            self.window_s,
+        )
+
+
+class RatioRule(AlertRule):
+    """One label combination's share of a counter's total, e.g. the cache
+    hit rate (``outcome=hit`` over all outcomes).  With ``window_s`` the
+    ratio is over the window's deltas (recent behaviour); without, over
+    lifetime totals.  ``min_denominator`` suppresses the rule until the
+    denominator has enough observations to make the ratio meaningful."""
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        numerator_labels: Dict[str, str],
+        op: str,
+        threshold: float,
+        min_denominator: float = 1.0,
+        window_s: Optional[float] = None,
+        field: str = "value",
+        **kw: Any,
+    ):
+        super().__init__(name, op, threshold, **kw)
+        if not numerator_labels:
+            raise ValueError("numerator_labels must name at least one label")
+        self.metric = metric
+        self.numerator_labels = dict(numerator_labels)
+        self.min_denominator = min_denominator
+        self.window_s = window_s
+        self.field = field
+
+    def _read(self, history, labels: Optional[Dict[str, str]]) -> Optional[float]:
+        if self.window_s is not None:
+            return history.delta(self.metric, self.window_s, self.field, labels)
+        return history.value(self.metric, self.field, labels)
+
+    def measure(self, history) -> Optional[float]:
+        denominator = self._read(history, None)
+        if denominator is None or denominator < self.min_denominator:
+            return None
+        numerator = self._read(history, self.numerator_labels) or 0.0
+        return numerator / denominator
+
+    def _expr(self) -> str:
+        expr = "%s%s / total" % (
+            self.metric,
+            _render_labels(self.numerator_labels),
+        )
+        if self.window_s is not None:
+            expr = "delta[%g](%s)" % (self.window_s, expr)
+        return expr
+
+    def condition(self) -> str:
+        return "%s %s %g min %g" % (
+            self._expr(),
+            self.op,
+            self.threshold,
+            self.min_denominator,
+        )
+
+
+# -- the text grammar ------------------------------------------------------
+
+_METRIC = r"(?P<metric>[A-Za-z_:][A-Za-z0-9_:]*)(?:\{(?P<labels>[^}]*)\})?"
+_RULE_RE = re.compile(
+    r"^\s*(?:(?P<func>[a-z0-9_]+)\(\s*" + _METRIC + r"\s*"
+    r"(?:,\s*(?P<window>[0-9.]+)\s*)?\)"
+    r"|" + _METRIC.replace("metric", "bare_metric").replace("labels", "bare_labels")
+    + r")"
+    r"(?P<ratio>\s*/\s*total)?"
+    r"\s*(?P<op>>=|<=|>|<)\s*(?P<threshold>-?[0-9.]+)"
+    r"(?:\s+min\s+(?P<min>[0-9.]+))?"
+    r"(?:\s+for\s+(?P<for>\d+))?\s*$"
+)
+
+_FUNC_FIELDS = ("p50", "p95", "p99", "sum", "count", "value")
+_FUNC_AGGS = ("max", "min")
+
+
+def _parse_labels(text: Optional[str]) -> Optional[Dict[str, str]]:
+    if not text or not text.strip():
+        return None
+    labels = {}
+    for pair in text.split(","):
+        name, _, value = pair.partition("=")
+        if not _:
+            raise ValueError("malformed label %r (expected name=value)" % pair)
+        labels[name.strip()] = value.strip().strip('"')
+    return labels
+
+
+def parse_rule(text: str, name: Optional[str] = None, **kw: Any) -> AlertRule:
+    """Build a rule from its text form.  Examples::
+
+        p95(repro_planner_qerror) > 4
+        max(repro_replication_lag_records) > 8
+        rate(repro_searches_total, 60) > 100 for 2
+        repro_cache_lookups_total{outcome=hit} / total < 0.5 min 20
+
+    ``name`` defaults to the rule text; keyword arguments (``severity``,
+    ``for_samples``) pass through to the rule (an explicit ``for N`` in
+    the text wins)."""
+    match = _RULE_RE.match(text)
+    if match is None:
+        raise ValueError("cannot parse alert rule %r" % text)
+    groups = match.groupdict()
+    func = groups["func"]
+    metric = groups["metric"] or groups["bare_metric"]
+    labels = _parse_labels(groups["labels"] or groups["bare_labels"])
+    op = groups["op"]
+    threshold = float(groups["threshold"])
+    if groups["for"]:
+        kw["for_samples"] = int(groups["for"])
+    rule_name = name if name is not None else text.strip()
+    if groups["ratio"]:
+        if func is not None:
+            raise ValueError("ratio rules take no function: %r" % text)
+        if labels is None:
+            raise ValueError("ratio rules need numerator labels: %r" % text)
+        minimum = float(groups["min"]) if groups["min"] else 1.0
+        return RatioRule(
+            rule_name, metric, labels, op, threshold,
+            min_denominator=minimum, **kw,
+        )
+    if groups["min"]:
+        raise ValueError("'min' only applies to ratio rules: %r" % text)
+    if func == "rate":
+        if not groups["window"]:
+            raise ValueError("rate() needs a window: rate(metric, seconds)")
+        return RateRule(
+            rule_name, metric, op, threshold, float(groups["window"]),
+            labels=labels, **kw,
+        )
+    if groups["window"]:
+        raise ValueError("only rate() takes a window argument: %r" % text)
+    if func in (None, "value"):
+        return ThresholdRule(rule_name, metric, op, threshold, labels=labels, **kw)
+    if func in _FUNC_FIELDS:
+        return ThresholdRule(
+            rule_name, metric, op, threshold, field=func, labels=labels, **kw
+        )
+    if func in _FUNC_AGGS:
+        return ThresholdRule(
+            rule_name, metric, op, threshold, labels=labels, agg=func, **kw
+        )
+    raise ValueError("unknown function %r in alert rule %r" % (func, text))
+
+
+def default_rules() -> List[AlertRule]:
+    """The stack's stock rules: planner estimation quality, replication
+    lag, and the cache hit-rate floor."""
+    return [
+        ThresholdRule(
+            "planner-qerror-p95",
+            "repro_planner_qerror",
+            ">",
+            4.0,
+            field="p95",
+        ),
+        ThresholdRule(
+            "replication-lag",
+            "repro_replication_lag_records",
+            ">",
+            8,
+            agg="max",
+        ),
+        RatioRule(
+            "cache-hit-rate-floor",
+            "repro_cache_lookups_total",
+            {"outcome": "hit"},
+            "<",
+            0.1,
+            min_denominator=50,
+        ),
+    ]
+
+
+class AlertEngine:
+    """Evaluates rules over one history and tracks firing state."""
+
+    #: Transitions retained for ``/alerts`` (newest last).
+    KEEP_TRANSITIONS = 64
+
+    def __init__(self, history, rules: List[AlertRule], log=None, metrics=None):
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate rule names: %s" % names)
+        self.history = history
+        self.rules = list(rules)
+        self.log = log if log is not None else NULL_LOGGER
+        registry = metrics if metrics is not None else get_registry()
+        self._m_transitions = registry.counter(
+            "repro_alert_transitions_total",
+            "Alert state transitions",
+            labelnames=("rule", "to"),
+        )
+        self._m_firing = registry.gauge(
+            "repro_alerts_firing", "Alert rules currently firing"
+        )
+        self._lock = threading.Lock()
+        self._states: Dict[str, Dict[str, Any]] = {
+            rule.name: {"state": "ok", "streak": 0, "since": None, "value": None}
+            for rule in self.rules
+        }
+        self.transitions: List[Dict[str, Any]] = []
+        #: Evaluation rounds run.
+        self.evaluations = 0
+
+    def evaluate(self) -> List[Dict[str, Any]]:
+        """Run every rule against the history once; returns the transitions
+        this round caused (empty when nothing changed state)."""
+        latest = self.history.latest()
+        now = latest.ts if latest is not None else None
+        changed: List[Dict[str, Any]] = []
+        with self._lock:
+            self.evaluations += 1
+            for rule in self.rules:
+                state = self._states[rule.name]
+                value = rule.measure(self.history)
+                state["value"] = value
+                if rule.breached(value):
+                    state["streak"] += 1
+                    if state["state"] == "ok" and state["streak"] >= rule.for_samples:
+                        state["state"] = "firing"
+                        state["since"] = now
+                        changed.append(self._transition(rule, "firing", value, now))
+                else:
+                    state["streak"] = 0
+                    if state["state"] == "firing":
+                        state["state"] = "ok"
+                        state["since"] = None
+                        changed.append(self._transition(rule, "resolved", value, now))
+            firing = sum(
+                1 for s in self._states.values() if s["state"] == "firing"
+            )
+        self._m_firing.set(firing)
+        for transition in changed:
+            self._m_transitions.inc(rule=transition["rule"], to=transition["to"])
+            if self.log.enabled:
+                emit = (
+                    self.log.warning
+                    if transition["to"] == "firing"
+                    else self.log.info
+                )
+                emit(
+                    "alert.%s" % transition["to"],
+                    rule=transition["rule"],
+                    condition=transition["condition"],
+                    value=transition["value"],
+                    severity=transition["severity"],
+                )
+        return changed
+
+    def _transition(
+        self, rule: AlertRule, to: str, value: Optional[float], ts: Optional[float]
+    ) -> Dict[str, Any]:
+        transition = {
+            "rule": rule.name,
+            "to": to,
+            "condition": rule.condition(),
+            "severity": rule.severity,
+            "value": value,
+            "ts": ts,
+        }
+        self.transitions.append(transition)
+        if len(self.transitions) > self.KEEP_TRANSITIONS:
+            del self.transitions[: -self.KEEP_TRANSITIONS]
+        return transition
+
+    def firing(self) -> List[Dict[str, Any]]:
+        """The rules currently firing, as JSON-ready dicts."""
+        with self._lock:
+            return [
+                dict(
+                    rule.describe(),
+                    state="firing",
+                    value=self._states[rule.name]["value"],
+                    since=self._states[rule.name]["since"],
+                )
+                for rule in self.rules
+                if self._states[rule.name]["state"] == "firing"
+            ]
+
+    def status(self) -> Dict[str, Any]:
+        """The whole engine as one JSON-ready dict (the ``/alerts``
+        payload)."""
+        with self._lock:
+            rules = [
+                dict(
+                    rule.describe(),
+                    state=self._states[rule.name]["state"],
+                    streak=self._states[rule.name]["streak"],
+                    value=self._states[rule.name]["value"],
+                    since=self._states[rule.name]["since"],
+                )
+                for rule in self.rules
+            ]
+        return {
+            "evaluations": self.evaluations,
+            "firing": [r["name"] for r in rules if r["state"] == "firing"],
+            "rules": rules,
+            "transitions": list(self.transitions[-self.KEEP_TRANSITIONS:]),
+        }
+
+    def __repr__(self) -> str:
+        return "AlertEngine(%d rules, %d firing)" % (
+            len(self.rules),
+            len(self.firing()),
+        )

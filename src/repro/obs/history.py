@@ -1,0 +1,258 @@
+"""Metric history: a ring of registry snapshots, and rates over them.
+
+The metrics registry (:mod:`repro.obs.metrics`) answers "what is the
+total *now*"; alerting and capacity questions need "how is it *moving*".
+:class:`MetricHistory` samples the whole registry into a bounded ring of
+:class:`MetricSample` points and computes windowed deltas and per-second
+rates across them -- the same derivative a Prometheus ``rate()`` takes,
+but in-process and dependency-free.
+
+Sampling is **pull**, not a background thread: the service calls
+:meth:`MetricHistory.maybe_sample` opportunistically on its search path
+(rate-limited by ``min_interval_s``), and tests / the CLI call
+:meth:`sample` directly.  The clock is injectable, so a test can march
+time forward sample by sample and every rate, window and alert
+transition computed over the history is exactly reproducible.
+
+Each sample flattens the registry: counters and gauges to their scalar
+``value`` per label combination, histograms to ``sum``/``count`` plus
+the interpolated ``p50``/``p95``/``p99``.  Lookups
+(:meth:`~MetricHistory.value`, :meth:`~MetricHistory.rate`,
+:meth:`~MetricHistory.delta`) select series by a label *subset* and
+aggregate across the matches (``sum``/``max``/``min``) -- enough to ask
+"p95 of the Q-error histogram" or "rate of cache misses" in one call,
+which is the vocabulary the alert rules (:mod:`repro.obs.alerts`) are
+written in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["MetricHistory", "MetricSample"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+_AGGS = {"sum": sum, "max": max, "min": min}
+
+
+class MetricSample:
+    """One point-in-time flattening of the registry."""
+
+    __slots__ = ("ts", "values")
+
+    def __init__(self, ts: float, values: Dict[str, Dict[str, Any]]):
+        self.ts = ts
+        #: metric name -> {"kind": ..., "series": {labelkey: {field: value}}}
+        self.values = values
+
+    def get(
+        self,
+        metric: str,
+        field: str = "value",
+        labels: Optional[Dict[str, str]] = None,
+        agg: str = "sum",
+    ) -> Optional[float]:
+        """The ``field`` of ``metric`` aggregated across every series whose
+        labels contain ``labels`` (all series when None).  Returns None
+        when the metric has no matching series or none carries the field
+        (e.g. quantiles of an empty histogram)."""
+        if agg not in _AGGS:
+            raise ValueError("agg must be one of %s" % sorted(_AGGS))
+        entry = self.values.get(metric)
+        if entry is None:
+            return None
+        wanted = tuple(sorted((labels or {}).items()))
+        matched: List[float] = []
+        for labelkey, fields in entry["series"].items():
+            if wanted and not set(wanted) <= set(labelkey):
+                continue
+            value = fields.get(field)
+            if value is not None:
+                matched.append(value)
+        if not matched:
+            return None
+        return _AGGS[agg](matched)
+
+    def as_dict(self, metric: Optional[str] = None) -> Dict[str, Any]:
+        names = [metric] if metric else sorted(self.values)
+        metrics = {}
+        for name in names:
+            entry = self.values.get(name)
+            if entry is None:
+                continue
+            metrics[name] = {
+                "kind": entry["kind"],
+                "series": [
+                    dict(fields, labels=dict(labelkey))
+                    for labelkey, fields in sorted(entry["series"].items())
+                ],
+            }
+        return {"ts": self.ts, "metrics": metrics}
+
+    def __repr__(self) -> str:
+        return "MetricSample(ts=%r, %d metrics)" % (self.ts, len(self.values))
+
+
+def _capture(registry: MetricsRegistry) -> Dict[str, Dict[str, Any]]:
+    values: Dict[str, Dict[str, Any]] = {}
+    for name in registry.names():
+        instrument = registry.get(name)
+        if instrument is None:
+            continue
+        dumped = instrument.as_dict()
+        kind = dumped.get("kind", "untyped")
+        series: Dict[LabelKey, Dict[str, Any]] = {}
+        if kind == "histogram":
+            for row in dumped["values"]:
+                fields: Dict[str, Any] = {
+                    "sum": row["sum"],
+                    "count": row["count"],
+                }
+                if row.get("quantiles"):
+                    fields.update(row["quantiles"])
+                series[tuple(sorted(row["labels"].items()))] = fields
+        else:
+            for row in dumped["values"]:
+                series[tuple(sorted(row["labels"].items()))] = {
+                    "value": row["value"]
+                }
+        values[name] = {"kind": kind, "series": series}
+    return values
+
+
+class MetricHistory:
+    """A bounded ring of :class:`MetricSample` points over one registry."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        capacity: int = 128,
+        clock: Callable[[], float] = time.time,
+    ):
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2 (rates need two points)")
+        self.registry = registry if registry is not None else get_registry()
+        self.capacity = capacity
+        self._clock = clock
+        self._samples: Deque[MetricSample] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: Lifetime samples taken (>= len(self) once the ring wrapped).
+        self.taken = 0
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self) -> MetricSample:
+        """Snapshot the registry now and append it to the ring."""
+        ts = self._clock()
+        point = MetricSample(ts, _capture(self.registry))
+        with self._lock:
+            self._samples.append(point)
+            self.taken += 1
+        return point
+
+    def maybe_sample(self, min_interval_s: float = 1.0) -> Optional[MetricSample]:
+        """Sample only if at least ``min_interval_s`` passed since the last
+        point (or the ring is empty); the service's search path calls
+        this so history accrues without a background thread."""
+        with self._lock:
+            if self._samples and self._clock() - self._samples[-1].ts < min_interval_s:
+                return None
+        return self.sample()
+
+    # -- access ------------------------------------------------------------
+
+    def latest(self) -> Optional[MetricSample]:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def snapshots(self) -> List[MetricSample]:
+        with self._lock:
+            return list(self._samples)
+
+    def window(self, window_s: float) -> List[MetricSample]:
+        """Samples within ``window_s`` of the newest one, oldest first."""
+        with self._lock:
+            if not self._samples:
+                return []
+            horizon = self._samples[-1].ts - window_s
+            return [s for s in self._samples if s.ts >= horizon]
+
+    def value(
+        self,
+        metric: str,
+        field: str = "value",
+        labels: Optional[Dict[str, str]] = None,
+        agg: str = "sum",
+    ) -> Optional[float]:
+        """``field`` of ``metric`` at the newest sample (see
+        :meth:`MetricSample.get`)."""
+        latest = self.latest()
+        return latest.get(metric, field, labels, agg) if latest else None
+
+    def delta(
+        self,
+        metric: str,
+        window_s: float,
+        field: str = "value",
+        labels: Optional[Dict[str, str]] = None,
+        agg: str = "sum",
+    ) -> Optional[float]:
+        """Newest minus oldest value inside the window; None without two
+        usable points."""
+        points = self.window(window_s)
+        if len(points) < 2:
+            return None
+        last = points[-1].get(metric, field, labels, agg)
+        first = points[0].get(metric, field, labels, agg)
+        if last is None or first is None:
+            return None
+        return last - first
+
+    def rate(
+        self,
+        metric: str,
+        window_s: float,
+        field: str = "value",
+        labels: Optional[Dict[str, str]] = None,
+        agg: str = "sum",
+    ) -> Optional[float]:
+        """Per-second rate of change across the window (a counter's
+        ``rate()``); None without two usable points or zero elapsed."""
+        points = self.window(window_s)
+        if len(points) < 2:
+            return None
+        elapsed = points[-1].ts - points[0].ts
+        if elapsed <= 0:
+            return None
+        last = points[-1].get(metric, field, labels, agg)
+        first = points[0].get(metric, field, labels, agg)
+        if last is None or first is None:
+            return None
+        return (last - first) / elapsed
+
+    def as_dicts(
+        self, limit: int = 0, metric: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """The newest ``limit`` samples (all when 0) as JSON-ready dicts,
+        oldest first, optionally restricted to one metric."""
+        points = self.snapshots()
+        if limit:
+            points = points[-limit:]
+        return [point.as_dict(metric) for point in points]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def __repr__(self) -> str:
+        return "MetricHistory(%d/%d samples)" % (len(self), self.capacity)

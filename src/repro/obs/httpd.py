@@ -1,8 +1,8 @@
 """The HTTP admin endpoint: scrape the operations plane from outside.
 
-Everything PR 2 made measurable in-process becomes reachable over HTTP,
-with no dependency beyond the stdlib (``http.server`` on a daemon
-thread):
+Everything the obs plane makes measurable in-process becomes reachable
+over HTTP, with no dependency beyond the stdlib (``http.server`` on a
+daemon thread):
 
 ==========  ============================================================
 path        payload
@@ -17,10 +17,27 @@ path        payload
             histogram when one is registered)
 /traces     the :class:`~repro.obs.trace.TraceSampler`'s retained tail
             samples (slow / degraded / budget-breached queries) as JSON
+/digest     the :class:`~repro.obs.digest.QueryDigestTable`'s top rows
+            (``?n=10&by=calls|time|mean_time|pages|qerror``)
+/heatmap    the :class:`~repro.obs.heatmap.SubtreeHeatMap`'s hottest
+            subtrees (``?n=10&by=heat|reads|writes|pages|shipped``)
+/history    the :class:`~repro.obs.history.MetricHistory` ring
+            (``?limit=16&metric=repro_searches_total``)
+/alerts     the :class:`~repro.obs.alerts.AlertEngine` status: per-rule
+            state, firing set, recent transitions
 ==========  ============================================================
 
+Response discipline (hardened): every payload carries an explicit
+``Content-Type`` and ``Content-Length``; errors are JSON bodies -- 404
+for unknown paths, 400 for malformed query parameters, 405 (with an
+``Allow: GET, HEAD`` header) for write methods, 500 if a payload raises.
+``HEAD`` returns the same headers as ``GET`` with no body.  Workload
+endpoints whose collaborator is absent serve an explicit
+``{"enabled": false}`` payload rather than 404, so scrapers can probe
+capability cheaply.
+
 :class:`AdminServer` serves a *snapshot view*: handlers only read the
-registry, ring and sampler under their own locks, so scrapes never block
+registry, rings and tables under their own locks, so scrapes never block
 query traffic.  ``port=0`` binds an ephemeral port (tests);
 :attr:`AdminServer.url` is the resolved base URL.
 """
@@ -31,7 +48,8 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
 from .log import NULL_LOGGER
 from .metrics import Histogram, MetricsRegistry, get_registry
@@ -40,6 +58,56 @@ __all__ = ["AdminServer"]
 
 #: The histogram ``/slowlog`` summarises (the service's latency metric).
 SEARCH_LATENCY_METRIC = "repro_search_seconds"
+
+JSON_TYPE = "application/json"
+PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _BadParameter(ValueError):
+    """A malformed query parameter (rendered as a 400)."""
+
+
+def _int_param(params: Dict[str, List[str]], name: str, default: int) -> int:
+    values = params.get(name)
+    if not values:
+        return default
+    try:
+        value = int(values[-1])
+    except ValueError:
+        raise _BadParameter("%s must be an integer, got %r" % (name, values[-1]))
+    if value < 0:
+        raise _BadParameter("%s must be non-negative, got %d" % (name, value))
+    return value
+
+
+def _str_param(
+    params: Dict[str, List[str]], name: str, default: Optional[str]
+) -> Optional[str]:
+    values = params.get(name)
+    return values[-1] if values else default
+
+
+def _choice_param(
+    params: Dict[str, List[str]],
+    name: str,
+    default: str,
+    choices: Tuple[str, ...],
+) -> str:
+    """Like :func:`_str_param` but 400s on values outside ``choices`` --
+    validated here so a bogus ordering is rejected even when the backing
+    collaborator is absent and would never see it."""
+    value = _str_param(params, name, default)
+    if value not in choices:
+        raise _BadParameter(
+            "%s must be one of %s, got %r" % (name, sorted(choices), value)
+        )
+    return value
+
+
+#: ``by=`` orderings accepted by ``/digest`` and ``/heatmap`` (mirrors
+#: what QueryDigestTable.top / SubtreeHeatMap.hottest accept).
+DIGEST_ORDERINGS = ("calls", "time", "mean_time", "pages", "qerror")
+HEATMAP_ORDERINGS = ("heat", "reads", "writes", "pages", "shipped")
 
 
 class AdminServer:
@@ -53,6 +121,14 @@ class AdminServer:
         (``/traces`` serves an empty list without one).
     :param health: zero-argument callable returning extra ``/healthz``
         fields.
+    :param digest: a :class:`~repro.obs.digest.QueryDigestTable` for
+        ``/digest``.
+    :param heatmap: a :class:`~repro.obs.heatmap.SubtreeHeatMap` for
+        ``/heatmap``.
+    :param history: a :class:`~repro.obs.history.MetricHistory` for
+        ``/history``.
+    :param alerts: an :class:`~repro.obs.alerts.AlertEngine` for
+        ``/alerts``.
     :param log: an :class:`~repro.obs.log.EventLogger`; requests are
         logged at debug level.
     """
@@ -66,11 +142,19 @@ class AdminServer:
         host: str = "127.0.0.1",
         port: int = 0,
         log=None,
+        digest=None,
+        heatmap=None,
+        history=None,
+        alerts=None,
     ):
         self.registry = registry if registry is not None else get_registry()
         self.slow_queries = slow_queries
         self.sampler = sampler
         self.health = health
+        self.digest = digest
+        self.heatmap = heatmap
+        self.history = history
+        self.alerts = alerts
         self.log = log if log is not None else NULL_LOGGER
         self._host = host
         self._port = port
@@ -175,6 +259,88 @@ class AdminServer:
             "traces": sampler.traces() if sampler is not None else [],
         }
 
+    def digest_payload(self, n: int = 10, by: str = "calls") -> Dict[str, Any]:
+        if self.digest is None:
+            return {"enabled": False, "rows": 0, "top": []}
+        return dict(self.digest.snapshot(n, by=by), enabled=True)
+
+    def heatmap_payload(self, n: int = 10, by: str = "heat") -> Dict[str, Any]:
+        if self.heatmap is None:
+            return {"enabled": False, "cells": 0, "hottest": []}
+        return dict(self.heatmap.snapshot(n, by=by), enabled=True)
+
+    def history_payload(
+        self, limit: int = 16, metric: Optional[str] = None
+    ) -> Dict[str, Any]:
+        if self.history is None:
+            return {"enabled": False, "samples": []}
+        return {
+            "enabled": True,
+            "capacity": self.history.capacity,
+            "taken": self.history.taken,
+            "retained": len(self.history),
+            "samples": self.history.as_dicts(limit=limit, metric=metric),
+        }
+
+    def alerts_payload(self) -> Dict[str, Any]:
+        if self.alerts is None:
+            return {"enabled": False, "rules": [], "firing": []}
+        return dict(self.alerts.status(), enabled=True)
+
+    # -- routing -----------------------------------------------------------
+
+    def routes(self) -> List[str]:
+        """Every served path (the 404 body lists them)."""
+        return sorted(self._route_table())
+
+    def _route_table(self) -> Dict[str, Callable[[Dict[str, List[str]]], "tuple"]]:
+        return {
+            "/metrics": self._r_metrics,
+            "/healthz": self._r_healthz,
+            "/slowlog": self._r_slowlog,
+            "/traces": self._r_traces,
+            "/digest": self._r_digest,
+            "/heatmap": self._r_heatmap,
+            "/history": self._r_history,
+            "/alerts": self._r_alerts,
+        }
+
+    def _r_metrics(self, params):
+        return self.metrics_text().encode("utf-8"), PROMETHEUS_TYPE
+
+    def _r_healthz(self, params):
+        return _json_body(self.healthz()), JSON_TYPE
+
+    def _r_slowlog(self, params):
+        return _json_body(self.slowlog()), JSON_TYPE
+
+    def _r_traces(self, params):
+        return _json_body(self.traces()), JSON_TYPE
+
+    def _r_digest(self, params):
+        payload = self.digest_payload(
+            n=_int_param(params, "n", 10),
+            by=_choice_param(params, "by", "calls", DIGEST_ORDERINGS),
+        )
+        return _json_body(payload), JSON_TYPE
+
+    def _r_heatmap(self, params):
+        payload = self.heatmap_payload(
+            n=_int_param(params, "n", 10),
+            by=_choice_param(params, "by", "heat", HEATMAP_ORDERINGS),
+        )
+        return _json_body(payload), JSON_TYPE
+
+    def _r_history(self, params):
+        payload = self.history_payload(
+            limit=_int_param(params, "limit", 16),
+            metric=_str_param(params, "metric", None),
+        )
+        return _json_body(payload), JSON_TYPE
+
+    def _r_alerts(self, params):
+        return _json_body(self.alerts_payload()), JSON_TYPE
+
     def __repr__(self) -> str:
         return "AdminServer(%s)" % (self.url or "stopped")
 
@@ -186,46 +352,103 @@ def _make_handler(server: AdminServer):
         protocol_version = "HTTP/1.1"
 
         def do_GET(self) -> None:  # noqa: N802 - http.server naming
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            self._serve(send_body=True)
+
+        def do_HEAD(self) -> None:  # noqa: N802
+            self._serve(send_body=False)
+
+        def _serve(self, send_body: bool) -> None:
+            raw_path, _, query = self.path.partition("?")
+            path = raw_path.rstrip("/") or "/"
+            route = server._route_table().get(path)
+            if route is None:
+                self._reply(
+                    404,
+                    _json_body({
+                        "error": "no such endpoint",
+                        "path": path,
+                        "endpoints": server.routes(),
+                    }),
+                    JSON_TYPE,
+                    send_body,
+                )
+                return
             try:
-                if path == "/metrics":
-                    body = server.metrics_text().encode("utf-8")
-                    content_type = "text/plain; version=0.0.4; charset=utf-8"
-                elif path == "/healthz":
-                    body = _json_body(server.healthz())
-                    content_type = "application/json"
-                elif path == "/slowlog":
-                    body = _json_body(server.slowlog())
-                    content_type = "application/json"
-                elif path == "/traces":
-                    body = _json_body(server.traces())
-                    content_type = "application/json"
-                else:
-                    self._reply(
-                        404,
-                        _json_body({"error": "no such endpoint", "path": path}),
-                        "application/json",
-                    )
-                    return
+                params = parse_qs(query, keep_blank_values=True)
+                body, content_type = route(params)
+            except _BadParameter as exc:
+                self._reply(
+                    400,
+                    _json_body({"error": str(exc), "path": path}),
+                    JSON_TYPE,
+                    send_body,
+                )
+                return
+            except ValueError as exc:
+                # A payload rejecting a parameter value (unknown ordering
+                # etc.) is the client's fault, not a server error.
+                self._reply(
+                    400,
+                    _json_body({"error": str(exc), "path": path}),
+                    JSON_TYPE,
+                    send_body,
+                )
+                return
             except Exception as exc:  # defensive: a scrape must not kill serving
                 self._reply(
                     500,
                     _json_body({"error": "%s: %s" % (type(exc).__name__, exc)}),
-                    "application/json",
+                    JSON_TYPE,
+                    send_body,
                 )
                 return
-            self._reply(200, body, content_type)
+            self._reply(200, body, content_type, send_body)
 
-        def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        def _method_not_allowed(self) -> None:
+            # Drain any request body so a keep-alive connection stays in
+            # sync for its next request.
+            length = int(self.headers.get("Content-Length") or 0)
+            while length > 0:
+                chunk = self.rfile.read(min(length, 65536))
+                if not chunk:
+                    break
+                length -= len(chunk)
+            body = _json_body({
+                "error": "method not allowed",
+                "method": self.command,
+                "allow": "GET, HEAD",
+            })
+            self.send_response(405)
+            self.send_header("Allow", "GET, HEAD")
+            self.send_header("Content-Type", JSON_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            self._log_request(405, len(body))
+
+        # The admin plane is read-only: every write method gets the same
+        # explicit JSON 405 instead of http.server's HTML 501.
+        do_POST = _method_not_allowed  # noqa: N815 - http.server naming
+        do_PUT = _method_not_allowed  # noqa: N815
+        do_DELETE = _method_not_allowed  # noqa: N815
+        do_PATCH = _method_not_allowed  # noqa: N815
+
+        def _reply(
+            self, status: int, body: bytes, content_type: str, send_body: bool = True
+        ) -> None:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
-            self.wfile.write(body)
+            if send_body:
+                self.wfile.write(body)
+            self._log_request(status, len(body))
+
+        def _log_request(self, status: int, size: int) -> None:
             if server.log.enabled:
                 server.log.debug(
-                    "admin.request", path=self.path, status=status,
-                    bytes=len(body),
+                    "admin.request", method=self.command, path=self.path,
+                    status=status, bytes=size,
                 )
 
         def log_message(self, format: str, *args: Any) -> None:

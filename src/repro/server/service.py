@@ -38,7 +38,11 @@ from ..engine.stats import LiveDirectoryStatistics
 from ..model.dn import DN
 from ..model.entry import Entry
 from ..model.instance import DirectoryInstance
+from ..obs.alerts import AlertEngine, AlertRule, default_rules
 from ..obs.budget import BudgetExceeded
+from ..obs.digest import QueryDigestTable
+from ..obs.heatmap import SubtreeHeatMap
+from ..obs.history import MetricHistory
 from ..obs.httpd import AdminServer
 from ..obs.log import NULL_LOGGER
 from ..obs.metrics import get_registry
@@ -121,6 +125,29 @@ class SearchResult:
         return "SearchResult(%s, %d entries)" % (self.code, len(self.entries))
 
 
+class _Evaluation:
+    """One query's pre-ACL evaluation outcome, as :meth:`_result_entries`
+    hands it to :meth:`search`: the entries plus how they were served --
+    ``via`` is one of ``engine`` / ``cache`` / ``superset`` /
+    ``federation``, and ``key`` the normal-form fingerprint when one was
+    computed on the way (the digest table reuses it instead of hashing
+    the query a second time)."""
+
+    __slots__ = ("entries", "cached", "cost", "warnings", "retries", "qerror",
+                 "via", "key")
+
+    def __init__(self, entries, cached, cost, warnings, retries, qerror,
+                 via, key):
+        self.entries = entries
+        self.cached = cached
+        self.cost = cost
+        self.warnings = warnings
+        self.retries = retries
+        self.qerror = qerror
+        self.via = via
+        self.key = key
+
+
 class DirectoryService:
     """One logical directory server."""
 
@@ -143,6 +170,9 @@ class DirectoryService:
         cache_maintenance: str = "evict",
         wal_fsync: bool = False,
         planner: str = "cost",
+        digest_capacity: int = 256,
+        heatmap_depth: int = 2,
+        heatmap_half_life_s: float = 300.0,
     ):
         #: Span tracer for per-search phase timing and I/O attribution
         #: (disabled -- and free -- by default).
@@ -274,6 +304,32 @@ class DirectoryService:
         #: :meth:`attach_replication` puts this service in front of a
         #: replication group.
         self._replication: Optional[Tuple[Any, int]] = None
+        #: Per-query-shape workload digest (pg_stat_statements style),
+        #: populated by every finished search; ``digest_capacity=0``
+        #: disables it.
+        self.digest: Optional[QueryDigestTable] = (
+            QueryDigestTable(capacity=digest_capacity) if digest_capacity else None
+        )
+        #: EWMA-decayed load over reversed-DN subtree prefixes, fed from
+        #: engine atomic leaves (reads + pages) and committed mutations
+        #: (writes); ``heatmap_depth=0`` disables it.  A federation
+        #: attached via :meth:`attach_federation` feeds its shipped-entry
+        #: counts in as well when constructed with the same map.
+        self.heatmap: Optional[SubtreeHeatMap] = (
+            SubtreeHeatMap(depth=heatmap_depth, half_life_s=heatmap_half_life_s)
+            if heatmap_depth
+            else None
+        )
+        self._heat_listener = None
+        if self.heatmap is not None:
+            heat = self.heatmap
+            self._heat_listener = lambda record: heat.record_write(record.dn)
+            self.directory.add_record_listener(self._heat_listener)
+        #: Metric history ring (:meth:`enable_workload_history`) and the
+        #: alert engine over it (:meth:`attach_alerts`).
+        self.history: Optional[MetricHistory] = None
+        self.alerts: Optional[AlertEngine] = None
+        self._history_interval_s = 1.0
 
     # -- federation frontend ------------------------------------------------
 
@@ -290,6 +346,10 @@ class DirectoryService:
         if at not in federation.servers:
             raise KeyError(at)
         self._federation = (federation, at)
+        if federation.heatmap is None and self.heatmap is not None:
+            # The frontend's heat map doubles as the federation's: remote
+            # shipping lands in the same per-subtree cells as local reads.
+            federation.heatmap = self.heatmap
 
     def attach_replication(self, replicated, lag_alert: int = 8) -> None:
         """Surface a :class:`~repro.dist.replication.ReplicatedContext`
@@ -362,10 +422,12 @@ class DirectoryService:
                     tracer=self.tracer,
                     log=self.log,
                     metrics=self.metrics,
+                    heatmap=self.heatmap,
                 )
             else:
                 self._engine = QueryEngine(
-                    view.store, tracer=self.tracer, log=self.log
+                    view.store, tracer=self.tracer, log=self.log,
+                    heatmap=self.heatmap,
                 )
             if stale is not None:
                 stale.close()
@@ -388,17 +450,17 @@ class DirectoryService:
             query = parse_query(query)
         return query
 
-    def _result_entries(
-        self, query: Query, budget=None
-    ) -> Tuple[List[Entry], bool, int, List[str], int, Optional[float]]:
+    def _result_entries(self, query: Query, budget=None) -> _Evaluation:
         """The query's full pre-ACL result, served from the semantic cache
-        when possible.  Returns (entries, was a cache hit, logical page
-        I/O the evaluation cost / a hit saved, degradation warnings,
-        remote retries, planner Q-error).  The Q-error is None whenever
-        no plan executed (cache hits, federation, ``planner="none"``).
-        ``budget`` caps the evaluation; a breach propagates as
-        :class:`~repro.obs.budget.BudgetExceeded` (cache hits are never
-        charged -- a served result costs no page I/O)."""
+        when possible.  Returns an :class:`_Evaluation`: the entries, was
+        it a cache hit, the logical page I/O the evaluation cost / a hit
+        saved, degradation warnings, remote retries, the planner Q-error,
+        plus how the result was served (``via``) and the normal-form
+        fingerprint when one was computed (``key``).  The Q-error is None
+        whenever no plan executed (cache hits, federation,
+        ``planner="none"``).  ``budget`` caps the evaluation; a breach
+        propagates as :class:`~repro.obs.budget.BudgetExceeded` (cache
+        hits are never charged -- a served result costs no page I/O)."""
         if self._federation is not None:
             # Federation frontend: the distributed evaluation brings its
             # own leaf cache, retries and degradation ladder; the local
@@ -408,12 +470,14 @@ class DirectoryService:
             fed_result = federation.query(at, query, budget=budget)
             cost = fed_result.io.logical_reads + fed_result.io.logical_writes
             self._m_search_io.observe(cost)
-            return (
+            return _Evaluation(
                 fed_result.entries,
                 False,
                 cost,
                 list(fed_result.warnings),
                 fed_result.retries,
+                None,
+                "federation",
                 None,
             )
         key = None
@@ -426,7 +490,10 @@ class DirectoryService:
                 span.set(hit=hit is not None)
             if hit is not None:
                 self._m_cache_lookups.inc(outcome="hit")
-                return list(hit.entries), True, hit.cost_io, [], 0, None
+                return _Evaluation(
+                    list(hit.entries), True, hit.cost_io, [], 0, None,
+                    "cache", key,
+                )
             self._m_cache_lookups.inc(outcome="miss")
         # Captured before the engine's snapshot is pinned: a write that
         # lands after this point bumps the epoch, and the put below is
@@ -450,12 +517,17 @@ class DirectoryService:
                             hit = self.cache.get(key)
                             if hit is not None:
                                 self._m_cache_lookups.inc(outcome="hit")
-                                return list(hit.entries), True, hit.cost_io, [], 0, None
+                                return _Evaluation(
+                                    list(hit.entries), True, hit.cost_io,
+                                    [], 0, None, "cache", key,
+                                )
                             self._m_cache_lookups.inc(outcome="miss")
                     superset = self._from_superset(planned)
                     if superset is not None:
                         entries, saved = superset
-                        return entries, True, saved, [], 0, None
+                        return _Evaluation(
+                            entries, True, saved, [], 0, None, "superset", key
+                        )
                 engine.last_rewrites = rewrites
                 result = engine.run_planned(planned, budget=budget)
                 qerror = engine.last_qerror
@@ -472,7 +544,9 @@ class DirectoryService:
                 key, str(query), result.entries, query_footprint(query), cost,
                 query=query, if_epoch=epoch,
             )
-        return result.entries, False, cost, [], 0, qerror
+        return _Evaluation(
+            result.entries, False, cost, [], 0, qerror, "engine", key
+        )
 
     def _from_superset(self, planned: Query) -> Optional[Tuple[List[Entry], int]]:
         """Cache-aware planning: serve an atomic sub-scoped plan from a
@@ -534,8 +608,12 @@ class DirectoryService:
                     )
                     return result
             try:
-                entries, cached, cost, warnings, retries, qerror = (
-                    self._result_entries(query, budget=active_budget)
+                evaluation = self._result_entries(query, budget=active_budget)
+                entries, cached, cost = (
+                    evaluation.entries, evaluation.cached, evaluation.cost
+                )
+                warnings, retries, qerror = (
+                    evaluation.warnings, evaluation.retries, evaluation.qerror
                 )
             except BudgetExceeded as exc:
                 exc.query_text = str(query)
@@ -575,16 +653,19 @@ class DirectoryService:
             )
         self._observe_search(
             query, result, started, io_before, retries=retries,
-            search_span=search_span, qerror=qerror,
+            search_span=search_span, qerror=qerror, evaluation=evaluation,
         )
         return result
 
     def _observe_search(self, query, result: SearchResult, started: float,
                         io_before, retries: int = 0, search_span=None,
-                        qerror: Optional[float] = None) -> None:
+                        qerror: Optional[float] = None,
+                        evaluation: Optional[_Evaluation] = None) -> None:
         """Fold one finished search into metrics, the slow-query log, the
-        event log and the tail sampler.  ``search_span`` (when tracing)
-        supplies the trace id that joins all four."""
+        event log, the tail sampler, the workload digest and the metric
+        history.  ``search_span`` (when tracing) supplies the trace id
+        that joins them; ``evaluation`` (absent for protocol errors and
+        budget breaches, which evaluated nothing) feeds the digest."""
         elapsed = time.perf_counter() - started
         pager_stats = self.directory.store.pager.stats
         io_delta = pager_stats.since(io_before)
@@ -598,6 +679,19 @@ class DirectoryService:
         if budget_breach:
             self._m_budget_exceeded.inc(resource=result.budget_error.resource)
         self._m_buffer_hit_rate.set(pager_stats.buffer_hit_rate)
+        if self.digest is not None and evaluation is not None:
+            digest_key = evaluation.key
+            if digest_key is None:
+                digest_key = fingerprint(query)
+            self.digest.observe(
+                digest_key,
+                str(query),
+                elapsed,
+                pages=0 if evaluation.cached else evaluation.cost,
+                entries=result.total_size,
+                via=evaluation.via,
+                qerror=qerror,
+            )
         slow = self.slow_queries.record(
             str(query),
             elapsed,
@@ -657,6 +751,52 @@ class DirectoryService:
                 trace_id=trace_id,
                 reasons=reasons,
             )
+        if self.history is not None:
+            # Opportunistic, rate-limited: history accrues on the search
+            # path with no background thread; each new point re-evaluates
+            # the alert rules so transitions track the workload.
+            sample = self.history.maybe_sample(self._history_interval_s)
+            if sample is not None and self.alerts is not None:
+                self.alerts.evaluate()
+
+    # -- workload observability ----------------------------------------------
+
+    def enable_workload_history(
+        self,
+        capacity: int = 128,
+        min_interval_s: float = 1.0,
+        clock=None,
+    ) -> MetricHistory:
+        """Start (or return) the metric history ring.  Samples are taken
+        opportunistically on the search path, at most one per
+        ``min_interval_s``; ``clock`` injects a deterministic time source
+        (tests, the ``repro alerts`` demo)."""
+        if self.history is None:
+            self.history = (
+                MetricHistory(self.metrics, capacity=capacity, clock=clock)
+                if clock is not None
+                else MetricHistory(self.metrics, capacity=capacity)
+            )
+            self._history_interval_s = min_interval_s
+        return self.history
+
+    def attach_alerts(
+        self, rules: Optional[List[AlertRule]] = None
+    ) -> AlertEngine:
+        """Put an alert engine over the metric history (started with
+        defaults when absent).  ``rules`` defaults to
+        :func:`~repro.obs.alerts.default_rules`; firing rules degrade
+        ``/healthz`` and are logged as ``alert.firing`` /
+        ``alert.resolved`` events."""
+        if self.alerts is None:
+            history = self.enable_workload_history()
+            self.alerts = AlertEngine(
+                history,
+                rules if rules is not None else default_rules(),
+                log=self.log,
+                metrics=self.metrics,
+            )
+        return self.alerts
 
     def slow_query_summary(self) -> dict:
         """The slow-query log plus the latency quantiles that contextualise
@@ -673,7 +813,12 @@ class DirectoryService:
     def serve_admin(self, host: str = "127.0.0.1", port: int = 0) -> AdminServer:
         """Start the HTTP admin endpoint for this service (daemon thread;
         ``port=0`` picks a free port).  Returns the started
-        :class:`~repro.obs.httpd.AdminServer`; the caller stops it."""
+        :class:`~repro.obs.httpd.AdminServer`; the caller stops it.
+
+        The workload endpoints (``/digest``, ``/heatmap``, ``/history``,
+        ``/alerts``) expose whatever is attached *at start time* -- call
+        :meth:`enable_workload_history` / :meth:`attach_alerts` first if
+        those panes should be live."""
 
         def health() -> dict:
             status = {
@@ -699,6 +844,14 @@ class DirectoryService:
                     for r in replication["replicas"].values()
                 ):
                     status["status"] = "degraded"
+            if self.alerts is not None:
+                firing = self.alerts.firing()
+                status["alerts"] = {
+                    "rules": len(self.alerts.rules),
+                    "firing": [f["name"] for f in firing],
+                }
+                if firing:
+                    status["status"] = "degraded"
             return status
 
         server = AdminServer(
@@ -709,6 +862,10 @@ class DirectoryService:
             host=host,
             port=port,
             log=self.log,
+            digest=self.digest,
+            heatmap=self.heatmap,
+            history=self.history,
+            alerts=self.alerts,
         )
         return server.start()
 
@@ -721,10 +878,7 @@ class DirectoryService:
         if page_entries < 1:
             raise ValueError("page_entries must be positive")
         query = self._as_query(query)
-        entries, _cached, _cost, _warnings, _retries, _qerror = self._result_entries(
-            query
-        )
-        visible = self._visible(entries)
+        visible = self._visible(self._result_entries(query).entries)
         return (
             visible[start : start + page_entries]
             for start in range(0, len(visible), page_entries)
@@ -785,7 +939,7 @@ class DirectoryService:
         auto-compaction through it."""
         if self._maintenance is None:
             self._maintenance = MaintenanceAgent(
-                metrics=self.metrics, log=self.log
+                metrics=self.metrics, log=self.log, tracer=self.tracer
             ).start()
             self.directory.attach_maintenance(self._maintenance)
         return self._maintenance
@@ -810,6 +964,9 @@ class DirectoryService:
         """Release the engine's pinned view, stop maintenance, and close
         the WAL (for a durable directory)."""
         self.stop_maintenance()
+        if self._heat_listener is not None:
+            self.directory.remove_record_listener(self._heat_listener)
+            self._heat_listener = None
         if self._live_stats is not None:
             self._live_stats.detach()
             self._live_stats = None

@@ -28,22 +28,31 @@ from typing import Callable, Optional
 
 from ..obs.log import NULL_LOGGER
 from ..obs.metrics import get_registry
+from ..obs.trace import NULL_TRACER
 
 __all__ = ["MaintenanceAgent"]
 
 
 class _Request:
-    __slots__ = ("kind", "action")
+    __slots__ = ("kind", "action", "context")
 
-    def __init__(self, kind: str, action: Callable[[], None]):
+    def __init__(self, kind: str, action: Callable[[], None], context=None):
         self.kind = kind
         self.action = action
+        #: The submitter's trace context (:meth:`Tracer.context`), adopted
+        #: by the worker so background spans join the foreground trace.
+        self.context = context
 
 
 class MaintenanceAgent:
     """One worker thread executing named maintenance requests in order."""
 
-    def __init__(self, metrics=None, log=None):
+    def __init__(self, metrics=None, log=None, tracer=None):
+        #: Span tracer.  Each executed request runs under a
+        #: ``maintenance.<kind>`` span that adopts the *submitter's* trace
+        #: context, so an agent-triggered compaction carries the same
+        #: trace id as the write that requested it.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue()
         self._lock = threading.Lock()
         #: Kinds queued-or-running with dedupe, to absorb request bursts.
@@ -118,7 +127,7 @@ class MaintenanceAgent:
                     return False
                 self._inflight.add(kind)
         self._m_requests.inc(kind=kind)
-        self._queue.put(_Request(kind, action))
+        self._queue.put(_Request(kind, action, context=self.tracer.context()))
         return True
 
     def drain(self) -> None:
@@ -133,8 +142,11 @@ class MaintenanceAgent:
                 if not self._running:
                     return
                 continue
+            token = self.tracer.adopt(request.context)
             try:
-                request.action()
+                with self.tracer.span("maintenance.%s" % request.kind,
+                                      kind=request.kind):
+                    request.action()
             except Exception as exc:  # noqa: BLE001 - isolation by design
                 self.failures += 1
                 self._m_failures.inc(kind=request.kind)
@@ -142,6 +154,7 @@ class MaintenanceAgent:
                     "maintenance.failed", kind=request.kind, error=str(exc)
                 )
             finally:
+                self.tracer.release(token)
                 with self._lock:
                     self._inflight.discard(request.kind)
                 self._queue.task_done()

@@ -1,0 +1,193 @@
+"""The alert engine: the rule grammar, default rules, and the
+firing/resolved state machine -- deterministic under an injected clock."""
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    RateRule,
+    RatioRule,
+    ThresholdRule,
+    default_rules,
+    parse_rule,
+)
+from repro.obs.history import MetricHistory
+from repro.obs.log import CapturingLogger
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestGrammar:
+    def test_quantile_threshold(self):
+        rule = parse_rule("p95(repro_planner_qerror) > 4")
+        assert isinstance(rule, ThresholdRule)
+        assert rule.field == "p95" and rule.op == ">" and rule.threshold == 4.0
+        assert rule.condition() == "p95(repro_planner_qerror) > 4"
+
+    def test_agg_threshold(self):
+        rule = parse_rule("max(repro_replication_lag_records) > 8")
+        assert isinstance(rule, ThresholdRule) and rule.agg == "max"
+
+    def test_rate_with_for_clause(self):
+        rule = parse_rule("rate(repro_searches_total, 60) > 100 for 2")
+        assert isinstance(rule, RateRule)
+        assert rule.window_s == 60.0 and rule.for_samples == 2
+
+    def test_ratio_with_min_denominator(self):
+        rule = parse_rule(
+            "repro_cache_lookups_total{outcome=hit} / total < 0.5 min 20"
+        )
+        assert isinstance(rule, RatioRule)
+        assert rule.numerator_labels == {"outcome": "hit"}
+        assert rule.min_denominator == 20.0
+
+    def test_bare_metric_threshold_with_labels(self):
+        rule = parse_rule("repro_searches_total{code=error} >= 1")
+        assert isinstance(rule, ThresholdRule)
+        assert rule.labels == {"code": "error"} and rule.op == ">="
+
+    @pytest.mark.parametrize("bad", [
+        "not a rule",
+        "rate(repro_x) > 1",            # rate needs a window
+        "p95(repro_x, 60) > 1",         # only rate takes a window
+        "repro_x > 1 min 5",            # min is ratio-only
+        "vibes(repro_x) > 1",           # unknown function
+        "repro_x / total < 0.5",        # ratio needs numerator labels
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_rule(bad)
+
+    def test_default_rules_cover_planner_replication_and_cache(self):
+        names = {rule.name for rule in default_rules()}
+        assert names == {
+            "planner-qerror-p95", "replication-lag", "cache-hit-rate-floor",
+        }
+
+
+class TestStateMachine:
+    def _stack(self, rules, **engine_kw):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        history = MetricHistory(registry=registry, capacity=16, clock=clock)
+        engine = AlertEngine(history, rules, metrics=MetricsRegistry(),
+                             **engine_kw)
+        gauge = registry.gauge("repro_lag", "lag")
+        return clock, history, engine, gauge
+
+    def test_fires_after_for_samples_consecutive_breaches(self):
+        clock, history, engine, gauge = self._stack(
+            [ThresholdRule("lag", "repro_lag", ">", 5, for_samples=2)]
+        )
+        gauge.set(9)
+        history.sample()
+        assert engine.evaluate() == []          # streak 1 of 2: pending
+        assert engine.firing() == []
+        clock.now = 1.0
+        history.sample()
+        changed = engine.evaluate()             # streak 2: fires
+        assert [t["to"] for t in changed] == ["firing"]
+        assert engine.firing()[0]["name"] == "lag"
+        assert changed[0]["ts"] == 1.0          # stamped with the sample ts
+
+    def test_one_good_round_resets_the_streak(self):
+        clock, history, engine, gauge = self._stack(
+            [ThresholdRule("lag", "repro_lag", ">", 5, for_samples=2)]
+        )
+        for step, value in enumerate((9, 2, 9)):
+            clock.now = float(step)
+            gauge.set(value)
+            history.sample()
+            assert engine.evaluate() == []
+        assert engine.firing() == []
+
+    def test_resolves_and_logs_both_transitions(self):
+        log = CapturingLogger(min_level="info")
+        clock, history, engine, gauge = self._stack(
+            [ThresholdRule("lag", "repro_lag", ">", 5)], log=log
+        )
+        gauge.set(9)
+        history.sample()
+        engine.evaluate()
+        clock.now = 1.0
+        gauge.set(1)
+        history.sample()
+        changed = engine.evaluate()
+        assert [t["to"] for t in changed] == ["resolved"]
+        events = [e["event"] for e in log.events()]
+        assert events == ["alert.firing", "alert.resolved"]
+        assert engine.status()["firing"] == []
+
+    def test_no_data_never_breaches(self):
+        _, history, engine, _ = self._stack(
+            [ThresholdRule("lag", "repro_nope", ">", 5)]
+        )
+        history.sample()
+        assert engine.evaluate() == []
+        assert engine.status()["rules"][0]["state"] == "ok"
+
+    def test_transition_metrics_and_gauge(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        history = MetricHistory(
+            registry=MetricsRegistry(), capacity=8, clock=clock
+        )
+        gauge = history.registry.gauge("repro_lag", "lag")
+        engine = AlertEngine(
+            history, [ThresholdRule("lag", "repro_lag", ">", 5)],
+            metrics=registry,
+        )
+        gauge.set(9)
+        history.sample()
+        engine.evaluate()
+        firing_gauge = registry.get("repro_alerts_firing")
+        assert firing_gauge.as_dict()["values"][0]["value"] == 1
+        clock.now = 1.0
+        gauge.set(0)
+        history.sample()
+        engine.evaluate()
+        assert firing_gauge.as_dict()["values"][0]["value"] == 0
+        transitions = registry.get("repro_alert_transitions_total").as_dict()
+        by_to = {
+            row["labels"]["to"]: row["value"]
+            for row in transitions["values"]
+        }
+        assert by_to == {"firing": 1, "resolved": 1}
+
+    def test_duplicate_rule_names_rejected(self):
+        history = MetricHistory(registry=MetricsRegistry(), capacity=8)
+        with pytest.raises(ValueError):
+            AlertEngine(
+                history,
+                [ThresholdRule("x", "m", ">", 1), ThresholdRule("x", "m", ">", 2)],
+                metrics=MetricsRegistry(),
+            )
+
+    def test_deterministic_replay(self):
+        """The same injected-clock script produces identical transition
+        lists on every run -- the property the E26 benchmark gates."""
+        def run():
+            clock, history, engine, gauge = self._stack(
+                [parse_rule("rate(repro_lag, 30) > 5", name="burst")]
+            )
+            trace = []
+            for step in range(12):
+                clock.now = float(step)
+                gauge.set(step * 10 if step < 5 else 50)
+                history.sample()
+                for t in engine.evaluate():
+                    trace.append((t["rule"], t["to"], t["ts"]))
+            return trace
+
+        first, second = run(), run()
+        assert first == second
+        assert [(rule, to) for rule, to, _ in first] == [
+            ("burst", "firing"), ("burst", "resolved"),
+        ]

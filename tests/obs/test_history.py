@@ -1,0 +1,111 @@
+"""Metric history: registry flattening, windowed deltas/rates, the
+bounded ring, and pull-based sampling -- all under an injected clock."""
+
+import json
+
+import pytest
+
+from repro.obs.history import MetricHistory
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def stack():
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    history = MetricHistory(registry=registry, capacity=8, clock=clock)
+    searches = registry.counter(
+        "repro_searches_total", "Searches", labelnames=("code",)
+    )
+    latency = registry.histogram(
+        "repro_search_seconds", "Latency", buckets=(0.001, 0.01, 0.1)
+    )
+    return registry, clock, history, searches, latency
+
+
+class TestSampling:
+    def test_value_reads_the_newest_sample(self, stack):
+        _, clock, history, searches, _ = stack
+        searches.inc(3, code="success")
+        searches.inc(1, code="error")
+        history.sample()
+        assert history.value("repro_searches_total") == 4
+        assert history.value(
+            "repro_searches_total", labels={"code": "success"}
+        ) == 3
+        assert history.value("repro_nope") is None
+
+    def test_histograms_flatten_to_sum_count_and_quantiles(self, stack):
+        _, _, history, _, latency = stack
+        for value in (0.002, 0.003, 0.004, 0.02):
+            latency.observe(value)
+        history.sample()
+        assert history.value("repro_search_seconds", field="count") == 4
+        assert history.value(
+            "repro_search_seconds", field="sum"
+        ) == pytest.approx(0.029)
+        p95 = history.value("repro_search_seconds", field="p95")
+        assert p95 is not None and p95 > 0
+
+    def test_delta_and_rate_over_the_window(self, stack):
+        _, clock, history, searches, _ = stack
+        searches.inc(10, code="success")
+        history.sample()
+        clock.now = 5.0
+        searches.inc(40, code="success")
+        history.sample()
+        assert history.delta("repro_searches_total", 60.0) == 40
+        assert history.rate("repro_searches_total", 60.0) == pytest.approx(8.0)
+        # Window excludes the old point: one sample -> no rate.
+        assert history.rate("repro_searches_total", 1.0) is None
+
+    def test_rate_needs_two_points(self, stack):
+        _, _, history, searches, _ = stack
+        searches.inc(5, code="success")
+        history.sample()
+        assert history.rate("repro_searches_total", 60.0) is None
+
+    def test_maybe_sample_is_rate_limited_by_the_injected_clock(self, stack):
+        _, clock, history, _, _ = stack
+        assert history.maybe_sample(min_interval_s=1.0) is not None
+        assert history.maybe_sample(min_interval_s=1.0) is None
+        clock.now = 1.0
+        assert history.maybe_sample(min_interval_s=1.0) is not None
+        assert history.taken == 2
+
+    def test_ring_is_bounded(self, stack):
+        _, clock, history, _, _ = stack
+        for step in range(20):
+            clock.now = float(step)
+            history.sample()
+        assert len(history) == 8
+        assert history.taken == 20
+        assert history.snapshots()[0].ts == 12.0
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            MetricHistory(registry=MetricsRegistry(), capacity=1)
+
+
+class TestSerialisation:
+    def test_as_dicts_is_json_ready_and_limitable(self, stack):
+        _, clock, history, searches, _ = stack
+        searches.inc(1, code="success")
+        history.sample()
+        clock.now = 2.0
+        history.sample()
+        dumped = history.as_dicts(limit=1, metric="repro_searches_total")
+        json.dumps(dumped)
+        assert len(dumped) == 1
+        assert dumped[0]["ts"] == 2.0
+        series = dumped[0]["metrics"]["repro_searches_total"]["series"]
+        assert series[0]["labels"] == {"code": "success"}
+        assert series[0]["value"] == 1

@@ -113,6 +113,127 @@ class TestEndpoints:
         assert events[-1] == "admin.stop"
 
 
+class TestWorkloadEndpoints:
+    @pytest.fixture
+    def workload_server(self):
+        from repro.model.dn import DN
+        from repro.obs.alerts import AlertEngine, ThresholdRule
+        from repro.obs.digest import QueryDigestTable
+        from repro.obs.heatmap import SubtreeHeatMap
+        from repro.obs.history import MetricHistory
+
+        registry = MetricsRegistry()
+        registry.gauge("repro_lag", "lag").set(9)
+        digest = QueryDigestTable(capacity=8, clock=lambda: 100.0)
+        digest.observe("k1", "(q1)", 0.010, pages=4, via="engine", qerror=2.0)
+        digest.observe("k1", "(q1)", 0.001, via="cache")
+        digest.observe("k2", "(q2)", 0.500, pages=50, via="engine")
+        heatmap = SubtreeHeatMap(depth=2, clock=lambda: 100.0)
+        heatmap.record_read(DN.parse("dc=att, dc=com"), pages=7)
+        history = MetricHistory(registry=registry, capacity=8,
+                                clock=lambda: 100.0)
+        history.sample()
+        alerts = AlertEngine(
+            history, [ThresholdRule("lag", "repro_lag", ">", 5)],
+            metrics=MetricsRegistry(),
+        )
+        alerts.evaluate()
+        server = AdminServer(
+            registry=registry, digest=digest, heatmap=heatmap,
+            history=history, alerts=alerts,
+        ).start()
+        yield server
+        server.stop()
+
+    def test_digest_route_serves_the_table(self, workload_server):
+        status, headers, body = _get(workload_server.url + "/digest?n=1&by=time")
+        payload = json.loads(body)
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert payload["enabled"] is True
+        assert payload["rows"] == 2 and payload["by"] == "time"
+        assert [r["key"] for r in payload["top"]] == ["k2"]
+
+    def test_heatmap_route_serves_the_cells(self, workload_server):
+        _, _, body = _get(workload_server.url + "/heatmap?n=5")
+        payload = json.loads(body)
+        assert payload["enabled"] is True and payload["depth"] == 2
+        assert payload["hottest"][0]["subtree"] == "dc=att, dc=com"
+
+    def test_history_route_serves_samples(self, workload_server):
+        _, _, body = _get(
+            workload_server.url + "/history?limit=1&metric=repro_lag"
+        )
+        payload = json.loads(body)
+        assert payload["enabled"] is True and payload["taken"] == 1
+        sample = payload["samples"][0]
+        assert sample["metrics"]["repro_lag"]["series"][0]["value"] == 9
+
+    def test_alerts_route_serves_engine_status(self, workload_server):
+        _, _, body = _get(workload_server.url + "/alerts")
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["firing"] == ["lag"]
+        assert payload["transitions"][0]["to"] == "firing"
+
+    def test_absent_collaborators_serve_disabled_stubs(self):
+        with AdminServer(registry=MetricsRegistry()) as server:
+            for route in ("/digest", "/heatmap", "/history", "/alerts"):
+                status, _, body = _get(server.url + route)
+                assert status == 200
+                assert json.loads(body)["enabled"] is False
+
+
+class TestHardening:
+    def test_bad_query_parameters_are_json_400s(self, stack):
+        server, _ = stack
+        for url in ("/digest?n=abc", "/digest?n=-1", "/digest?by=vibes",
+                    "/heatmap?by=vibes", "/history?limit=x"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + url)
+            assert err.value.code == 400
+            payload = json.loads(err.value.read())
+            assert payload["error"]
+            assert err.value.headers["Content-Type"] == "application/json"
+
+    def test_404_lists_the_routes(self, stack):
+        server, _ = stack
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/nope")
+        payload = json.loads(err.value.read())
+        assert "/digest" in payload["endpoints"]
+        assert "/metrics" in payload["endpoints"]
+
+    def test_writes_are_405_with_allow_header(self, stack):
+        server, _ = stack
+        request = urllib.request.Request(
+            server.url + "/metrics", data=b"x=1", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=5)
+        assert err.value.code == 405
+        assert err.value.headers["Allow"] == "GET, HEAD"
+        assert json.loads(err.value.read())["error"]
+
+    def test_head_sends_headers_without_a_body(self, stack):
+        server, _ = stack
+        request = urllib.request.Request(
+            server.url + "/healthz", method="HEAD"
+        )
+        with urllib.request.urlopen(request, timeout=5) as response:
+            assert response.status == 200
+            assert int(response.headers["Content-Length"]) > 0
+            assert response.read() == b""
+
+    def test_every_route_declares_a_content_type(self, stack):
+        server, _ = stack
+        for route in AdminServer(registry=MetricsRegistry()).routes():
+            _, headers, _ = _get(server.url + route)
+            expected = ("text/plain" if route == "/metrics"
+                        else "application/json")
+            assert headers["Content-Type"].startswith(expected), route
+
+
 class TestLifecycle:
     def test_port_zero_binds_ephemerally(self):
         server = AdminServer(registry=MetricsRegistry())

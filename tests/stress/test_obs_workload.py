@@ -1,0 +1,135 @@
+"""Threaded hammers for the workload observability plane: the digest
+table and heat map sit directly on the (parallel) search path, so their
+counters must stay exact under concurrent updates from many threads."""
+
+import threading
+
+from repro.model.dn import DN
+from repro.obs.digest import QueryDigestTable
+from repro.obs.heatmap import SubtreeHeatMap
+from repro.obs.history import MetricHistory
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+ROUNDS = 200
+
+
+def _hammer(worker, count=THREADS):
+    errors = []
+
+    def guarded(index):
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=guarded, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestDigestHammer:
+    def test_counts_are_exact_under_contention(self):
+        table = QueryDigestTable(capacity=64)
+
+        def worker(index):
+            for round_ in range(ROUNDS):
+                table.observe(
+                    "k%d" % (round_ % 4), "(q%d)" % (round_ % 4),
+                    0.001, pages=1, entries=2,
+                    via="cache" if round_ % 2 else "engine", qerror=1.5,
+                )
+
+        _hammer(worker)
+        total = THREADS * ROUNDS
+        assert table.observed == total
+        rows = table.top(10)
+        assert len(rows) == 4
+        assert sum(r.calls for r in rows) == total
+        assert sum(r.pages_total for r in rows) == total
+        assert sum(r.cache_hits for r in rows) == total // 2
+
+    def test_eviction_churn_never_loses_the_observed_count(self):
+        table = QueryDigestTable(capacity=4)
+
+        def worker(index):
+            for round_ in range(ROUNDS):
+                table.observe("k%d-%d" % (index, round_), "(q)", 0.001)
+
+        _hammer(worker)
+        assert table.observed == THREADS * ROUNDS
+        assert len(table) == 4
+        assert table.evicted == THREADS * ROUNDS - 4
+
+
+class TestHeatmapHammer:
+    def test_lifetime_totals_are_exact_under_contention(self):
+        heat = SubtreeHeatMap(depth=2, capacity=64, clock=lambda: 0.0)
+        subtrees = [
+            DN.parse("ou=t%d, dc=com" % index) for index in range(THREADS)
+        ]
+
+        def worker(index):
+            base = subtrees[index]
+            for _ in range(ROUNDS):
+                heat.record_read(base, pages=2)
+                heat.record_write(base)
+                heat.record_shipped(base, entries=3)
+
+        _hammer(worker)
+        cells = heat.hottest(THREADS + 1)
+        assert len(cells) == THREADS
+        assert sum(c["reads_total"] for c in cells) == THREADS * ROUNDS
+        assert sum(c["pages_total"] for c in cells) == THREADS * ROUNDS * 2
+        assert sum(c["writes_total"] for c in cells) == THREADS * ROUNDS
+        assert sum(c["shipped_total"] for c in cells) == THREADS * ROUNDS * 3
+
+    def test_ranking_while_writers_run(self):
+        heat = SubtreeHeatMap(depth=1, capacity=8, clock=lambda: 0.0)
+        stop = threading.Event()
+
+        def reader(_index):
+            while not stop.is_set():
+                heat.hottest(5)
+                heat.snapshot(3)
+
+        def writer(index):
+            try:
+                for round_ in range(ROUNDS):
+                    heat.record_read(DN.parse("dc=d%d" % (round_ % 12)))
+            finally:
+                stop.set()
+
+        readers = [
+            threading.Thread(target=reader, args=(i,)) for i in range(2)
+        ]
+        for thread in readers:
+            thread.start()
+        _hammer(writer, count=4)
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert len(heat) == 8  # capacity held despite 12 distinct keys
+
+
+class TestHistoryHammer:
+    def test_concurrent_samplers_keep_the_ring_bounded(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total", "hits")
+        history = MetricHistory(registry=registry, capacity=16)
+
+        def worker(index):
+            for _ in range(ROUNDS // 4):
+                counter.inc()
+                history.sample()
+                history.rate("repro_hits_total", 60.0)
+
+        _hammer(worker)
+        assert history.taken == THREADS * (ROUNDS // 4)
+        assert len(history) == 16

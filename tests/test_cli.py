@@ -1,6 +1,7 @@
 """The command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -319,7 +320,8 @@ class TestBenchCheckDirectories:
     def test_directory_of_valid_artifacts_passes(self, capsys):
         assert main(["bench-check", "benchmarks/baselines"]) == 0
         out = capsys.readouterr().out
-        assert out.count(": ok") == 6
+        baselines = len(list(Path("benchmarks/baselines").glob("BENCH_*.json")))
+        assert out.count(": ok") == baselines >= 7
 
     def test_directory_with_an_invalid_artifact_lists_it(self, tmp_path, capsys):
         good = json.dumps({
@@ -435,3 +437,67 @@ class TestConsistencyCommand:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload[0]["durable"] is True
+
+
+class TestTopCommand:
+    def test_zipf_workload_table(self, qos_ldif, capsys):
+        code = main(["top", qos_ldif, "--schema", "qos",
+                     "--queries", "60", "--distinct", "6", "-n", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "60 searches over 6 distinct shapes" in out
+        assert "hottest subtrees" in out
+        assert "qerror" in out
+
+    def test_json_mode_ranks_by_skew(self, qos_ldif, capsys):
+        code = main(["top", qos_ldif, "--schema", "qos", "--json",
+                     "--queries", "120", "--distinct", "6", "--seed", "3"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        top = payload["digest"]["top"]
+        assert payload["digest"]["observed"] == 120
+        # Zipf skew: the table is sorted by calls, heaviest first.
+        calls = [row["calls"] for row in top]
+        assert calls == sorted(calls, reverse=True)
+        assert calls[0] > calls[-1]
+        assert payload["heatmap"]["hottest"]
+
+    def test_by_ordering_flag(self, qos_ldif, capsys):
+        code = main(["top", qos_ldif, "--schema", "qos", "--json",
+                     "--queries", "40", "--by", "pages"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["digest"]["by"] == "pages"
+
+
+class TestAlertsCommand:
+    def test_demo_fires_and_resolves(self, qos_ldif, capsys):
+        code = main(["alerts", qos_ldif, "--schema", "qos",
+                     "--queries", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[firing" in out
+        assert "[resolved" in out
+
+    def test_json_mode_reports_transitions(self, qos_ldif, capsys):
+        code = main(["alerts", qos_ldif, "--schema", "qos", "--json",
+                     "--queries", "80"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        to = [t["to"] for t in payload["transitions"]]
+        assert to == ["firing", "resolved"]
+        assert payload["firing"] == []
+
+    def test_custom_rule_text(self, qos_ldif, capsys):
+        code = main(["alerts", qos_ldif, "--schema", "qos", "--json",
+                     "--rule", "rate(repro_searches_total, 20) > 2",
+                     "--queries", "60"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["transitions"][0]["rule"].startswith("rate(")
+
+    def test_bad_rule_reports_error(self, qos_ldif, capsys):
+        code = main(["alerts", qos_ldif, "--schema", "qos",
+                     "--rule", "not a rule"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -166,6 +166,61 @@ class TestGroupCommit:
         assert [r.lsn for r in records] == list(range(1, total + 1))
         wal.close()
 
+    def test_group_commit_batch_metric_accounts_every_record(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        wal = WriteAheadLog(
+            str(tmp_path / "w"), fsync=False, metrics=registry
+        )
+        for lsn in range(1, 6):
+            wal.commit(_record(lsn))
+        wal.close()
+        batches = registry.get("repro_wal_group_commit_batch").as_dict()
+        row = batches["values"][0]
+        # One flush per solo commit; the batch sizes sum to the records.
+        assert row["count"] == wal.flushes
+        assert row["sum"] == wal.appends == 5
+        fsyncs = registry.get("repro_wal_fsync_seconds").as_dict()
+        assert fsyncs["values"][0]["count"] == wal.flushes
+
+    def test_group_commit_batch_metric_sees_shared_flushes(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        wal = WriteAheadLog(
+            str(tmp_path / "w"),
+            fsync=False,
+            flush_delay_s=0.003,
+            metrics=registry,
+        )
+        threads = 8
+        lock = threading.Lock()
+        next_lsn = [1]
+        barrier = threading.Barrier(threads)
+
+        def worker(_index):
+            barrier.wait()
+            for _ in range(4):
+                with lock:
+                    lsn = next_lsn[0]
+                    next_lsn[0] += 1
+                    wal.append(_record(lsn, "n%d" % lsn))
+                wal.sync(lsn)
+
+        workers = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        wal.close()
+        row = registry.get("repro_wal_group_commit_batch").as_dict()["values"][0]
+        assert row["sum"] == threads * 4       # every record in some batch
+        assert row["count"] == wal.flushes     # one observation per flush
+        assert row["count"] < threads * 4      # and batching actually happened
+
     def test_crash_poisons_every_waiter(self, tmp_path):
         wal = WriteAheadLog(
             str(tmp_path / "w"),
